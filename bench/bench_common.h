@@ -1,0 +1,118 @@
+// Shared plumbing for the experiment harnesses: budget presets, CLI flags
+// (--quick for smoke runs, --csv to emit machine-readable results, --seed),
+// and problem-bundle construction.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mars/accel/registry.h"
+#include "mars/core/baseline.h"
+#include "mars/core/evaluator.h"
+#include "mars/core/h2h.h"
+#include "mars/core/mars.h"
+#include "mars/graph/models/models.h"
+#include "mars/topology/presets.h"
+#include "mars/util/csv.h"
+#include "mars/util/strings.h"
+#include "mars/util/table.h"
+
+namespace mars::bench {
+
+struct Options {
+  bool quick = false;
+  std::optional<std::string> csv_path;
+  std::uint64_t seed = 1;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      options.csv_path = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::stoull(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--quick] [--csv <path>] [--seed <n>]\n";
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+/// Search budgets: default reproduces the paper-style sweep; --quick is a
+/// smoke-test budget.
+inline core::MarsConfig mars_config(const Options& options) {
+  core::MarsConfig config;
+  config.seed = options.seed;
+  if (options.quick) {
+    config.first_ga.population = 12;
+    config.first_ga.generations = 8;
+    config.first_ga.stall_generations = 4;
+    config.second.ga.population = 8;
+    config.second.ga.generations = 6;
+  } else {
+    config.first_ga.population = 24;
+    config.first_ga.generations = 24;
+    config.first_ga.stall_generations = 8;
+    config.second.ga.population = 16;
+    config.second.ga.generations = 14;
+    config.second.ga.stall_generations = 6;
+  }
+  return config;
+}
+
+/// Everything one experiment needs, with stable storage.
+struct Bundle {
+  graph::Graph model;
+  graph::ConvSpine spine;
+  topology::Topology topo;
+  accel::DesignRegistry designs;
+  core::Problem problem;
+
+  Bundle(graph::Graph m, topology::Topology t, accel::DesignRegistry d,
+         bool adaptive)
+      : model(std::move(m)),
+        spine(graph::ConvSpine::extract(model)),
+        topo(std::move(t)),
+        designs(std::move(d)) {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = adaptive;
+  }
+};
+
+inline std::unique_ptr<Bundle> f1_bundle(const std::string& model_name) {
+  return std::make_unique<Bundle>(graph::models::by_name(model_name),
+                                  topology::f1_16xlarge(),
+                                  accel::table2_designs(), /*adaptive=*/true);
+}
+
+inline std::unique_ptr<Bundle> h2h_bundle(const std::string& model_name,
+                                          Bandwidth bw) {
+  return std::make_unique<Bundle>(graph::models::by_name(model_name),
+                                  topology::h2h_cloud(8, bw, 4),
+                                  accel::h2h_designs(), /*adaptive=*/false);
+}
+
+inline void maybe_write_csv(const Options& options,
+                            const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  if (!options.csv_path) return;
+  std::ofstream file(*options.csv_path);
+  CsvWriter csv(file, header);
+  for (const auto& row : rows) csv.add_row(row);
+  std::cout << "wrote " << rows.size() << " rows to " << *options.csv_path
+            << '\n';
+}
+
+}  // namespace mars::bench

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark): the per-call costs that set the
+// search throughput — analytical design models, shard-plan construction,
+// the layer cost function, greedy second-level selection, and the
+// event-driven executor.
+#include <benchmark/benchmark.h>
+
+#include "mars/accel/registry.h"
+#include "mars/core/evaluator.h"
+#include "mars/core/second_level.h"
+#include "mars/graph/models/models.h"
+#include "mars/parallel/sharding.h"
+#include "mars/topology/presets.h"
+
+namespace {
+
+using namespace mars;  // NOLINT: bench-local convenience
+
+struct Fixture {
+  graph::Graph model = graph::models::vgg16();
+  graph::ConvSpine spine = graph::ConvSpine::extract(model);
+  topology::Topology topo = topology::f1_16xlarge();
+  accel::DesignRegistry designs = accel::table2_designs();
+  core::Problem problem;
+
+  Fixture() {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = true;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_DesignCycleModel(benchmark::State& state) {
+  const auto& fx = fixture();
+  const accel::AcceleratorDesign& design =
+      fx.designs.design(static_cast<int>(state.range(0)));
+  const graph::ConvShape shape{256, 256, 28, 28, 3, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        design.conv_cycles(shape, graph::DataType::kFix16).total());
+  }
+}
+BENCHMARK(BM_DesignCycleModel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EnumerateStrategies(benchmark::State& state) {
+  const graph::ConvShape shape{256, 256, 28, 28, 3, 3, 1, 1};
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::enumerate_strategies(shape, p, 3));
+  }
+}
+BENCHMARK(BM_EnumerateStrategies)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MakePlan(benchmark::State& state) {
+  const graph::ConvShape shape{256, 256, 28, 28, 3, 3, 1, 1};
+  const parallel::Strategy strategy({{parallel::Dim::kH, 2}, {parallel::Dim::kW, 2}},
+                                    parallel::Dim::kCout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parallel::make_plan(shape, graph::DataType::kFix16, strategy, 4));
+  }
+}
+BENCHMARK(BM_MakePlan);
+
+void BM_LayerCost(benchmark::State& state) {
+  const auto& fx = fixture();
+  const core::AnalyticalCostModel model(fx.problem);
+  core::LayerAssignment set;
+  set.accs = 0b1111;
+  set.design = 0;
+  set.begin = 0;
+  set.end = fx.spine.size();
+  const parallel::Strategy strategy({{parallel::Dim::kCout, 4}}, std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.layer_cost(set, 5, strategy, std::nullopt));
+  }
+}
+BENCHMARK(BM_LayerCost);
+
+void BM_GreedySecondLevel(benchmark::State& state) {
+  const auto& fx = fixture();
+  const core::SecondLevelSearch search(fx.problem, core::SecondLevelConfig{});
+  core::LayerAssignment skeleton;
+  skeleton.accs = 0b1111;
+  skeleton.design = 0;
+  skeleton.begin = 0;
+  skeleton.end = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search.greedy(skeleton));
+  }
+}
+BENCHMARK(BM_GreedySecondLevel)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EventSimVgg(benchmark::State& state) {
+  const auto& fx = fixture();
+  const core::SecondLevelSearch search(fx.problem, core::SecondLevelConfig{});
+  core::LayerAssignment set;
+  set.accs = 0b1111;
+  set.design = 0;
+  set.begin = 0;
+  set.end = fx.spine.size();
+  set.strategies = search.greedy(set).strategies;
+  core::Mapping mapping;
+  mapping.sets = {set};
+  const core::MappingEvaluator evaluator(fx.problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.simulate(mapping).result.makespan);
+  }
+}
+BENCHMARK(BM_EventSimVgg);
+
+void BM_SpineExtraction(benchmark::State& state) {
+  const graph::Graph model = graph::models::resnet101();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ConvSpine::extract(model));
+  }
+}
+BENCHMARK(BM_SpineExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

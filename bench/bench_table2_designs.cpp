@@ -1,0 +1,85 @@
+// Experiment T2 — Table II: the available accelerator designs, plus the
+// per-layer profile (cycles / utilisation) that drives both the baseline's
+// design choice and MARS's gene initialisation.
+#include "bench_common.h"
+
+#include "mars/accel/profiler.h"
+
+namespace mars::bench {
+namespace {
+
+void run(const Options& options) {
+  std::cout << "=== Table II: available accelerator designs ===\n";
+  const accel::DesignRegistry designs = accel::table2_designs();
+  Table table({"Design", "Name", "Freq", "#PEs", "Peak MAC/cyc",
+               "Design Parameters"});
+  for (accel::DesignId id : designs.ids()) {
+    const accel::AcceleratorDesign& d = designs.design(id);
+    table.add_row({std::to_string(id + 1), d.name(),
+                   format_double(d.frequency().megahertz(), 0) + "MHz",
+                   std::to_string(d.pe_count()),
+                   format_double(d.peak_macs_per_cycle(), 0),
+                   d.parameter_string()});
+  }
+  std::cout << table << '\n';
+
+  std::cout << "Per-layer winners across the Table III workloads (which "
+               "design minimises cycles; the heterogeneity MARS exploits):\n";
+  Table winners({"Model", "Layers", "SuperLIP wins", "Systolic wins",
+                 "Winograd wins", "Best-mix speedup vs best-single"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const char* name :
+       {"alexnet", "vgg16", "resnet34", "resnet101", "wrn50_2"}) {
+    const graph::Graph model = graph::models::by_name(name);
+    const graph::ConvSpine spine = graph::ConvSpine::extract(model);
+    const accel::ProfileMatrix profile(designs, spine);
+
+    std::vector<int> wins(static_cast<std::size_t>(designs.size()), 0);
+    double mixed = 0.0;
+    for (int l = 0; l < spine.size(); ++l) {
+      const accel::DesignId best = profile.best_design(l);
+      ++wins[static_cast<std::size_t>(best)];
+      mixed += profile.at(best, l).cycles;
+    }
+    double best_single = profile.total_cycles(0);
+    for (accel::DesignId d = 1; d < designs.size(); ++d) {
+      best_single = std::min(best_single, profile.total_cycles(d));
+    }
+    winners.add_row({name, std::to_string(spine.size()),
+                     std::to_string(wins[0]), std::to_string(wins[1]),
+                     std::to_string(wins[2]),
+                     format_double(best_single / mixed, 3) + "x"});
+    csv_rows.push_back({name, std::to_string(spine.size()),
+                        std::to_string(wins[0]), std::to_string(wins[1]),
+                        std::to_string(wins[2]),
+                        format_double(best_single / mixed, 4)});
+  }
+  std::cout << winners;
+  maybe_write_csv(options,
+                  {"model", "layers", "superlip_wins", "systolic_wins",
+                   "winograd_wins", "mix_speedup"},
+                  csv_rows);
+
+  std::cout << "\nUtilisation detail (vgg16): per-layer fraction of peak "
+               "MACs achieved by each design.\n";
+  const graph::Graph vgg = graph::models::vgg16();
+  const graph::ConvSpine spine = graph::ConvSpine::extract(vgg);
+  const accel::ProfileMatrix profile(designs, spine);
+  Table util({"Layer", "Shape", "SuperLIP", "Systolic", "Winograd", "Winner"});
+  for (int l = 0; l < spine.size(); ++l) {
+    util.add_row({spine.node(l).name, graph::to_string(spine.node(l).shape),
+                  format_double(profile.at(0, l).utilization, 2),
+                  format_double(profile.at(1, l).utilization, 2),
+                  format_double(profile.at(2, l).utilization, 2),
+                  designs.design(profile.best_design(l)).name()});
+  }
+  std::cout << util;
+}
+
+}  // namespace
+}  // namespace mars::bench
+
+int main(int argc, char** argv) {
+  mars::bench::run(mars::bench::parse_options(argc, argv));
+  return 0;
+}

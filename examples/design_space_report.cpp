@@ -1,0 +1,74 @@
+// Design-space exploration report: how the best mapping changes with the
+// system's interconnect. Sweeps the intra-group bandwidth of the F1-style
+// platform and reports, per point, the latency, the set structure and how
+// MARS's strategy mix shifts (spatial vs channel sharding, SS usage) —
+// the kind of what-if study an adaptive-system architect runs before
+// committing to an interconnect.
+//
+// Build & run:  ./build/examples/design_space_report [model-name]
+#include <iostream>
+
+#include "mars/accel/registry.h"
+#include "mars/core/mars.h"
+#include "mars/graph/models/models.h"
+#include "mars/topology/presets.h"
+#include "mars/util/strings.h"
+#include "mars/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mars;
+
+  const std::string model_name = argc > 1 ? argv[1] : "resnet34";
+  const graph::Graph model = graph::models::by_name(model_name);
+  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
+  const accel::DesignRegistry designs = accel::table2_designs();
+
+  std::cout << "design-space sweep: " << model_name
+            << " on 2x4 FPGAs, varying intra-group bandwidth\n";
+  Table table({"Group BW", "Latency /ms", "Sets", "Largest set",
+               "Spatial-ES layers", "SS layers", "Comm share"});
+
+  for (double bw : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const topology::Topology topo =
+        topology::f1_16xlarge(gbps(bw), gbps(2.0));
+    core::Problem problem;
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = true;
+
+    core::MarsConfig config;
+    config.seed = 3;
+    core::Mars mars(problem, config);
+    const core::MarsResult result = mars.search();
+
+    int spatial = 0;
+    int ss = 0;
+    int total = 0;
+    int largest = 0;
+    for (const core::LayerAssignment& set : result.mapping.sets) {
+      largest = std::max(largest, set.num_accs());
+      for (const parallel::Strategy& s : set.strategies) {
+        ++total;
+        if (s.ways_of(parallel::Dim::kH) > 1 || s.ways_of(parallel::Dim::kW) > 1) {
+          ++spatial;
+        }
+        if (s.has_ss()) ++ss;
+      }
+    }
+    const double comm_share =
+        result.summary.analytic.intra_set /
+        (result.summary.analytic.compute + result.summary.analytic.intra_set);
+    table.add_row({format_double(bw, 0) + " Gb/s",
+                   format_double(result.summary.simulated.millis(), 3),
+                   std::to_string(result.mapping.sets.size()),
+                   std::to_string(largest) + " accs",
+                   std::to_string(spatial) + "/" + std::to_string(total),
+                   std::to_string(ss) + "/" + std::to_string(total),
+                   format_double(comm_share * 100.0, 1) + "%"});
+  }
+  std::cout << table
+            << "(faster interconnects let the mapper buy more parallelism "
+               "per layer; slow ones push it toward fewer, cheaper shards)\n";
+  return 0;
+}

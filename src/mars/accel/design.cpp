@@ -1,0 +1,86 @@
+#include "mars/accel/design.h"
+
+#include <cmath>
+
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+// GEMV (fully-connected) efficiency on a 2-D MAC array: only one spatial
+// position exists, so half the array sits idle on operand skew.
+constexpr double kGemvEfficiency = 0.5;
+
+// Default local DRAM bandwidth per accelerator: one DDR4 channel pair,
+// 32 GB/s (AWS F1 cards expose four channels; designs typically wire two).
+constexpr double kDefaultDramBytesPerSecond = 32.0e9;
+
+}  // namespace
+
+double ceil_div(double a, double b) {
+  MARS_CHECK_ARG(b > 0.0, "ceil_div by non-positive divisor");
+  return std::ceil(a / b);
+}
+
+AcceleratorDesign::AcceleratorDesign(std::string name, Frequency frequency,
+                                     double peak_macs_per_cycle,
+                                     std::string parameter_string, int pe_count)
+    : name_(std::move(name)),
+      frequency_(frequency),
+      peak_macs_per_cycle_(peak_macs_per_cycle),
+      parameters_(std::move(parameter_string)),
+      dram_bytes_per_cycle_(kDefaultDramBytesPerSecond / frequency.hertz()),
+      pe_count_(pe_count >= 0 ? pe_count
+                              : static_cast<int>(peak_macs_per_cycle + 0.5)) {
+  MARS_CHECK_ARG(frequency.hertz() > 0.0, "design needs a positive frequency");
+  MARS_CHECK_ARG(peak_macs_per_cycle_ > 0.0, "design needs a positive peak");
+}
+
+void AcceleratorDesign::set_dram_bandwidth(Bandwidth bw) {
+  MARS_CHECK_ARG(bw.bits_per_second() > 0.0, "DRAM bandwidth must be positive");
+  dram_bytes_per_cycle_ = bw.bytes_per_second() / frequency_.hertz();
+}
+
+CycleBreakdown AcceleratorDesign::conv_cycles(const graph::ConvShape& shape,
+                                              graph::DataType dtype) const {
+  MARS_CHECK_ARG(shape.cout > 0 && shape.cin > 0 && shape.oh > 0 && shape.ow > 0 &&
+                     shape.kh > 0 && shape.kw > 0,
+                 "conv_cycles on degenerate shape " << graph::to_string(shape));
+  CycleBreakdown cycles;
+  cycles.compute =
+      is_gemv(shape) ? gemv_compute_cycles(shape) : compute_cycles(shape);
+  cycles.dram = dram_traffic(shape, dtype).count() / dram_bytes_per_cycle_;
+  return cycles;
+}
+
+Seconds AcceleratorDesign::conv_latency(const graph::ConvShape& shape,
+                                        graph::DataType dtype) const {
+  return frequency_.time_for(conv_cycles(shape, dtype).total());
+}
+
+double AcceleratorDesign::utilization(const graph::ConvShape& shape,
+                                      graph::DataType dtype) const {
+  const double total = conv_cycles(shape, dtype).total();
+  return shape.macs() / (total * peak_macs_per_cycle_);
+}
+
+double AcceleratorDesign::dram_cycles(Bytes bytes) const {
+  return bytes.count() / dram_bytes_per_cycle_;
+}
+
+Bytes AcceleratorDesign::dram_traffic(const graph::ConvShape& shape,
+                                      graph::DataType dtype) const {
+  // Baseline traffic without design-specific re-reads: stream the input,
+  // weights and output once.
+  return shape.in_bytes(dtype) + shape.weight_bytes(dtype) + shape.out_bytes(dtype);
+}
+
+bool AcceleratorDesign::is_gemv(const graph::ConvShape& shape) {
+  return shape.oh == 1 && shape.ow == 1 && shape.kh == 1 && shape.kw == 1;
+}
+
+double AcceleratorDesign::gemv_compute_cycles(const graph::ConvShape& shape) const {
+  return shape.macs() / (peak_macs_per_cycle_ * kGemvEfficiency);
+}
+
+}  // namespace mars::accel

@@ -1,0 +1,106 @@
+// Accelerator design interface and the shared analytical-model scaffolding.
+//
+// The paper evaluates three published FPGA CNN accelerators through their
+// analytical performance models (Table II). Each design reports the cycle
+// count for a convolution described by the canonical six-dim loop nest
+// (ConvShape). Our models combine
+//   * a compute term from the design's published tiling/unrolling formula
+//     (ceil-division charges for fragmentation — the effect that makes
+//     different designs prefer different layer shapes), and
+//   * a DRAM roofline term (tile-induced re-reads / im2col amplification
+//     over the accelerator's local memory bandwidth),
+// and take the max, modelling double-buffered overlap of compute and DMA.
+//
+// Where the cited papers under-specify a constant we calibrate so that the
+// three designs have comparable theoretical peaks (the paper's stated
+// intent: "similar numbers of PEs"); every such choice is flagged in
+// DESIGN.md / EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mars/graph/spine.h"
+#include "mars/util/units.h"
+
+namespace mars::accel {
+
+using DesignId = int;
+inline constexpr DesignId kInvalidDesign = -1;
+
+/// Compute-vs-memory split of a layer's execution on one accelerator.
+struct CycleBreakdown {
+  double compute = 0.0;  // cycles the PE array is busy
+  double dram = 0.0;     // cycles the DRAM interface is busy
+
+  /// Double-buffered execution: the slower engine dominates.
+  [[nodiscard]] double total() const { return compute > dram ? compute : dram; }
+};
+
+/// Abstract analytical model of one configurable accelerator design.
+class AcceleratorDesign {
+ public:
+  /// `pe_count` defaults to round(peak_macs_per_cycle) when negative.
+  AcceleratorDesign(std::string name, Frequency frequency, double peak_macs_per_cycle,
+                    std::string parameter_string, int pe_count = -1);
+  virtual ~AcceleratorDesign() = default;
+  AcceleratorDesign(const AcceleratorDesign&) = delete;
+  AcceleratorDesign& operator=(const AcceleratorDesign&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Frequency frequency() const { return frequency_; }
+  /// Peak multiply-accumulates per cycle (effective; Winograd exceeds its
+  /// physical multiplier count through arithmetic amplification).
+  [[nodiscard]] double peak_macs_per_cycle() const { return peak_macs_per_cycle_; }
+  /// Physical PE/multiplier count (Table II's "#PEs" column).
+  [[nodiscard]] int pe_count() const { return pe_count_; }
+  /// Human-readable design parameters (Table II's last column).
+  [[nodiscard]] const std::string& parameter_string() const { return parameters_; }
+
+  /// Local DRAM bandwidth in bytes per accelerator cycle (roofline budget).
+  [[nodiscard]] double dram_bytes_per_cycle() const { return dram_bytes_per_cycle_; }
+  void set_dram_bandwidth(Bandwidth bw);
+
+  /// Analytical cycle count for one (possibly sharded) convolution.
+  [[nodiscard]] CycleBreakdown conv_cycles(const graph::ConvShape& shape,
+                                           graph::DataType dtype) const;
+
+  /// Wall-clock latency of `shape` on this design.
+  [[nodiscard]] Seconds conv_latency(const graph::ConvShape& shape,
+                                     graph::DataType dtype) const;
+
+  /// Fraction of peak MACs achieved on `shape` (diagnostic; in (0, 1]).
+  [[nodiscard]] double utilization(const graph::ConvShape& shape,
+                                   graph::DataType dtype) const;
+
+  /// Cycles to stream `bytes` through the local DRAM interface (fused ops).
+  [[nodiscard]] double dram_cycles(Bytes bytes) const;
+
+ protected:
+  /// The design-specific compute formula (no roofline).
+  [[nodiscard]] virtual double compute_cycles(const graph::ConvShape& shape) const = 0;
+  /// DRAM traffic the design incurs for `shape` (re-reads included).
+  [[nodiscard]] virtual Bytes dram_traffic(const graph::ConvShape& shape,
+                                           graph::DataType dtype) const;
+
+  /// Shared fallback for matrix-vector layers (FC): all three designs run
+  /// GEMV on their MAC array at `kGemvEfficiency`; these layers are
+  /// invariably memory-bound on the weight stream.
+  [[nodiscard]] double gemv_compute_cycles(const graph::ConvShape& shape) const;
+  [[nodiscard]] static bool is_gemv(const graph::ConvShape& shape);
+
+ private:
+  std::string name_;
+  Frequency frequency_;
+  double peak_macs_per_cycle_;
+  std::string parameters_;
+  double dram_bytes_per_cycle_;
+  int pe_count_;
+};
+
+/// Ceiling division for tiling formulas (exact for the integer loop bounds
+/// these models see).
+[[nodiscard]] double ceil_div(double a, double b);
+
+}  // namespace mars::accel

@@ -1,0 +1,59 @@
+#include "mars/accel/profiler.h"
+
+#include <algorithm>
+
+#include "mars/util/error.h"
+
+namespace mars::accel {
+
+ProfileMatrix::ProfileMatrix(const DesignRegistry& registry,
+                             const graph::ConvSpine& spine)
+    : num_designs_(registry.size()), num_layers_(spine.size()) {
+  MARS_CHECK_ARG(num_designs_ > 0, "profiling needs at least one design");
+  profiles_.resize(static_cast<std::size_t>(num_designs_) *
+                   static_cast<std::size_t>(num_layers_));
+  for (DesignId d = 0; d < num_designs_; ++d) {
+    const AcceleratorDesign& design = registry.design(d);
+    for (int l = 0; l < num_layers_; ++l) {
+      LayerProfile& profile =
+          profiles_[static_cast<std::size_t>(d) * num_layers_ + l];
+      const graph::ConvShape& shape = spine.node(l).shape;
+      profile.cycles = design.conv_cycles(shape, spine.dtype()).total();
+      profile.utilization = design.utilization(shape, spine.dtype());
+    }
+  }
+}
+
+const LayerProfile& ProfileMatrix::at(DesignId design, int layer) const {
+  MARS_CHECK_ARG(design >= 0 && design < num_designs_, "design out of range");
+  MARS_CHECK_ARG(layer >= 0 && layer < num_layers_, "layer out of range");
+  return profiles_[static_cast<std::size_t>(design) * num_layers_ + layer];
+}
+
+DesignId ProfileMatrix::best_design(int layer) const {
+  DesignId best = 0;
+  for (DesignId d = 1; d < num_designs_; ++d) {
+    if (at(d, layer).cycles < at(best, layer).cycles) best = d;
+  }
+  return best;
+}
+
+std::vector<double> ProfileMatrix::design_scores() const {
+  double best_total = 0.0;
+  for (int l = 0; l < num_layers_; ++l) {
+    best_total += at(best_design(l), l).cycles;
+  }
+  std::vector<double> scores(static_cast<std::size_t>(num_designs_));
+  for (DesignId d = 0; d < num_designs_; ++d) {
+    scores[static_cast<std::size_t>(d)] = best_total / total_cycles(d);
+  }
+  return scores;
+}
+
+double ProfileMatrix::total_cycles(DesignId design) const {
+  double total = 0.0;
+  for (int l = 0; l < num_layers_; ++l) total += at(design, l).cycles;
+  return total;
+}
+
+}  // namespace mars::accel

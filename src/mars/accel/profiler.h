@@ -1,0 +1,45 @@
+// Offline per-layer design profiling.
+//
+// MARS profiles every candidate design on every spine layer before the
+// search starts (Section V): the resulting normalised scores seed the
+// first-level GA's design genes, and the matrix backs the Table II bench.
+#pragma once
+
+#include <vector>
+
+#include "mars/accel/registry.h"
+#include "mars/graph/spine.h"
+
+namespace mars::accel {
+
+struct LayerProfile {
+  double cycles = 0.0;       // total analytical cycles on the design
+  double utilization = 0.0;  // achieved / peak MACs
+};
+
+class ProfileMatrix {
+ public:
+  ProfileMatrix(const DesignRegistry& registry, const graph::ConvSpine& spine);
+
+  [[nodiscard]] const LayerProfile& at(DesignId design, int layer) const;
+  [[nodiscard]] int num_designs() const { return num_designs_; }
+  [[nodiscard]] int num_layers() const { return num_layers_; }
+
+  /// Design that minimises cycles on `layer`.
+  [[nodiscard]] DesignId best_design(int layer) const;
+
+  /// Normalised whole-network throughput score per design in (0, 1]:
+  /// score(d) = (sum_l best_cycles(l)) / (sum_l cycles(d, l)). The best
+  /// possible mixed assignment scores 1. Used for GA gene initialisation.
+  [[nodiscard]] std::vector<double> design_scores() const;
+
+  /// Total cycles of running the whole spine on one accelerator of `design`.
+  [[nodiscard]] double total_cycles(DesignId design) const;
+
+ private:
+  int num_designs_;
+  int num_layers_;
+  std::vector<LayerProfile> profiles_;  // row-major [design][layer]
+};
+
+}  // namespace mars::accel

@@ -1,0 +1,63 @@
+#include "mars/accel/registry.h"
+
+#include "mars/accel/superlip.h"
+#include "mars/accel/systolic.h"
+#include "mars/accel/winograd.h"
+#include "mars/util/error.h"
+
+namespace mars::accel {
+
+DesignId DesignRegistry::add(std::unique_ptr<AcceleratorDesign> design) {
+  MARS_CHECK_ARG(design != nullptr, "cannot register a null design");
+  MARS_CHECK_ARG(find(design->name()) == kInvalidDesign,
+                 "duplicate design name '" << design->name() << "'");
+  designs_.push_back(std::move(design));
+  return static_cast<DesignId>(designs_.size() - 1);
+}
+
+const AcceleratorDesign& DesignRegistry::design(DesignId id) const {
+  MARS_CHECK_ARG(id >= 0 && id < size(), "design id " << id << " out of range");
+  return *designs_[static_cast<std::size_t>(id)];
+}
+
+DesignId DesignRegistry::find(const std::string& name) const {
+  for (DesignId id = 0; id < size(); ++id) {
+    if (designs_[static_cast<std::size_t>(id)]->name() == name) return id;
+  }
+  return kInvalidDesign;
+}
+
+std::vector<DesignId> DesignRegistry::ids() const {
+  std::vector<DesignId> out(static_cast<std::size_t>(size()));
+  for (DesignId id = 0; id < size(); ++id) out[static_cast<std::size_t>(id)] = id;
+  return out;
+}
+
+DesignRegistry table2_designs() {
+  DesignRegistry registry;
+  registry.add(std::make_unique<SuperLipDesign>());
+  registry.add(std::make_unique<SystolicDesign>());
+  registry.add(std::make_unique<WinogradDesign>());
+  return registry;
+}
+
+DesignRegistry h2h_designs() {
+  // Four direct-convolution designs with different tiling preferences
+  // (channel-heavy vs spatial-heavy), mirroring H2H's testbed of same-class
+  // FPGA accelerators: heterogeneous per-layer winners without the
+  // catastrophic worst cases a Winograd engine shows on 1x1 layers (a
+  // mixed fixed-design set stalls for its slowest member, so one
+  // pathological design would dominate every mapping).
+  DesignRegistry registry;
+  registry.add(std::make_unique<SuperLipDesign>(
+      SuperLipParams{64, 7, 7, 14, 96.0, megahertz(200)}, "SuperLIP-64x7"));
+  registry.add(std::make_unique<SuperLipDesign>(
+      SuperLipParams{32, 16, 7, 7, 96.0, megahertz(200)}, "SuperLIP-32x16"));
+  registry.add(std::make_unique<SystolicDesign>(
+      SystolicParams{11, 13, 8, megahertz(200)}, "Systolic-11x13"));
+  registry.add(std::make_unique<SuperLipDesign>(
+      SuperLipParams{16, 28, 14, 14, 96.0, megahertz(200)}, "SuperLIP-16x28"));
+  return registry;
+}
+
+}  // namespace mars::accel

@@ -1,0 +1,41 @@
+// Design registry: the menu of accelerator designs an adaptive system can
+// configure (the paper's set Design = {d1, ..., dM}).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mars/accel/design.h"
+
+namespace mars::accel {
+
+class DesignRegistry {
+ public:
+  DesignRegistry() = default;
+  DesignRegistry(DesignRegistry&&) = default;
+  DesignRegistry& operator=(DesignRegistry&&) = default;
+
+  /// Registers a design and returns its id (dense, starting at 0).
+  DesignId add(std::unique_ptr<AcceleratorDesign> design);
+
+  [[nodiscard]] int size() const { return static_cast<int>(designs_.size()); }
+  [[nodiscard]] const AcceleratorDesign& design(DesignId id) const;
+  [[nodiscard]] DesignId find(const std::string& name) const;  // kInvalidDesign if absent
+
+  [[nodiscard]] std::vector<DesignId> ids() const;
+
+ private:
+  std::vector<std::unique_ptr<AcceleratorDesign>> designs_;
+};
+
+/// The paper's Table II menu: SuperLIP (d1), systolic GEMM (d2),
+/// Winograd (d3), all at 200 MHz.
+[[nodiscard]] DesignRegistry table2_designs();
+
+/// A heterogeneous fixed-design menu in the spirit of H2H's testbed (used
+/// by the Table IV comparison): four distinct designs covering
+/// spatial-tiled, GEMM, Winograd and a narrow SuperLIP variant.
+[[nodiscard]] DesignRegistry h2h_designs();
+
+}  // namespace mars::accel

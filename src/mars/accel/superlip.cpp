@@ -1,0 +1,48 @@
+#include "mars/accel/superlip.h"
+
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+std::string format_params(const SuperLipParams& p) {
+  std::ostringstream os;
+  os << "Tm,Tn,Tr,Tc: " << p.tm << ", " << p.tn << ", " << p.tr << ", " << p.tc;
+  return os.str();
+}
+
+}  // namespace
+
+SuperLipDesign::SuperLipDesign(const SuperLipParams& params, std::string name)
+    : AcceleratorDesign(std::move(name), params.frequency,
+                        static_cast<double>(params.tm) * params.tn,
+                        format_params(params)),
+      params_(params) {
+  MARS_CHECK_ARG(params.tm > 0 && params.tn > 0 && params.tr > 0 && params.tc > 0,
+                 "SuperLIP tiles must be positive");
+  MARS_CHECK_ARG(params.tile_overhead >= 0.0, "tile overhead must be >= 0");
+}
+
+double SuperLipDesign::compute_cycles(const graph::ConvShape& s) const {
+  const double tiles = ceil_div(s.cout, params_.tm) * ceil_div(s.cin, params_.tn) *
+                       ceil_div(s.oh, params_.tr) * ceil_div(s.ow, params_.tc);
+  const double cycles_per_tile =
+      static_cast<double>(params_.tr) * params_.tc * s.kh * s.kw +
+      params_.tile_overhead;
+  return tiles * cycles_per_tile;
+}
+
+Bytes SuperLipDesign::dram_traffic(const graph::ConvShape& s,
+                                   graph::DataType dtype) const {
+  // Inputs re-read per output-channel tile; weights re-read per spatial
+  // tile; outputs written once (Cin is the innermost off-chip loop and
+  // partial sums stay on chip).
+  const double input_reloads = ceil_div(s.cout, params_.tm);
+  const double weight_reloads = ceil_div(s.oh, params_.tr) * ceil_div(s.ow, params_.tc);
+  return s.in_bytes(dtype) * input_reloads + s.weight_bytes(dtype) * weight_reloads +
+         s.out_bytes(dtype);
+}
+
+}  // namespace mars::accel

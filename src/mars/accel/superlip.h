@@ -1,0 +1,50 @@
+// Design 1: SuperLIP (Jiang et al., ACM TECS 2019) — classic loop-tiled CNN
+// accelerator with tile sizes (Tm, Tn, Tr, Tc) over (Cout, Cin, H, W).
+//
+// Compute model: the engine executes one (Tm x Tn) MAC wavefront per cycle
+// across a Tr x Tc output tile; a tile iteration therefore takes
+// Tr*Tc*Kh*Kw cycles plus a fixed pipeline fill / buffer-swap overhead.
+//
+//   cycles = ceil(Cout/Tm) * ceil(Cin/Tn) * ceil(H/Tr) * ceil(W/Tc)
+//            * (Tr*Tc*Kh*Kw + F)
+//
+// F (default 96) is the per-tile overhead — the published design is deeply
+// pipelined, and tiny tiles (1x1 convolutions) cannot amortise the fill.
+// DRAM model: inputs are re-fetched once per output-channel tile; weights
+// once per spatial tile (standard for this buffer hierarchy).
+//
+// Table II instance: Tm,Tn,Tr,Tc = 64,7,7,14 @ 200 MHz → peak 448 MAC/cycle
+// (the paper prints 438 PEs; we report the tiling product — see
+// EXPERIMENTS.md).
+#pragma once
+
+#include "mars/accel/design.h"
+
+namespace mars::accel {
+
+struct SuperLipParams {
+  int tm = 64;  // output-channel tile
+  int tn = 7;   // input-channel tile
+  int tr = 7;   // output-row tile
+  int tc = 14;  // output-column tile
+  double tile_overhead = 96.0;
+  Frequency frequency = megahertz(200);
+};
+
+class SuperLipDesign final : public AcceleratorDesign {
+ public:
+  explicit SuperLipDesign(const SuperLipParams& params = {},
+                          std::string name = "SuperLIP");
+
+  [[nodiscard]] const SuperLipParams& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] double compute_cycles(const graph::ConvShape& shape) const override;
+  [[nodiscard]] Bytes dram_traffic(const graph::ConvShape& shape,
+                                   graph::DataType dtype) const override;
+
+ private:
+  SuperLipParams params_;
+};
+
+}  // namespace mars::accel

@@ -1,0 +1,50 @@
+#include "mars/accel/systolic.h"
+
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+std::string format_params(const SystolicParams& p) {
+  std::ostringstream os;
+  os << "row, col, vec: " << p.rows << ", " << p.cols << ", " << p.vec;
+  return os.str();
+}
+
+}  // namespace
+
+SystolicDesign::SystolicDesign(const SystolicParams& params, std::string name)
+    : AcceleratorDesign(std::move(name), params.frequency,
+                        static_cast<double>(params.rows) * params.cols * params.vec /
+                            2.0,
+                        format_params(params)),
+      params_(params) {
+  MARS_CHECK_ARG(params.rows > 0 && params.cols > 0 && params.vec > 0,
+                 "systolic dimensions must be positive");
+}
+
+double SystolicDesign::compute_cycles(const graph::ConvShape& s) const {
+  const double m_tiles = ceil_div(s.cout, params_.rows);
+  const double n_tiles = ceil_div(static_cast<double>(s.oh) * s.ow, params_.cols);
+  const double k_depth = static_cast<double>(s.cin) * s.kh * s.kw;
+  const double beats = ceil_div(k_depth, params_.vec) * 2.0;
+  const double fill = params_.rows + params_.cols;
+  return m_tiles * n_tiles * (beats + fill);
+}
+
+Bytes SystolicDesign::dram_traffic(const graph::ConvShape& s,
+                                   graph::DataType dtype) const {
+  // im2col lowers the input to an (OH*OW) x (Cin*Kh*Kw) matrix — the exact
+  // lowered size (strided convolutions skip pixels, so this is NOT simply
+  // in_bytes * K^2); weights stream once per N macro-tile; outputs exit
+  // once.
+  const double n_tiles = ceil_div(static_cast<double>(s.oh) * s.ow, params_.cols);
+  const double im2col_bytes = static_cast<double>(s.oh) * s.ow * s.cin * s.kh *
+                              s.kw * graph::bytes_per_element(dtype);
+  return Bytes(im2col_bytes) + s.weight_bytes(dtype) * n_tiles +
+         s.out_bytes(dtype);
+}
+
+}  // namespace mars::accel

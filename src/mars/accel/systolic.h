@@ -1,0 +1,48 @@
+// Design 2: automated systolic array synthesis (Wei et al., DAC 2017).
+//
+// The synthesised architecture is a row x col PE grid executing the
+// convolution as an im2col GEMM: M = Cout, N = OH*OW, K = Cin*Kh*Kw, with
+// `vec`-wide operand vectors streamed through the K dimension. One (M, N)
+// macro-tile runs its K loop in ceil(K/vec) beats; each beat takes two
+// cycles at fix16 (operand interleave on the shared DSP — the calibration
+// that puts the peak at row*col*vec/2 = 572 MAC/cycle, the paper's #PE
+// figure), plus a row+col systolic fill per macro-tile.
+//
+//   cycles = ceil(Cout/row) * ceil(OH*OW/col) * (ceil(K/vec)*2 + row + col)
+//
+// DRAM model: im2col amplifies the input stream by Kh*Kw; weights are
+// re-fetched once per N macro-tile.
+//
+// Strengths: deep K loops (large Cin, any kernel) regardless of spatial
+// size — late 1x1-heavy stages. Weakness: shallow K (early layers,
+// Cin = 3) cannot amortise the systolic fill.
+#pragma once
+
+#include "mars/accel/design.h"
+
+namespace mars::accel {
+
+struct SystolicParams {
+  int rows = 11;
+  int cols = 13;
+  int vec = 8;
+  Frequency frequency = megahertz(200);
+};
+
+class SystolicDesign final : public AcceleratorDesign {
+ public:
+  explicit SystolicDesign(const SystolicParams& params = {},
+                          std::string name = "SystolicGEMM");
+
+  [[nodiscard]] const SystolicParams& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] double compute_cycles(const graph::ConvShape& shape) const override;
+  [[nodiscard]] Bytes dram_traffic(const graph::ConvShape& shape,
+                                   graph::DataType dtype) const override;
+
+ private:
+  SystolicParams params_;
+};
+
+}  // namespace mars::accel

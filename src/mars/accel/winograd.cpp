@@ -1,0 +1,76 @@
+#include "mars/accel/winograd.h"
+
+#include <algorithm>
+
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+std::string format_params(const WinogradParams& p) {
+  // Table II order (n, Pn, Pm) = (6, 2, 8): we map the table's Pn to the
+  // output-channel parallelism (pm) and Pm to the input-channel
+  // parallelism (pn) — see the header comment.
+  std::ostringstream os;
+  os << "n, Pn, Pm: " << p.tile_n << ", " << p.pm << ", " << p.pn;
+  return os.str();
+}
+
+double effective_peak(const WinogradParams& p) {
+  const int m = p.tile_n - 2;  // output tile edge for r = 3
+  return static_cast<double>(p.pn) * p.pm * m * m * 9.0 / p.cycles_per_tile;
+}
+
+}  // namespace
+
+WinogradDesign::WinogradDesign(const WinogradParams& params, std::string name)
+    : AcceleratorDesign(std::move(name), params.frequency, effective_peak(params),
+                        format_params(params),
+                        params.tile_n * params.tile_n * params.pn * params.pm),
+      params_(params) {
+  MARS_CHECK_ARG(params.tile_n > 2, "Winograd tile must exceed the 3x3 kernel");
+  MARS_CHECK_ARG(params.pn > 0 && params.pm > 0, "Pn/Pm must be positive");
+  MARS_CHECK_ARG(params.cycles_per_tile > 0.0, "cycles_per_tile must be positive");
+}
+
+bool WinogradDesign::winograd_applicable(const graph::ConvShape& shape) {
+  return shape.kh == 3 && shape.kw == 3 && shape.stride_h == 1 &&
+         shape.stride_w == 1;
+}
+
+double WinogradDesign::compute_cycles(const graph::ConvShape& s) const {
+  const int m = params_.tile_n - 2;
+  const double spatial_tiles = ceil_div(s.oh, m) * ceil_div(s.ow, m);
+  const double tile_batches =
+      ceil_div(s.cout, params_.pm) * ceil_div(s.cin, params_.pn) * spatial_tiles;
+  if (winograd_applicable(s)) {
+    const double ewmm = tile_batches * params_.cycles_per_tile;
+    // Transform pipelines run concurrently with the EWMM array but have
+    // their own throughput: the inverse transform emits a 4x4 output tile
+    // over kOutTransform cycles per output-channel group, the input
+    // transform ingests a 6x6 tile over kInTransform cycles per
+    // input-channel group. Shallow-Cin layers (network stems) cannot
+    // amortise the inverse transforms — the reason the paper's search
+    // keeps design 3 off the first layers.
+    constexpr double kOutTransform = 8.0;
+    constexpr double kInTransform = 2.0;
+    const double out_tf = spatial_tiles * ceil_div(s.cout, params_.pm) * kOutTransform;
+    const double in_tf = spatial_tiles * ceil_div(s.cin, params_.pn) * kInTransform;
+    return std::max({ewmm, out_tf, in_tf});
+  }
+  // Direct fallback: the tile datapath must grind through the kernel
+  // positions serially — crippling for 1x1 and strided convolutions.
+  return tile_batches * params_.cycles_per_tile * s.kh * s.kw;
+}
+
+Bytes WinogradDesign::dram_traffic(const graph::ConvShape& s,
+                                   graph::DataType dtype) const {
+  const int m = params_.tile_n - 2;
+  const double overlap =
+      static_cast<double>(params_.tile_n) * params_.tile_n / (m * m);
+  return s.in_bytes(dtype) * overlap + s.weight_bytes(dtype) + s.out_bytes(dtype);
+}
+
+}  // namespace mars::accel

@@ -1,0 +1,61 @@
+// Design 3: Winograd fast-convolution accelerator (Lu et al., FCCM 2017).
+//
+// F(4x4, 3x3) Winograd: the input is cut into n x n = 6x6 overlapping
+// tiles, each yielding a 4x4 output block with 36 multiplies instead of
+// 144 — a 4x arithmetic saving. The engine transforms and element-wise
+// multiplies Pn input-channel x Pm output-channel tile pairs in parallel.
+//
+//   winograd (Kh=Kw=3, stride 1):
+//     cycles = ceil(Cout/Pm) * ceil(Cin/Pn) * ceil(H/4) * ceil(W/4) * c_tile
+//   with c_tile = 4 (transform / EWMM / inverse pipeline beats), giving an
+//   effective peak of Pm*Pn*16*9/c_tile = 576 MAC/cycle — equal to the
+//   physical multiplier count, which keeps the three Table II designs'
+//   theoretical performance comparable as the paper intends (the Winograd
+//   arithmetic saving is spent on the transform stages).
+//
+//   direct fallback (any other kernel/stride — Winograd F(4,3) does not
+//   apply): the tile datapath degrades to sliding-window reuse,
+//     cycles = ceil(Cout/Pm) * ceil(Cin/Pn) * ceil(H/4) * ceil(W/4)
+//              * Kh*Kw * c_tile
+//   i.e. ~64 effective MAC/cycle on 1x1 convolutions — the reason the
+//   paper's search never picks this design for bottleneck networks.
+//
+// DRAM model: overlapping 6x6 input tiles amplify the input stream by
+// (6/4)^2 = 2.25x; weights are fetched once (transformed weights cached).
+//
+// Table II instance: n, Pn, Pm = 6, 2, 8 @ 200 MHz. We interpret Pn/Pm as
+// the (Cin=8, Cout=2)-way tile parallelism whose 36-multiplier tiles give
+// the table's 576 PEs (6*6*8*2).
+#pragma once
+
+#include "mars/accel/design.h"
+
+namespace mars::accel {
+
+struct WinogradParams {
+  int tile_n = 6;  // input tile edge; output tile edge = tile_n - 2
+  int pn = 8;      // parallel input channels
+  int pm = 2;      // parallel output channels
+  double cycles_per_tile = 4.0;
+  Frequency frequency = megahertz(200);
+};
+
+class WinogradDesign final : public AcceleratorDesign {
+ public:
+  explicit WinogradDesign(const WinogradParams& params = {},
+                          std::string name = "WinogradF43");
+
+  [[nodiscard]] const WinogradParams& params() const { return params_; }
+  /// True when the F(4,3) fast path applies to `shape`.
+  [[nodiscard]] static bool winograd_applicable(const graph::ConvShape& shape);
+
+ protected:
+  [[nodiscard]] double compute_cycles(const graph::ConvShape& shape) const override;
+  [[nodiscard]] Bytes dram_traffic(const graph::ConvShape& shape,
+                                   graph::DataType dtype) const override;
+
+ private:
+  WinogradParams params_;
+};
+
+}  // namespace mars::accel

@@ -1,0 +1,31 @@
+// Baseline mapper (Section VI-A): the computation-prioritised algorithm of
+// Herald extended with parallelism strategies.
+//
+//  * Fixed two accelerator sets = the two topology groups (direct-link
+//    connected components; a single component is bisected).
+//  * Half of the layers to each set, in order.
+//  * Each set configured with the design minimising its summed profiled
+//    computation latency.
+//  * Every layer partitioned with ES along its two longest dimensions
+//    (no shared shards).
+#pragma once
+
+#include "mars/accel/profiler.h"
+#include "mars/core/cost_model.h"
+#include "mars/core/first_level.h"
+
+namespace mars::core {
+
+/// The baseline's sets/designs/ranges without strategies.
+[[nodiscard]] Skeleton baseline_skeleton(const Problem& problem,
+                                         const accel::ProfileMatrix& profile);
+
+/// ES along the two longest dims for one layer on p accelerators.
+[[nodiscard]] parallel::Strategy baseline_strategy(const graph::ConvShape& shape,
+                                                   int p);
+
+/// The complete baseline mapping (skeleton + per-layer strategies).
+[[nodiscard]] Mapping baseline_mapping(const Problem& problem,
+                                       const accel::ProfileMatrix& profile);
+
+}  // namespace mars::core

@@ -1,0 +1,290 @@
+#include "mars/core/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mars/parallel/comm_pattern.h"
+#include "mars/parallel/memory.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+namespace {
+
+// Infeasible mappings stay finite but strongly dominated so the GA can
+// descend back into the feasible region.
+constexpr double kMemoryPenaltyFactor = 10.0;
+
+}  // namespace
+
+void Problem::validate() const {
+  MARS_CHECK_ARG(spine != nullptr, "Problem.spine is null");
+  MARS_CHECK_ARG(topo != nullptr, "Problem.topo is null");
+  MARS_CHECK_ARG(designs != nullptr, "Problem.designs is null");
+  MARS_CHECK_ARG(designs->size() > 0, "design menu is empty");
+  topo->validate();
+  if (!adaptive) {
+    for (topology::AccId acc = 0; acc < topo->size(); ++acc) {
+      const int fixed = topo->accelerator(acc).fixed_design;
+      MARS_CHECK_ARG(fixed >= 0 && fixed < designs->size(),
+                     "fixed-design mode but accelerator "
+                         << acc << " has fixed_design " << fixed);
+    }
+  }
+}
+
+AnalyticalCostModel::AnalyticalCostModel(const Problem& problem)
+    : problem_(&problem) {
+  problem.validate();
+}
+
+std::vector<const accel::AcceleratorDesign*> AnalyticalCostModel::member_designs(
+    const LayerAssignment& set) const {
+  std::vector<const accel::AcceleratorDesign*> designs;
+  if (problem_->adaptive) {
+    designs.push_back(&problem_->designs->design(set.design));
+    return designs;
+  }
+  for (topology::AccId acc : topology::mask_members(set.accs)) {
+    designs.push_back(
+        &problem_->designs->design(problem_->topo->accelerator(acc).fixed_design));
+  }
+  return designs;
+}
+
+Seconds AnalyticalCostModel::phase_compute_time(const LayerAssignment& set,
+                                                const graph::ConvShape& local) const {
+  Seconds worst(0.0);
+  for (const accel::AcceleratorDesign* design : member_designs(set)) {
+    worst = std::max(
+        worst, design->conv_latency(local, problem_->spine->dtype()));
+  }
+  return worst;
+}
+
+Seconds AnalyticalCostModel::fused_time(const LayerAssignment& set, int layer,
+                                        int p) const {
+  const Bytes traffic =
+      problem_->spine->node(layer).fused_traffic / static_cast<double>(p);
+  Seconds worst(0.0);
+  for (const accel::AcceleratorDesign* design : member_designs(set)) {
+    worst = std::max(
+        worst, design->frequency().time_for(design->dram_cycles(traffic)));
+  }
+  return worst;
+}
+
+LayerCost AnalyticalCostModel::layer_cost(
+    const LayerAssignment& set, int layer, const parallel::Strategy& strategy,
+    const std::optional<parallel::ActivationSharding>& upstream) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  const int p = set.num_accs();
+  const graph::ConvShape& shape = spine.node(layer).shape;
+  const Seconds hop_latency = problem_->sim_params.link_latency;
+
+  LayerCost cost;
+  cost.plan = parallel::make_plan(shape, spine.dtype(), strategy, p);
+  const parallel::ShardingPlan& plan = cost.plan;
+
+  // Compute phases + fused-op DRAM traffic.
+  cost.compute =
+      phase_compute_time(set, plan.local) * static_cast<double>(plan.phases) +
+      fused_time(set, layer, p);
+
+  if (p > 1) {
+    const Bandwidth internal_bw =
+        problem_->topo->min_internal_bandwidth(set.accs);
+    // SS ring hops between phases (non-overlapped, per Fig. 2(c)).
+    if (plan.phases > 1) {
+      const Seconds hop =
+          internal_bw.transfer_time(plan.ring_hop_bytes) + hop_latency;
+      cost.intra_set += hop * static_cast<double>(plan.phases - 1);
+    }
+    // All-Reduce of partial sums.
+    if (plan.allreduce_group > 1) {
+      const Bytes wire = parallel::allreduce_wire_bytes(plan.allreduce_bytes,
+                                                        plan.allreduce_group);
+      cost.intra_set +=
+          internal_bw.transfer_time(wire) +
+          hop_latency *
+              static_cast<double>(parallel::allreduce_hops(plan.allreduce_group));
+    }
+    // Resharding from the previous layer's layout (or entry scatter for
+    // the first layer — the activation lands on one member first).
+    const Bytes in_bytes = shape.in_bytes(spine.dtype());
+    Bytes moved{};
+    if (upstream.has_value()) {
+      moved = parallel::reshard_cost(*upstream, shape, plan.required, in_bytes, p,
+                                     spine.dtype())
+                  .moved;
+    } else {
+      moved = in_bytes * plan.required.fraction() * static_cast<double>(p - 1);
+    }
+    if (moved.count() > 0.0) {
+      // Members redistribute concurrently over their own links.
+      cost.intra_set +=
+          internal_bw.transfer_time(moved / static_cast<double>(p)) + hop_latency;
+    }
+  }
+  return cost;
+}
+
+SetCost AnalyticalCostModel::set_cost(const LayerAssignment& set) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  const topology::Topology& topo = *problem_->topo;
+  const int p = set.num_accs();
+  MARS_CHECK_ARG(p >= 1, "assignment with empty set");
+  MARS_CHECK_ARG(static_cast<int>(set.strategies.size()) == set.num_layers(),
+                 "strategy arity mismatch");
+
+  SetCost cost;
+  std::vector<parallel::ShardingPlan> plans;
+  plans.reserve(static_cast<std::size_t>(set.num_layers()));
+
+  std::optional<parallel::ActivationSharding> upstream;  // layout entering layer l
+  for (int layer = set.begin; layer < set.end; ++layer) {
+    const parallel::Strategy& strategy =
+        set.strategies[static_cast<std::size_t>(layer - set.begin)];
+    const LayerCost lc = layer_cost(set, layer, strategy, upstream);
+    cost.latency.compute += lc.compute;
+    cost.latency.intra_set += lc.intra_set;
+    upstream = lc.plan.produced;
+    plans.push_back(lc.plan);
+  }
+
+  // DRAM validity across the whole range.
+  cost.footprint = parallel::footprint(spine, set.begin, set.end, plans);
+  const Bytes dram = [&] {
+    Bytes smallest(std::numeric_limits<double>::infinity());
+    for (topology::AccId acc : topology::mask_members(set.accs)) {
+      smallest = std::min(smallest, topo.accelerator(acc).dram);
+    }
+    return smallest;
+  }();
+  cost.memory_ok = cost.footprint.fits(dram);
+  cost.penalized = cost.latency.total();
+  if (!cost.memory_ok) {
+    const double overflow = cost.footprint.total() / dram;
+    cost.penalized =
+        cost.penalized * (1.0 + kMemoryPenaltyFactor * std::max(0.0, overflow - 1.0) +
+                          kMemoryPenaltyFactor);
+  }
+  return cost;
+}
+
+Seconds AnalyticalCostModel::inter_set_time(topology::AccMask from,
+                                            topology::AccMask to,
+                                            Bytes bytes) const {
+  if (bytes.count() <= 0.0) return Seconds(0.0);
+  const topology::Topology& topo = *problem_->topo;
+  const Seconds leg_latency = problem_->sim_params.link_latency;
+  const Bandwidth direct = topo.best_link_between(from, to);
+  if (direct.bits_per_second() > 0.0) {
+    return direct.transfer_time(bytes) + leg_latency;
+  }
+  const Bandwidth up = topo.min_host_bandwidth(from);
+  const Bandwidth down = topo.min_host_bandwidth(to);
+  return up.transfer_time(bytes) + down.transfer_time(bytes) +
+         leg_latency * 2.0 + problem_->sim_params.host_latency;
+}
+
+Bytes AnalyticalCostModel::bytes_between(const std::vector<LayerAssignment>& sets,
+                                         std::size_t producer,
+                                         std::size_t consumer) const {
+  const LayerAssignment& from = sets[producer];
+  const LayerAssignment& to = sets[consumer];
+  Bytes total{};
+  for (const graph::SpineEdge& edge : problem_->spine->edges()) {
+    if (edge.producer >= from.begin && edge.producer < from.end &&
+        edge.consumer >= to.begin && edge.consumer < to.end) {
+      total += edge.bytes;
+    }
+  }
+  return total;
+}
+
+Seconds AnalyticalCostModel::aggregate_makespan(
+    const std::vector<LayerAssignment>& sets,
+    const std::vector<Seconds>& set_latencies) const {
+  MARS_CHECK_ARG(sets.size() == set_latencies.size(),
+                 "one latency per set required");
+  const graph::ConvSpine& spine = *problem_->spine;
+
+  // Host input feeds whichever sets consume network-input edges.
+  std::vector<Seconds> start(sets.size(), Seconds(0.0));
+  for (const graph::SpineEdge& edge : spine.edges()) {
+    if (edge.producer >= 0) continue;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      if (edge.consumer >= sets[i].begin && edge.consumer < sets[i].end) {
+        const Seconds arrival =
+            problem_->topo->min_host_bandwidth(sets[i].accs)
+                .transfer_time(edge.bytes) +
+            problem_->sim_params.link_latency;
+        start[i] = std::max(start[i], arrival);
+      }
+    }
+  }
+
+  // Longest path over the set DAG (ranges are ordered, edges go forward).
+  std::vector<Seconds> finish(sets.size(), Seconds(0.0));
+  Seconds makespan(0.0);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    Seconds ready = start[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      const Bytes bytes = bytes_between(sets, j, i);
+      if (bytes.count() <= 0.0) continue;
+      ready = std::max(ready,
+                       finish[j] + inter_set_time(sets[j].accs, sets[i].accs, bytes));
+    }
+    finish[i] = ready + set_latencies[i];
+    makespan = std::max(makespan, finish[i]);
+  }
+
+  // Network output returns from the final set.
+  makespan += problem_->topo->min_host_bandwidth(sets.back().accs)
+                  .transfer_time(spine.output_bytes()) +
+              problem_->sim_params.link_latency;
+  return makespan;
+}
+
+EvaluationSummary AnalyticalCostModel::evaluate(const Mapping& mapping) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  mapping.validate(spine, *problem_->topo, *problem_->designs, problem_->adaptive);
+
+  EvaluationSummary summary;
+  std::vector<Seconds> set_latencies;
+  set_latencies.reserve(mapping.sets.size());
+  for (std::size_t i = 0; i < mapping.sets.size(); ++i) {
+    const LayerAssignment& set = mapping.sets[i];
+    const SetCost cost = set_cost(set);
+    summary.analytic.compute += cost.latency.compute;
+    summary.analytic.intra_set += cost.latency.intra_set;
+    summary.memory_ok = summary.memory_ok && cost.memory_ok;
+    summary.worst_set_footprint =
+        std::max(summary.worst_set_footprint, cost.footprint.total());
+    set_latencies.push_back(cost.latency.total());
+
+    for (std::size_t j = i + 1; j < mapping.sets.size(); ++j) {
+      const Bytes bytes = bytes_between(mapping.sets, i, j);
+      if (bytes.count() > 0.0) {
+        summary.analytic.inter_set +=
+            inter_set_time(set.accs, mapping.sets[j].accs, bytes);
+      }
+    }
+  }
+
+  // Host I/O component totals (also folded into the makespan).
+  const LayerAssignment& last = mapping.sets.back();
+  summary.analytic.host_io +=
+      problem_->topo->min_host_bandwidth(mapping.sets.front().accs)
+          .transfer_time(spine.input_bytes()) +
+      problem_->sim_params.link_latency;
+  summary.analytic.host_io +=
+      problem_->topo->min_host_bandwidth(last.accs)
+          .transfer_time(spine.output_bytes()) +
+      problem_->sim_params.link_latency;
+
+  summary.analytic_makespan = aggregate_makespan(mapping.sets, set_latencies);
+  return summary;
+}
+
+}  // namespace mars::core

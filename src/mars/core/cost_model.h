@@ -1,0 +1,110 @@
+// Analytical cost model: the fast latency estimate driving the GA loops.
+//
+// Mirrors the event-driven simulator's structure (compute phases, SS rings,
+// All-Reduce, resharding, inter-set transfers, host I/O) with closed-form
+// times instead of contention replay. Bench A4 (bench_sim_agreement)
+// quantifies the gap between the two paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mars/core/mapping.h"
+#include "mars/parallel/memory.h"
+#include "mars/parallel/sharding.h"
+#include "mars/sim/network.h"
+
+namespace mars::core {
+
+/// Everything a mapper needs to know about the problem instance.
+struct Problem {
+  const graph::ConvSpine* spine = nullptr;
+  const topology::Topology* topo = nullptr;
+  const accel::DesignRegistry* designs = nullptr;
+  /// Adaptive systems configure one design per AccSet; fixed systems keep
+  /// each accelerator's fixed_design and a set stalls for its slowest
+  /// member (Section VI-C).
+  bool adaptive = true;
+  sim::SimParams sim_params{};
+
+  void validate() const;
+};
+
+/// Cost of one LayerAssignment (its internal execution only).
+struct SetCost {
+  LatencyBreakdown latency;
+  parallel::MemoryFootprint footprint;
+  bool memory_ok = true;
+  /// Latency with an infeasibility penalty applied — what GA fitness sees
+  /// (finite so the search can climb out of infeasible regions).
+  Seconds penalized{};
+};
+
+/// One layer's cost under a concrete strategy, given the activation layout
+/// left by the previous layer (nullopt = entering the set).
+struct LayerCost {
+  Seconds compute{};    // phases x PE time + fused DRAM
+  Seconds intra_set{};  // SS ring + All-Reduce + reshard/scatter
+  parallel::ShardingPlan plan;
+
+  [[nodiscard]] Seconds total() const { return compute + intra_set; }
+};
+
+class AnalyticalCostModel {
+ public:
+  explicit AnalyticalCostModel(const Problem& problem);
+
+  /// Cost of executing spine layer `layer` on `set` with `strategy`.
+  [[nodiscard]] LayerCost layer_cost(
+      const LayerAssignment& set, int layer, const parallel::Strategy& strategy,
+      const std::optional<parallel::ActivationSharding>& upstream) const;
+
+  /// Internal cost of one set: compute + fused DRAM + rings + All-Reduce +
+  /// intra-set resharding + entry scatter, plus the memory check.
+  [[nodiscard]] SetCost set_cost(const LayerAssignment& set) const;
+
+  /// End-to-end breakdown of a full mapping (adds inter-set transfers and
+  /// host I/O). `memory_ok` in the summary aggregates all sets.
+  [[nodiscard]] EvaluationSummary evaluate(const Mapping& mapping) const;
+
+  /// Per-phase compute seconds of `local` on the set (slowest member in
+  /// fixed mode).
+  [[nodiscard]] Seconds phase_compute_time(const LayerAssignment& set,
+                                           const graph::ConvShape& local) const;
+
+  /// Fused-op DRAM time per accelerator for spine layer `layer` under
+  /// set size p.
+  [[nodiscard]] Seconds fused_time(const LayerAssignment& set, int layer,
+                                   int p) const;
+
+  /// Transfer time of `bytes` between two disjoint sets over the best
+  /// route (direct link or via host).
+  [[nodiscard]] Seconds inter_set_time(topology::AccMask from, topology::AccMask to,
+                                       Bytes bytes) const;
+
+  /// Activation bytes flowing from `sets[producer]` to `sets[consumer]`
+  /// (spine edges crossing the two contiguous ranges).
+  [[nodiscard]] Bytes bytes_between(const std::vector<LayerAssignment>& sets,
+                                    std::size_t producer,
+                                    std::size_t consumer) const;
+
+  /// Critical-path aggregation: schedules the sets over their data-
+  /// dependency DAG (set j feeds set i when a spine edge crosses them),
+  /// charging inter-set transfers on the edges and host I/O at the
+  /// boundaries. Equals the sequential sum for chain models; models branch
+  /// overlap for multi-stream models. `set_latencies[i]` is the internal
+  /// latency of `sets[i]`.
+  [[nodiscard]] Seconds aggregate_makespan(
+      const std::vector<LayerAssignment>& sets,
+      const std::vector<Seconds>& set_latencies) const;
+
+  [[nodiscard]] const Problem& problem() const { return *problem_; }
+
+ private:
+  [[nodiscard]] std::vector<const accel::AcceleratorDesign*> member_designs(
+      const LayerAssignment& set) const;
+
+  const Problem* problem_;
+};
+
+}  // namespace mars::core

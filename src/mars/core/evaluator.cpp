@@ -1,0 +1,198 @@
+#include "mars/core/evaluator.h"
+
+#include <optional>
+
+#include "mars/parallel/comm_pattern.h"
+#include "mars/parallel/sharding.h"
+#include "mars/sim/collective.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+
+MappingEvaluator::MappingEvaluator(const Problem& problem)
+    : problem_(&problem), model_(problem) {}
+
+sim::TaskGraph MappingEvaluator::build_task_graph(const Mapping& mapping) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  mapping.validate(spine, *problem_->topo, *problem_->designs, problem_->adaptive);
+  sim::TaskGraph tg;
+  append_inference(tg, mapping, "");
+  return tg;
+}
+
+void MappingEvaluator::append_inference(sim::TaskGraph& tg, const Mapping& mapping,
+                                        const std::string& prefix) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+
+  // layer -> owning set index (ranges are contiguous and ordered).
+  std::vector<std::size_t> owner(static_cast<std::size_t>(spine.size()), 0);
+  for (std::size_t s = 0; s < mapping.sets.size(); ++s) {
+    for (int l = mapping.sets[s].begin; l < mapping.sets[s].end; ++l) {
+      owner[static_cast<std::size_t>(l)] = s;
+    }
+  }
+  // Completion tasks per spine layer (its output is ready on its set).
+  std::vector<std::vector<sim::TaskId>> done(
+      static_cast<std::size_t>(spine.size()));
+
+  std::vector<sim::TaskId> frontier;
+  for (std::size_t s = 0; s < mapping.sets.size(); ++s) {
+    const LayerAssignment& set = mapping.sets[s];
+    const std::vector<topology::AccId> members = topology::mask_members(set.accs);
+    const int p = static_cast<int>(members.size());
+
+    frontier.clear();  // sets synchronise through data edges, not order
+    std::optional<parallel::ActivationSharding> upstream;
+    for (int layer = set.begin; layer < set.end; ++layer) {
+      // Data arriving from outside the set: host inputs and cross-set
+      // activation edges, one transfer per spine edge.
+      for (const graph::SpineEdge& edge : spine.edges()) {
+        if (edge.consumer != layer) continue;
+        if (edge.producer < 0) {
+          frontier.push_back(tg.add_transfer(
+              sim::kHost, members.front(), edge.bytes,
+              prefix + spine.node(layer).name + "/host_in"));
+          continue;
+        }
+        const std::size_t producer_set =
+            owner[static_cast<std::size_t>(edge.producer)];
+        if (producer_set == s) continue;  // intra-set: already sequenced
+        const std::vector<topology::AccId> producer_members =
+            topology::mask_members(mapping.sets[producer_set].accs);
+        frontier.push_back(tg.add_transfer(
+            producer_members.front(), members.front(), edge.bytes,
+            prefix + spine.node(layer).name + "/cross_set",
+            done[static_cast<std::size_t>(edge.producer)]));
+      }
+      const graph::ConvShape& shape = spine.node(layer).shape;
+      const parallel::Strategy& strategy =
+          set.strategies[static_cast<std::size_t>(layer - set.begin)];
+      const parallel::ShardingPlan plan =
+          parallel::make_plan(shape, spine.dtype(), strategy, p);
+      const std::string name = prefix + spine.node(layer).name;
+
+      // Input redistribution.
+      if (p > 1) {
+        const Bytes in_bytes = shape.in_bytes(spine.dtype());
+        Bytes moved{};
+        if (upstream.has_value()) {
+          moved = parallel::reshard_cost(*upstream, shape, plan.required,
+                                         in_bytes, p, spine.dtype())
+                      .moved;
+        } else {
+          moved =
+              in_bytes * plan.required.fraction() * static_cast<double>(p - 1);
+        }
+        if (moved.count() > 0.0) {
+          frontier = upstream.has_value()
+                         ? sim::ring_shift(tg, members,
+                                           moved / static_cast<double>(p),
+                                           frontier, name + "/reshard")
+                         : sim::scatter(tg, members.front(), members, moved,
+                                        frontier, name + "/scatter");
+        }
+      }
+
+      // Compute phases with SS ring shifts between them.
+      for (int phase = 0; phase < plan.phases; ++phase) {
+        std::vector<sim::TaskId> phase_tasks;
+        phase_tasks.reserve(members.size());
+        for (topology::AccId acc : members) {
+          Seconds duration;
+          if (problem_->adaptive) {
+            duration = problem_->designs->design(set.design)
+                           .conv_latency(plan.local, spine.dtype());
+          } else {
+            duration = problem_->designs
+                           ->design(problem_->topo->accelerator(acc).fixed_design)
+                           .conv_latency(plan.local, spine.dtype());
+          }
+          phase_tasks.push_back(tg.add_compute(
+              acc, duration, name + "/ph" + std::to_string(phase), frontier));
+        }
+        frontier = std::move(phase_tasks);
+        if (phase + 1 < plan.phases && plan.ring_hop_bytes.count() > 0.0) {
+          frontier = sim::ring_shift(tg, members, plan.ring_hop_bytes, frontier,
+                                     name + "/ss_ring");
+        }
+      }
+
+      // Fused non-conv ops (DRAM-bound, sharded across the set).
+      const Bytes fused = spine.node(layer).fused_traffic;
+      if (fused.count() > 0.0) {
+        std::vector<sim::TaskId> fused_tasks;
+        for (topology::AccId acc : members) {
+          const accel::AcceleratorDesign& design =
+              problem_->adaptive
+                  ? problem_->designs->design(set.design)
+                  : problem_->designs->design(
+                        problem_->topo->accelerator(acc).fixed_design);
+          const Seconds duration = design.frequency().time_for(
+              design.dram_cycles(fused / static_cast<double>(p)));
+          fused_tasks.push_back(
+              tg.add_compute(acc, duration, name + "/fused", frontier));
+        }
+        frontier = std::move(fused_tasks);
+      }
+
+      // All-Reduce of partial sums within reduction subgroups (consecutive
+      // member chunks share an output region).
+      if (plan.allreduce_group > 1) {
+        std::vector<sim::TaskId> reduced;
+        const int r = plan.allreduce_group;
+        for (int g = 0; g + r <= p; g += r) {
+          const std::vector<topology::AccId> subgroup(
+              members.begin() + g, members.begin() + g + r);
+          const std::vector<sim::TaskId> reduced_done = sim::ring_allreduce(
+              tg, subgroup, plan.allreduce_bytes, frontier, name + "/allreduce");
+          reduced.insert(reduced.end(), reduced_done.begin(), reduced_done.end());
+        }
+        frontier = std::move(reduced);
+      }
+
+      upstream = plan.produced;
+      done[static_cast<std::size_t>(layer)] = frontier;
+    }
+  }
+
+  // Network output returns to the host from the final layer's set.
+  const std::vector<topology::AccId> last_members =
+      topology::mask_members(mapping.sets.back().accs);
+  tg.add_transfer(last_members.front(), sim::kHost, spine.output_bytes(),
+                  prefix + "host_output", done.back());
+}
+
+MappingEvaluator::ThroughputResult MappingEvaluator::evaluate_throughput(
+    const Mapping& mapping, int batch) const {
+  MARS_CHECK_ARG(batch >= 1, "batch must be positive");
+  const graph::ConvSpine& spine = *problem_->spine;
+  mapping.validate(spine, *problem_->topo, *problem_->designs,
+                   problem_->adaptive);
+
+  sim::TaskGraph tg;
+  for (int b = 0; b < batch; ++b) {
+    append_inference(tg, mapping, "img" + std::to_string(b) + "/");
+  }
+  const sim::Executor executor(*problem_->topo, problem_->sim_params);
+  ThroughputResult result;
+  result.makespan = executor.run(tg).makespan;
+  result.images_per_second = batch / result.makespan.count();
+  const Seconds single = simulate(mapping).result.makespan;
+  result.pipeline_speedup = single.count() * batch / result.makespan.count();
+  return result;
+}
+
+MappingEvaluator::SimOutput MappingEvaluator::simulate(const Mapping& mapping) const {
+  SimOutput output{build_task_graph(mapping), {}};
+  const sim::Executor executor(*problem_->topo, problem_->sim_params);
+  output.result = executor.run(output.graph);
+  return output;
+}
+
+EvaluationSummary MappingEvaluator::evaluate(const Mapping& mapping) const {
+  EvaluationSummary summary = model_.evaluate(mapping);
+  summary.simulated = simulate(mapping).result.makespan;
+  return summary;
+}
+
+}  // namespace mars::core

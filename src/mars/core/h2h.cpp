@@ -1,0 +1,177 @@
+#include "mars/core/h2h.h"
+
+#include <algorithm>
+
+#include "mars/sim/executor.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+
+H2HMapper::H2HMapper(const Problem& problem, H2HConfig config)
+    : problem_(&problem), config_(config) {
+  problem.validate();
+  MARS_CHECK_ARG(!problem.adaptive,
+                 "H2H maps fixed-design systems; set Problem::adaptive=false");
+}
+
+Seconds H2HMapper::compute_time(int layer, int acc) const {
+  const accel::AcceleratorDesign& design =
+      problem_->designs->design(problem_->topo->accelerator(acc).fixed_design);
+  const graph::SpineNode& node = problem_->spine->node(layer);
+  Seconds time = design.conv_latency(node.shape, problem_->spine->dtype());
+  time += design.frequency().time_for(design.dram_cycles(node.fused_traffic));
+  return time;
+}
+
+Seconds H2HMapper::transfer_time(Bytes bytes, int src, int dst) const {
+  if (src == dst || bytes.count() <= 0.0) return Seconds(0.0);
+  const topology::Topology& topo = *problem_->topo;
+  const Seconds latency = problem_->sim_params.link_latency;
+  if (src >= 0 && dst >= 0 && topo.has_link(src, dst)) {
+    return topo.link(src, dst).transfer_time(bytes) + latency;
+  }
+  const Bandwidth up =
+      src >= 0 ? topo.host_bandwidth(src) : topo.host_bandwidth(dst);
+  const Bandwidth down =
+      dst >= 0 ? topo.host_bandwidth(dst) : topo.host_bandwidth(src);
+  if (src < 0 || dst < 0) {
+    return (src < 0 ? down : up).transfer_time(bytes) + latency;
+  }
+  return up.transfer_time(bytes) + down.transfer_time(bytes) + latency * 2.0 +
+         problem_->sim_params.host_latency;
+}
+
+Seconds H2HMapper::schedule_makespan(const std::vector<int>& assignment) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  const int n = spine.size();
+  std::vector<Seconds> acc_free(static_cast<std::size_t>(problem_->topo->size()),
+                                Seconds(0.0));
+  std::vector<Seconds> finish(static_cast<std::size_t>(n), Seconds(0.0));
+
+  Seconds makespan(0.0);
+  for (int layer = 0; layer < n; ++layer) {
+    const int acc = assignment[static_cast<std::size_t>(layer)];
+    Seconds ready(0.0);
+    for (const graph::SpineEdge& edge : spine.edges()) {
+      if (edge.consumer != layer) continue;
+      const int src = edge.producer >= 0
+                          ? assignment[static_cast<std::size_t>(edge.producer)]
+                          : sim::kHost;
+      const Seconds base =
+          edge.producer >= 0 ? finish[static_cast<std::size_t>(edge.producer)]
+                             : Seconds(0.0);
+      ready = std::max(ready, base + transfer_time(edge.bytes, src, acc));
+    }
+    const Seconds start =
+        std::max(ready, acc_free[static_cast<std::size_t>(acc)]);
+    const Seconds end = start + compute_time(layer, acc);
+    finish[static_cast<std::size_t>(layer)] = end;
+    acc_free[static_cast<std::size_t>(acc)] = end;
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+H2HResult H2HMapper::map() const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  const int n = spine.size();
+  const int num_accs = problem_->topo->size();
+
+  // Phase 1: communication-aware list scheduling.
+  std::vector<int> assignment(static_cast<std::size_t>(n), 0);
+  std::vector<Seconds> acc_free(static_cast<std::size_t>(num_accs), Seconds(0.0));
+  std::vector<Seconds> finish(static_cast<std::size_t>(n), Seconds(0.0));
+  for (int layer = 0; layer < n; ++layer) {
+    int best_acc = 0;
+    Seconds best_end(0.0);
+    for (int acc = 0; acc < num_accs; ++acc) {
+      Seconds ready(0.0);
+      for (const graph::SpineEdge& edge : spine.edges()) {
+        if (edge.consumer != layer) continue;
+        const int src = edge.producer >= 0
+                            ? assignment[static_cast<std::size_t>(edge.producer)]
+                            : sim::kHost;
+        const Seconds base =
+            edge.producer >= 0 ? finish[static_cast<std::size_t>(edge.producer)]
+                               : Seconds(0.0);
+        ready = std::max(ready, base + transfer_time(edge.bytes, src, acc));
+      }
+      const Seconds end = std::max(ready, acc_free[static_cast<std::size_t>(acc)]) +
+                          compute_time(layer, acc);
+      if (acc == 0 || end < best_end) {
+        best_end = end;
+        best_acc = acc;
+      }
+    }
+    assignment[static_cast<std::size_t>(layer)] = best_acc;
+    finish[static_cast<std::size_t>(layer)] = best_end;
+    acc_free[static_cast<std::size_t>(best_acc)] = best_end;
+  }
+
+  // Phase 2: coordinate-descent refinement.
+  Seconds best = schedule_makespan(assignment);
+  for (int sweep = 0; sweep < config_.refinement_sweeps; ++sweep) {
+    bool improved = false;
+    for (int layer = 0; layer < n; ++layer) {
+      const int original = assignment[static_cast<std::size_t>(layer)];
+      for (int acc = 0; acc < num_accs; ++acc) {
+        if (acc == original) continue;
+        assignment[static_cast<std::size_t>(layer)] = acc;
+        const Seconds trial = schedule_makespan(assignment);
+        if (trial < best) {
+          best = trial;
+          improved = true;
+        } else {
+          assignment[static_cast<std::size_t>(layer)] = original;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  H2HResult result;
+  result.assignment = assignment;
+  result.analytic = best;
+  const sim::Executor executor(*problem_->topo, problem_->sim_params);
+  result.simulated = executor.run(build_task_graph(assignment)).makespan;
+  return result;
+}
+
+sim::TaskGraph H2HMapper::build_task_graph(
+    const std::vector<int>& assignment) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  MARS_CHECK_ARG(assignment.size() == static_cast<std::size_t>(spine.size()),
+                 "one accelerator per spine layer required");
+
+  sim::TaskGraph tg;
+  std::vector<sim::TaskId> layer_task(assignment.size(), -1);
+  for (int layer = 0; layer < spine.size(); ++layer) {
+    const int acc = assignment[static_cast<std::size_t>(layer)];
+    std::vector<sim::TaskId> deps;
+    for (const graph::SpineEdge& edge : spine.edges()) {
+      if (edge.consumer != layer) continue;
+      const int src = edge.producer >= 0
+                          ? assignment[static_cast<std::size_t>(edge.producer)]
+                          : sim::kHost;
+      std::vector<sim::TaskId> edge_deps;
+      if (edge.producer >= 0) {
+        edge_deps.push_back(layer_task[static_cast<std::size_t>(edge.producer)]);
+      }
+      if (src == acc) {
+        if (!edge_deps.empty()) deps.push_back(edge_deps.front());
+        continue;
+      }
+      deps.push_back(tg.add_transfer(src, acc, edge.bytes,
+                                     spine.node(layer).name + "/in",
+                                     std::move(edge_deps)));
+    }
+    layer_task[static_cast<std::size_t>(layer)] = tg.add_compute(
+        acc, compute_time(layer, acc), spine.node(layer).name, std::move(deps));
+  }
+  // Output returns to the host from the last layer's accelerator.
+  tg.add_transfer(assignment.back(), sim::kHost, spine.output_bytes(),
+                  "host_output", {layer_task.back()});
+  return tg;
+}
+
+}  // namespace mars::core

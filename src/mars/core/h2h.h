@@ -1,0 +1,53 @@
+// H2H-style comparator (Section VI-C).
+//
+// H2H (Zhang et al., DAC 2022) maps heterogeneous models onto heterogeneous
+// fixed-design multi-accelerator systems with computation and communication
+// awareness, but performs NO intra-layer parallelism: each layer runs
+// entirely on one accelerator. Our re-implementation follows that contract:
+//  1. communication-aware list scheduling over the spine DAG (each layer
+//     placed on the accelerator minimising its finish time, accounting for
+//     producer transfer costs and accelerator availability), then
+//  2. coordinate-descent refinement sweeps re-placing single layers.
+// The final latency is replayed on the same event-driven simulator MARS
+// uses, so Table IV compares like with like.
+#pragma once
+
+#include <vector>
+
+#include "mars/core/evaluator.h"
+
+namespace mars::core {
+
+struct H2HConfig {
+  int refinement_sweeps = 3;
+};
+
+struct H2HResult {
+  std::vector<int> assignment;  // spine layer index -> accelerator id
+  Seconds analytic{};           // list-schedule makespan estimate
+  Seconds simulated{};          // event-driven makespan (reported)
+};
+
+class H2HMapper {
+ public:
+  /// `problem.adaptive` must be false: every accelerator carries its fixed
+  /// design, as in H2H's testbed.
+  explicit H2HMapper(const Problem& problem, H2HConfig config = {});
+
+  [[nodiscard]] H2HResult map() const;
+
+  /// Task graph of a given assignment (exposed for tests/traces).
+  [[nodiscard]] sim::TaskGraph build_task_graph(
+      const std::vector<int>& assignment) const;
+
+ private:
+  [[nodiscard]] Seconds compute_time(int layer, int acc) const;
+  [[nodiscard]] Seconds transfer_time(Bytes bytes, int src, int dst) const;
+  /// List-schedule makespan of a full assignment.
+  [[nodiscard]] Seconds schedule_makespan(const std::vector<int>& assignment) const;
+
+  const Problem* problem_;
+  H2HConfig config_;
+};
+
+}  // namespace mars::core

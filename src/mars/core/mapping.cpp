@@ -1,0 +1,87 @@
+#include "mars/core/mapping.h"
+
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::core {
+
+void Mapping::validate(const graph::ConvSpine& spine, const topology::Topology& topo,
+                       const accel::DesignRegistry& designs, bool adaptive) const {
+  MARS_CHECK_ARG(!sets.empty(), "mapping has no accelerator sets");
+  int cursor = 0;
+  topology::AccMask used = 0;
+  for (const LayerAssignment& set : sets) {
+    MARS_CHECK_ARG(set.begin == cursor,
+                   "layer ranges must be contiguous: expected begin "
+                       << cursor << ", got " << set.begin);
+    MARS_CHECK_ARG(set.end > set.begin, "empty layer range");
+    cursor = set.end;
+
+    MARS_CHECK_ARG(set.accs != 0, "assignment with empty accelerator set");
+    MARS_CHECK_ARG((set.accs & used) == 0,
+                   "accelerator sets overlap at " << topology::mask_to_string(
+                       set.accs & used));
+    used |= set.accs;
+    MARS_CHECK_ARG((set.accs & ~topo.full_mask()) == 0,
+                   "mask references accelerators outside the topology");
+    MARS_CHECK_ARG(topo.connected(set.accs),
+                   "accelerator set " << topology::mask_to_string(set.accs)
+                                      << " is not connected");
+
+    if (adaptive) {
+      MARS_CHECK_ARG(set.design >= 0 && set.design < designs.size(),
+                     "invalid design id " << set.design);
+    } else {
+      for (topology::AccId acc : topology::mask_members(set.accs)) {
+        const int fixed = topo.accelerator(acc).fixed_design;
+        MARS_CHECK_ARG(fixed >= 0 && fixed < designs.size(),
+                       "accelerator " << acc << " has no fixed design");
+      }
+    }
+
+    MARS_CHECK_ARG(static_cast<int>(set.strategies.size()) == set.num_layers(),
+                   "strategy count " << set.strategies.size()
+                                     << " != layer count " << set.num_layers());
+    const int p = set.num_accs();
+    for (int l = set.begin; l < set.end; ++l) {
+      const parallel::Strategy& strategy =
+          set.strategies[static_cast<std::size_t>(l - set.begin)];
+      MARS_CHECK_ARG(strategy.fits(spine.node(l).shape, p),
+                     "strategy " << strategy.to_string() << " does not fit layer "
+                                 << spine.node(l).name << " on " << p
+                                 << " accelerators");
+    }
+  }
+  MARS_CHECK_ARG(cursor == spine.size(),
+                 "mapping covers " << cursor << " of " << spine.size()
+                                   << " layers");
+}
+
+std::string describe(const Mapping& mapping, const graph::ConvSpine& spine,
+                     const accel::DesignRegistry& designs, bool adaptive) {
+  std::ostringstream os;
+  for (const LayerAssignment& set : mapping.sets) {
+    os << spine.node(set.begin).name << ".." << spine.node(set.end - 1).name
+       << " -> " << set.num_accs() << "x ";
+    if (adaptive) {
+      os << designs.design(set.design).name();
+    } else {
+      os << "fixed" << topology::mask_to_string(set.accs);
+    }
+    // Representative strategy: the layer with the largest MAC count.
+    int representative = set.begin;
+    for (int l = set.begin; l < set.end; ++l) {
+      if (spine.node(l).shape.macs() > spine.node(representative).shape.macs()) {
+        representative = l;
+      }
+    }
+    os << "; " << spine.node(representative).name << ": "
+       << set.strategies[static_cast<std::size_t>(representative - set.begin)]
+              .to_string()
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mars::core

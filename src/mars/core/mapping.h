@@ -1,0 +1,72 @@
+// Mapping representation: the full design point MARS searches for.
+//
+// A Mapping is an ordered list of assignments; assignment i gives one
+// accelerator set (AccSet mask + configured design), the contiguous spine
+// range mapped to it (the paper's Map[LayerSet_i] = AccSet_i with layer
+// sets contiguous in topological order), and the per-layer parallelism
+// strategies chosen by the second level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/accel/registry.h"
+#include "mars/graph/spine.h"
+#include "mars/parallel/strategy.h"
+#include "mars/topology/topology.h"
+
+namespace mars::core {
+
+struct LayerAssignment {
+  topology::AccMask accs = 0;
+  /// Configured design (adaptive systems). kInvalidDesign in fixed-design
+  /// mode, where each member keeps its Accelerator::fixed_design.
+  accel::DesignId design = accel::kInvalidDesign;
+  int begin = 0;  // spine range [begin, end)
+  int end = 0;
+  std::vector<parallel::Strategy> strategies;  // one per layer in range
+
+  [[nodiscard]] int num_layers() const { return end - begin; }
+  [[nodiscard]] int num_accs() const { return topology::mask_count(accs); }
+};
+
+struct Mapping {
+  std::vector<LayerAssignment> sets;  // in layer order
+
+  /// Checks coverage (ranges tile [0, spine.size())), disjoint masks,
+  /// strategy arity/fit, and design validity. Throws on violation.
+  void validate(const graph::ConvSpine& spine, const topology::Topology& topo,
+                const accel::DesignRegistry& designs, bool adaptive) const;
+};
+
+/// Latency decomposition reported by both cost paths.
+struct LatencyBreakdown {
+  Seconds compute{};    // PE-array + fused DRAM time
+  Seconds intra_set{};  // SS rings, All-Reduce, resharding inside a set
+  Seconds inter_set{};  // activation hand-off between consecutive sets
+  Seconds host_io{};    // network input / output via the host
+
+  [[nodiscard]] Seconds total() const {
+    return compute + intra_set + inter_set + host_io;
+  }
+};
+
+struct EvaluationSummary {
+  /// Component sums (resource totals; parallel branches may overlap, so
+  /// the sum can exceed the critical path).
+  LatencyBreakdown analytic;
+  /// Closed-form critical-path estimate: per-set latencies scheduled over
+  /// the set dependency DAG (what the GA optimises).
+  Seconds analytic_makespan{};
+  Seconds simulated{};  // event-driven makespan (the reported number)
+  bool memory_ok = true;
+  Bytes worst_set_footprint{};
+};
+
+/// Paper-style rendering ("Conv1-7 -> 4x SuperLIP; conv1: ES={H,W}, ...").
+[[nodiscard]] std::string describe(const Mapping& mapping,
+                                   const graph::ConvSpine& spine,
+                                   const accel::DesignRegistry& designs,
+                                   bool adaptive);
+
+}  // namespace mars::core

@@ -1,0 +1,93 @@
+// MARS: the two-level genetic mapping algorithm (Section V).
+//
+// First level (GaEngine over FirstLevelCodec genomes): accelerator-set
+// partition from the edge-removal candidate family, per-set designs, and
+// contiguous layer allocation. Its fitness evaluates each candidate set
+// with the memoised second-level search and adds inter-set and host I/O
+// costs. Second level: per-layer ES/SS strategies (greedy oracle inside
+// the loop, GA polish on the winner — see second_level.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mars/accel/profiler.h"
+#include "mars/core/evaluator.h"
+#include "mars/core/first_level.h"
+#include "mars/core/second_level.h"
+
+namespace mars::core {
+
+struct MarsConfig {
+  ga::GaConfig first_ga{.population = 32,
+                        .generations = 40,
+                        .elite = 2,
+                        .tournament = 3,
+                        .crossover_rate = 0.9,
+                        .mutation_rate = 0.15,
+                        .mutation_sigma = 0.25,
+                        .stall_generations = 12};
+  SecondLevelConfig second;
+  /// Polish the winning skeleton's strategies with the second-level GA.
+  bool refine_winner = true;
+  /// Seed the population with the baseline mapping (guarantees MARS never
+  /// loses to it under the analytic model).
+  bool seed_baseline = true;
+  /// Initialise design genes from profiled per-design scores (Section V).
+  bool profiled_init = true;
+  /// Use the edge-removal/bisection AccSet candidates; when false (ablation
+  /// A3) only the trivial family {full system} u {singletons} is offered.
+  bool heuristic_candidates = true;
+  /// Single-level ablation (A1): decode strategies from one flat genome
+  /// instead of running the second level per set.
+  bool two_level = true;
+  std::uint64_t seed = 1;
+};
+
+struct MarsResult {
+  Mapping mapping;
+  EvaluationSummary summary;
+  ga::GaResult first_level;  // convergence history (Fig. 3 / bench)
+  long long second_level_hits = 0;
+  long long second_level_misses = 0;
+};
+
+class Mars {
+ public:
+  Mars(const Problem& problem, MarsConfig config = {});
+
+  /// Runs the full search and returns the best mapping with both cost
+  /// views (analytic + event-driven simulation).
+  [[nodiscard]] MarsResult search();
+
+  [[nodiscard]] const FirstLevelCodec& codec() const { return codec_; }
+  [[nodiscard]] const accel::ProfileMatrix& profile() const { return profile_; }
+
+ private:
+  struct CacheKey {
+    int begin;
+    int end;
+    topology::AccMask accs;
+    accel::DesignId design;
+    auto operator<=>(const CacheKey&) const = default;
+  };
+
+  [[nodiscard]] const SecondLevelResult& second_level_for(
+      const LayerAssignment& skeleton);
+  [[nodiscard]] double skeleton_fitness(const Skeleton& skeleton);
+  [[nodiscard]] Mapping strategies_for(const Skeleton& skeleton);
+  [[nodiscard]] Skeleton baseline_skeleton() const;
+
+  const Problem* problem_;
+  MarsConfig config_;
+  accel::ProfileMatrix profile_;
+  std::vector<topology::AccSetCandidate> candidates_;
+  FirstLevelCodec codec_;
+  SecondLevelSearch second_;
+  MappingEvaluator evaluator_;
+  std::map<CacheKey, SecondLevelResult> cache_;
+  long long cache_hits_ = 0;
+  long long cache_misses_ = 0;
+};
+
+}  // namespace mars::core

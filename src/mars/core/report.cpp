@@ -1,0 +1,37 @@
+#include "mars/core/report.h"
+
+#include "mars/util/strings.h"
+
+namespace mars::core {
+
+std::string latency_reduction(Seconds baseline, Seconds ours) {
+  if (baseline.count() <= 0.0) return "n/a";
+  return signed_percent(ours / baseline - 1.0, 1);
+}
+
+WorkloadSummary summarize(const graph::Graph& model) {
+  WorkloadSummary summary;
+  summary.name = model.name();
+  summary.num_convs = model.num_convs();
+  summary.num_spine_layers = model.num_spine_layers();
+  summary.params = model.total_params();
+  summary.macs = model.total_macs();
+  return summary;
+}
+
+Table comparison_table(const std::vector<ComparisonRow>& rows,
+                       const std::string& baseline_name,
+                       const std::string& ours_name) {
+  Table table({"Model", "#Convs", "#Params", "MACs", baseline_name + " /ms",
+               ours_name + " /ms", "Reduction"});
+  for (const ComparisonRow& row : rows) {
+    table.add_row({row.workload.name, std::to_string(row.workload.num_convs),
+                   si_count(row.workload.params), si_count(row.workload.macs),
+                   format_double(row.baseline.millis(), 3),
+                   format_double(row.ours.millis(), 3),
+                   latency_reduction(row.baseline, row.ours)});
+  }
+  return table;
+}
+
+}  // namespace mars::core

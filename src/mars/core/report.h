@@ -1,0 +1,41 @@
+// Report helpers shared by the benchmark harnesses: paper-style comparison
+// tables and workload summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/core/mapping.h"
+#include "mars/util/table.h"
+
+namespace mars::core {
+
+/// "-32.2%" — the paper's latency-reduction annotation (negative = faster).
+[[nodiscard]] std::string latency_reduction(Seconds baseline, Seconds ours);
+
+/// Model descriptor row data for Table III ("#Convs", "#Params", "FLOPs").
+struct WorkloadSummary {
+  std::string name;
+  int num_convs = 0;
+  int num_spine_layers = 0;
+  double params = 0.0;
+  double macs = 0.0;
+};
+
+[[nodiscard]] WorkloadSummary summarize(const graph::Graph& model);
+
+/// One comparison row: model, baseline latency, MARS latency, reduction,
+/// plus the paper's reference numbers for EXPERIMENTS.md cross-checks.
+struct ComparisonRow {
+  WorkloadSummary workload;
+  Seconds baseline{};
+  Seconds ours{};
+  std::string mapping;  // describe() of the winning mapping
+};
+
+/// Renders Table III-style output.
+[[nodiscard]] Table comparison_table(const std::vector<ComparisonRow>& rows,
+                                     const std::string& baseline_name,
+                                     const std::string& ours_name);
+
+}  // namespace mars::core

@@ -1,0 +1,68 @@
+#include "mars/core/serialize.h"
+
+namespace mars::core {
+
+JsonValue to_json(const parallel::Strategy& strategy) {
+  JsonValue es = JsonValue::array();
+  for (const parallel::DimSplit& split : strategy.es()) {
+    es.push(JsonValue::object()
+                .set("dim", JsonValue::string(parallel::to_string(split.dim)))
+                .set("ways", JsonValue::integer(split.ways)));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("es", std::move(es));
+  out.set("ss", strategy.has_ss()
+                    ? JsonValue::string(parallel::to_string(*strategy.ss()))
+                    : JsonValue::string(""));
+  return out;
+}
+
+JsonValue to_json(const Mapping& mapping, const graph::ConvSpine& spine,
+                  const accel::DesignRegistry& designs, bool adaptive) {
+  JsonValue sets = JsonValue::array();
+  for (const LayerAssignment& set : mapping.sets) {
+    JsonValue members = JsonValue::array();
+    for (topology::AccId acc : topology::mask_members(set.accs)) {
+      members.push(JsonValue::integer(acc));
+    }
+    JsonValue layers = JsonValue::array();
+    for (int l = set.begin; l < set.end; ++l) {
+      layers.push(
+          JsonValue::object()
+              .set("index", JsonValue::integer(l))
+              .set("name", JsonValue::string(spine.node(l).name))
+              .set("strategy", to_json(set.strategies[static_cast<std::size_t>(
+                                   l - set.begin)])));
+    }
+    JsonValue entry = JsonValue::object();
+    entry.set("accelerators", std::move(members));
+    entry.set("design", adaptive
+                            ? JsonValue::string(designs.design(set.design).name())
+                            : JsonValue::string("fixed"));
+    entry.set("begin", JsonValue::integer(set.begin));
+    entry.set("end", JsonValue::integer(set.end));
+    entry.set("layers", std::move(layers));
+    sets.push(std::move(entry));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("model", JsonValue::string(spine.model_name()));
+  out.set("num_layers", JsonValue::integer(spine.size()));
+  out.set("sets", std::move(sets));
+  return out;
+}
+
+JsonValue to_json(const EvaluationSummary& summary) {
+  return JsonValue::object()
+      .set("simulated_ms", JsonValue::number(summary.simulated.millis()))
+      .set("analytic_makespan_ms",
+           JsonValue::number(summary.analytic_makespan.millis()))
+      .set("compute_ms", JsonValue::number(summary.analytic.compute.millis()))
+      .set("intra_set_ms", JsonValue::number(summary.analytic.intra_set.millis()))
+      .set("inter_set_ms", JsonValue::number(summary.analytic.inter_set.millis()))
+      .set("host_io_ms", JsonValue::number(summary.analytic.host_io.millis()))
+      .set("memory_ok", JsonValue::boolean(summary.memory_ok))
+      .set("worst_set_footprint_mib",
+           JsonValue::number(summary.worst_set_footprint.mib()));
+}
+
+}  // namespace mars::core

@@ -1,0 +1,24 @@
+// JSON export of mappings and evaluation results — the interchange format
+// for downstream tooling (deployment scripts, dashboards) and the CLI.
+#pragma once
+
+#include "mars/core/mapping.h"
+#include "mars/util/json.h"
+
+namespace mars::core {
+
+/// Full mapping: sets (mask, members, design name, layer range) with
+/// per-layer strategies (layer name, ES splits, SS dim).
+[[nodiscard]] JsonValue to_json(const Mapping& mapping,
+                                const graph::ConvSpine& spine,
+                                const accel::DesignRegistry& designs,
+                                bool adaptive);
+
+/// Evaluation summary: simulated + analytic makespans, breakdown
+/// components, memory verdict.
+[[nodiscard]] JsonValue to_json(const EvaluationSummary& summary);
+
+/// One parallelism strategy.
+[[nodiscard]] JsonValue to_json(const parallel::Strategy& strategy);
+
+}  // namespace mars::core

@@ -1,0 +1,112 @@
+#include "mars/ga/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "mars/ga/operators.h"
+#include "mars/util/error.h"
+#include "mars/util/logging.h"
+
+namespace mars::ga {
+
+GaEngine::GaEngine(GaConfig config, int genome_size)
+    : config_(config), genome_size_(genome_size) {
+  MARS_CHECK_ARG(config.population >= 2, "population must be >= 2");
+  MARS_CHECK_ARG(config.elite >= 0 && config.elite < config.population,
+                 "elite count must fit inside the population");
+  MARS_CHECK_ARG(config.gene_lo < config.gene_hi, "empty gene range");
+  MARS_CHECK_ARG(genome_size >= 1, "genome must have at least one gene");
+}
+
+GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
+                            const std::vector<Genome>& seeds) const {
+  const auto pop_size = static_cast<std::size_t>(config_.population);
+  std::vector<Genome> population;
+  population.reserve(pop_size);
+  for (const Genome& seed : seeds) {
+    MARS_CHECK_ARG(seed.size() == static_cast<std::size_t>(genome_size_),
+                   "seed genome size mismatch");
+    if (population.size() < pop_size) population.push_back(seed);
+  }
+  while (population.size() < pop_size) {
+    population.push_back(
+        random_genome(genome_size_, config_.gene_lo, config_.gene_hi, rng));
+  }
+
+  GaResult result;
+  result.best_fitness = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const Genome& genome) {
+    ++result.evaluations;
+    const double value = fitness(genome);
+    return std::isfinite(value) ? value : std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<double> scores(pop_size);
+  for (std::size_t i = 0; i < pop_size; ++i) scores[i] = evaluate(population[i]);
+
+  int stall = 0;
+  for (int generation = 0; generation < config_.generations; ++generation) {
+    // Track the incumbent.
+    const std::size_t arg_best = static_cast<std::size_t>(
+        std::min_element(scores.begin(), scores.end()) - scores.begin());
+    if (scores[arg_best] < result.best_fitness) {
+      result.best_fitness = scores[arg_best];
+      result.best = population[arg_best];
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    result.history.push_back(result.best_fitness);
+    result.generations_run = generation + 1;
+    if (config_.stall_generations > 0 && stall >= config_.stall_generations) {
+      MARS_DEBUG << "GA early stop at generation " << generation;
+      break;
+    }
+
+    // Next generation: elites survive; the rest come from tournament
+    // selection + crossover + mutation.
+    std::vector<std::size_t> order(pop_size);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+    std::vector<Genome> next;
+    std::vector<double> next_scores;
+    next.reserve(pop_size);
+    next_scores.reserve(pop_size);
+    for (int e = 0; e < config_.elite; ++e) {
+      next.push_back(population[order[static_cast<std::size_t>(e)]]);
+      next_scores.push_back(scores[order[static_cast<std::size_t>(e)]]);
+    }
+    while (next.size() < pop_size) {
+      const Genome& parent_a =
+          population[tournament_select(scores, config_.tournament, rng)];
+      const Genome& parent_b =
+          population[tournament_select(scores, config_.tournament, rng)];
+      Genome child = rng.chance(config_.crossover_rate)
+                         ? uniform_crossover(parent_a, parent_b, rng)
+                         : parent_a;
+      gaussian_mutate(child, config_.mutation_rate, config_.mutation_sigma,
+                      config_.gene_lo, config_.gene_hi, rng);
+      next_scores.push_back(evaluate(child));
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+    scores = std::move(next_scores);
+  }
+
+  // Final sweep (the loop records bests at generation entry).
+  const std::size_t arg_best = static_cast<std::size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+  if (scores[arg_best] < result.best_fitness) {
+    result.best_fitness = scores[arg_best];
+    result.best = population[arg_best];
+  }
+  MARS_CHECK(!result.best.empty(), "GA produced no candidate");
+  return result;
+}
+
+}  // namespace mars::ga

@@ -1,0 +1,60 @@
+// Generic real-valued genetic algorithm.
+//
+// Both MARS levels encode their decisions as priority genes in [0, 1] and
+// decode deterministically, so one engine serves both. Fitness is
+// minimised (latency in seconds). Deterministic under a fixed Rng.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mars/util/rng.h"
+
+namespace mars::ga {
+
+using Genome = std::vector<double>;
+/// Lower is better. Return +inf (or any non-finite value) for invalid
+/// genomes — the engine treats them as maximally unfit.
+using FitnessFn = std::function<double(const Genome&)>;
+
+struct GaConfig {
+  int population = 32;
+  int generations = 40;
+  int elite = 2;            // genomes copied unchanged each generation
+  int tournament = 3;       // tournament selection arity
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.15;   // per-gene mutation probability
+  double mutation_sigma = 0.25;  // gaussian step size
+  double gene_lo = 0.0;
+  double gene_hi = 1.0;
+  /// Stop early after this many generations without improvement (<=0: off).
+  int stall_generations = 12;
+};
+
+struct GaResult {
+  Genome best;
+  double best_fitness = 0.0;
+  int generations_run = 0;
+  long long evaluations = 0;
+  /// Best fitness after each generation (convergence curves for Fig. 3).
+  std::vector<double> history;
+};
+
+class GaEngine {
+ public:
+  GaEngine(GaConfig config, int genome_size);
+
+  /// Runs the GA. `seeds` are injected into the initial population
+  /// verbatim (heuristic warm starts); the rest is uniform random.
+  [[nodiscard]] GaResult minimize(const FitnessFn& fitness, Rng& rng,
+                                  const std::vector<Genome>& seeds = {}) const;
+
+  [[nodiscard]] const GaConfig& config() const { return config_; }
+  [[nodiscard]] int genome_size() const { return genome_size_; }
+
+ private:
+  GaConfig config_;
+  int genome_size_;
+};
+
+}  // namespace mars::ga

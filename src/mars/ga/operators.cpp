@@ -1,0 +1,45 @@
+#include "mars/ga/operators.h"
+
+#include <algorithm>
+
+#include "mars/util/error.h"
+
+namespace mars::ga {
+
+std::size_t tournament_select(const std::vector<double>& fitness, int arity,
+                              Rng& rng) {
+  MARS_CHECK_ARG(!fitness.empty(), "selection over empty population");
+  MARS_CHECK_ARG(arity >= 1, "tournament arity must be >= 1");
+  std::size_t best = rng.index(fitness.size());
+  for (int i = 1; i < arity; ++i) {
+    const std::size_t challenger = rng.index(fitness.size());
+    if (fitness[challenger] < fitness[best]) best = challenger;
+  }
+  return best;
+}
+
+Genome uniform_crossover(const Genome& a, const Genome& b, Rng& rng) {
+  MARS_CHECK_ARG(a.size() == b.size(), "crossover of mismatched genomes");
+  Genome child(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    child[i] = rng.chance(0.5) ? a[i] : b[i];
+  }
+  return child;
+}
+
+void gaussian_mutate(Genome& genome, double rate, double sigma, double lo,
+                     double hi, Rng& rng) {
+  for (double& gene : genome) {
+    if (rng.chance(rate)) {
+      gene = std::clamp(gene + rng.gaussian(0.0, sigma), lo, hi);
+    }
+  }
+}
+
+Genome random_genome(int size, double lo, double hi, Rng& rng) {
+  Genome genome(static_cast<std::size_t>(size));
+  for (double& gene : genome) gene = rng.uniform(lo, hi);
+  return genome;
+}
+
+}  // namespace mars::ga

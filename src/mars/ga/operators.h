@@ -1,0 +1,25 @@
+// GA variation operators, exposed for direct testing.
+#pragma once
+
+#include <vector>
+
+#include "mars/ga/engine.h"
+#include "mars/util/rng.h"
+
+namespace mars::ga {
+
+/// Index of the tournament winner among `fitness` (lower wins).
+[[nodiscard]] std::size_t tournament_select(const std::vector<double>& fitness,
+                                            int arity, Rng& rng);
+
+/// Uniform crossover: each gene taken from either parent with equal odds.
+[[nodiscard]] Genome uniform_crossover(const Genome& a, const Genome& b, Rng& rng);
+
+/// Gaussian per-gene mutation clamped to [lo, hi].
+void gaussian_mutate(Genome& genome, double rate, double sigma, double lo,
+                     double hi, Rng& rng);
+
+/// Uniform random genome in [lo, hi].
+[[nodiscard]] Genome random_genome(int size, double lo, double hi, Rng& rng);
+
+}  // namespace mars::ga

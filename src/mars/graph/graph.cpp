@@ -1,0 +1,318 @@
+#include "mars/graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::graph {
+namespace {
+
+int pooled_extent(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Graph::Graph(std::string name, DataType dtype)
+    : name_(std::move(name)), dtype_(dtype) {
+  MARS_CHECK_ARG(!name_.empty(), "graph needs a name");
+}
+
+LayerId Graph::append(Layer layer) {
+  layer.id = static_cast<LayerId>(layers_.size());
+  for (LayerId input : layer.inputs) {
+    MARS_CHECK_ARG(input >= 0 && input < layer.id,
+                   "layer '" << layer.name
+                             << "' references a not-yet-defined input " << input
+                             << " (layers must be appended in topological order)");
+  }
+  MARS_CHECK(layer.output_shape.valid(),
+             "layer '" << layer.name << "' produced invalid shape "
+                       << to_string(layer.output_shape));
+  layers_.push_back(std::move(layer));
+  return layers_.back().id;
+}
+
+const Layer& Graph::checked_input(LayerId id) const {
+  MARS_CHECK_ARG(id >= 0 && id < size(), "layer id " << id << " out of range");
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+LayerId Graph::add_input(TensorShape shape, std::string name) {
+  MARS_CHECK_ARG(shape.valid(), "input shape must be positive");
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kInput;
+  layer.input_shape = shape;
+  layer.output_shape = shape;
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_conv(std::string name, LayerId input, const ConvAttrs& attrs) {
+  const Layer& src = checked_input(input);
+  const TensorShape in = src.output_shape;
+  MARS_CHECK_ARG(attrs.out_channels > 0, "conv '" << name << "' needs out_channels");
+  MARS_CHECK_ARG(attrs.kernel_h > 0 && attrs.kernel_w > 0,
+                 "conv '" << name << "' needs a positive kernel");
+  MARS_CHECK_ARG(attrs.stride_h > 0 && attrs.stride_w > 0,
+                 "conv '" << name << "' needs a positive stride");
+  const int oh = pooled_extent(in.h, attrs.kernel_h, attrs.stride_h, attrs.pad_h);
+  const int ow = pooled_extent(in.w, attrs.kernel_w, attrs.stride_w, attrs.pad_w);
+  MARS_CHECK_ARG(oh > 0 && ow > 0, "conv '" << name << "' collapses the feature map ("
+                                            << to_string(in) << ")");
+
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kConv;
+  layer.inputs = {input};
+  layer.conv = attrs;
+  layer.input_shape = in;
+  layer.output_shape = {attrs.out_channels, oh, ow};
+  layer.macs = static_cast<double>(attrs.out_channels) * in.c * oh * ow *
+               attrs.kernel_h * attrs.kernel_w;
+  layer.params = static_cast<double>(attrs.out_channels) * in.c * attrs.kernel_h *
+                     attrs.kernel_w +
+                 (attrs.bias ? attrs.out_channels : 0);
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_linear(std::string name, LayerId input, const LinearAttrs& attrs) {
+  const Layer& src = checked_input(input);
+  const TensorShape in = src.output_shape;
+  MARS_CHECK_ARG(attrs.out_features > 0, "linear '" << name << "' needs out_features");
+  const auto in_features = static_cast<double>(in.elements());
+
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kLinear;
+  layer.inputs = {input};
+  layer.linear = attrs;
+  layer.input_shape = in;
+  layer.output_shape = {attrs.out_features, 1, 1};
+  layer.macs = in_features * attrs.out_features;
+  layer.params = in_features * attrs.out_features +
+                 (attrs.bias ? attrs.out_features : 0);
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_max_pool(std::string name, LayerId input, const PoolAttrs& attrs) {
+  const Layer& src = checked_input(input);
+  const TensorShape in = src.output_shape;
+  const int oh = pooled_extent(in.h, attrs.kernel, attrs.stride, attrs.pad);
+  const int ow = pooled_extent(in.w, attrs.kernel, attrs.stride, attrs.pad);
+  MARS_CHECK_ARG(oh > 0 && ow > 0, "pool '" << name << "' collapses the feature map");
+
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kMaxPool;
+  layer.inputs = {input};
+  layer.pool = attrs;
+  layer.input_shape = in;
+  layer.output_shape = {in.c, oh, ow};
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_avg_pool(std::string name, LayerId input, const PoolAttrs& attrs) {
+  LayerId id = add_max_pool(std::move(name), input, attrs);
+  layers_.back().kind = LayerKind::kAvgPool;
+  return id;
+}
+
+LayerId Graph::add_global_avg_pool(std::string name, LayerId input) {
+  const Layer& src = checked_input(input);
+  const TensorShape in = src.output_shape;
+
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kGlobalAvgPool;
+  layer.inputs = {input};
+  layer.pool = PoolAttrs{in.h, in.h, 0};
+  layer.input_shape = in;
+  layer.output_shape = {in.c, 1, 1};
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_batch_norm(std::string name, LayerId input) {
+  const Layer& src = checked_input(input);
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kBatchNorm;
+  layer.inputs = {input};
+  layer.input_shape = src.output_shape;
+  layer.output_shape = src.output_shape;
+  layer.params = 2.0 * src.output_shape.c;
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_relu(std::string name, LayerId input) {
+  const Layer& src = checked_input(input);
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kRelu;
+  layer.inputs = {input};
+  layer.input_shape = src.output_shape;
+  layer.output_shape = src.output_shape;
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_add(std::string name, LayerId lhs, LayerId rhs) {
+  const Layer& a = checked_input(lhs);
+  const Layer& b = checked_input(rhs);
+  MARS_CHECK_ARG(a.output_shape == b.output_shape,
+                 "add '" << name << "' shape mismatch: " << to_string(a.output_shape)
+                         << " vs " << to_string(b.output_shape));
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kAdd;
+  layer.inputs = {lhs, rhs};
+  layer.input_shape = a.output_shape;
+  layer.output_shape = a.output_shape;
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_concat(std::string name, const std::vector<LayerId>& inputs) {
+  MARS_CHECK_ARG(inputs.size() >= 2, "concat '" << name << "' needs >= 2 inputs");
+  const Layer& first = checked_input(inputs.front());
+  TensorShape out = first.output_shape;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    const Layer& other = checked_input(inputs[i]);
+    MARS_CHECK_ARG(other.output_shape.h == out.h && other.output_shape.w == out.w,
+                   "concat '" << name << "' spatial mismatch");
+    out.c += other.output_shape.c;
+  }
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kConcat;
+  layer.inputs = inputs;
+  layer.input_shape = out;
+  layer.output_shape = out;
+  return append(std::move(layer));
+}
+
+LayerId Graph::add_flatten(std::string name, LayerId input) {
+  const Layer& src = checked_input(input);
+  Layer layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kFlatten;
+  layer.inputs = {input};
+  layer.input_shape = src.output_shape;
+  layer.output_shape = {static_cast<int>(src.output_shape.elements()), 1, 1};
+  return append(std::move(layer));
+}
+
+const Layer& Graph::layer(LayerId id) const { return checked_input(id); }
+
+std::vector<LayerId> Graph::consumers(LayerId id) const {
+  (void)checked_input(id);
+  std::vector<LayerId> out;
+  for (const Layer& layer : layers_) {
+    if (std::find(layer.inputs.begin(), layer.inputs.end(), id) !=
+        layer.inputs.end()) {
+      out.push_back(layer.id);
+    }
+  }
+  return out;
+}
+
+std::vector<LayerId> Graph::outputs() const {
+  std::vector<bool> consumed(layers_.size(), false);
+  for (const Layer& layer : layers_) {
+    for (LayerId input : layer.inputs) consumed[static_cast<std::size_t>(input)] = true;
+  }
+  std::vector<LayerId> out;
+  for (const Layer& layer : layers_) {
+    if (!consumed[static_cast<std::size_t>(layer.id)]) out.push_back(layer.id);
+  }
+  return out;
+}
+
+std::vector<LayerId> Graph::inputs() const {
+  std::vector<LayerId> out;
+  for (const Layer& layer : layers_) {
+    if (layer.kind == LayerKind::kInput) out.push_back(layer.id);
+  }
+  return out;
+}
+
+double Graph::total_params() const {
+  double total = 0.0;
+  for (const Layer& layer : layers_) total += layer.params;
+  return total;
+}
+
+double Graph::total_macs() const {
+  double total = 0.0;
+  for (const Layer& layer : layers_) total += layer.macs;
+  return total;
+}
+
+int Graph::num_convs() const {
+  int n = 0;
+  for (const Layer& layer : layers_) n += layer.kind == LayerKind::kConv ? 1 : 0;
+  return n;
+}
+
+int Graph::num_spine_layers() const {
+  int n = 0;
+  for (const Layer& layer : layers_) n += layer.is_spine() ? 1 : 0;
+  return n;
+}
+
+void Graph::validate(bool require_connected) const {
+  MARS_CHECK_ARG(!layers_.empty(), "graph '" << name_ << "' is empty");
+  MARS_CHECK_ARG(!inputs().empty(), "graph '" << name_ << "' has no input layer");
+
+  // Every non-input layer must have inputs; every input layer none.
+  for (const Layer& layer : layers_) {
+    if (layer.kind == LayerKind::kInput) {
+      MARS_CHECK(layer.inputs.empty(), "input layer with predecessors");
+    } else {
+      MARS_CHECK(!layer.inputs.empty(),
+                 "layer '" << layer.name << "' has no inputs");
+    }
+  }
+
+  if (!require_connected) return;
+
+  // Single weakly-connected component (union-find).
+  std::vector<int> parent(layers_.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (const Layer& layer : layers_) {
+    for (LayerId input : layer.inputs) {
+      parent[static_cast<std::size_t>(find(layer.id))] = find(input);
+    }
+  }
+  const int root = find(0);
+  for (const Layer& layer : layers_) {
+    MARS_CHECK(find(layer.id) == root,
+               "graph '" << name_ << "' is disconnected at layer '" << layer.name
+                         << "'");
+  }
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const Layer& layer : layers_) {
+    os << "  n" << layer.id << " [label=\"" << layer.name << "\\n"
+       << to_string(layer.kind) << ' ' << to_string(layer.output_shape) << "\"];\n";
+  }
+  for (const Layer& layer : layers_) {
+    for (LayerId input : layer.inputs) {
+      os << "  n" << input << " -> n" << layer.id << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mars::graph

@@ -1,0 +1,33 @@
+#include "mars/graph/layer.h"
+
+namespace mars::graph {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+      return "Input";
+    case LayerKind::kConv:
+      return "Conv2d";
+    case LayerKind::kLinear:
+      return "Linear";
+    case LayerKind::kMaxPool:
+      return "MaxPool";
+    case LayerKind::kAvgPool:
+      return "AvgPool";
+    case LayerKind::kGlobalAvgPool:
+      return "GlobalAvgPool";
+    case LayerKind::kBatchNorm:
+      return "BatchNorm";
+    case LayerKind::kRelu:
+      return "ReLU";
+    case LayerKind::kAdd:
+      return "Add";
+    case LayerKind::kConcat:
+      return "Concat";
+    case LayerKind::kFlatten:
+      return "Flatten";
+  }
+  return "?";
+}
+
+}  // namespace mars::graph

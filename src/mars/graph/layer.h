@@ -1,0 +1,91 @@
+// Layer definitions for the computation-graph library.
+//
+// The layer menu covers what the paper's workloads need: convolutions (the
+// mapping targets), linear layers (treated as 1x1 convolutions by the
+// mapper), poolings, batch norm, activations, and the DAG glue (Add for
+// residuals, Concat for multi-stream fusion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mars/graph/tensor.h"
+#include "mars/util/units.h"
+
+namespace mars::graph {
+
+using LayerId = int;
+inline constexpr LayerId kInvalidLayer = -1;
+
+enum class LayerKind : std::uint8_t {
+  kInput,
+  kConv,
+  kLinear,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kBatchNorm,
+  kRelu,
+  kAdd,
+  kConcat,
+  kFlatten,
+};
+
+[[nodiscard]] std::string to_string(LayerKind kind);
+
+/// True for layers the mapper schedules explicitly (conv + linear); all
+/// other layers are fused into the preceding spine node's memory traffic.
+[[nodiscard]] constexpr bool is_spine_kind(LayerKind kind) {
+  return kind == LayerKind::kConv || kind == LayerKind::kLinear;
+}
+
+struct ConvAttrs {
+  int out_channels = 0;
+  int kernel_h = 1;
+  int kernel_w = 1;
+  int stride_h = 1;
+  int stride_w = 1;
+  int pad_h = 0;
+  int pad_w = 0;
+  bool bias = true;
+
+  [[nodiscard]] static ConvAttrs square(int out_channels, int kernel, int stride = 1,
+                                        int pad = 0, bool bias = true) {
+    return ConvAttrs{out_channels, kernel, kernel, stride, stride, pad, pad, bias};
+  }
+};
+
+struct PoolAttrs {
+  int kernel = 2;
+  int stride = 2;
+  int pad = 0;
+};
+
+struct LinearAttrs {
+  int out_features = 0;
+  bool bias = true;
+};
+
+/// A node in the computation graph. Construction goes through Graph's
+/// add_* methods, which run shape inference and fill the derived fields.
+struct Layer {
+  LayerId id = kInvalidLayer;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  std::vector<LayerId> inputs;
+
+  ConvAttrs conv;      // valid when kind == kConv
+  PoolAttrs pool;      // valid when kind is a pooling
+  LinearAttrs linear;  // valid when kind == kLinear
+
+  TensorShape input_shape;   // shape of inputs[0] (post-concat for kConcat)
+  TensorShape output_shape;  // inferred
+
+  double macs = 0.0;    // multiply-accumulate operations
+  double params = 0.0;  // trainable parameter count
+
+  [[nodiscard]] bool is_spine() const { return is_spine_kind(kind); }
+};
+
+}  // namespace mars::graph

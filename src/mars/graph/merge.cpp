@@ -1,0 +1,72 @@
+#include "mars/graph/merge.h"
+
+#include "mars/util/error.h"
+
+namespace mars::graph {
+
+Graph merge_models(const std::string& name,
+                   const std::vector<const Graph*>& models) {
+  MARS_CHECK_ARG(!models.empty(), "merge_models needs at least one model");
+  for (const Graph* model : models) {
+    MARS_CHECK_ARG(model != nullptr, "merge_models: null model");
+    MARS_CHECK_ARG(model->dtype() == models.front()->dtype(),
+                   "merge_models: element types differ");
+  }
+
+  Graph merged(name, models.front()->dtype());
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const Graph& source = *models[m];
+    const std::string prefix = "m" + std::to_string(m) + ".";
+    std::vector<LayerId> remap(static_cast<std::size_t>(source.size()),
+                               kInvalidLayer);
+    for (const Layer& layer : source.layers()) {
+      std::vector<LayerId> inputs;
+      inputs.reserve(layer.inputs.size());
+      for (LayerId input : layer.inputs) {
+        inputs.push_back(remap[static_cast<std::size_t>(input)]);
+      }
+      const std::string layer_name = prefix + layer.name;
+      LayerId id = kInvalidLayer;
+      switch (layer.kind) {
+        case LayerKind::kInput:
+          id = merged.add_input(layer.output_shape, layer_name);
+          break;
+        case LayerKind::kConv:
+          id = merged.add_conv(layer_name, inputs.front(), layer.conv);
+          break;
+        case LayerKind::kLinear:
+          id = merged.add_linear(layer_name, inputs.front(), layer.linear);
+          break;
+        case LayerKind::kMaxPool:
+          id = merged.add_max_pool(layer_name, inputs.front(), layer.pool);
+          break;
+        case LayerKind::kAvgPool:
+          id = merged.add_avg_pool(layer_name, inputs.front(), layer.pool);
+          break;
+        case LayerKind::kGlobalAvgPool:
+          id = merged.add_global_avg_pool(layer_name, inputs.front());
+          break;
+        case LayerKind::kBatchNorm:
+          id = merged.add_batch_norm(layer_name, inputs.front());
+          break;
+        case LayerKind::kRelu:
+          id = merged.add_relu(layer_name, inputs.front());
+          break;
+        case LayerKind::kAdd:
+          id = merged.add_add(layer_name, inputs[0], inputs[1]);
+          break;
+        case LayerKind::kConcat:
+          id = merged.add_concat(layer_name, inputs);
+          break;
+        case LayerKind::kFlatten:
+          id = merged.add_flatten(layer_name, inputs.front());
+          break;
+      }
+      remap[static_cast<std::size_t>(layer.id)] = id;
+    }
+  }
+  merged.validate(/*require_connected=*/false);
+  return merged;
+}
+
+}  // namespace mars::graph

@@ -1,0 +1,23 @@
+// Multi-DNN workloads: merge several models into one mappable graph.
+//
+// Herald (the system the paper's baseline extends) targets multi-DNN
+// serving; MARS handles the same scenario by mapping the union graph —
+// independent models become independent branches of one DAG, so the
+// first level can give each model its own accelerator set (and the
+// DAG-aware evaluator overlaps them), or co-locate them when that wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/graph/graph.h"
+
+namespace mars::graph {
+
+/// Concatenates the layer lists of `models` into one graph named `name`
+/// (layer names prefixed "m<i>." to stay unique). All models must share
+/// the same element type. The result has one input/output per model.
+[[nodiscard]] Graph merge_models(const std::string& name,
+                                 const std::vector<const Graph*>& models);
+
+}  // namespace mars::graph

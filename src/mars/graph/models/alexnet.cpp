@@ -1,0 +1,34 @@
+#include "mars/graph/models/models.h"
+
+namespace mars::graph::models {
+
+Graph alexnet(int image, DataType dtype) {
+  Graph g("alexnet", dtype);
+  LayerId x = g.add_input({3, image, image});
+
+  x = g.add_conv("conv1", x, ConvAttrs::square(64, 11, 4, 2));
+  x = g.add_relu("relu1", x);
+  x = g.add_max_pool("pool1", x, {3, 2, 0});
+
+  x = g.add_conv("conv2", x, ConvAttrs::square(192, 5, 1, 2));
+  x = g.add_relu("relu2", x);
+  x = g.add_max_pool("pool2", x, {3, 2, 0});
+
+  x = g.add_conv("conv3", x, ConvAttrs::square(384, 3, 1, 1));
+  x = g.add_relu("relu3", x);
+  x = g.add_conv("conv4", x, ConvAttrs::square(256, 3, 1, 1));
+  x = g.add_relu("relu4", x);
+  x = g.add_conv("conv5", x, ConvAttrs::square(256, 3, 1, 1));
+  x = g.add_relu("relu5", x);
+  x = g.add_max_pool("pool5", x, {3, 2, 0});
+
+  x = g.add_flatten("flatten", x);
+  x = g.add_linear("fc6", x, {4096, true});
+  x = g.add_relu("relu6", x);
+  x = g.add_linear("fc7", x, {4096, true});
+  x = g.add_relu("relu7", x);
+  x = g.add_linear("fc8", x, {1000, true});
+  return g;
+}
+
+}  // namespace mars::graph::models

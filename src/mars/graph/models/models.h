@@ -1,0 +1,67 @@
+// Model zoo: the workloads evaluated in the paper.
+//
+// Table III: AlexNet, VGG16, ResNet34, ResNet101, WRN-50-2.
+// Table IV: CASIA-SURF and FaceBagNet-style multi-stream heterogeneous
+// models (structure from the cited papers; weights/datasets are
+// proprietary, but a mapping study needs only layer shapes).
+//
+// Parameter and MAC counts match the published torchvision models within
+// ~2% (verified by tests against the paper's Table III columns).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mars/graph/graph.h"
+
+namespace mars::graph::models {
+
+/// Torchvision-style AlexNet (5 convs + 3 FC, 61.1M params, ~714M MACs).
+[[nodiscard]] Graph alexnet(int image = 224, DataType dtype = DataType::kFix16);
+
+/// VGG configuration A/B/D/E (VGG-11/13/16/19), no batch norm by default.
+[[nodiscard]] Graph vgg(int depth, int image = 224, bool batch_norm = false,
+                        DataType dtype = DataType::kFix16);
+[[nodiscard]] inline Graph vgg16(int image = 224,
+                                 DataType dtype = DataType::kFix16) {
+  return vgg(16, image, /*batch_norm=*/false, dtype);
+}
+
+/// ResNet-18/34 (basic blocks) and ResNet-50/101/152 (bottlenecks);
+/// `width_factor` = 2 gives the WideResNet variants (WRN-50-2).
+[[nodiscard]] Graph resnet(int depth, int image = 224, int width_factor = 1,
+                           DataType dtype = DataType::kFix16);
+[[nodiscard]] inline Graph resnet34(int image = 224,
+                                    DataType dtype = DataType::kFix16) {
+  return resnet(34, image, 1, dtype);
+}
+[[nodiscard]] inline Graph resnet101(int image = 224,
+                                     DataType dtype = DataType::kFix16) {
+  return resnet(101, image, 1, dtype);
+}
+[[nodiscard]] inline Graph wide_resnet50_2(int image = 224,
+                                           DataType dtype = DataType::kFix16) {
+  return resnet(50, image, 2, dtype);
+}
+
+/// CASIA-SURF-style fusion network: three modality streams (RGB, depth, IR),
+/// each a ResNet-18 stem + res1 + res2, fused by concatenation and a 1x1
+/// reduction, then shared res3 + res4 and a classifier.
+[[nodiscard]] Graph casia_surf(int image = 224, DataType dtype = DataType::kFix16);
+
+/// FaceBagNet-style patch-based multi-stream model: three modality
+/// sub-networks on face patches, feature-level concat fusion and a shared
+/// tail.
+[[nodiscard]] Graph facebagnet(int patch = 96, DataType dtype = DataType::kFix16);
+
+/// Name-indexed factory ("alexnet", "vgg16", "resnet34", "resnet101",
+/// "wrn50_2", "casia_surf", "facebagnet", ...). Throws InvalidArgument for
+/// unknown names.
+[[nodiscard]] Graph by_name(const std::string& name,
+                            DataType dtype = DataType::kFix16);
+
+/// All model names the factory accepts.
+[[nodiscard]] std::vector<std::string> zoo_names();
+
+}  // namespace mars::graph::models

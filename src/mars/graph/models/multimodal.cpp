@@ -1,0 +1,110 @@
+#include "mars/graph/models/models.h"
+
+#include "mars/util/error.h"
+
+namespace mars::graph::models {
+namespace {
+
+// ResNet-18 style basic block reused by both multi-modal models.
+LayerId mm_basic_block(Graph& g, const std::string& prefix, LayerId x, int planes,
+                       int stride) {
+  LayerId shortcut = x;
+  LayerId y =
+      g.add_conv(prefix + ".conv1", x, ConvAttrs::square(planes, 3, stride, 1, false));
+  y = g.add_batch_norm(prefix + ".bn1", y);
+  y = g.add_relu(prefix + ".relu1", y);
+  y = g.add_conv(prefix + ".conv2", y, ConvAttrs::square(planes, 3, 1, 1, false));
+  y = g.add_batch_norm(prefix + ".bn2", y);
+  if (stride != 1 || g.layer(x).output_shape.c != planes) {
+    shortcut = g.add_conv(prefix + ".downsample", x,
+                          ConvAttrs::square(planes, 1, stride, 0, false));
+    shortcut = g.add_batch_norm(prefix + ".downsample_bn", shortcut);
+  }
+  y = g.add_add(prefix + ".add", y, shortcut);
+  return g.add_relu(prefix + ".relu2", y);
+}
+
+LayerId mm_stage(Graph& g, const std::string& prefix, LayerId x, int planes,
+                 int blocks, int stride0) {
+  for (int b = 0; b < blocks; ++b) {
+    x = mm_basic_block(g, prefix + "." + std::to_string(b), x, planes,
+                       b == 0 ? stride0 : 1);
+  }
+  return x;
+}
+
+}  // namespace
+
+Graph casia_surf(int image, DataType dtype) {
+  // Three modality streams (RGB / depth / IR), each a ResNet-18 front half;
+  // halfway fusion by channel concat + 1x1 reduction; shared back half.
+  // Structure follows the CASIA-SURF baseline network (Zhang et al.,
+  // IEEE TBIOM 2020); exact channel counts from the ResNet-18 backbone.
+  Graph g("casia_surf", dtype);
+
+  static constexpr const char* kStreams[3] = {"rgb", "depth", "ir"};
+  std::vector<LayerId> features;
+  for (const char* stream : kStreams) {
+    const std::string p = stream;
+    LayerId x = g.add_input({3, image, image}, p + ".input");
+    x = g.add_conv(p + ".conv1", x, ConvAttrs::square(64, 7, 2, 3, false));
+    x = g.add_batch_norm(p + ".bn1", x);
+    x = g.add_relu(p + ".relu1", x);
+    x = g.add_max_pool(p + ".maxpool", x, {3, 2, 1});
+    x = mm_stage(g, p + ".layer1", x, 64, 2, 1);
+    x = mm_stage(g, p + ".layer2", x, 128, 2, 2);
+    features.push_back(x);
+  }
+
+  LayerId fused = g.add_concat("fusion.concat", features);
+  fused = g.add_conv("fusion.reduce", fused, ConvAttrs::square(128, 1, 1, 0, false));
+  fused = g.add_batch_norm("fusion.bn", fused);
+  fused = g.add_relu("fusion.relu", fused);
+
+  LayerId x = mm_stage(g, "shared.layer3", fused, 256, 2, 2);
+  x = mm_stage(g, "shared.layer4", x, 512, 2, 2);
+  x = g.add_global_avg_pool("avgpool", x);
+  x = g.add_flatten("flatten", x);
+  g.add_linear("fc", x, {2, true});
+  return g;
+}
+
+Graph facebagnet(int patch, DataType dtype) {
+  // FaceBagNet (Shen et al., CVPR-W 2019): patch-level multi-stream CNN.
+  // Each modality sub-network is a shallow ResNet on a face patch; fusion
+  // is feature-level concat followed by a shared convolutional tail. The
+  // patch input keeps spatial resolution high relative to channel width,
+  // which stresses the mapper differently from full-image models.
+  Graph g("facebagnet", dtype);
+
+  static constexpr const char* kStreams[3] = {"color", "depth", "ir"};
+  std::vector<LayerId> features;
+  for (const char* stream : kStreams) {
+    const std::string p = stream;
+    LayerId x = g.add_input({3, patch, patch}, p + ".input");
+    x = g.add_conv(p + ".conv1", x, ConvAttrs::square(32, 3, 1, 1, false));
+    x = g.add_batch_norm(p + ".bn1", x);
+    x = g.add_relu(p + ".relu1", x);
+    x = g.add_conv(p + ".conv2", x, ConvAttrs::square(64, 3, 1, 1, false));
+    x = g.add_batch_norm(p + ".bn2", x);
+    x = g.add_relu(p + ".relu2", x);
+    x = g.add_max_pool(p + ".pool", x, {2, 2, 0});
+    x = mm_stage(g, p + ".res1", x, 64, 2, 1);
+    x = mm_stage(g, p + ".res2", x, 128, 2, 2);
+    features.push_back(x);
+  }
+
+  LayerId fused = g.add_concat("fusion.concat", features);
+  fused = g.add_conv("fusion.conv", fused, ConvAttrs::square(256, 1, 1, 0, false));
+  fused = g.add_batch_norm("fusion.bn", fused);
+  fused = g.add_relu("fusion.relu", fused);
+
+  LayerId x = mm_stage(g, "shared.res3", fused, 256, 2, 2);
+  x = mm_stage(g, "shared.res4", x, 512, 2, 2);
+  x = g.add_global_avg_pool("avgpool", x);
+  x = g.add_flatten("flatten", x);
+  g.add_linear("fc", x, {2, true});
+  return g;
+}
+
+}  // namespace mars::graph::models

@@ -1,0 +1,111 @@
+#include "mars/graph/models/models.h"
+
+#include "mars/util/error.h"
+
+namespace mars::graph::models {
+namespace {
+
+struct StageSpec {
+  std::vector<int> blocks;  // blocks per stage
+  bool bottleneck = false;
+};
+
+StageSpec resnet_spec(int depth) {
+  switch (depth) {
+    case 18:
+      return {{2, 2, 2, 2}, false};
+    case 34:
+      return {{3, 4, 6, 3}, false};
+    case 50:
+      return {{3, 4, 6, 3}, true};
+    case 101:
+      return {{3, 4, 23, 3}, true};
+    case 152:
+      return {{3, 8, 36, 3}, true};
+    default:
+      MARS_THROW("unsupported ResNet depth " << depth << " (18/34/50/101/152)");
+  }
+}
+
+constexpr int kExpansion = 4;  // bottleneck output expansion
+
+// A basic residual block: 3x3 conv, 3x3 conv, identity/projection shortcut.
+LayerId basic_block(Graph& g, const std::string& prefix, LayerId x, int planes,
+                    int stride) {
+  LayerId shortcut = x;
+  LayerId y = g.add_conv(prefix + ".conv1", x, ConvAttrs::square(planes, 3, stride, 1, false));
+  y = g.add_batch_norm(prefix + ".bn1", y);
+  y = g.add_relu(prefix + ".relu1", y);
+  y = g.add_conv(prefix + ".conv2", y, ConvAttrs::square(planes, 3, 1, 1, false));
+  y = g.add_batch_norm(prefix + ".bn2", y);
+  if (stride != 1 || g.layer(x).output_shape.c != planes) {
+    shortcut = g.add_conv(prefix + ".downsample", x,
+                          ConvAttrs::square(planes, 1, stride, 0, false));
+    shortcut = g.add_batch_norm(prefix + ".downsample_bn", shortcut);
+  }
+  y = g.add_add(prefix + ".add", y, shortcut);
+  return g.add_relu(prefix + ".relu2", y);
+}
+
+// A bottleneck block: 1x1 reduce (width), 3x3, 1x1 expand (planes *
+// kExpansion). `width` already includes the WideResNet width factor.
+LayerId bottleneck_block(Graph& g, const std::string& prefix, LayerId x, int width,
+                         int out_channels, int stride) {
+  LayerId shortcut = x;
+  LayerId y = g.add_conv(prefix + ".conv1", x, ConvAttrs::square(width, 1, 1, 0, false));
+  y = g.add_batch_norm(prefix + ".bn1", y);
+  y = g.add_relu(prefix + ".relu1", y);
+  y = g.add_conv(prefix + ".conv2", y, ConvAttrs::square(width, 3, stride, 1, false));
+  y = g.add_batch_norm(prefix + ".bn2", y);
+  y = g.add_relu(prefix + ".relu2", y);
+  y = g.add_conv(prefix + ".conv3", y, ConvAttrs::square(out_channels, 1, 1, 0, false));
+  y = g.add_batch_norm(prefix + ".bn3", y);
+  if (stride != 1 || g.layer(x).output_shape.c != out_channels) {
+    shortcut = g.add_conv(prefix + ".downsample", x,
+                          ConvAttrs::square(out_channels, 1, stride, 0, false));
+    shortcut = g.add_batch_norm(prefix + ".downsample_bn", shortcut);
+  }
+  y = g.add_add(prefix + ".add", y, shortcut);
+  return g.add_relu(prefix + ".relu3", y);
+}
+
+}  // namespace
+
+Graph resnet(int depth, int image, int width_factor, DataType dtype) {
+  MARS_CHECK_ARG(width_factor >= 1, "width_factor must be >= 1");
+  const StageSpec spec = resnet_spec(depth);
+
+  std::string name = (width_factor > 1 ? "wrn" : "resnet") + std::to_string(depth);
+  if (width_factor > 1) name += "_" + std::to_string(width_factor);
+  Graph g(std::move(name), dtype);
+
+  LayerId x = g.add_input({3, image, image});
+  x = g.add_conv("conv1", x, ConvAttrs::square(64, 7, 2, 3, false));
+  x = g.add_batch_norm("bn1", x);
+  x = g.add_relu("relu1", x);
+  x = g.add_max_pool("maxpool", x, {3, 2, 1});
+
+  static constexpr int kPlanes[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const int stride0 = stage == 0 ? 1 : 2;
+    for (int block = 0; block < spec.blocks[static_cast<std::size_t>(stage)];
+         ++block) {
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      const int stride = block == 0 ? stride0 : 1;
+      if (spec.bottleneck) {
+        x = bottleneck_block(g, prefix, x, kPlanes[stage] * width_factor,
+                             kPlanes[stage] * kExpansion, stride);
+      } else {
+        x = basic_block(g, prefix, x, kPlanes[stage] * width_factor, stride);
+      }
+    }
+  }
+
+  x = g.add_global_avg_pool("avgpool", x);
+  x = g.add_flatten("flatten", x);
+  g.add_linear("fc", x, {1000, true});
+  return g;
+}
+
+}  // namespace mars::graph::models

@@ -1,0 +1,61 @@
+#include "mars/graph/models/models.h"
+
+#include "mars/util/error.h"
+
+namespace mars::graph::models {
+namespace {
+
+// Torchvision configuration strings; -1 encodes a max-pool ("M").
+const std::vector<int>& vgg_config(int depth) {
+  static const std::vector<int> kA = {64, -1, 128, -1, 256, 256, -1,
+                                      512, 512, -1, 512, 512, -1};
+  static const std::vector<int> kB = {64, 64, -1, 128, 128, -1, 256, 256, -1,
+                                      512, 512, -1, 512, 512, -1};
+  static const std::vector<int> kD = {64, 64, -1, 128, 128, -1, 256, 256, 256,
+                                      -1, 512, 512, 512, -1, 512, 512, 512, -1};
+  static const std::vector<int> kE = {64,  64,  -1, 128, 128, -1, 256, 256,
+                                      256, 256, -1, 512, 512, 512, 512, -1,
+                                      512, 512, 512, 512, -1};
+  switch (depth) {
+    case 11:
+      return kA;
+    case 13:
+      return kB;
+    case 16:
+      return kD;
+    case 19:
+      return kE;
+    default:
+      MARS_THROW("unsupported VGG depth " << depth << " (11/13/16/19)");
+  }
+}
+
+}  // namespace
+
+Graph vgg(int depth, int image, bool batch_norm, DataType dtype) {
+  Graph g("vgg" + std::to_string(depth) + (batch_norm ? "_bn" : ""), dtype);
+  LayerId x = g.add_input({3, image, image});
+
+  int conv_index = 0;
+  int pool_index = 0;
+  for (int entry : vgg_config(depth)) {
+    if (entry == -1) {
+      x = g.add_max_pool("pool" + std::to_string(++pool_index), x, {2, 2, 0});
+      continue;
+    }
+    const std::string suffix = std::to_string(++conv_index);
+    x = g.add_conv("conv" + suffix, x, ConvAttrs::square(entry, 3, 1, 1));
+    if (batch_norm) x = g.add_batch_norm("bn" + suffix, x);
+    x = g.add_relu("relu" + suffix, x);
+  }
+
+  x = g.add_flatten("flatten", x);
+  x = g.add_linear("fc1", x, {4096, true});
+  x = g.add_relu("relu_fc1", x);
+  x = g.add_linear("fc2", x, {4096, true});
+  x = g.add_relu("relu_fc2", x);
+  x = g.add_linear("fc3", x, {1000, true});
+  return g;
+}
+
+}  // namespace mars::graph::models

@@ -1,0 +1,36 @@
+// Text-format model descriptions: build computation graphs without C++.
+//
+// Line-based format, one layer per line:
+//
+//   # comment (and blank lines) ignored
+//   model  <name> [fix16|int8|float32]
+//   input  <name> <C> <H> <W>
+//   conv   <name> <input> <Cout> k<K> [s<S>] [p<P>] [nobias]
+//   linear <name> <input> <features> [nobias]
+//   maxpool <name> <input> k<K> [s<S>] [p<P>]
+//   avgpool <name> <input> k<K> [s<S>] [p<P>]
+//   gap    <name> <input>
+//   bn     <name> <input>
+//   relu   <name> <input>
+//   flatten <name> <input>
+//   add    <name> <lhs> <rhs>
+//   concat <name> <input> <input> [...]
+//
+// Names are unique identifiers; layers reference inputs by name, so
+// branches and residuals are natural. Throws InvalidArgument with the
+// offending line number on malformed input.
+#pragma once
+
+#include <string>
+
+#include "mars/graph/graph.h"
+
+namespace mars::graph {
+
+/// Parses a model description from text.
+[[nodiscard]] Graph parse_model(const std::string& text);
+
+/// Convenience: reads `path` and parses it.
+[[nodiscard]] Graph parse_model_file(const std::string& path);
+
+}  // namespace mars::graph

@@ -1,0 +1,29 @@
+#include "mars/graph/tensor.h"
+
+#include <sstream>
+
+namespace mars::graph {
+
+std::string to_string(DataType dtype) {
+  switch (dtype) {
+    case DataType::kInt8:
+      return "int8";
+    case DataType::kFix16:
+      return "fix16";
+    case DataType::kFloat32:
+      return "float32";
+  }
+  return "?";
+}
+
+std::string to_string(const TensorShape& shape) {
+  std::ostringstream os;
+  os << shape.c << 'x' << shape.h << 'x' << shape.w;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TensorShape& shape) {
+  return os << to_string(shape);
+}
+
+}  // namespace mars::graph

@@ -1,0 +1,46 @@
+// Tensor shapes and element types for DNN computation graphs.
+//
+// MARS maps single-inference workloads (batch = 1), so activations are
+// C x H x W. Weight tensors are described by the owning layer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "mars/util/units.h"
+
+namespace mars::graph {
+
+/// On-accelerator element type. FPGA CNN accelerators in the paper's design
+/// menu operate on 16-bit fixed point; fp32 is available for sensitivity
+/// studies.
+enum class DataType : std::uint8_t { kInt8 = 1, kFix16 = 2, kFloat32 = 4 };
+
+[[nodiscard]] constexpr int bytes_per_element(DataType dtype) {
+  return static_cast<int>(dtype);
+}
+
+[[nodiscard]] std::string to_string(DataType dtype);
+
+/// Activation shape (channels x height x width), batch implicit = 1.
+struct TensorShape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  [[nodiscard]] constexpr std::int64_t elements() const {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  [[nodiscard]] constexpr Bytes bytes(DataType dtype) const {
+    return Bytes(static_cast<double>(elements()) * bytes_per_element(dtype));
+  }
+  [[nodiscard]] constexpr bool valid() const { return c > 0 && h > 0 && w > 0; }
+
+  friend constexpr bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+[[nodiscard]] std::string to_string(const TensorShape& shape);
+std::ostream& operator<<(std::ostream& os, const TensorShape& shape);
+
+}  // namespace mars::graph

@@ -1,0 +1,60 @@
+#include "mars/parallel/comm_pattern.h"
+
+#include <algorithm>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+
+ReshardCost reshard_cost(const ActivationSharding& produced,
+                         const graph::ConvShape& consumer,
+                         const ActivationSharding& required, Bytes consumer_in,
+                         int p, graph::DataType dtype) {
+  MARS_CHECK_ARG(p >= 1, "set size must be positive");
+  ReshardCost cost;
+  if (p == 1) return cost;
+
+  // Coverage along one dim: aligned identical splits are free; otherwise
+  // the accelerator holds 1/owned_ways of the dim and the needed slice is
+  // assumed uniformly spread.
+  auto coverage = [](int produced_ways, int required_ways) {
+    if (produced_ways == required_ways) return 1.0;
+    return 1.0 / static_cast<double>(produced_ways);
+  };
+  const double c = coverage(produced.c_ways, required.c_ways) *
+                   coverage(produced.h_ways, required.h_ways) *
+                   coverage(produced.w_ways, required.w_ways);
+
+  const Bytes need_per_acc = consumer_in * required.fraction();
+  cost.moved = need_per_acc * (1.0 - c) * static_cast<double>(p);
+
+  // Kernel halos: aligned spatial splits still exchange boundary rows and
+  // columns with both neighbours (overlap = kernel - stride, when positive).
+  const int bpe = graph::bytes_per_element(dtype);
+  if (required.h_ways > 1 && produced.h_ways == required.h_ways) {
+    const int overlap = std::max(0, consumer.kh - consumer.stride_h);
+    const double row_bytes = static_cast<double>(consumer.cin) /
+                             required.c_ways * consumer.iw() / required.w_ways *
+                             bpe;
+    cost.halo += Bytes(2.0 * (required.h_ways - 1) * overlap * row_bytes);
+  }
+  if (required.w_ways > 1 && produced.w_ways == required.w_ways) {
+    const int overlap = std::max(0, consumer.kw - consumer.stride_w);
+    const double col_bytes = static_cast<double>(consumer.cin) /
+                             required.c_ways * consumer.ih() / required.h_ways *
+                             bpe;
+    cost.halo += Bytes(2.0 * (required.w_ways - 1) * overlap * col_bytes);
+  }
+  cost.moved += cost.halo;
+  return cost;
+}
+
+Bytes allreduce_wire_bytes(Bytes payload, int r) {
+  MARS_CHECK_ARG(r >= 1, "All-Reduce group must be positive");
+  if (r == 1) return Bytes(0.0);
+  return payload * (2.0 * (r - 1) / r);
+}
+
+int allreduce_hops(int r) { return r <= 1 ? 0 : 2 * (r - 1); }
+
+}  // namespace mars::parallel

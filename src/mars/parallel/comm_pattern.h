@@ -1,0 +1,43 @@
+// Communication-volume derivation between and within layers.
+//
+// Resharding: when layer t produces its output under one sharding and
+// layer t+1 requires its input under another, each accelerator must fetch
+// the part of its input shard it does not already hold. We price this with
+// an alignment model: along each activation dim, an identical split
+// contributes full coverage (only kernel halos move); a mismatched split
+// contributes the producer's owned fraction (uniform-alignment
+// approximation, documented in DESIGN.md).
+#pragma once
+
+#include "mars/parallel/sharding.h"
+
+namespace mars::parallel {
+
+struct ReshardCost {
+  /// Total bytes that must traverse intra-set links (all accelerators).
+  Bytes moved{};
+  /// Of which: halo rows/columns for aligned spatial splits.
+  Bytes halo{};
+};
+
+/// Volume to redistribute between a producer layout and a consumer layer.
+///
+/// `produced`      sharding of the upstream activation (C = its Cout),
+/// `consumer`      shape of the consuming layer (halo geometry),
+/// `required`      the consumer's input sharding,
+/// `consumer_in`   full input bytes of the consuming layer,
+/// `p`             accelerator-set size.
+[[nodiscard]] ReshardCost reshard_cost(const ActivationSharding& produced,
+                                       const graph::ConvShape& consumer,
+                                       const ActivationSharding& required,
+                                       Bytes consumer_in, int p,
+                                       graph::DataType dtype);
+
+/// Ring All-Reduce volume per participating accelerator for `bytes` of
+/// payload in a group of `r`: the classic 2*(r-1)/r factor.
+[[nodiscard]] Bytes allreduce_wire_bytes(Bytes payload, int r);
+
+/// Hops (phase boundaries) a ring All-Reduce of group `r` performs.
+[[nodiscard]] int allreduce_hops(int r);
+
+}  // namespace mars::parallel

@@ -1,0 +1,27 @@
+#include "mars/parallel/memory.h"
+
+#include <algorithm>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+
+MemoryFootprint footprint(const graph::ConvSpine& spine, int begin, int end,
+                          const std::vector<ShardingPlan>& plans) {
+  MARS_CHECK_ARG(0 <= begin && begin < end && end <= spine.size(),
+                 "layer range [" << begin << ", " << end << ") out of bounds");
+  MARS_CHECK_ARG(plans.size() == static_cast<std::size_t>(end - begin),
+                 "one plan per layer required");
+
+  MemoryFootprint fp;
+  for (int layer = begin; layer < end; ++layer) {
+    const ShardingPlan& plan = plans[static_cast<std::size_t>(layer - begin)];
+    fp.weights += plan.weight_resident;
+    const Bytes live = plan.input_live + plan.output_live +
+                       spine.spanning_bytes(layer);
+    fp.peak_activation = std::max(fp.peak_activation, live);
+  }
+  return fp;
+}
+
+}  // namespace mars::parallel

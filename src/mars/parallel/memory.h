@@ -1,0 +1,31 @@
+// Off-chip DRAM footprint validation (the paper's strategy-validity rule:
+// partitioned tensors must fit the accelerator set's DRAM).
+#pragma once
+
+#include <vector>
+
+#include "mars/graph/spine.h"
+#include "mars/parallel/sharding.h"
+
+namespace mars::parallel {
+
+struct MemoryFootprint {
+  /// Weights resident for the whole layer range (pre-loaded once).
+  Bytes weights{};
+  /// Worst-case live activations: a layer's input + output shards, its
+  /// rotation buffers, plus residual tensors spanning the layer.
+  Bytes peak_activation{};
+
+  [[nodiscard]] Bytes total() const { return weights + peak_activation; }
+  [[nodiscard]] bool fits(Bytes dram) const { return total() <= dram; }
+};
+
+/// Footprint of executing spine layers [begin, end) with the given plans
+/// (plans[i] belongs to spine layer begin + i) on each member accelerator.
+/// Residual tensors that span a layer are charged unsharded (conservative:
+/// their producer's layout is not tracked across sets).
+[[nodiscard]] MemoryFootprint footprint(const graph::ConvSpine& spine, int begin,
+                                        int end,
+                                        const std::vector<ShardingPlan>& plans);
+
+}  // namespace mars::parallel

@@ -1,0 +1,114 @@
+#include "mars/parallel/sharding.h"
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+namespace {
+
+int ceil_split(int extent, int ways) { return (extent + ways - 1) / ways; }
+
+}  // namespace
+
+ShardingPlan make_plan(const graph::ConvShape& shape, graph::DataType dtype,
+                       const Strategy& strategy, int p) {
+  MARS_CHECK_ARG(p >= 1, "set size must be positive");
+  MARS_CHECK_ARG(strategy.fits(shape, p),
+                 "strategy " << strategy.to_string() << " does not fit "
+                             << graph::to_string(shape) << " on " << p
+                             << " accelerators");
+
+  ShardingPlan plan;
+  plan.p = p;
+
+  // Per-accelerator, per-phase loop bounds: ES dims divide by their ways,
+  // the SS dim divides by p (one shard per phase).
+  graph::ConvShape local = shape;
+  auto bound = [&](Dim dim) {
+    int extent = dim_extent(shape, dim);
+    int ways = strategy.ways_of(dim);
+    if (strategy.ss() == dim) ways = p;
+    return ceil_split(extent, ways);
+  };
+  local.cout = bound(Dim::kCout);
+  local.cin = bound(Dim::kCin);
+  local.oh = bound(Dim::kH);
+  local.ow = bound(Dim::kW);
+  local.kh = bound(Dim::kKh);
+  local.kw = bound(Dim::kKw);
+  plan.local = local;
+
+  plan.phases = strategy.has_ss() ? p : 1;
+
+  const Bytes weight = shape.weight_bytes(dtype);
+  const Bytes input = shape.in_bytes(dtype);
+  const Bytes output = shape.out_bytes(dtype);
+  const double es_w = strategy.es_ways_in_weight();
+  const double es_in = strategy.es_ways_in_input();
+  const double es_out = strategy.es_ways_in_output();
+
+  if (strategy.has_ss()) {
+    const Dim ss = *strategy.ss();
+    plan.rotate_input = (ss == Dim::kH || ss == Dim::kW);
+    if (plan.rotate_input) {
+      plan.ring_hop_bytes = input / (es_in * p);
+    } else {
+      plan.ring_hop_bytes = weight / (es_w * p);
+    }
+  }
+
+  // All-Reduce: reduction dims sharded exclusively leave partial sums in
+  // subgroups of size r; SS reduction dims accumulate locally instead.
+  plan.allreduce_group = strategy.reduction_ways();
+  if (plan.allreduce_group > 1) {
+    plan.allreduce_bytes = output / es_out;
+  }
+
+  // DRAM residency per accelerator.
+  double weight_frac = 1.0 / es_w;
+  if (strategy.has_ss() && !plan.rotate_input) {
+    weight_frac = 2.0 / (es_w * p);  // rotating shard, double buffered
+  }
+  plan.weight_resident = weight * weight_frac;
+
+  double input_frac = 1.0 / es_in;
+  if (strategy.has_ss()) {
+    const Dim ss = *strategy.ss();
+    if (plan.rotate_input) {
+      input_frac = 2.0 / (es_in * p);  // rotating input shard
+    } else if (ss == Dim::kCin) {
+      // Weights rotate through Cin; the input stays full along Cin.
+      input_frac = 1.0 / es_in;
+    }
+  }
+  plan.input_live = input * input_frac;
+  plan.output_live = output / es_out;  // SS dims accumulate to full extent
+
+  // Static shardings for resharding.
+  plan.produced.c_ways = strategy.ways_of(Dim::kCout);
+  plan.produced.h_ways = strategy.ways_of(Dim::kH);
+  plan.produced.w_ways = strategy.ways_of(Dim::kW);
+
+  plan.required.c_ways = strategy.ways_of(Dim::kCin);
+  plan.required.h_ways = strategy.ways_of(Dim::kH);
+  plan.required.w_ways = strategy.ways_of(Dim::kW);
+  if (strategy.has_ss()) {
+    // The SS dim's input-side shards start p-way distributed; the ring
+    // delivers the rest during execution.
+    switch (*strategy.ss()) {
+      case Dim::kCin:
+        plan.required.c_ways = p;
+        break;
+      case Dim::kH:
+        plan.required.h_ways = p;
+        break;
+      case Dim::kW:
+        plan.required.w_ways = p;
+        break;
+      default:
+        break;  // Cout/Kh/Kw SS does not change the input-side layout
+    }
+  }
+  return plan;
+}
+
+}  // namespace mars::parallel

@@ -1,0 +1,66 @@
+// Shard math: what one strategy means for one layer on p accelerators.
+//
+// A ShardingPlan captures everything the cost models need: per-accelerator
+// per-phase loop bounds, ring-rotation traffic, All-Reduce requirements,
+// resident memory, and the produced/required activation shardings used to
+// price resharding between consecutive layers.
+#pragma once
+
+#include "mars/graph/spine.h"
+#include "mars/parallel/strategy.h"
+#include "mars/util/units.h"
+
+namespace mars::parallel {
+
+/// How an activation tensor (C x H x W) is statically sharded across a set.
+/// ways == 1 means the dim is unsharded (every accelerator sees all of it).
+struct ActivationSharding {
+  int c_ways = 1;
+  int h_ways = 1;
+  int w_ways = 1;
+
+  [[nodiscard]] double fraction() const {
+    return 1.0 / (static_cast<double>(c_ways) * h_ways * w_ways);
+  }
+  friend bool operator==(const ActivationSharding&,
+                         const ActivationSharding&) = default;
+};
+
+struct ShardingPlan {
+  int p = 1;                // accelerator-set size
+  graph::ConvShape local;   // per-accelerator, per-phase loop bounds
+  int phases = 1;           // p when SS is used, otherwise 1
+
+  // Ring rotation (SS): bytes each accelerator forwards at each phase
+  // boundary; `rotate_input` says whether the rotating tensor is the input
+  // feature map (SS on H/W) or the weights (SS on Cout/Cin/Kh/Kw).
+  Bytes ring_hop_bytes{};
+  bool rotate_input = false;
+
+  // All-Reduce of partial sums (reduction dims in ES): subgroup size and
+  // the per-subgroup output volume to reduce.
+  int allreduce_group = 1;
+  Bytes allreduce_bytes{};
+
+  // Per-accelerator DRAM residency.
+  Bytes weight_resident{};  // includes 2x buffering of a rotating shard
+  Bytes input_live{};
+  Bytes output_live{};
+
+  // Static shardings seen by the neighbouring layers.
+  ActivationSharding produced;  // of this layer's output (C = Cout)
+  ActivationSharding required;  // of this layer's input  (C = Cin)
+
+  /// Compute cycles summed over phases, using `design_cycles_per_phase`
+  /// (what an accelerator design reports for `local`).
+  [[nodiscard]] double total_compute_cycles(double design_cycles_per_phase) const {
+    return design_cycles_per_phase * phases;
+  }
+};
+
+/// Builds the plan. `strategy.fits(shape, p)` must hold.
+[[nodiscard]] ShardingPlan make_plan(const graph::ConvShape& shape,
+                                     graph::DataType dtype,
+                                     const Strategy& strategy, int p);
+
+}  // namespace mars::parallel

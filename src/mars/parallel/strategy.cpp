@@ -1,0 +1,198 @@
+#include "mars/parallel/strategy.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+
+std::string to_string(Dim dim) {
+  switch (dim) {
+    case Dim::kCout:
+      return "Cout";
+    case Dim::kCin:
+      return "Cin";
+    case Dim::kH:
+      return "H";
+    case Dim::kW:
+      return "W";
+    case Dim::kKh:
+      return "Kh";
+    case Dim::kKw:
+      return "Kw";
+  }
+  return "?";
+}
+
+int dim_extent(const graph::ConvShape& shape, Dim dim) {
+  switch (dim) {
+    case Dim::kCout:
+      return shape.cout;
+    case Dim::kCin:
+      return shape.cin;
+    case Dim::kH:
+      return shape.oh;
+    case Dim::kW:
+      return shape.ow;
+    case Dim::kKh:
+      return shape.kh;
+    case Dim::kKw:
+      return shape.kw;
+  }
+  return 0;
+}
+
+Strategy::Strategy(std::vector<DimSplit> es, std::optional<Dim> ss)
+    : es_(std::move(es)), ss_(ss) {
+  for (std::size_t i = 0; i < es_.size(); ++i) {
+    MARS_CHECK_ARG(es_[i].ways >= 2,
+                   "ES split on " << parallel::to_string(es_[i].dim)
+                                  << " needs >= 2 ways");
+    for (std::size_t j = i + 1; j < es_.size(); ++j) {
+      MARS_CHECK_ARG(es_[i].dim != es_[j].dim,
+                     "duplicate ES dim " << parallel::to_string(es_[i].dim));
+    }
+    if (ss_.has_value()) {
+      MARS_CHECK_ARG(es_[i].dim != *ss_,
+                     "SS dim " << parallel::to_string(*ss_) << " also in ES");
+    }
+  }
+}
+
+int Strategy::es_ways() const {
+  int ways = 1;
+  for (const DimSplit& split : es_) ways *= split.ways;
+  return ways;
+}
+
+namespace {
+
+template <typename Pred>
+int ways_matching(const std::vector<DimSplit>& es, Pred pred) {
+  int ways = 1;
+  for (const DimSplit& split : es) {
+    if (pred(split.dim)) ways *= split.ways;
+  }
+  return ways;
+}
+
+}  // namespace
+
+int Strategy::es_ways_in_weight() const {
+  return ways_matching(es_, [](Dim d) { return dim_in_weight(d); });
+}
+
+int Strategy::es_ways_in_input() const {
+  return ways_matching(es_, [](Dim d) { return dim_in_input(d); });
+}
+
+int Strategy::es_ways_in_output() const {
+  return ways_matching(es_, [](Dim d) { return dim_in_output(d); });
+}
+
+int Strategy::reduction_ways() const {
+  return ways_matching(es_, [](Dim d) { return is_reduction_dim(d); });
+}
+
+int Strategy::ways_of(Dim dim) const {
+  for (const DimSplit& split : es_) {
+    if (split.dim == dim) return split.ways;
+  }
+  return 1;
+}
+
+bool Strategy::fits(const graph::ConvShape& shape, int p) const {
+  if (es_ways() != p) return false;
+  for (const DimSplit& split : es_) {
+    if (dim_extent(shape, split.dim) < split.ways) return false;
+  }
+  if (ss_.has_value()) {
+    if (p < 2) return false;
+    if (dim_extent(shape, *ss_) < p) return false;
+  }
+  return true;
+}
+
+std::string Strategy::to_string() const {
+  std::ostringstream os;
+  os << "ES={";
+  for (std::size_t i = 0; i < es_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << parallel::to_string(es_[i].dim);
+    if (es_[i].ways != 2 || es_.size() == 1) os << ':' << es_[i].ways;
+  }
+  os << "}, SS={";
+  if (ss_.has_value()) os << parallel::to_string(*ss_);
+  os << '}';
+  return os.str();
+}
+
+std::vector<std::vector<int>> factorizations(int p, int max_dims) {
+  MARS_CHECK_ARG(p >= 1, "factorizations of non-positive p");
+  std::vector<std::vector<int>> result;
+  std::vector<int> current;
+  // Non-increasing factor sequences, depth-first, deterministic.
+  std::function<void(int, int)> recurse = [&](int remaining, int max_factor) {
+    if (remaining == 1) {
+      if (!current.empty()) result.push_back(current);
+      return;
+    }
+    if (static_cast<int>(current.size()) == max_dims) return;
+    for (int f = std::min(remaining, max_factor); f >= 2; --f) {
+      if (remaining % f != 0) continue;
+      current.push_back(f);
+      recurse(remaining / f, f);
+      current.pop_back();
+    }
+  };
+  recurse(p, p);
+  return result;
+}
+
+std::vector<Strategy> enumerate_strategies(const graph::ConvShape& shape, int p,
+                                           int max_es_dims) {
+  std::vector<Strategy> out;
+  if (p <= 1) {
+    out.emplace_back();
+    return out;
+  }
+
+  for (const std::vector<int>& factors : factorizations(p, max_es_dims)) {
+    // Assign the ordered factor list to ordered dim subsets (permutations
+    // of distinct dims).
+    std::vector<DimSplit> splits(factors.size());
+    std::function<void(std::size_t, int)> assign = [&](std::size_t pos, int used) {
+      if (pos == factors.size()) {
+        Strategy base{splits, std::nullopt};
+        if (base.fits(shape, p)) {
+          out.push_back(base);
+          for (Dim ss : kAllDims) {
+            if ((used & (1 << static_cast<int>(ss))) != 0) continue;
+            Strategy with_ss{splits, ss};
+            if (with_ss.fits(shape, p)) out.push_back(with_ss);
+          }
+        }
+        return;
+      }
+      for (Dim dim : kAllDims) {
+        const int bit = 1 << static_cast<int>(dim);
+        if ((used & bit) != 0) continue;
+        if (dim_extent(shape, dim) < factors[pos]) continue;
+        // Identical adjacent factors: enforce ascending dim order to avoid
+        // emitting the same grid twice.
+        if (pos > 0 && factors[pos] == factors[pos - 1] &&
+            static_cast<int>(dim) < static_cast<int>(splits[pos - 1].dim)) {
+          continue;
+        }
+        splits[pos] = {dim, factors[pos]};
+        assign(pos + 1, used | bit);
+      }
+    };
+    assign(0, 0);
+  }
+  return out;
+}
+
+}  // namespace mars::parallel

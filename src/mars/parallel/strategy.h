@@ -1,0 +1,118 @@
+// Parallelism-strategy representation (Section IV).
+//
+// A layer's nested loop has six dimensions (Cout, Cin, H, W, Kh, Kw). A
+// strategy names
+//   * ES — exclusive shards: a set of dims with per-dim split ways whose
+//     product equals the accelerator-set size p; each accelerator owns one
+//     coordinate of the shard grid, statically.
+//   * SS — at most one shared-shard dim (not in ES): the dim is cut into p
+//     shards that rotate around a logical ring; computation proceeds in p
+//     phases separated by neighbour transfers.
+//
+// Reduction dims (Cin, Kh, Kw) in ES produce partial sums that must be
+// All-Reduced; the same dims under SS accumulate locally instead (the
+// rotation serialises the reduction) — one of the latency trade-offs the
+// search explores.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mars/graph/spine.h"
+
+namespace mars::parallel {
+
+enum class Dim : std::uint8_t { kCout = 0, kCin, kH, kW, kKh, kKw };
+
+inline constexpr std::array<Dim, 6> kAllDims = {Dim::kCout, Dim::kCin, Dim::kH,
+                                                Dim::kW,    Dim::kKh,  Dim::kKw};
+inline constexpr int kNumDims = 6;
+
+[[nodiscard]] std::string to_string(Dim dim);
+
+/// Cin / Kh / Kw contribute to the accumulation; sharding them exclusively
+/// leaves partial sums spread across accelerators.
+[[nodiscard]] constexpr bool is_reduction_dim(Dim dim) {
+  return dim == Dim::kCin || dim == Dim::kKh || dim == Dim::kKw;
+}
+
+/// Loop bound of `dim` in `shape`.
+[[nodiscard]] int dim_extent(const graph::ConvShape& shape, Dim dim);
+
+/// True when `dim` indexes the given tensor.
+[[nodiscard]] constexpr bool dim_in_weight(Dim dim) {
+  return dim == Dim::kCout || dim == Dim::kCin || dim == Dim::kKh || dim == Dim::kKw;
+}
+[[nodiscard]] constexpr bool dim_in_input(Dim dim) {
+  return dim == Dim::kCin || dim == Dim::kH || dim == Dim::kW;
+}
+[[nodiscard]] constexpr bool dim_in_output(Dim dim) {
+  return dim == Dim::kCout || dim == Dim::kH || dim == Dim::kW;
+}
+
+struct DimSplit {
+  Dim dim = Dim::kCout;
+  int ways = 1;
+
+  friend bool operator==(const DimSplit&, const DimSplit&) = default;
+};
+
+class Strategy {
+ public:
+  /// The default strategy <N, N, ...>: no partitioning (p must be 1).
+  Strategy() = default;
+
+  /// ES splits (each ways >= 2, dims distinct) and optional SS dim (not
+  /// among the ES dims). Throws InvalidArgument on malformed input.
+  Strategy(std::vector<DimSplit> es, std::optional<Dim> ss);
+
+  [[nodiscard]] const std::vector<DimSplit>& es() const { return es_; }
+  [[nodiscard]] const std::optional<Dim>& ss() const { return ss_; }
+  [[nodiscard]] bool has_ss() const { return ss_.has_value(); }
+
+  /// Product of ES ways — the number of statically-partitioned shards;
+  /// must equal the accelerator-set size for a valid execution.
+  [[nodiscard]] int es_ways() const;
+
+  /// ES ways restricted to a tensor's dims (shard denominator of that
+  /// tensor under the static grid).
+  [[nodiscard]] int es_ways_in_weight() const;
+  [[nodiscard]] int es_ways_in_input() const;
+  [[nodiscard]] int es_ways_in_output() const;
+
+  /// Product of ways over reduction dims in ES (the All-Reduce group size).
+  [[nodiscard]] int reduction_ways() const;
+
+  /// Split ways of `dim` in ES (1 when absent).
+  [[nodiscard]] int ways_of(Dim dim) const;
+
+  /// True when every ES split fits its loop bound and the SS dim (if any)
+  /// can be cut into `p` shards.
+  [[nodiscard]] bool fits(const graph::ConvShape& shape, int p) const;
+
+  /// Paper-style rendering: "ES={Cin,W}, SS={Cout}" (ways annotated when a
+  /// dim is split more than the minimal 2).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Strategy&, const Strategy&) = default;
+
+ private:
+  std::vector<DimSplit> es_;
+  std::optional<Dim> ss_;
+};
+
+/// All factorizations of p into at most `max_dims` ordered factors >= 2
+/// (e.g. 4 -> {4}, {2,2}), deterministic order.
+[[nodiscard]] std::vector<std::vector<int>> factorizations(int p, int max_dims = 3);
+
+/// Enumerates every strategy valid for `shape` on `p` accelerators
+/// (ES grids over distinct dims whose ways fit the loop bounds, optionally
+/// augmented with each feasible SS dim). For p == 1 returns just the
+/// default strategy. Deterministic order; used by exhaustive baselines and
+/// property tests.
+[[nodiscard]] std::vector<Strategy> enumerate_strategies(
+    const graph::ConvShape& shape, int p, int max_es_dims = 3);
+
+}  // namespace mars::parallel

@@ -1,0 +1,87 @@
+#include "mars/sim/collective.h"
+
+#include "mars/util/error.h"
+
+namespace mars::sim {
+namespace {
+
+// Synchronised ring pass: every member sends `chunk` to its successor;
+// step s waits for all of step s-1 (a barrier keeps the schedule compact
+// and matches how ASTRA-Sim models ring collectives).
+std::vector<TaskId> ring_steps(TaskGraph& graph, const std::vector<int>& members,
+                               Bytes chunk, int steps, std::vector<TaskId> deps,
+                               const std::string& label) {
+  const std::size_t r = members.size();
+  std::vector<TaskId> previous = std::move(deps);
+  std::vector<TaskId> receives;
+  for (int step = 0; step < steps; ++step) {
+    receives.clear();
+    receives.reserve(r);
+    for (std::size_t i = 0; i < r; ++i) {
+      const int src = members[i];
+      const int dst = members[(i + 1) % r];
+      receives.push_back(graph.add_transfer(
+          src, dst, chunk, label + "/step" + std::to_string(step), previous));
+    }
+    previous = receives;
+  }
+  return previous;
+}
+
+}  // namespace
+
+std::vector<TaskId> ring_allreduce(TaskGraph& graph,
+                                   const std::vector<int>& members, Bytes payload,
+                                   std::vector<TaskId> deps,
+                                   const std::string& label) {
+  MARS_CHECK_ARG(!members.empty(), "All-Reduce over empty member list");
+  const int r = static_cast<int>(members.size());
+  if (r == 1 || payload.count() <= 0.0) {
+    return {graph.add_barrier(std::move(deps), label + "/noop")};
+  }
+  const Bytes chunk = payload / static_cast<double>(r);
+  return ring_steps(graph, members, chunk, 2 * (r - 1), std::move(deps), label);
+}
+
+std::vector<TaskId> ring_allgather(TaskGraph& graph,
+                                   const std::vector<int>& members, Bytes shard,
+                                   std::vector<TaskId> deps,
+                                   const std::string& label) {
+  MARS_CHECK_ARG(!members.empty(), "All-Gather over empty member list");
+  const int r = static_cast<int>(members.size());
+  if (r == 1 || shard.count() <= 0.0) {
+    return {graph.add_barrier(std::move(deps), label + "/noop")};
+  }
+  return ring_steps(graph, members, shard, r - 1, std::move(deps), label);
+}
+
+std::vector<TaskId> ring_shift(TaskGraph& graph, const std::vector<int>& members,
+                               Bytes shard, std::vector<TaskId> deps,
+                               const std::string& label) {
+  MARS_CHECK_ARG(members.size() >= 2, "ring shift needs >= 2 members");
+  return ring_steps(graph, members, shard, 1, std::move(deps), label);
+}
+
+std::vector<TaskId> scatter(TaskGraph& graph, int src,
+                            const std::vector<int>& members, Bytes total,
+                            std::vector<TaskId> deps, const std::string& label) {
+  MARS_CHECK_ARG(!members.empty(), "scatter to empty member list");
+  std::vector<TaskId> out;
+  std::vector<int> targets;
+  for (int member : members) {
+    if (member != src) targets.push_back(member);
+  }
+  if (targets.empty() || total.count() <= 0.0) {
+    return {graph.add_barrier(std::move(deps), label + "/noop")};
+  }
+  const Bytes per_target = total / static_cast<double>(targets.size());
+  out.reserve(targets.size());
+  for (int target : targets) {
+    out.push_back(graph.add_transfer(src, target, per_target,
+                                     label + "/to" + std::to_string(target),
+                                     deps));
+  }
+  return out;
+}
+
+}  // namespace mars::sim

@@ -1,0 +1,42 @@
+// Collective-communication schedule builders (the ASTRA-Sim role).
+//
+// Each builder appends the transfer tasks of a ring-based collective to a
+// TaskGraph and returns one sink task per member (the moment that member
+// holds its final data). Ring order follows the member list; the caller
+// chooses an order that matches the physical topology.
+#pragma once
+
+#include <vector>
+
+#include "mars/sim/task_graph.h"
+
+namespace mars::sim {
+
+/// Ring All-Reduce of `payload` across `members`: reduce-scatter then
+/// all-gather, 2*(r-1) steps of r concurrent neighbour chunks (payload/r
+/// each). Returns the per-member completion tasks.
+std::vector<TaskId> ring_allreduce(TaskGraph& graph,
+                                   const std::vector<int>& members,
+                                   Bytes payload, std::vector<TaskId> deps,
+                                   const std::string& label);
+
+/// Ring All-Gather: r-1 steps; each member ends with all r shards of size
+/// `shard` (it starts holding one).
+std::vector<TaskId> ring_allgather(TaskGraph& graph,
+                                   const std::vector<int>& members, Bytes shard,
+                                   std::vector<TaskId> deps,
+                                   const std::string& label);
+
+/// One ring rotation step: member i sends `shard` to member i+1 (mod r).
+/// Used between SS phases. Returns the per-member receive-complete tasks.
+std::vector<TaskId> ring_shift(TaskGraph& graph, const std::vector<int>& members,
+                               Bytes shard, std::vector<TaskId> deps,
+                               const std::string& label);
+
+/// Scatter `total` bytes evenly from `src` to every member (excluding any
+/// occurrence of src itself). Returns per-destination completion tasks.
+std::vector<TaskId> scatter(TaskGraph& graph, int src,
+                            const std::vector<int>& members, Bytes total,
+                            std::vector<TaskId> deps, const std::string& label);
+
+}  // namespace mars::sim

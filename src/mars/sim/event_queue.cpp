@@ -1,0 +1,9 @@
+// EventQueue is header-only (template); this translation unit exists to
+// anchor the module and instantiate the common payload for faster builds.
+#include "mars/sim/event_queue.h"
+
+namespace mars::sim {
+
+template class EventQueue<int>;
+
+}  // namespace mars::sim

@@ -1,0 +1,49 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps pop in insertion order (stable sequence
+// numbers) so simulations are bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mars/util/units.h"
+
+namespace mars::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(Seconds time, Payload payload) {
+    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
+
+  Payload pop(Seconds& time_out) {
+    Entry top = heap_.top();
+    heap_.pop();
+    time_out = top.time;
+    return std::move(top.payload);
+  }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    Payload payload;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mars::sim

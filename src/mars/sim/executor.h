@@ -1,0 +1,42 @@
+// Event-driven task-graph execution with resource contention.
+//
+// Accelerators run one compute task at a time; directed channels carry one
+// flow at a time at full bandwidth (FIFO). Multi-leg transfers (via the
+// host) store-and-forward. Deterministic: ties resolve by event insertion
+// order.
+#pragma once
+
+#include <vector>
+
+#include "mars/sim/network.h"
+#include "mars/sim/task_graph.h"
+
+namespace mars::sim {
+
+struct TaskTiming {
+  Seconds start{};
+  Seconds end{};
+  bool executed = false;
+};
+
+struct ExecutionResult {
+  Seconds makespan{};
+  std::vector<TaskTiming> timings;  // indexed by TaskId
+
+  /// Total busy seconds per accelerator (compute only).
+  std::vector<Seconds> acc_busy;
+};
+
+class Executor {
+ public:
+  Executor(const topology::Topology& topo, SimParams params = {});
+
+  /// Runs the whole graph to completion and reports the makespan.
+  [[nodiscard]] ExecutionResult run(const TaskGraph& graph) const;
+
+ private:
+  const topology::Topology* topo_;
+  Network network_;
+};
+
+}  // namespace mars::sim

@@ -1,0 +1,58 @@
+#include "mars/sim/task_graph.h"
+
+#include "mars/util/error.h"
+
+namespace mars::sim {
+
+TaskId TaskGraph::append(Task task) {
+  task.id = static_cast<TaskId>(tasks_.size());
+  for (TaskId dep : task.deps) {
+    MARS_CHECK_ARG(dep >= 0 && dep < task.id,
+                   "task '" << task.label << "' depends on undefined task " << dep);
+  }
+  tasks_.push_back(std::move(task));
+  return tasks_.back().id;
+}
+
+TaskId TaskGraph::add_compute(int acc, Seconds duration, std::string label,
+                              std::vector<TaskId> deps) {
+  MARS_CHECK_ARG(acc >= 0, "compute task needs an accelerator");
+  MARS_CHECK_ARG(duration.count() >= 0.0, "negative compute duration");
+  Task task;
+  task.kind = TaskKind::kCompute;
+  task.acc = acc;
+  task.duration = duration;
+  task.label = std::move(label);
+  task.deps = std::move(deps);
+  return append(std::move(task));
+}
+
+TaskId TaskGraph::add_transfer(int src, int dst, Bytes bytes, std::string label,
+                               std::vector<TaskId> deps) {
+  MARS_CHECK_ARG(src >= kHost && dst >= kHost, "invalid transfer endpoint");
+  MARS_CHECK_ARG(src != dst, "transfer to self");
+  MARS_CHECK_ARG(bytes.count() >= 0.0, "negative transfer size");
+  Task task;
+  task.kind = TaskKind::kTransfer;
+  task.src = src;
+  task.dst = dst;
+  task.bytes = bytes;
+  task.label = std::move(label);
+  task.deps = std::move(deps);
+  return append(std::move(task));
+}
+
+TaskId TaskGraph::add_barrier(std::vector<TaskId> deps, std::string label) {
+  Task task;
+  task.kind = TaskKind::kBarrier;
+  task.label = std::move(label);
+  task.deps = std::move(deps);
+  return append(std::move(task));
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  MARS_CHECK_ARG(id >= 0 && id < size(), "task id " << id << " out of range");
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace mars::sim

@@ -1,0 +1,56 @@
+// Task graph: the executable form of a mapped workload.
+//
+// The evaluator lowers (mapping, strategies) into compute tasks pinned to
+// accelerators and transfer tasks between accelerators (or the host), with
+// explicit dependencies. The executor then replays the graph against the
+// topology with link contention — the role ASTRA-Sim plays in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/util/units.h"
+
+namespace mars::sim {
+
+using TaskId = int;
+/// Pseudo-endpoint for transfers to/from host memory.
+inline constexpr int kHost = -1;
+
+enum class TaskKind : std::uint8_t { kCompute, kTransfer, kBarrier };
+
+struct Task {
+  TaskId id = -1;
+  TaskKind kind = TaskKind::kBarrier;
+  std::string label;
+  std::vector<TaskId> deps;
+
+  // kCompute
+  int acc = -1;
+  Seconds duration{};
+
+  // kTransfer
+  int src = kHost;
+  int dst = kHost;
+  Bytes bytes{};
+};
+
+class TaskGraph {
+ public:
+  TaskId add_compute(int acc, Seconds duration, std::string label,
+                     std::vector<TaskId> deps = {});
+  TaskId add_transfer(int src, int dst, Bytes bytes, std::string label,
+                      std::vector<TaskId> deps = {});
+  /// Zero-duration synchronisation point.
+  TaskId add_barrier(std::vector<TaskId> deps, std::string label = "barrier");
+
+  [[nodiscard]] int size() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  TaskId append(Task task);
+  std::vector<Task> tasks_;
+};
+
+}  // namespace mars::sim

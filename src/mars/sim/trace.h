@@ -1,0 +1,17 @@
+// Chrome-trace (about://tracing, Perfetto) export of an execution.
+#pragma once
+
+#include <string>
+
+#include "mars/sim/executor.h"
+#include "mars/sim/task_graph.h"
+
+namespace mars::sim {
+
+/// Serialises an executed task graph as a Chrome trace JSON string.
+/// Compute tasks land on per-accelerator rows; transfers on a network row
+/// keyed by endpoint pair.
+[[nodiscard]] std::string to_chrome_trace(const TaskGraph& graph,
+                                          const ExecutionResult& result);
+
+}  // namespace mars::sim

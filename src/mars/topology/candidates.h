@@ -1,0 +1,37 @@
+// AccSet candidate generation (Section V heuristics).
+//
+// MARS prunes the exponential space of accelerator subsets by iteratively
+// removing the lowest-bandwidth edges of G(Acc, BW): each removal round
+// splits the graph into connected components with no internal bandwidth
+// bottleneck, and those components — plus balanced recursive bisections of
+// uniform cliques (to expose 2- and 4-accelerator sets inside an 8-clique
+// group) — form the candidate AccSets the first-level GA chooses from.
+#pragma once
+
+#include <vector>
+
+#include "mars/topology/topology.h"
+
+namespace mars::topology {
+
+/// A candidate accelerator set with its internal bottleneck bandwidth.
+struct AccSetCandidate {
+  AccMask mask = 0;
+  Bandwidth internal_bw{};  // min spanning bandwidth (inf for singletons)
+};
+
+/// Generates the laminar candidate family. Deterministic: sorted by
+/// descending size, then ascending lowest member id. Always contains the
+/// full set, every bandwidth-level component, all bisection refinements and
+/// all singletons.
+[[nodiscard]] std::vector<AccSetCandidate> accset_candidates(const Topology& topo);
+
+/// Greedy decode used by the GA: scanning candidates by descending gene
+/// priority, keep each candidate disjoint from what is already taken until
+/// the whole system is covered. `priorities` must align with `candidates`.
+/// Returns the chosen partition (masks tile the topology exactly).
+[[nodiscard]] std::vector<AccMask> decode_partition(
+    const Topology& topo, const std::vector<AccSetCandidate>& candidates,
+    const std::vector<double>& priorities);
+
+}  // namespace mars::topology

@@ -1,0 +1,76 @@
+#include "mars/topology/presets.h"
+
+#include <algorithm>
+
+#include "mars/util/error.h"
+
+namespace mars::topology {
+
+Topology grouped(int groups, int per_group, Bandwidth intra_bw, Bandwidth host_bw,
+                 Bytes dram) {
+  MARS_CHECK_ARG(groups > 0 && per_group > 0, "grouped() needs positive sizes");
+  Topology topo("grouped-" + std::to_string(groups) + "x" +
+                std::to_string(per_group));
+  for (int g = 0; g < groups; ++g) {
+    for (int i = 0; i < per_group; ++i) {
+      topo.add_accelerator("fpga" + std::to_string(g) + "_" + std::to_string(i),
+                           dram, host_bw);
+    }
+  }
+  for (int g = 0; g < groups; ++g) {
+    const int base = g * per_group;
+    for (int i = 0; i < per_group; ++i) {
+      for (int j = i + 1; j < per_group; ++j) {
+        topo.connect(base + i, base + j, intra_bw);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology f1_16xlarge(Bandwidth group_bw, Bandwidth host_bw, Bytes dram) {
+  Topology topo = grouped(2, 4, group_bw, host_bw, dram);
+  return topo;
+}
+
+Topology h2h_cloud(int n, Bandwidth bw, int num_fixed_designs, Bytes dram) {
+  MARS_CHECK_ARG(n > 0, "h2h_cloud() needs at least one accelerator");
+  Topology topo("h2h-cloud-" + std::to_string(n));
+  // Fixed designs in contiguous blocks (e.g. 8 accelerators / 4 designs ->
+  // two adjacent cards per design), mirroring how racks are provisioned.
+  const int block =
+      num_fixed_designs > 0 ? std::max(1, n / num_fixed_designs) : 1;
+  for (int i = 0; i < n; ++i) {
+    const int fixed =
+        num_fixed_designs > 0 ? std::min(i / block, num_fixed_designs - 1) : -1;
+    topo.add_accelerator("fpga" + std::to_string(i), dram, bw, fixed);
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) topo.connect(a, b, bw);
+  }
+  return topo;
+}
+
+Topology ring(int n, Bandwidth bw, Bandwidth host_bw, Bytes dram) {
+  MARS_CHECK_ARG(n >= 2, "ring() needs at least two accelerators");
+  Topology topo("ring-" + std::to_string(n));
+  for (int i = 0; i < n; ++i) {
+    topo.add_accelerator("acc" + std::to_string(i), dram, host_bw);
+  }
+  for (int i = 0; i < n; ++i) topo.connect(i, (i + 1) % n, bw);
+  return topo;
+}
+
+Topology fully_connected(int n, Bandwidth bw, Bandwidth host_bw, Bytes dram) {
+  MARS_CHECK_ARG(n > 0, "fully_connected() needs at least one accelerator");
+  Topology topo("clique-" + std::to_string(n));
+  for (int i = 0; i < n; ++i) {
+    topo.add_accelerator("acc" + std::to_string(i), dram, host_bw);
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) topo.connect(a, b, bw);
+  }
+  return topo;
+}
+
+}  // namespace mars::topology

@@ -1,0 +1,38 @@
+// Topology presets used by the paper's experiments and the examples.
+#pragma once
+
+#include "mars/topology/topology.h"
+
+namespace mars::topology {
+
+/// The paper's primary platform (Fig. 1): an AWS EC2 F1.16xlarge-style
+/// system. Eight FPGAs in two groups of four; full crossbar at
+/// `group_bw` (8 Gb/s) inside a group; inter-group traffic goes through the
+/// host at `host_bw` (2 Gb/s); 1 GiB local DRAM per card.
+[[nodiscard]] Topology f1_16xlarge(Bandwidth group_bw = gbps(8.0),
+                                   Bandwidth host_bw = gbps(2.0),
+                                   Bytes dram = gibibytes(1.0));
+
+/// H2H-style cloud multi-FPGA system for the Table IV comparison: `n`
+/// accelerators, uniform all-to-all direct links at `bw` (the paper sweeps
+/// 1 / 1.2 / 2 / 4 / 10 Gb/s), host access at the same `bw`.
+/// `fixed_designs` (optional) assigns design ids round-robin, making the
+/// system non-adaptive like H2H's testbed.
+[[nodiscard]] Topology h2h_cloud(int n, Bandwidth bw, int num_fixed_designs = 0,
+                                 Bytes dram = gibibytes(1.0));
+
+/// Ring of `n` accelerators (chiplet-style).
+[[nodiscard]] Topology ring(int n, Bandwidth bw, Bandwidth host_bw,
+                            Bytes dram = gibibytes(1.0));
+
+/// Fully-connected clique of `n` accelerators.
+[[nodiscard]] Topology fully_connected(int n, Bandwidth bw, Bandwidth host_bw,
+                                       Bytes dram = gibibytes(1.0));
+
+/// `groups` cliques of `per_group` accelerators each; intra-group links at
+/// `intra_bw`, no direct inter-group links (host only). Generalisation of
+/// the F1 shape for scalability studies.
+[[nodiscard]] Topology grouped(int groups, int per_group, Bandwidth intra_bw,
+                               Bandwidth host_bw, Bytes dram = gibibytes(1.0));
+
+}  // namespace mars::topology

@@ -1,0 +1,39 @@
+#include "mars/util/csv.h"
+
+#include "mars/util/error.h"
+#include "mars/util/strings.h"
+
+namespace mars {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), arity_(header.size()) {
+  MARS_CHECK_ARG(arity_ > 0, "CSV needs at least one column");
+  std::vector<std::string> escaped;
+  escaped.reserve(header.size());
+  for (const auto& h : header) escaped.push_back(escape(h));
+  os_ << join(escaped, ",") << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  MARS_CHECK_ARG(row.size() == arity_,
+                 "CSV row arity " << row.size() << " != header arity " << arity_);
+  std::vector<std::string> escaped;
+  escaped.reserve(row.size());
+  for (const auto& field : row) escaped.push_back(escape(field));
+  os_ << join(escaped, ",") << '\n';
+  ++num_rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace mars

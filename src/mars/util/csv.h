@@ -1,0 +1,29 @@
+// CSV emission for benchmark results (machine-readable companion to the
+// ASCII tables; EXPERIMENTS.md references these files).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately. The writer does not own the stream.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
+
+  /// RFC-4180 style field quoting (only when needed).
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::size_t arity_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace mars

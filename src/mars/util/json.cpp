@@ -1,0 +1,156 @@
+#include "mars/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mars/util/error.h"
+
+namespace mars {
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::integer(long long value) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.integer_ = value;
+  return v;
+}
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  MARS_CHECK_ARG(kind_ == Kind::kArray, "push on non-array JSON value");
+  children_.emplace_back(std::string(), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  MARS_CHECK_ARG(kind_ == Kind::kObject, "set on non-object JSON value");
+  children_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+std::string JsonValue::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kNumber: {
+      if (!std::isfinite(number_)) {
+        out += "null";
+        break;
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.12g", number_);
+      out += buffer;
+      break;
+    }
+    case Kind::kInteger:
+      out += std::to_string(integer_);
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& [key, child] : children_) {
+        if (!first) out += ',';
+        first = false;
+        child.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, child] : children_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        child.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace mars

@@ -1,0 +1,59 @@
+// Minimal JSON writer (no parsing): enough for exporting mappings,
+// summaries and benchmark results to tooling. Produces compact,
+// well-formed output; strings are escaped, doubles printed with enough
+// precision to round-trip.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+class JsonValue {
+ public:
+  /// Leaf constructors.
+  static JsonValue number(double value);
+  static JsonValue integer(long long value);
+  static JsonValue boolean(bool value);
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+
+  /// Array append (must be an array).
+  JsonValue& push(JsonValue value);
+  /// Object insert (must be an object); returns *this for chaining.
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  /// Compact serialisation.
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] static std::string escape(const std::string& text);
+
+ private:
+  enum class Kind : unsigned char {
+    kNull,
+    kNumber,
+    kInteger,
+    kBool,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> children_;  // key empty in arrays
+
+  void dump_to(std::string& out) const;
+};
+
+}  // namespace mars

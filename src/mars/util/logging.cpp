@@ -1,0 +1,51 @@
+#include "mars/util/logging.h"
+
+#include <iostream>
+
+namespace mars {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel previous = g_level;
+  g_level = level;
+  return previous;
+}
+
+LogLevel log_level() { return g_level; }
+
+std::ostream* set_log_sink(std::ostream* sink) {
+  std::ostream* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message) {
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  os << "[mars " << level_tag(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace mars

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// MARS is a library first; logging defaults to warnings-and-up on stderr so
+// embedding applications stay quiet. Search drivers bump the level to Info
+// to narrate GA progress. Not thread-safe by design (MARS search is
+// single-threaded; the simulator is deterministic).
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace mars {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration. `set_log_level` returns the previous level so
+/// callers (tests) can restore it.
+LogLevel set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Redirect log output (default: std::cerr). Returns the previous sink.
+/// The caller keeps ownership of the stream; pass nullptr to restore cerr.
+std::ostream* set_log_sink(std::ostream* sink);
+
+namespace detail {
+
+void emit_log(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { emit_log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mars
+
+#define MARS_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::mars::log_level())) { \
+  } else                                                 \
+    ::mars::detail::LogMessage(level)
+
+#define MARS_DEBUG MARS_LOG(::mars::LogLevel::kDebug)
+#define MARS_INFO MARS_LOG(::mars::LogLevel::kInfo)
+#define MARS_WARN MARS_LOG(::mars::LogLevel::kWarn)
+#define MARS_ERROR MARS_LOG(::mars::LogLevel::kError)

@@ -1,0 +1,29 @@
+// Small string helpers shared by reports, tables and serialisers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mars {
+
+/// Join `parts` with `sep` ("a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Fixed-precision double formatting without trailing-zero noise
+/// ("1.5", "0.832", "12").
+[[nodiscard]] std::string format_double(double value, int max_decimals = 3);
+
+/// Human-readable count with SI suffix ("61.1M", "3.68G", "727M").
+[[nodiscard]] std::string si_count(double value, int decimals = 3);
+
+/// Percentage with sign, paper style ("-32.2%").
+[[nodiscard]] std::string signed_percent(double fraction, int decimals = 1);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Split on a single character, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& text, char sep);
+
+}  // namespace mars

@@ -1,0 +1,71 @@
+#include "mars/util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MARS_CHECK_ARG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MARS_CHECK_ARG(row.size() == header_.size(),
+                 "row arity " << row.size() << " != header arity "
+                              << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::size_t Table::num_rows() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.empty()) ++n;
+  }
+  return n;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+  auto render_rule = [&]() {
+    std::ostringstream os;
+    os << '+';
+    for (std::size_t width : widths) os << std::string(width + 2, '-') << '+';
+    os << '\n';
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << render_rule() << render_line(header_) << render_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << render_rule();
+    } else {
+      os << render_line(row);
+    }
+  }
+  os << render_rule();
+  return os.str();
+}
+
+}  // namespace mars

@@ -1,0 +1,36 @@
+// ASCII table rendering for benchmark harnesses and reports.
+//
+// The benchmark binaries regenerate the paper's tables; this renderer keeps
+// their output aligned and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mars {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const;
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table) {
+    return os << table.render();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mars

@@ -1,0 +1,170 @@
+// Strong unit types used throughout MARS.
+//
+// Latencies, bandwidths, memory sizes and cycle counts flow through many
+// layers of the cost model; mixing them up silently is the classic source of
+// 1000x-off results. Each quantity gets a minimal strong wrapper with only
+// the arithmetic that is physically meaningful, plus explicit conversions.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "mars/util/error.h"
+
+namespace mars {
+
+/// A size in bytes (tensor shards, DRAM capacities, message sizes).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double count) : count_(count) {}
+
+  [[nodiscard]] constexpr double count() const { return count_; }
+  [[nodiscard]] constexpr double kib() const { return count_ / 1024.0; }
+  [[nodiscard]] constexpr double mib() const { return count_ / (1024.0 * 1024.0); }
+  [[nodiscard]] constexpr double gib() const {
+    return count_ / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.count_ + b.count_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.count_ - b.count_); }
+  friend constexpr Bytes operator*(Bytes a, double s) { return Bytes(a.count_ * s); }
+  friend constexpr Bytes operator*(double s, Bytes a) { return Bytes(a.count_ * s); }
+  friend constexpr Bytes operator/(Bytes a, double s) { return Bytes(a.count_ / s); }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.count_ / b.count_; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  double count_ = 0.0;
+};
+
+[[nodiscard]] constexpr Bytes kibibytes(double v) { return Bytes(v * 1024.0); }
+[[nodiscard]] constexpr Bytes mebibytes(double v) { return Bytes(v * 1024.0 * 1024.0); }
+[[nodiscard]] constexpr Bytes gibibytes(double v) {
+  return Bytes(v * 1024.0 * 1024.0 * 1024.0);
+}
+
+/// A duration in seconds (all latencies).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double count) : count_(count) {}
+
+  [[nodiscard]] constexpr double count() const { return count_; }
+  [[nodiscard]] constexpr double millis() const { return count_ * 1e3; }
+  [[nodiscard]] constexpr double micros() const { return count_ * 1e6; }
+  [[nodiscard]] constexpr bool finite() const { return std::isfinite(count_); }
+
+  constexpr Seconds& operator+=(Seconds other) {
+    count_ += other.count_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.count_ + b.count_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.count_ - b.count_);
+  }
+  friend constexpr Seconds operator*(Seconds a, double s) { return Seconds(a.count_ * s); }
+  friend constexpr Seconds operator*(double s, Seconds a) { return Seconds(a.count_ * s); }
+  friend constexpr Seconds operator/(Seconds a, double s) { return Seconds(a.count_ / s); }
+  friend constexpr double operator/(Seconds a, Seconds b) { return a.count_ / b.count_; }
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+
+ private:
+  double count_ = 0.0;
+};
+
+[[nodiscard]] constexpr Seconds milliseconds(double v) { return Seconds(v * 1e-3); }
+[[nodiscard]] constexpr Seconds microseconds(double v) { return Seconds(v * 1e-6); }
+
+/// Link bandwidth. Stored in bits per second to match how interconnect
+/// specifications are quoted (the paper uses Gbps throughout).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bits_per_second)
+      : bits_per_second_(bits_per_second) {}
+
+  [[nodiscard]] constexpr double bits_per_second() const { return bits_per_second_; }
+  [[nodiscard]] constexpr double gbps() const { return bits_per_second_ / 1e9; }
+  [[nodiscard]] constexpr double bytes_per_second() const {
+    return bits_per_second_ / 8.0;
+  }
+
+  /// Time to move `size` over this link at full rate.
+  [[nodiscard]] Seconds transfer_time(Bytes size) const {
+    MARS_CHECK_ARG(bits_per_second_ > 0.0, "transfer over zero-bandwidth link");
+    return Seconds(size.count() / bytes_per_second());
+  }
+
+  friend constexpr Bandwidth operator*(Bandwidth a, double s) {
+    return Bandwidth(a.bits_per_second_ * s);
+  }
+  friend constexpr Bandwidth operator/(Bandwidth a, double s) {
+    return Bandwidth(a.bits_per_second_ / s);
+  }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  double bits_per_second_ = 0.0;
+};
+
+[[nodiscard]] constexpr Bandwidth gbps(double v) { return Bandwidth(v * 1e9); }
+[[nodiscard]] constexpr Bandwidth mbps(double v) { return Bandwidth(v * 1e6); }
+
+/// A clock frequency (accelerator designs quote MHz).
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double hertz) : hertz_(hertz) {}
+
+  [[nodiscard]] constexpr double hertz() const { return hertz_; }
+  [[nodiscard]] constexpr double megahertz() const { return hertz_ / 1e6; }
+
+  /// Wall-clock time for `cycles` at this frequency.
+  [[nodiscard]] Seconds time_for(double cycles) const {
+    MARS_CHECK_ARG(hertz_ > 0.0, "cycles at zero frequency");
+    return Seconds(cycles / hertz_);
+  }
+
+  friend constexpr auto operator<=>(Frequency, Frequency) = default;
+
+ private:
+  double hertz_ = 0.0;
+};
+
+[[nodiscard]] constexpr Frequency megahertz(double v) { return Frequency(v * 1e6); }
+
+inline std::ostream& operator<<(std::ostream& os, Bytes b) {
+  if (b.count() >= 1024.0 * 1024.0 * 1024.0) return os << b.gib() << " GiB";
+  if (b.count() >= 1024.0 * 1024.0) return os << b.mib() << " MiB";
+  if (b.count() >= 1024.0) return os << b.kib() << " KiB";
+  return os << b.count() << " B";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  if (s.count() >= 1.0) return os << s.count() << " s";
+  if (s.count() >= 1e-3) return os << s.millis() << " ms";
+  return os << s.micros() << " us";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Bandwidth bw) {
+  return os << bw.gbps() << " Gb/s";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Frequency f) {
+  return os << f.megahertz() << " MHz";
+}
+
+}  // namespace mars

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "mars/accel/registry.h"
+#include "mars/accel/superlip.h"
+#include "mars/accel/systolic.h"
+#include "mars/accel/winograd.h"
+#include "mars/graph/models/models.h"
+#include "mars/graph/spine.h"
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+using graph::ConvShape;
+using graph::DataType;
+
+// Layer shapes used throughout: early (high resolution, 3 channels), mid,
+// late (small maps, wide channels), pointwise, and a fully-connected GEMV.
+const ConvShape kVggConv1{64, 3, 224, 224, 3, 3, 1, 1};
+const ConvShape kResNetStem{64, 3, 112, 112, 7, 7, 2, 2};
+const ConvShape kMid3x3{256, 256, 14, 14, 3, 3, 1, 1};
+const ConvShape kLate3x3{512, 512, 7, 7, 3, 3, 1, 1};
+const ConvShape kPointwise{2048, 512, 7, 7, 1, 1, 1, 1};
+const ConvShape kFc{4096, 9216, 1, 1, 1, 1, 1, 1};
+
+TEST(SuperLip, TableIIInstanceProperties) {
+  const SuperLipDesign d;
+  EXPECT_EQ(d.name(), "SuperLIP");
+  EXPECT_DOUBLE_EQ(d.frequency().megahertz(), 200.0);
+  EXPECT_DOUBLE_EQ(d.peak_macs_per_cycle(), 64.0 * 7);
+  EXPECT_EQ(d.pe_count(), 448);
+  EXPECT_NE(d.parameter_string().find("64, 7, 7, 14"), std::string::npos);
+}
+
+TEST(SuperLip, CycleFormulaMatchesHandComputation) {
+  SuperLipParams p;
+  p.tile_overhead = 0.0;
+  const SuperLipDesign d(p, "SuperLIP-nooverhead");
+  // ceil(64/64)*ceil(3/7)*ceil(224/7)*ceil(224/14)*(7*14*9) cycles.
+  const double expected = 1.0 * 1 * 32 * 16 * (98 * 9);
+  EXPECT_DOUBLE_EQ(d.conv_cycles(kVggConv1, DataType::kFix16).compute, expected);
+}
+
+TEST(SuperLip, TileOverheadHurtsPointwise) {
+  const SuperLipDesign d;
+  // For 1x1 kernels the 96-cycle fill dominates the 98 useful cycles.
+  EXPECT_LT(d.utilization(kPointwise, DataType::kFix16), 0.55);
+  // For 3x3 it amortises.
+  EXPECT_GT(d.utilization(kMid3x3, DataType::kFix16), 0.8);
+}
+
+TEST(SuperLip, UtilizationBoundedByChannelFit) {
+  const SuperLipDesign d;
+  // Cin = 3 against Tn = 7: utilisation can never beat 3/7.
+  EXPECT_LE(d.utilization(kVggConv1, DataType::kFix16), 3.0 / 7 + 1e-9);
+  EXPECT_GT(d.utilization(kVggConv1, DataType::kFix16), 0.3);
+}
+
+TEST(Systolic, TableIIInstanceProperties) {
+  const SystolicDesign d;
+  EXPECT_DOUBLE_EQ(d.peak_macs_per_cycle(), 11.0 * 13 * 8 / 2);
+  EXPECT_EQ(d.pe_count(), 572);
+  EXPECT_NE(d.parameter_string().find("11, 13, 8"), std::string::npos);
+}
+
+TEST(Systolic, CycleFormulaMatchesHandComputation) {
+  const SystolicDesign d;
+  // M-tiles=ceil(512/11)=47, N-tiles=ceil(49/13)=4,
+  // beats=ceil(512*9/8)*2=1152, fill=24.
+  const double expected = 47.0 * 4 * (1152 + 24);
+  EXPECT_DOUBLE_EQ(d.conv_cycles(kLate3x3, DataType::kFix16).compute, expected);
+}
+
+TEST(Systolic, DeepKLoopsReachHighUtilization) {
+  const SystolicDesign d;
+  EXPECT_GT(d.utilization(kLate3x3, DataType::kFix16), 0.85);
+  EXPECT_GT(d.utilization(kPointwise, DataType::kFix16), 0.6);
+}
+
+TEST(Systolic, ShallowKLoopsCannotAmortiseFill) {
+  const SystolicDesign d;
+  // Cin=3, K=3 -> 8 beats of work against 24 fill cycles.
+  EXPECT_LT(d.utilization(kVggConv1, DataType::kFix16), 0.35);
+}
+
+TEST(Winograd, TableIIInstanceProperties) {
+  const WinogradDesign d;
+  EXPECT_EQ(d.pe_count(), 6 * 6 * 8 * 2);  // 576 multipliers
+  // Effective peak equals the multiplier count: the Winograd arithmetic
+  // saving is spent on the transform pipeline (paper: comparable peaks).
+  EXPECT_DOUBLE_EQ(d.peak_macs_per_cycle(), 8.0 * 2 * 16 * 9 / 4.0);
+  EXPECT_NE(d.parameter_string().find("6, 2, 8"), std::string::npos);
+}
+
+TEST(Winograd, Applicability) {
+  EXPECT_TRUE(WinogradDesign::winograd_applicable(kLate3x3));
+  EXPECT_FALSE(WinogradDesign::winograd_applicable(kPointwise));
+  EXPECT_FALSE(WinogradDesign::winograd_applicable(kResNetStem));  // stride 2
+  EXPECT_FALSE(WinogradDesign::winograd_applicable(
+      ConvShape{64, 64, 28, 28, 5, 5, 1, 1}));
+}
+
+TEST(Winograd, FastPathCycleFormula) {
+  const WinogradDesign d;
+  // ceil(512/2)*ceil(512/8)*ceil(7/4)*ceil(7/4)*4.
+  const double expected = 256.0 * 64 * 2 * 2 * 4;
+  EXPECT_DOUBLE_EQ(d.conv_cycles(kLate3x3, DataType::kFix16).compute, expected);
+}
+
+TEST(Winograd, PointwiseFallbackIsCrippling) {
+  const WinogradDesign d;
+  // The paper: design 3 cannot effectively handle 1x1 convolutions.
+  EXPECT_LT(d.utilization(kPointwise, DataType::kFix16), 0.12);
+}
+
+TEST(Winograd, BeatsOthersOnTileAlignedDense3x3) {
+  // 28x28 maps align with the 4x4 output tiles (no fragmentation): the
+  // fast path wins. At 14x14 the ceil(14/4) waste hands the layer to the
+  // systolic design — the shape-dependent heterogeneity MARS exploits.
+  const SuperLipDesign d1;
+  const SystolicDesign d2;
+  const WinogradDesign d3;
+  const graph::ConvShape aligned{512, 512, 28, 28, 3, 3, 1, 1};
+  const double t1 = d1.conv_latency(aligned, DataType::kFix16).count();
+  const double t2 = d2.conv_latency(aligned, DataType::kFix16).count();
+  const double t3 = d3.conv_latency(aligned, DataType::kFix16).count();
+  EXPECT_LT(t3, t1);
+  EXPECT_LT(t3, t2);
+  // And the 14x14 crossover:
+  EXPECT_LT(d2.conv_latency(kMid3x3, DataType::kFix16).count(),
+            d3.conv_latency(kMid3x3, DataType::kFix16).count());
+}
+
+TEST(Heterogeneity, PointwiseLayersPreferSystolic) {
+  const SuperLipDesign d1;
+  const SystolicDesign d2;
+  const WinogradDesign d3;
+  const double t1 = d1.conv_latency(kPointwise, DataType::kFix16).count();
+  const double t2 = d2.conv_latency(kPointwise, DataType::kFix16).count();
+  const double t3 = d3.conv_latency(kPointwise, DataType::kFix16).count();
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(Heterogeneity, EarlyVggLayersPreferSuperLip) {
+  const SuperLipDesign d1;
+  const SystolicDesign d2;
+  const WinogradDesign d3;
+  const double t1 = d1.conv_latency(kVggConv1, DataType::kFix16).count();
+  const double t2 = d2.conv_latency(kVggConv1, DataType::kFix16).count();
+  EXPECT_LT(t1, t2);
+  (void)d3;
+}
+
+TEST(AllDesigns, GemvPathIsMemoryBound) {
+  const DesignRegistry registry = table2_designs();
+  for (DesignId id : registry.ids()) {
+    const AcceleratorDesign& d = registry.design(id);
+    const CycleBreakdown cycles = d.conv_cycles(kFc, DataType::kFix16);
+    EXPECT_GT(cycles.dram, cycles.compute) << d.name();
+    // Weight stream dominates: 4096*9216*2 bytes over the DRAM interface.
+    EXPECT_GT(cycles.dram, 4096.0 * 9216 * 2 / d.dram_bytes_per_cycle() * 0.9)
+        << d.name();
+  }
+}
+
+TEST(AllDesigns, UtilizationIsAlwaysAFraction) {
+  const DesignRegistry registry = table2_designs();
+  const graph::ConvSpine spine =
+      graph::ConvSpine::extract(graph::models::resnet34());
+  for (DesignId id : registry.ids()) {
+    const AcceleratorDesign& d = registry.design(id);
+    for (const graph::SpineNode& node : spine.nodes()) {
+      const double u = d.utilization(node.shape, DataType::kFix16);
+      EXPECT_GT(u, 0.0) << d.name() << " @ " << node.name;
+      EXPECT_LE(u, 1.0 + 1e-9) << d.name() << " @ " << node.name;
+    }
+  }
+}
+
+TEST(AllDesigns, CyclesScaleWithWork) {
+  // Halving Cout can never increase cycles.
+  const DesignRegistry registry = table2_designs();
+  ConvShape half = kMid3x3;
+  half.cout /= 2;
+  for (DesignId id : registry.ids()) {
+    const AcceleratorDesign& d = registry.design(id);
+    EXPECT_LE(d.conv_cycles(half, DataType::kFix16).total(),
+              d.conv_cycles(kMid3x3, DataType::kFix16).total())
+        << d.name();
+  }
+}
+
+TEST(AllDesigns, DegenerateShapeThrows) {
+  const SuperLipDesign d;
+  EXPECT_THROW((void)d.conv_cycles(ConvShape{0, 3, 8, 8, 3, 3}, DataType::kFix16),
+               InvalidArgument);
+}
+
+TEST(AllDesigns, DramBandwidthIsConfigurable) {
+  SuperLipDesign d;
+  const double before = d.conv_cycles(kFc, DataType::kFix16).dram;
+  d.set_dram_bandwidth(gbps(64.0 * 8));  // 64 GB/s
+  const double after = d.conv_cycles(kFc, DataType::kFix16).dram;
+  EXPECT_NEAR(before / after, 2.0, 1e-9);
+  EXPECT_THROW(d.set_dram_bandwidth(Bandwidth(0.0)), InvalidArgument);
+}
+
+TEST(Registry, Table2MenuIsThreeDesigns) {
+  const DesignRegistry registry = table2_designs();
+  ASSERT_EQ(registry.size(), 3);
+  EXPECT_EQ(registry.design(0).name(), "SuperLIP");
+  EXPECT_EQ(registry.design(1).name(), "SystolicGEMM");
+  EXPECT_EQ(registry.design(2).name(), "WinogradF43");
+  // All at 200 MHz per the paper's uniform setting.
+  for (DesignId id : registry.ids()) {
+    EXPECT_DOUBLE_EQ(registry.design(id).frequency().megahertz(), 200.0);
+  }
+}
+
+TEST(Registry, FindAndDuplicates) {
+  DesignRegistry registry = table2_designs();
+  EXPECT_EQ(registry.find("WinogradF43"), 2);
+  EXPECT_EQ(registry.find("nonexistent"), kInvalidDesign);
+  EXPECT_THROW(registry.add(std::make_unique<SuperLipDesign>()), InvalidArgument);
+  EXPECT_THROW(registry.add(nullptr), InvalidArgument);
+  EXPECT_THROW((void)registry.design(99), InvalidArgument);
+}
+
+TEST(Registry, H2HMenuIsHeterogeneous) {
+  const DesignRegistry registry = h2h_designs();
+  ASSERT_EQ(registry.size(), 4);
+  // Distinct names, distinct behaviour on a probe layer.
+  const ConvShape probe = kMid3x3;
+  double first = registry.design(0).conv_latency(probe, DataType::kFix16).count();
+  bool any_different = false;
+  for (DesignId id = 1; id < registry.size(); ++id) {
+    const double t =
+        registry.design(id).conv_latency(probe, DataType::kFix16).count();
+    any_different = any_different || std::abs(t - first) > 1e-12;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace mars::accel

@@ -1,0 +1,107 @@
+#include "mars/accel/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/graph/models/models.h"
+#include "mars/util/error.h"
+
+namespace mars::accel {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  DesignRegistry registry_ = table2_designs();
+  graph::ConvSpine spine_ =
+      graph::ConvSpine::extract(graph::models::resnet101());
+  ProfileMatrix matrix_{registry_, spine_};
+};
+
+TEST_F(ProfilerTest, DimensionsMatch) {
+  EXPECT_EQ(matrix_.num_designs(), registry_.size());
+  EXPECT_EQ(matrix_.num_layers(), spine_.size());
+}
+
+TEST_F(ProfilerTest, EntriesArePositiveAndConsistent) {
+  for (DesignId d = 0; d < matrix_.num_designs(); ++d) {
+    for (int l = 0; l < matrix_.num_layers(); ++l) {
+      const LayerProfile& p = matrix_.at(d, l);
+      EXPECT_GT(p.cycles, 0.0);
+      EXPECT_GT(p.utilization, 0.0);
+      EXPECT_LE(p.utilization, 1.0 + 1e-9);
+      // Matches a direct model query.
+      EXPECT_DOUBLE_EQ(p.cycles, registry_.design(d)
+                                     .conv_cycles(spine_.node(l).shape,
+                                                  spine_.dtype())
+                                     .total());
+    }
+  }
+}
+
+TEST_F(ProfilerTest, BestDesignIsArgmin) {
+  for (int l = 0; l < matrix_.num_layers(); ++l) {
+    const DesignId best = matrix_.best_design(l);
+    for (DesignId d = 0; d < matrix_.num_designs(); ++d) {
+      EXPECT_LE(matrix_.at(best, l).cycles, matrix_.at(d, l).cycles);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, BottleneckNetworkAvoidsWinograd) {
+  // ResNet101 is dominated by 1x1 convolutions; the Winograd design must
+  // never be the per-layer winner on them (the paper's observation).
+  const DesignId winograd = registry_.find("WinogradF43");
+  int winograd_wins_pointwise = 0;
+  for (int l = 0; l < matrix_.num_layers(); ++l) {
+    if (spine_.node(l).shape.is_pointwise() && matrix_.best_design(l) == winograd) {
+      ++winograd_wins_pointwise;
+    }
+  }
+  EXPECT_EQ(winograd_wins_pointwise, 0);
+}
+
+TEST_F(ProfilerTest, ScoresAreNormalised) {
+  const std::vector<double> scores = matrix_.design_scores();
+  ASSERT_EQ(scores.size(), static_cast<std::size_t>(registry_.size()));
+  for (double s : scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ProfilerTest, TotalCyclesSumRows) {
+  for (DesignId d = 0; d < matrix_.num_designs(); ++d) {
+    double expected = 0.0;
+    for (int l = 0; l < matrix_.num_layers(); ++l) {
+      expected += matrix_.at(d, l).cycles;
+    }
+    EXPECT_DOUBLE_EQ(matrix_.total_cycles(d), expected);
+  }
+}
+
+TEST_F(ProfilerTest, OutOfRangeThrows) {
+  EXPECT_THROW((void)matrix_.at(-1, 0), InvalidArgument);
+  EXPECT_THROW((void)matrix_.at(0, matrix_.num_layers()), InvalidArgument);
+}
+
+TEST(Profiler, MixedAssignmentBeatsAnySingleDesign) {
+  // The whole point of adaptive systems: the per-layer best mix is at
+  // least as fast as the best homogeneous choice, and strictly faster on
+  // heterogeneous workloads like VGG16.
+  const DesignRegistry registry = table2_designs();
+  const graph::ConvSpine spine =
+      graph::ConvSpine::extract(graph::models::vgg16());
+  const ProfileMatrix matrix(registry, spine);
+
+  double mixed = 0.0;
+  for (int l = 0; l < matrix.num_layers(); ++l) {
+    mixed += matrix.at(matrix.best_design(l), l).cycles;
+  }
+  double best_single = matrix.total_cycles(0);
+  for (DesignId d = 1; d < registry.size(); ++d) {
+    best_single = std::min(best_single, matrix.total_cycles(d));
+  }
+  EXPECT_LT(mixed, best_single);
+}
+
+}  // namespace
+}  // namespace mars::accel

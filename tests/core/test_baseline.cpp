@@ -1,0 +1,115 @@
+#include "mars/core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/core/evaluator.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+  accel::ProfileMatrix profile_{fx_.designs, fx_.spine};
+};
+
+TEST_F(BaselineTest, TwoGroupsHalfTheLayersEach) {
+  const Skeleton skeleton = baseline_skeleton(fx_.problem, profile_);
+  ASSERT_EQ(skeleton.sets.size(), 2u);
+  EXPECT_EQ(skeleton.sets[0].accs, 0b00001111u);
+  EXPECT_EQ(skeleton.sets[1].accs, 0b11110000u);
+  // 8 spine layers: 4 + 4.
+  EXPECT_EQ(skeleton.sets[0].num_layers(), 4);
+  EXPECT_EQ(skeleton.sets[1].num_layers(), 4);
+}
+
+TEST_F(BaselineTest, DesignMinimisesProfiledCycles) {
+  const Skeleton skeleton = baseline_skeleton(fx_.problem, profile_);
+  for (const LayerAssignment& set : skeleton.sets) {
+    double chosen = 0.0;
+    for (int l = set.begin; l < set.end; ++l) {
+      chosen += profile_.at(set.design, l).cycles;
+    }
+    for (accel::DesignId d = 0; d < fx_.designs.size(); ++d) {
+      double other = 0.0;
+      for (int l = set.begin; l < set.end; ++l) {
+        other += profile_.at(d, l).cycles;
+      }
+      EXPECT_LE(chosen, other + 1e-9);
+    }
+  }
+}
+
+TEST_F(BaselineTest, StrategySplitsTwoLongestDims) {
+  // VGG conv1: 64x3x224x224 k3 -> longest dims are H and W; p = 4 -> 2x2.
+  const graph::ConvShape shape{64, 3, 224, 224, 3, 3, 1, 1};
+  const parallel::Strategy s = baseline_strategy(shape, 4);
+  EXPECT_EQ(s.ways_of(parallel::Dim::kH), 2);
+  EXPECT_EQ(s.ways_of(parallel::Dim::kW), 2);
+  EXPECT_FALSE(s.has_ss());
+}
+
+TEST_F(BaselineTest, StrategyDeepLayerPicksChannels) {
+  // 2048x512x7x7 k1: longest dims are Cout then Cin.
+  const graph::ConvShape shape{2048, 512, 7, 7, 1, 1, 1, 1};
+  const parallel::Strategy s = baseline_strategy(shape, 4);
+  EXPECT_EQ(s.ways_of(parallel::Dim::kCout), 2);
+  EXPECT_EQ(s.ways_of(parallel::Dim::kCin), 2);
+}
+
+TEST_F(BaselineTest, StrategyEightAccelerators) {
+  const graph::ConvShape shape{512, 512, 28, 28, 3, 3, 1, 1};
+  const parallel::Strategy s = baseline_strategy(shape, 8);
+  EXPECT_EQ(s.es_ways(), 8);
+  EXPECT_EQ(s.es().size(), 2u);  // 4x2 on the two longest dims
+}
+
+TEST_F(BaselineTest, StrategySingleAccelerator) {
+  const graph::ConvShape shape{64, 3, 8, 8, 3, 3, 1, 1};
+  EXPECT_EQ(baseline_strategy(shape, 1).es_ways(), 1);
+}
+
+TEST_F(BaselineTest, StrategyFallsBackWhenDimsTooSmall) {
+  // FC layer: only Cout/Cin are splittable; 2-way balanced fails on
+  // spatial dims and must fall back cleanly.
+  const graph::ConvShape fc{1000, 4096, 1, 1, 1, 1, 1, 1};
+  const parallel::Strategy s = baseline_strategy(fc, 4);
+  EXPECT_TRUE(s.fits(fc, 4));
+}
+
+TEST_F(BaselineTest, FullMappingIsValidAndEvaluable) {
+  const Mapping mapping = baseline_mapping(fx_.problem, profile_);
+  EXPECT_NO_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+  const MappingEvaluator evaluator(fx_.problem);
+  const EvaluationSummary summary = evaluator.evaluate(mapping);
+  EXPECT_GT(summary.simulated.count(), 0.0);
+  EXPECT_TRUE(summary.memory_ok);
+}
+
+TEST_F(BaselineTest, SingleComponentTopologyIsBisected) {
+  topology::Topology clique = topology::fully_connected(8, gbps(8.0), gbps(2.0));
+  Problem problem = fx_.problem;
+  problem.topo = &clique;
+  const Skeleton skeleton = baseline_skeleton(problem, profile_);
+  ASSERT_EQ(skeleton.sets.size(), 2u);
+  EXPECT_EQ(topology::mask_count(skeleton.sets[0].accs), 4);
+  EXPECT_EQ(topology::mask_count(skeleton.sets[1].accs), 4);
+}
+
+TEST_F(BaselineTest, VggBaselineOrdersOfMagnitude) {
+  // Sanity: VGG16 baseline latency on the F1 platform lands in the
+  // tens-of-ms band (the paper reports 20.6 ms with its constants).
+  AdaptiveFixture vgg("vgg16");
+  const accel::ProfileMatrix profile(vgg.designs, vgg.spine);
+  const Mapping mapping = baseline_mapping(vgg.problem, profile);
+  const MappingEvaluator evaluator(vgg.problem);
+  const Seconds latency = evaluator.evaluate(mapping).simulated;
+  EXPECT_GT(latency.millis(), 5.0);
+  EXPECT_LT(latency.millis(), 500.0);
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -1,0 +1,176 @@
+#include "mars/core/first_level.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/core/baseline.h"
+#include "mars/ga/operators.h"
+#include "mars/topology/candidates.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+
+class FirstLevelTest : public ::testing::Test {
+ protected:
+  FirstLevelTest()
+      : candidates_(topology::accset_candidates(fx_.topo)),
+        codec_(fx_.problem, candidates_) {}
+
+  AdaptiveFixture fx_;
+  std::vector<topology::AccSetCandidate> candidates_;
+  FirstLevelCodec codec_;
+};
+
+TEST_F(FirstLevelTest, GenomeSizeFormula) {
+  const int c = static_cast<int>(candidates_.size());
+  EXPECT_EQ(codec_.genome_size(), c * (2 + fx_.designs.size()));
+}
+
+TEST_F(FirstLevelTest, DecodeProducesValidSkeletons) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ga::Genome genome =
+        ga::random_genome(codec_.genome_size(), 0.0, 1.0, rng);
+    const Skeleton skeleton = codec_.decode(genome);
+    ASSERT_FALSE(skeleton.sets.empty());
+
+    int cursor = 0;
+    topology::AccMask used = 0;
+    for (const LayerAssignment& set : skeleton.sets) {
+      EXPECT_EQ(set.begin, cursor);
+      EXPECT_GT(set.end, set.begin);
+      cursor = set.end;
+      EXPECT_EQ(set.accs & used, 0u);
+      used |= set.accs;
+      EXPECT_TRUE(fx_.topo.connected(set.accs));
+      EXPECT_GE(set.design, 0);
+      EXPECT_LT(set.design, fx_.designs.size());
+    }
+    EXPECT_EQ(cursor, fx_.spine.size());
+  }
+}
+
+TEST_F(FirstLevelTest, DecodeIsDeterministic) {
+  Rng rng(2);
+  const ga::Genome genome = ga::random_genome(codec_.genome_size(), 0.0, 1.0, rng);
+  const Skeleton a = codec_.decode(genome);
+  const Skeleton b = codec_.decode(genome);
+  ASSERT_EQ(a.sets.size(), b.sets.size());
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    EXPECT_EQ(a.sets[i].accs, b.sets[i].accs);
+    EXPECT_EQ(a.sets[i].design, b.sets[i].design);
+    EXPECT_EQ(a.sets[i].begin, b.sets[i].begin);
+    EXPECT_EQ(a.sets[i].end, b.sets[i].end);
+  }
+}
+
+TEST_F(FirstLevelTest, EncodeDecodeRoundTripsBaseline) {
+  const accel::ProfileMatrix profile(fx_.designs, fx_.spine);
+  const Skeleton baseline = baseline_skeleton(fx_.problem, profile);
+  const ga::Genome genome = codec_.encode(baseline, profile.design_scores());
+  const Skeleton decoded = codec_.decode(genome);
+
+  ASSERT_EQ(decoded.sets.size(), baseline.sets.size());
+  for (std::size_t i = 0; i < baseline.sets.size(); ++i) {
+    EXPECT_EQ(decoded.sets[i].accs, baseline.sets[i].accs);
+    EXPECT_EQ(decoded.sets[i].design, baseline.sets[i].design);
+    EXPECT_EQ(decoded.sets[i].begin, baseline.sets[i].begin);
+    EXPECT_EQ(decoded.sets[i].end, baseline.sets[i].end);
+  }
+}
+
+TEST_F(FirstLevelTest, SharesControlAllocation) {
+  // Put the two 4-groups on top with lopsided shares: the layer counts
+  // must follow the shares.
+  ga::Genome genome(static_cast<std::size_t>(codec_.genome_size()), 0.0);
+  const int c = static_cast<int>(candidates_.size());
+  const int d = fx_.designs.size();
+  int group1 = -1;
+  int group2 = -1;
+  for (int i = 0; i < c; ++i) {
+    if (candidates_[static_cast<std::size_t>(i)].mask == 0b00001111u) group1 = i;
+    if (candidates_[static_cast<std::size_t>(i)].mask == 0b11110000u) group2 = i;
+  }
+  ASSERT_GE(group1, 0);
+  ASSERT_GE(group2, 0);
+  genome[static_cast<std::size_t>(group1)] = 1.0;
+  genome[static_cast<std::size_t>(group2)] = 0.9;
+  genome[static_cast<std::size_t>(c + c * d + group1)] = 0.75;
+  genome[static_cast<std::size_t>(c + c * d + group2)] = 0.25;
+
+  const Skeleton skeleton = codec_.decode(genome);
+  ASSERT_EQ(skeleton.sets.size(), 2u);
+  EXPECT_EQ(skeleton.sets[0].num_layers(), 6);  // 8 layers * 0.75
+  EXPECT_EQ(skeleton.sets[1].num_layers(), 2);
+}
+
+TEST_F(FirstLevelTest, ZeroShareDropsSet) {
+  ga::Genome genome(static_cast<std::size_t>(codec_.genome_size()), 0.0);
+  const int c = static_cast<int>(candidates_.size());
+  const int d = fx_.designs.size();
+  int group1 = -1;
+  int group2 = -1;
+  for (int i = 0; i < c; ++i) {
+    if (candidates_[static_cast<std::size_t>(i)].mask == 0b00001111u) group1 = i;
+    if (candidates_[static_cast<std::size_t>(i)].mask == 0b11110000u) group2 = i;
+  }
+  genome[static_cast<std::size_t>(group1)] = 1.0;
+  genome[static_cast<std::size_t>(group2)] = 0.9;
+  genome[static_cast<std::size_t>(c + c * d + group1)] = 1.0;
+  genome[static_cast<std::size_t>(c + c * d + group2)] = 0.0;
+
+  const Skeleton skeleton = codec_.decode(genome);
+  ASSERT_EQ(skeleton.sets.size(), 1u);
+  EXPECT_EQ(skeleton.sets[0].accs, 0b00001111u);
+  EXPECT_EQ(skeleton.sets[0].num_layers(), fx_.spine.size());
+}
+
+TEST_F(FirstLevelTest, DesignGenesPickArgmax) {
+  ga::Genome genome(static_cast<std::size_t>(codec_.genome_size()), 0.0);
+  const int c = static_cast<int>(candidates_.size());
+  const int d = fx_.designs.size();
+  int group1 = -1;
+  for (int i = 0; i < c; ++i) {
+    if (candidates_[static_cast<std::size_t>(i)].mask == 0b00001111u) group1 = i;
+  }
+  genome[static_cast<std::size_t>(group1)] = 1.0;
+  genome[static_cast<std::size_t>(c + group1 * d + 2)] = 1.0;  // design 2 wins
+  genome[static_cast<std::size_t>(c + c * d + group1)] = 1.0;
+
+  const Skeleton skeleton = codec_.decode(genome);
+  bool found = false;
+  for (const LayerAssignment& set : skeleton.sets) {
+    if (set.accs == 0b00001111u) {
+      EXPECT_EQ(set.design, 2);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FirstLevelTest, ProfiledRandomUsesScores) {
+  const accel::ProfileMatrix profile(fx_.designs, fx_.spine);
+  const std::vector<double> scores = profile.design_scores();
+  Rng rng(5);
+  const ga::Genome genome = codec_.profiled_random(scores, rng);
+  // Design genes must sit near the scores (within the 0.1 jitter).
+  const int c = static_cast<int>(candidates_.size());
+  const int d = fx_.designs.size();
+  for (int i = 0; i < c; ++i) {
+    for (int k = 0; k < d; ++k) {
+      const double gene = genome[static_cast<std::size_t>(c + i * d + k)];
+      EXPECT_NEAR(gene, std::clamp(scores[static_cast<std::size_t>(k)], 0.0, 1.0),
+                  0.1 + 1e-9);
+    }
+  }
+}
+
+TEST_F(FirstLevelTest, RejectsWrongGenomeSize) {
+  EXPECT_THROW((void)codec_.decode(ga::Genome(3, 0.5)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -1,0 +1,111 @@
+#include "mars/core/h2h.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+namespace {
+
+using testing::FixedFixture;
+
+class H2HTest : public ::testing::Test {
+ protected:
+  FixedFixture fx_;
+  H2HMapper mapper_{fx_.problem};
+};
+
+TEST_F(H2HTest, RequiresFixedDesignMode) {
+  Problem adaptive = fx_.problem;
+  adaptive.adaptive = true;
+  EXPECT_THROW(H2HMapper{adaptive}, InvalidArgument);
+}
+
+TEST_F(H2HTest, AssignsEveryLayerToOneAccelerator) {
+  const H2HResult result = mapper_.map();
+  ASSERT_EQ(static_cast<int>(result.assignment.size()), fx_.spine.size());
+  for (int acc : result.assignment) {
+    EXPECT_GE(acc, 0);
+    EXPECT_LT(acc, fx_.topo.size());
+  }
+  EXPECT_GT(result.simulated.count(), 0.0);
+  EXPECT_GT(result.analytic.count(), 0.0);
+}
+
+TEST_F(H2HTest, UsesMultipleAccelerators) {
+  // A three-stream model must spread across accelerators for overlap.
+  const H2HResult result = mapper_.map();
+  std::set<int> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_GE(used.size(), 3u);
+}
+
+TEST_F(H2HTest, DeterministicResults) {
+  const H2HResult a = mapper_.map();
+  const H2HResult b = mapper_.map();
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.simulated.count(), b.simulated.count());
+}
+
+TEST_F(H2HTest, RefinementNeverHurts) {
+  H2HConfig no_refine;
+  no_refine.refinement_sweeps = 0;
+  const H2HMapper greedy_only(fx_.problem, no_refine);
+  const Seconds before = greedy_only.map().analytic;
+  const Seconds after = mapper_.map().analytic;
+  EXPECT_LE(after.count(), before.count() + 1e-12);
+}
+
+TEST_F(H2HTest, TaskGraphMatchesAssignment) {
+  const H2HResult result = mapper_.map();
+  const sim::TaskGraph tg = mapper_.build_task_graph(result.assignment);
+  int computes = 0;
+  for (const sim::Task& task : tg.tasks()) {
+    if (task.kind == sim::TaskKind::kCompute) {
+      EXPECT_EQ(task.acc,
+                result.assignment[static_cast<std::size_t>(computes)]);
+      ++computes;
+    }
+  }
+  EXPECT_EQ(computes, fx_.spine.size());
+}
+
+TEST_F(H2HTest, BandwidthSweepMonotoneTrend) {
+  // Higher interconnect bandwidth can only help a comm-aware mapper.
+  Seconds slow;
+  Seconds fast;
+  {
+    FixedFixture fx("casia_surf", gbps(1.0));
+    slow = H2HMapper(fx.problem).map().simulated;
+  }
+  {
+    FixedFixture fx("casia_surf", gbps(10.0));
+    fast = H2HMapper(fx.problem).map().simulated;
+  }
+  EXPECT_LT(fast.count(), slow.count());
+}
+
+TEST_F(H2HTest, SingleAcceleratorDegenerate) {
+  graph::Graph model = graph::models::alexnet();
+  graph::ConvSpine spine = graph::ConvSpine::extract(model);
+  topology::Topology topo = topology::h2h_cloud(1, gbps(4.0), 1);
+  accel::DesignRegistry designs = accel::h2h_designs();
+  Problem problem;
+  problem.spine = &spine;
+  problem.topo = &topo;
+  problem.designs = &designs;
+  problem.adaptive = false;
+  const H2HResult result = H2HMapper(problem).map();
+  for (int acc : result.assignment) {
+    EXPECT_EQ(acc, 0);
+  }
+}
+
+TEST_F(H2HTest, RejectsBadAssignmentArity) {
+  EXPECT_THROW((void)mapper_.build_task_graph({0, 1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::core

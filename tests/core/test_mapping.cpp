@@ -1,0 +1,113 @@
+#include "mars/core/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+using testing::two_set_mapping;
+
+class MappingTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+};
+
+TEST_F(MappingTest, ValidMappingPasses) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  EXPECT_NO_THROW(
+      mapping.validate(fx_.spine, fx_.topo, fx_.designs, /*adaptive=*/true));
+}
+
+TEST_F(MappingTest, RejectsEmptyMapping) {
+  Mapping mapping;
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsNonContiguousRanges) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[1].begin += 1;
+  mapping.sets[1].strategies.pop_back();
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsIncompleteCoverage) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[1].end -= 1;
+  mapping.sets[1].strategies.pop_back();
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsOverlappingAccSets) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[1].accs = 0b00011110;  // overlaps acc 1..3
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsDisconnectedAccSet) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[0].accs = 0b00000011;
+  mapping.sets[1].accs = 0b00110000 | 0b00001100;  // {2,3,4,5}: spans groups
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsBadDesign) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[0].design = 99;
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsStrategyArityMismatch) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  mapping.sets[0].strategies.pop_back();
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, RejectsIllFittingStrategy) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  // 8-way W split on the FC layers (W = 1) cannot fit.
+  mapping.sets[1].strategies.back() = parallel::Strategy(
+      {{parallel::Dim::kW, 4}}, std::nullopt);
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, true),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, FixedModeChecksFixedDesigns) {
+  Mapping mapping = two_set_mapping(fx_.problem);
+  for (LayerAssignment& set : mapping.sets) set.design = accel::kInvalidDesign;
+  // The adaptive F1 preset has no fixed designs: fixed-mode validation
+  // must fail.
+  EXPECT_THROW(mapping.validate(fx_.spine, fx_.topo, fx_.designs, false),
+               InvalidArgument);
+}
+
+TEST_F(MappingTest, DescribeMentionsDesignsAndStrategies) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const std::string text = describe(mapping, fx_.spine, fx_.designs, true);
+  EXPECT_NE(text.find("SuperLIP"), std::string::npos);
+  EXPECT_NE(text.find("4x"), std::string::npos);
+  EXPECT_NE(text.find("ES={Cout:4}"), std::string::npos);
+  EXPECT_NE(text.find("conv1"), std::string::npos);
+}
+
+TEST_F(MappingTest, LatencyBreakdownSums) {
+  LatencyBreakdown b;
+  b.compute = Seconds(1.0);
+  b.intra_set = Seconds(0.5);
+  b.inter_set = Seconds(0.25);
+  b.host_io = Seconds(0.125);
+  EXPECT_DOUBLE_EQ(b.total().count(), 1.875);
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -1,0 +1,118 @@
+#include "mars/core/mars.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/core/baseline.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+
+MarsConfig fast_config() {
+  MarsConfig config;
+  config.first_ga.population = 12;
+  config.first_ga.generations = 8;
+  config.first_ga.stall_generations = 4;
+  config.second.ga.population = 8;
+  config.second.ga.generations = 6;
+  config.seed = 7;
+  return config;
+}
+
+class MarsTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+};
+
+TEST_F(MarsTest, SearchProducesValidMapping) {
+  Mars mars(fx_.problem, fast_config());
+  const MarsResult result = mars.search();
+  EXPECT_NO_THROW(result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+  EXPECT_GT(result.summary.simulated.count(), 0.0);
+  EXPECT_TRUE(result.summary.memory_ok);
+  EXPECT_GT(result.first_level.generations_run, 0);
+}
+
+TEST_F(MarsTest, BeatsOrMatchesBaselineAnalytically) {
+  Mars mars(fx_.problem, fast_config());
+  const MarsResult result = mars.search();
+
+  const accel::ProfileMatrix profile(fx_.designs, fx_.spine);
+  const Mapping baseline = baseline_mapping(fx_.problem, profile);
+  const MappingEvaluator evaluator(fx_.problem);
+  const Seconds baseline_analytic =
+      evaluator.analytical().evaluate(baseline).analytic_makespan;
+  const Seconds mars_analytic = result.summary.analytic_makespan;
+  // The baseline is seeded into the population: MARS can only improve.
+  EXPECT_LE(mars_analytic.count(), baseline_analytic.count() * (1.0 + 1e-9));
+}
+
+TEST_F(MarsTest, DeterministicUnderSeed) {
+  Mars a(fx_.problem, fast_config());
+  Mars b(fx_.problem, fast_config());
+  const MarsResult ra = a.search();
+  const MarsResult rb = b.search();
+  EXPECT_DOUBLE_EQ(ra.summary.simulated.count(), rb.summary.simulated.count());
+  EXPECT_EQ(ra.mapping.sets.size(), rb.mapping.sets.size());
+}
+
+TEST_F(MarsTest, CacheIsExercised) {
+  Mars mars(fx_.problem, fast_config());
+  const MarsResult result = mars.search();
+  EXPECT_GT(result.second_level_misses, 0);
+  EXPECT_GT(result.second_level_hits, 0);  // GA revisits skeletons
+}
+
+TEST_F(MarsTest, FlatSingleLevelAblationRuns) {
+  MarsConfig config = fast_config();
+  config.two_level = false;
+  Mars mars(fx_.problem, config);
+  const MarsResult result = mars.search();
+  EXPECT_NO_THROW(result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+  EXPECT_EQ(result.second_level_misses, 0);  // no second-level calls
+}
+
+TEST_F(MarsTest, NoSsAblationProducesNoSharedShards) {
+  MarsConfig config = fast_config();
+  config.second.enable_ss = false;
+  Mars mars(fx_.problem, config);
+  const MarsResult result = mars.search();
+  for (const LayerAssignment& set : result.mapping.sets) {
+    for (const parallel::Strategy& s : set.strategies) {
+      EXPECT_FALSE(s.has_ss()) << s.to_string();
+    }
+  }
+}
+
+TEST_F(MarsTest, TrivialCandidateAblationRuns) {
+  MarsConfig config = fast_config();
+  config.heuristic_candidates = false;
+  config.seed_baseline = false;  // baseline skeleton may not be encodable
+  Mars mars(fx_.problem, config);
+  const MarsResult result = mars.search();
+  EXPECT_NO_THROW(result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+}
+
+TEST_F(MarsTest, ConvergenceHistoryIsMonotone) {
+  Mars mars(fx_.problem, fast_config());
+  const MarsResult result = mars.search();
+  const std::vector<double>& history = result.first_level.history;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i], history[i - 1] + 1e-15);
+  }
+}
+
+TEST_F(MarsTest, FixedDesignModeSearches) {
+  testing::FixedFixture fx;
+  MarsConfig config = fast_config();
+  Mars mars(fx.problem, config);
+  const MarsResult result = mars.search();
+  EXPECT_NO_THROW(
+      result.mapping.validate(fx.spine, fx.topo, fx.designs, /*adaptive=*/false));
+  EXPECT_GT(result.summary.simulated.count(), 0.0);
+}
+
+}  // namespace
+}  // namespace mars::core

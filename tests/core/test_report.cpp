@@ -1,0 +1,43 @@
+#include "mars/core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/graph/models/models.h"
+
+namespace mars::core {
+namespace {
+
+TEST(Report, LatencyReductionPaperStyle) {
+  EXPECT_EQ(latency_reduction(milliseconds(20.6), milliseconds(14.9)), "-27.7%");
+  EXPECT_EQ(latency_reduction(milliseconds(10.0), milliseconds(10.0)), "+0%");
+  EXPECT_EQ(latency_reduction(milliseconds(10.0), milliseconds(11.0)), "+10%");
+  EXPECT_EQ(latency_reduction(Seconds(0.0), milliseconds(1.0)), "n/a");
+}
+
+TEST(Report, WorkloadSummaryMatchesGraph) {
+  const graph::Graph model = graph::models::alexnet();
+  const WorkloadSummary summary = summarize(model);
+  EXPECT_EQ(summary.name, "alexnet");
+  EXPECT_EQ(summary.num_convs, 5);
+  EXPECT_EQ(summary.num_spine_layers, 8);
+  EXPECT_DOUBLE_EQ(summary.params, model.total_params());
+  EXPECT_DOUBLE_EQ(summary.macs, model.total_macs());
+}
+
+TEST(Report, ComparisonTableRendersRows) {
+  ComparisonRow row;
+  row.workload = summarize(graph::models::alexnet());
+  row.baseline = milliseconds(5.082);
+  row.ours = milliseconds(4.099);
+  row.mapping = "conv1..fc8 -> 4x SystolicGEMM";
+  const Table table = comparison_table({row}, "Baseline", "MARS");
+  const std::string out = table.render();
+  EXPECT_NE(out.find("alexnet"), std::string::npos);
+  EXPECT_NE(out.find("5.082"), std::string::npos);
+  EXPECT_NE(out.find("4.099"), std::string::npos);
+  EXPECT_NE(out.find("-19.3%"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mars::core

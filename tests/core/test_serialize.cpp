@@ -1,0 +1,73 @@
+#include "mars/core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/core/evaluator.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+using testing::two_set_mapping;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+};
+
+TEST_F(SerializeTest, StrategyJson) {
+  const parallel::Strategy s({{parallel::Dim::kH, 2}, {parallel::Dim::kW, 2}},
+                             parallel::Dim::kCout);
+  const std::string json = to_json(s).dump();
+  EXPECT_NE(json.find("\"dim\":\"H\""), std::string::npos);
+  EXPECT_NE(json.find("\"ways\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ss\":\"Cout\""), std::string::npos);
+}
+
+TEST_F(SerializeTest, StrategyWithoutSs) {
+  const parallel::Strategy s({{parallel::Dim::kCout, 4}}, std::nullopt);
+  EXPECT_NE(to_json(s).dump().find("\"ss\":\"\""), std::string::npos);
+}
+
+TEST_F(SerializeTest, MappingJsonStructure) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const std::string json =
+      to_json(mapping, fx_.spine, fx_.designs, true).dump();
+  EXPECT_NE(json.find("\"model\":\"alexnet\""), std::string::npos);
+  EXPECT_NE(json.find("\"design\":\"SuperLIP\""), std::string::npos);
+  EXPECT_NE(json.find("\"design\":\"SystolicGEMM\""), std::string::npos);
+  EXPECT_NE(json.find("\"accelerators\":[0,1,2,3]"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"conv1\""), std::string::npos);
+  // Every spine layer appears exactly once.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"index\":"); pos != std::string::npos;
+       pos = json.find("\"index\":", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(fx_.spine.size()));
+}
+
+TEST_F(SerializeTest, SummaryJsonFields) {
+  const MappingEvaluator evaluator(fx_.problem);
+  const EvaluationSummary summary =
+      evaluator.evaluate(two_set_mapping(fx_.problem));
+  const std::string json = to_json(summary).dump();
+  for (const char* field :
+       {"simulated_ms", "analytic_makespan_ms", "compute_ms", "intra_set_ms",
+        "inter_set_ms", "host_io_ms", "memory_ok", "worst_set_footprint_mib"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"memory_ok\":true"), std::string::npos);
+}
+
+TEST_F(SerializeTest, FixedModeMappingSaysFixed) {
+  testing::FixedFixture fixed;
+  Mapping mapping = two_set_mapping(fixed.problem);
+  const std::string json =
+      to_json(mapping, fixed.spine, fixed.designs, false).dump();
+  EXPECT_NE(json.find("\"design\":\"fixed\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mars::core

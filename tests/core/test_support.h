@@ -1,0 +1,78 @@
+// Shared fixtures for core tests: a small adaptive problem (AlexNet on the
+// F1 topology) and a fixed-design problem for H2H-style tests.
+#pragma once
+
+#include "mars/accel/registry.h"
+#include "mars/core/cost_model.h"
+#include "mars/graph/models/models.h"
+#include "mars/graph/spine.h"
+#include "mars/topology/presets.h"
+
+namespace mars::core::testing {
+
+struct AdaptiveFixture {
+  graph::Graph model;
+  graph::ConvSpine spine;
+  topology::Topology topo;
+  accel::DesignRegistry designs;
+  Problem problem;
+
+  explicit AdaptiveFixture(const std::string& model_name = "alexnet")
+      : model(graph::models::by_name(model_name)),
+        spine(graph::ConvSpine::extract(model)),
+        topo(topology::f1_16xlarge()),
+        designs(accel::table2_designs()) {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = true;
+  }
+};
+
+struct FixedFixture {
+  graph::Graph model;
+  graph::ConvSpine spine;
+  topology::Topology topo;
+  accel::DesignRegistry designs;
+  Problem problem;
+
+  explicit FixedFixture(const std::string& model_name = "casia_surf",
+                        Bandwidth bw = gbps(4.0))
+      : model(graph::models::by_name(model_name)),
+        spine(graph::ConvSpine::extract(model)),
+        topo(topology::h2h_cloud(8, bw, /*num_fixed_designs=*/4)),
+        designs(accel::h2h_designs()) {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = false;
+  }
+};
+
+/// A small valid mapping: first half of the spine on group 1 with design 0,
+/// second half on group 2 with design 1; every layer split Cout x p.
+inline Mapping two_set_mapping(const Problem& problem) {
+  const int n = problem.spine->size();
+  Mapping mapping;
+  LayerAssignment a;
+  a.accs = 0b00001111;
+  a.design = problem.adaptive ? 0 : accel::kInvalidDesign;
+  a.begin = 0;
+  a.end = n / 2;
+  LayerAssignment b;
+  b.accs = 0b11110000;
+  b.design = problem.adaptive ? 1 : accel::kInvalidDesign;
+  b.begin = n / 2;
+  b.end = n;
+  for (LayerAssignment* set : {&a, &b}) {
+    for (int l = set->begin; l < set->end; ++l) {
+      set->strategies.emplace_back(
+          std::vector<parallel::DimSplit>{{parallel::Dim::kCout, 4}},
+          std::nullopt);
+    }
+  }
+  mapping.sets = {a, b};
+  return mapping;
+}
+
+}  // namespace mars::core::testing

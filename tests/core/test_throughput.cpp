@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "mars/core/evaluator.h"
+#include "mars/util/error.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+using testing::two_set_mapping;
+
+class ThroughputTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+  MappingEvaluator evaluator_{fx_.problem};
+};
+
+TEST_F(ThroughputTest, BatchOneMatchesSingleInference) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const auto throughput = evaluator_.evaluate_throughput(mapping, 1);
+  const Seconds single = evaluator_.evaluate(mapping).simulated;
+  EXPECT_DOUBLE_EQ(throughput.makespan.count(), single.count());
+  EXPECT_NEAR(throughput.pipeline_speedup, 1.0, 1e-9);
+}
+
+TEST_F(ThroughputTest, BatchMakespanGrowsSubLinearlyForMultiSetMappings) {
+  // Two sets pipeline consecutive images: 8 images must take less than
+  // 8x the single-image latency.
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const auto throughput = evaluator_.evaluate_throughput(mapping, 8);
+  const Seconds single = evaluator_.evaluate(mapping).simulated;
+  EXPECT_LT(throughput.makespan.count(), 8.0 * single.count());
+  EXPECT_GT(throughput.pipeline_speedup, 1.05);
+  EXPECT_GT(throughput.images_per_second, 1.0 / single.count());
+}
+
+TEST_F(ThroughputTest, MakespanMonotoneInBatch) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  Seconds previous(0.0);
+  for (int batch : {1, 2, 4, 8}) {
+    const auto result = evaluator_.evaluate_throughput(mapping, batch);
+    EXPECT_GT(result.makespan.count(), previous.count());
+    previous = result.makespan;
+  }
+}
+
+TEST_F(ThroughputTest, SingleSetMappingHasBoundedOverlap) {
+  // One set: only host I/O overlaps with compute; the pipeline speedup
+  // stays near 1 (no stage parallelism to exploit).
+  Mapping mapping;
+  LayerAssignment set;
+  set.accs = 0b1111;
+  set.design = 0;
+  set.begin = 0;
+  set.end = fx_.spine.size();
+  for (int l = 0; l < fx_.spine.size(); ++l) {
+    set.strategies.emplace_back(
+        std::vector<parallel::DimSplit>{{parallel::Dim::kCout, 4}},
+        std::nullopt);
+  }
+  mapping.sets = {set};
+  const auto result = evaluator_.evaluate_throughput(mapping, 8);
+  EXPECT_LT(result.pipeline_speedup, 1.4);
+  EXPECT_GE(result.pipeline_speedup, 0.99);
+}
+
+TEST_F(ThroughputTest, MoreSetsPipelineBetter) {
+  // At batch 16, a two-set mapping's pipeline speedup must exceed a
+  // single-set mapping's.
+  Mapping single_set;
+  LayerAssignment only;
+  only.accs = 0b1111;
+  only.design = 0;
+  only.begin = 0;
+  only.end = fx_.spine.size();
+  for (int l = 0; l < fx_.spine.size(); ++l) {
+    only.strategies.emplace_back(
+        std::vector<parallel::DimSplit>{{parallel::Dim::kCout, 4}},
+        std::nullopt);
+  }
+  single_set.sets = {only};
+
+  const auto one = evaluator_.evaluate_throughput(single_set, 16);
+  const auto two =
+      evaluator_.evaluate_throughput(two_set_mapping(fx_.problem), 16);
+  EXPECT_GT(two.pipeline_speedup, one.pipeline_speedup);
+}
+
+TEST_F(ThroughputTest, RejectsBadBatch) {
+  EXPECT_THROW(
+      (void)evaluator_.evaluate_throughput(two_set_mapping(fx_.problem), 0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -1,0 +1,149 @@
+#include "mars/ga/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mars/util/error.h"
+
+namespace mars::ga {
+namespace {
+
+GaConfig small_config() {
+  GaConfig config;
+  config.population = 24;
+  config.generations = 40;
+  config.stall_generations = 0;  // run full budget in tests
+  return config;
+}
+
+double sphere(const Genome& genome) {
+  double sum = 0.0;
+  for (double g : genome) sum += (g - 0.7) * (g - 0.7);
+  return sum;
+}
+
+TEST(GaEngine, MinimisesSphereFunction) {
+  GaEngine engine(small_config(), 6);
+  Rng rng(1);
+  const GaResult result = engine.minimize(sphere, rng);
+  EXPECT_LT(result.best_fitness, 0.05);
+  for (double g : result.best) {
+    EXPECT_NEAR(g, 0.7, 0.25);
+  }
+}
+
+TEST(GaEngine, DeterministicUnderSeed) {
+  GaEngine engine(small_config(), 4);
+  Rng rng1(42);
+  Rng rng2(42);
+  const GaResult a = engine.minimize(sphere, rng1);
+  const GaResult b = engine.minimize(sphere, rng2);
+  EXPECT_DOUBLE_EQ(a.best_fitness, b.best_fitness);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(GaEngine, SeedsEnterThePopulation) {
+  // A perfect seed must survive through elitism: final best <= seed.
+  GaEngine engine(small_config(), 4);
+  Rng rng(3);
+  const Genome perfect(4, 0.7);
+  const GaResult result = engine.minimize(sphere, rng, {perfect});
+  EXPECT_LE(result.best_fitness, sphere(perfect) + 1e-12);
+}
+
+TEST(GaEngine, HistoryIsMonotoneNonIncreasing) {
+  GaEngine engine(small_config(), 8);
+  Rng rng(4);
+  const GaResult result = engine.minimize(sphere, rng);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LE(result.history[i], result.history[i - 1] + 1e-15);
+  }
+  EXPECT_EQ(result.generations_run,
+            static_cast<int>(result.history.size()));
+}
+
+TEST(GaEngine, EarlyStopOnStall) {
+  GaConfig config = small_config();
+  config.stall_generations = 3;
+  GaEngine engine(config, 2);
+  Rng rng(5);
+  // Constant fitness: stalls immediately.
+  const GaResult result =
+      engine.minimize([](const Genome&) { return 1.0; }, rng);
+  EXPECT_LE(result.generations_run, 5);
+  EXPECT_DOUBLE_EQ(result.best_fitness, 1.0);
+}
+
+TEST(GaEngine, NonFiniteFitnessTreatedAsWorst) {
+  GaConfig config = small_config();
+  GaEngine engine(config, 2);
+  Rng rng(6);
+  // Everything below 0.5 is "invalid": the GA must still find the feasible
+  // basin near 0.7.
+  auto fitness = [](const Genome& genome) {
+    for (double g : genome) {
+      if (g < 0.4) return std::numeric_limits<double>::quiet_NaN();
+    }
+    return sphere(genome);
+  };
+  const GaResult result = engine.minimize(fitness, rng);
+  EXPECT_TRUE(std::isfinite(result.best_fitness));
+  EXPECT_LT(result.best_fitness, 0.2);
+}
+
+TEST(GaEngine, EvaluationBudgetAccounting) {
+  GaConfig config = small_config();
+  config.generations = 5;
+  GaEngine engine(config, 3);
+  Rng rng(7);
+  const GaResult result = engine.minimize(sphere, rng);
+  // Initial population + (generations) * (population - elite) evaluations,
+  // minus nothing (no early stop).
+  const long long expected =
+      config.population +
+      static_cast<long long>(config.generations) *
+          (config.population - config.elite);
+  EXPECT_EQ(result.evaluations, expected);
+}
+
+TEST(GaEngine, ConfigValidation) {
+  EXPECT_THROW(GaEngine(GaConfig{.population = 1}, 4), InvalidArgument);
+  EXPECT_THROW(GaEngine(GaConfig{.population = 4, .elite = 4}, 4),
+               InvalidArgument);
+  GaConfig bad_range;
+  bad_range.gene_lo = 1.0;
+  bad_range.gene_hi = 0.0;
+  EXPECT_THROW(GaEngine(bad_range, 4), InvalidArgument);
+  EXPECT_THROW(GaEngine(GaConfig{}, 0), InvalidArgument);
+}
+
+TEST(GaEngine, RejectsMalformedSeeds) {
+  GaEngine engine(small_config(), 4);
+  Rng rng(8);
+  EXPECT_THROW((void)engine.minimize(sphere, rng, {Genome(3, 0.5)}),
+               InvalidArgument);
+}
+
+TEST(GaEngine, MultimodalSearchFindsGoodBasin) {
+  // Rastrigin-like: many local minima; the GA should land well below the
+  // random-search expectation.
+  auto rastrigin = [](const Genome& genome) {
+    double sum = 0.0;
+    for (double g : genome) {
+      const double x = (g - 0.5) * 6.0;
+      sum += x * x - 5.0 * std::cos(2.0 * 3.14159265 * x) + 5.0;
+    }
+    return sum;
+  };
+  GaConfig config = small_config();
+  config.generations = 60;
+  GaEngine engine(config, 4);
+  Rng rng(9);
+  const GaResult result = engine.minimize(rastrigin, rng);
+  EXPECT_LT(result.best_fitness, 8.0);
+}
+
+}  // namespace
+}  // namespace mars::ga

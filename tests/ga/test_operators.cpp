@@ -1,0 +1,97 @@
+#include "mars/ga/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars::ga {
+namespace {
+
+TEST(TournamentSelect, PicksBestOfFullTournament) {
+  Rng rng(1);
+  const std::vector<double> fitness{5.0, 1.0, 3.0, 4.0};
+  // With arity = population size repeated draws almost surely include the
+  // best; over many trials the minimum must be selected most often.
+  int best_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (tournament_select(fitness, 8, rng) == 1) ++best_count;
+  }
+  EXPECT_GT(best_count, 150);
+}
+
+TEST(TournamentSelect, ArityOneIsUniform) {
+  Rng rng(2);
+  std::vector<int> histogram(4, 0);
+  const std::vector<double> fitness{5.0, 1.0, 3.0, 4.0};
+  for (int i = 0; i < 4000; ++i) {
+    ++histogram[tournament_select(fitness, 1, rng)];
+  }
+  for (int count : histogram) {
+    EXPECT_GT(count, 700);  // roughly uniform
+  }
+}
+
+TEST(TournamentSelect, Validation) {
+  Rng rng(3);
+  EXPECT_THROW((void)tournament_select({}, 2, rng), InvalidArgument);
+  EXPECT_THROW((void)tournament_select({1.0}, 0, rng), InvalidArgument);
+}
+
+TEST(UniformCrossover, GenesComeFromParents) {
+  Rng rng(4);
+  const Genome a(32, 0.0);
+  const Genome b(32, 1.0);
+  const Genome child = uniform_crossover(a, b, rng);
+  int zeros = 0;
+  int ones = 0;
+  for (double g : child) {
+    if (g == 0.0) ++zeros;
+    if (g == 1.0) ++ones;
+  }
+  EXPECT_EQ(zeros + ones, 32);
+  EXPECT_GT(zeros, 0);
+  EXPECT_GT(ones, 0);
+}
+
+TEST(UniformCrossover, RejectsMismatchedSizes) {
+  Rng rng(5);
+  EXPECT_THROW((void)uniform_crossover(Genome(3), Genome(4), rng),
+               InvalidArgument);
+}
+
+TEST(GaussianMutate, RespectsBoundsAndRate) {
+  Rng rng(6);
+  Genome genome(1000, 0.5);
+  gaussian_mutate(genome, 0.5, 0.2, 0.0, 1.0, rng);
+  int mutated = 0;
+  for (double g : genome) {
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0);
+    if (g != 0.5) ++mutated;
+  }
+  // ~50% mutation rate.
+  EXPECT_GT(mutated, 380);
+  EXPECT_LT(mutated, 620);
+}
+
+TEST(GaussianMutate, ZeroRateIsIdentity) {
+  Rng rng(7);
+  Genome genome(100, 0.3);
+  gaussian_mutate(genome, 0.0, 0.2, 0.0, 1.0, rng);
+  for (double g : genome) {
+    EXPECT_DOUBLE_EQ(g, 0.3);
+  }
+}
+
+TEST(RandomGenome, WithinRange) {
+  Rng rng(8);
+  const Genome genome = random_genome(500, -1.0, 2.0, rng);
+  ASSERT_EQ(genome.size(), 500u);
+  for (double g : genome) {
+    EXPECT_GE(g, -1.0);
+    EXPECT_LT(g, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace mars::ga

@@ -1,0 +1,147 @@
+#include "mars/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars::graph {
+namespace {
+
+Graph tiny_cnn() {
+  Graph g("tiny");
+  LayerId x = g.add_input({3, 8, 8});
+  x = g.add_conv("conv1", x, ConvAttrs::square(16, 3, 1, 1));
+  x = g.add_relu("relu1", x);
+  x = g.add_max_pool("pool1", x, {2, 2, 0});
+  x = g.add_conv("conv2", x, ConvAttrs::square(32, 3, 1, 1));
+  x = g.add_global_avg_pool("gap", x);
+  x = g.add_flatten("flatten", x);
+  g.add_linear("fc", x, {10, true});
+  return g;
+}
+
+TEST(Graph, ConvShapeInference) {
+  Graph g("shapes");
+  LayerId x = g.add_input({3, 224, 224});
+  LayerId c = g.add_conv("conv", x, ConvAttrs::square(64, 7, 2, 3));
+  EXPECT_EQ(g.layer(c).output_shape, (TensorShape{64, 112, 112}));
+  EXPECT_EQ(g.layer(c).input_shape, (TensorShape{3, 224, 224}));
+}
+
+TEST(Graph, ConvMacsAndParams) {
+  Graph g("macs");
+  LayerId x = g.add_input({3, 8, 8});
+  LayerId c = g.add_conv("conv", x, ConvAttrs::square(4, 3, 1, 1, /*bias=*/true));
+  // 4 out x 3 in x 8 x 8 x 3 x 3 MACs.
+  EXPECT_DOUBLE_EQ(g.layer(c).macs, 4.0 * 3 * 8 * 8 * 9);
+  EXPECT_DOUBLE_EQ(g.layer(c).params, 4.0 * 3 * 9 + 4);
+}
+
+TEST(Graph, ConvWithoutBias) {
+  Graph g("nobias");
+  LayerId x = g.add_input({3, 8, 8});
+  LayerId c = g.add_conv("conv", x, ConvAttrs::square(4, 3, 1, 1, /*bias=*/false));
+  EXPECT_DOUBLE_EQ(g.layer(c).params, 4.0 * 3 * 9);
+}
+
+TEST(Graph, LinearShapeAndParams) {
+  Graph g("linear");
+  LayerId x = g.add_input({256, 6, 6});
+  x = g.add_flatten("flatten", x);
+  LayerId fc = g.add_linear("fc", x, {4096, true});
+  EXPECT_EQ(g.layer(fc).output_shape, (TensorShape{4096, 1, 1}));
+  EXPECT_DOUBLE_EQ(g.layer(fc).params, 256.0 * 36 * 4096 + 4096);
+  EXPECT_DOUBLE_EQ(g.layer(fc).macs, 256.0 * 36 * 4096);
+}
+
+TEST(Graph, PoolShapes) {
+  Graph g("pool");
+  LayerId x = g.add_input({8, 7, 7});
+  LayerId p = g.add_max_pool("pool", x, {3, 2, 0});
+  EXPECT_EQ(g.layer(p).output_shape, (TensorShape{8, 3, 3}));
+  LayerId gp = g.add_global_avg_pool("gap", p);
+  EXPECT_EQ(g.layer(gp).output_shape, (TensorShape{8, 1, 1}));
+}
+
+TEST(Graph, AddRequiresMatchingShapes) {
+  Graph g("add");
+  LayerId x = g.add_input({4, 8, 8});
+  LayerId a = g.add_conv("a", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId b = g.add_conv("b", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId c = g.add_conv("c", x, ConvAttrs::square(8, 3, 1, 1));
+  EXPECT_NO_THROW(g.add_add("ok", a, b));
+  EXPECT_THROW(g.add_add("bad", a, c), InvalidArgument);
+}
+
+TEST(Graph, ConcatSumsChannels) {
+  Graph g("concat");
+  LayerId x = g.add_input({4, 8, 8});
+  LayerId a = g.add_conv("a", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId b = g.add_conv("b", x, ConvAttrs::square(6, 3, 1, 1));
+  LayerId c = g.add_concat("cat", {a, b});
+  EXPECT_EQ(g.layer(c).output_shape, (TensorShape{10, 8, 8}));
+}
+
+TEST(Graph, ConcatRejectsSpatialMismatch) {
+  Graph g("concat");
+  LayerId x = g.add_input({4, 8, 8});
+  LayerId a = g.add_conv("a", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId b = g.add_conv("b", x, ConvAttrs::square(4, 3, 2, 1));
+  EXPECT_THROW(g.add_concat("bad", {a, b}), InvalidArgument);
+}
+
+TEST(Graph, ConsumersAndOutputs) {
+  Graph g("consumers");
+  LayerId x = g.add_input({4, 8, 8});
+  LayerId a = g.add_conv("a", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId b = g.add_conv("b", x, ConvAttrs::square(4, 3, 1, 1));
+  LayerId s = g.add_add("sum", a, b);
+  EXPECT_EQ(g.consumers(x), (std::vector<LayerId>{a, b}));
+  EXPECT_EQ(g.consumers(a), (std::vector<LayerId>{s}));
+  EXPECT_EQ(g.outputs(), (std::vector<LayerId>{s}));
+  EXPECT_EQ(g.inputs(), (std::vector<LayerId>{x}));
+}
+
+TEST(Graph, CountsAndTotals) {
+  Graph g = tiny_cnn();
+  EXPECT_EQ(g.num_convs(), 2);
+  EXPECT_EQ(g.num_spine_layers(), 3);  // 2 convs + 1 linear
+  EXPECT_GT(g.total_macs(), 0.0);
+  EXPECT_GT(g.total_params(), 0.0);
+}
+
+TEST(Graph, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(tiny_cnn().validate());
+}
+
+TEST(Graph, ValidateRejectsDisconnected) {
+  Graph g("disc");
+  g.add_input({3, 8, 8}, "in1");
+  LayerId x2 = g.add_input({3, 8, 8}, "in2");
+  g.add_conv("conv", x2, ConvAttrs::square(4, 3, 1, 1));
+  EXPECT_THROW(g.validate(), InternalError);
+}
+
+TEST(Graph, RejectsForwardReferences) {
+  Graph g("bad");
+  LayerId x = g.add_input({3, 8, 8});
+  EXPECT_THROW(g.add_conv("conv", x + 5, ConvAttrs::square(4, 3)), InvalidArgument);
+}
+
+TEST(Graph, RejectsCollapsingConv) {
+  Graph g("collapse");
+  LayerId x = g.add_input({3, 2, 2});
+  EXPECT_THROW(g.add_conv("conv", x, ConvAttrs::square(4, 5, 1, 0)),
+               InvalidArgument);
+}
+
+TEST(Graph, DotExportContainsNodesAndEdges) {
+  Graph g = tiny_cnn();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("conv1"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mars::graph

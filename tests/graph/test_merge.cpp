@@ -1,0 +1,76 @@
+#include "mars/graph/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/graph/models/models.h"
+#include "mars/graph/spine.h"
+#include "mars/util/error.h"
+
+namespace mars::graph {
+namespace {
+
+TEST(Merge, UnionPreservesTotals) {
+  const Graph a = models::alexnet();
+  const Graph b = models::resnet(18);
+  const Graph merged = merge_models("multi", {&a, &b});
+
+  EXPECT_EQ(merged.size(), a.size() + b.size());
+  EXPECT_DOUBLE_EQ(merged.total_macs(), a.total_macs() + b.total_macs());
+  EXPECT_DOUBLE_EQ(merged.total_params(), a.total_params() + b.total_params());
+  EXPECT_EQ(merged.num_spine_layers(),
+            a.num_spine_layers() + b.num_spine_layers());
+  EXPECT_EQ(merged.inputs().size(), 2u);
+  EXPECT_EQ(merged.outputs().size(), 2u);
+}
+
+TEST(Merge, NamesArePrefixed) {
+  const Graph a = models::alexnet();
+  const Graph merged = merge_models("multi", {&a, &a});
+  EXPECT_EQ(merged.layer(1).name, "m0.conv1");
+  EXPECT_EQ(merged.layer(a.size() + 1).name, "m1.conv1");
+}
+
+TEST(Merge, SpineExtractsAndModelsStayIndependent) {
+  const Graph a = models::alexnet();
+  const Graph b = models::resnet(18);
+  const Graph merged = merge_models("multi", {&a, &b});
+  const ConvSpine spine = ConvSpine::extract(merged);
+  EXPECT_EQ(spine.size(), a.num_spine_layers() + b.num_spine_layers());
+
+  // No edge may cross from model 0's spine nodes into model 1's: the cut
+  // at the model boundary carries zero bytes.
+  EXPECT_DOUBLE_EQ(spine.cut_bytes(a.num_spine_layers()).count(), 0.0);
+  // Two network inputs arrive from the host.
+  int input_edges = 0;
+  for (const SpineEdge& edge : spine.edges()) {
+    if (edge.producer < 0) ++input_edges;
+  }
+  EXPECT_EQ(input_edges, 2);
+}
+
+TEST(Merge, ResidualModelsSurviveRemapping) {
+  const Graph r = models::resnet(18);
+  const Graph merged = merge_models("twin", {&r, &r});
+  const ConvSpine spine = ConvSpine::extract(merged);
+  // Residual spanning structure present in both halves.
+  EXPECT_GT(spine.spanning_bytes(3).count(), 0.0);
+  EXPECT_GT(spine.spanning_bytes(r.num_spine_layers() + 3).count(), 0.0);
+}
+
+TEST(Merge, RejectsBadInput) {
+  const Graph a = models::alexnet();
+  const Graph f32 = models::alexnet(224, DataType::kFloat32);
+  EXPECT_THROW((void)merge_models("x", {}), InvalidArgument);
+  EXPECT_THROW((void)merge_models("x", {&a, nullptr}), InvalidArgument);
+  EXPECT_THROW((void)merge_models("x", {&a, &f32}), InvalidArgument);
+}
+
+TEST(Merge, StrictValidateStillRejectsDisconnected) {
+  const Graph a = models::alexnet();
+  const Graph merged = merge_models("multi", {&a, &a});
+  EXPECT_THROW(merged.validate(), InternalError);
+  EXPECT_NO_THROW(merged.validate(/*require_connected=*/false));
+}
+
+}  // namespace
+}  // namespace mars::graph

@@ -1,0 +1,43 @@
+#include "mars/graph/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace mars::graph {
+namespace {
+
+TEST(TensorShape, ElementsAndBytes) {
+  const TensorShape shape{64, 56, 56};
+  EXPECT_EQ(shape.elements(), 64LL * 56 * 56);
+  EXPECT_DOUBLE_EQ(shape.bytes(DataType::kFix16).count(), 64.0 * 56 * 56 * 2);
+  EXPECT_DOUBLE_EQ(shape.bytes(DataType::kFloat32).count(), 64.0 * 56 * 56 * 4);
+  EXPECT_DOUBLE_EQ(shape.bytes(DataType::kInt8).count(), 64.0 * 56 * 56);
+}
+
+TEST(TensorShape, LargeShapesDoNotOverflow) {
+  const TensorShape shape{2048, 1024, 1024};
+  EXPECT_EQ(shape.elements(), 2048LL * 1024 * 1024);
+  EXPECT_GT(shape.elements(), 0);
+}
+
+TEST(TensorShape, Validity) {
+  EXPECT_TRUE((TensorShape{1, 1, 1}.valid()));
+  EXPECT_FALSE((TensorShape{0, 5, 5}.valid()));
+  EXPECT_FALSE((TensorShape{5, -1, 5}.valid()));
+  EXPECT_FALSE(TensorShape{}.valid());
+}
+
+TEST(TensorShape, EqualityAndPrinting) {
+  EXPECT_EQ((TensorShape{3, 224, 224}), (TensorShape{3, 224, 224}));
+  EXPECT_NE((TensorShape{3, 224, 224}), (TensorShape{3, 224, 223}));
+  EXPECT_EQ(to_string(TensorShape{3, 224, 224}), "3x224x224");
+}
+
+TEST(DataType, BytesPerElement) {
+  EXPECT_EQ(bytes_per_element(DataType::kInt8), 1);
+  EXPECT_EQ(bytes_per_element(DataType::kFix16), 2);
+  EXPECT_EQ(bytes_per_element(DataType::kFloat32), 4);
+  EXPECT_EQ(to_string(DataType::kFix16), "fix16");
+}
+
+}  // namespace
+}  // namespace mars::graph

@@ -1,0 +1,145 @@
+// Property-based sweeps over the strategy/sharding machinery: invariants
+// that must hold for EVERY layer of EVERY zoo model under EVERY strategy.
+#include <gtest/gtest.h>
+
+#include "mars/accel/registry.h"
+#include "mars/graph/models/models.h"
+#include "mars/parallel/comm_pattern.h"
+#include "mars/parallel/sharding.h"
+
+namespace mars::parallel {
+namespace {
+
+struct PropertyCase {
+  const char* model;
+  int p;
+};
+
+class StrategyProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(StrategyProperties, PlansAreSelfConsistent) {
+  const auto [model_name, p] = GetParam();
+  const graph::Graph model = graph::models::by_name(model_name);
+  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
+
+  for (int l = 0; l < spine.size(); ++l) {
+    const graph::ConvShape& shape = spine.node(l).shape;
+    for (const Strategy& s : enumerate_strategies(shape, p, 3)) {
+      const ShardingPlan plan = make_plan(shape, spine.dtype(), s, p);
+
+      // Work conservation: shards cover the full iteration space.
+      EXPECT_GE(plan.local.macs() * p * plan.phases, shape.macs())
+          << model_name << " layer " << l << " " << s.to_string();
+      // Over-covering is bounded: ceil splits at most double each dim.
+      EXPECT_LE(plan.local.macs() * p * plan.phases, shape.macs() * 64.0);
+
+      // Memory: a shard never exceeds the whole tensor (x2 for buffers).
+      EXPECT_LE(plan.weight_resident.count(),
+                shape.weight_bytes(spine.dtype()).count() * 2.0 + 1.0);
+      EXPECT_LE(plan.input_live.count(),
+                shape.in_bytes(spine.dtype()).count() * 2.0 + 1.0);
+      EXPECT_LE(plan.output_live.count(),
+                shape.out_bytes(spine.dtype()).count() + 1.0);
+
+      // Phase structure.
+      EXPECT_EQ(plan.phases, s.has_ss() ? p : 1);
+      if (s.has_ss()) {
+        EXPECT_GT(plan.ring_hop_bytes.count(), 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(plan.ring_hop_bytes.count(), 0.0);
+      }
+
+      // All-Reduce group divides p and matches the reduction ways.
+      EXPECT_EQ(plan.allreduce_group, s.reduction_ways());
+      EXPECT_EQ(p % plan.allreduce_group, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooSweep, StrategyProperties,
+    ::testing::Values(PropertyCase{"alexnet", 2}, PropertyCase{"alexnet", 4},
+                      PropertyCase{"alexnet", 8}, PropertyCase{"resnet34", 4},
+                      PropertyCase{"vgg16", 8}, PropertyCase{"facebagnet", 4}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(info.param.model) + "_p" + std::to_string(info.param.p);
+    });
+
+TEST(ReshardProperties, CoverageNeverExceedsNeed) {
+  // Moved bytes are bounded by p * per-accelerator need (full miss) and
+  // never negative.
+  const graph::Graph model = graph::models::resnet34();
+  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
+  constexpr int kP = 4;
+  for (int l = 1; l < spine.size(); ++l) {
+    const graph::ConvShape& consumer = spine.node(l).shape;
+    const graph::ConvShape& producer = spine.node(l - 1).shape;
+    const Bytes in = consumer.in_bytes(spine.dtype());
+    for (const Strategy& sp : enumerate_strategies(producer, kP, 2)) {
+      const ShardingPlan prev = make_plan(producer, spine.dtype(), sp, kP);
+      for (const Strategy& sc : enumerate_strategies(consumer, kP, 2)) {
+        if (sc.has_ss()) continue;  // keep the sweep tractable
+        const ShardingPlan next = make_plan(consumer, spine.dtype(), sc, kP);
+        const ReshardCost cost = reshard_cost(prev.produced, consumer,
+                                              next.required, in, kP,
+                                              spine.dtype());
+        EXPECT_GE(cost.moved.count(), 0.0);
+        EXPECT_LE(cost.moved.count(),
+                  static_cast<double>(kP) * in.count() + cost.halo.count() + 1.0);
+      }
+      if (l > 3) break;  // bound the quadratic sweep on deep models
+    }
+    if (l > 3) break;
+  }
+}
+
+TEST(DesignProperties, MonotoneInEveryDimension) {
+  // Growing any loop dimension must not reduce total cycles, for every
+  // design in the Table II menu.
+  const accel::DesignRegistry registry = accel::table2_designs();
+  const graph::ConvShape base{128, 64, 28, 28, 3, 3, 1, 1};
+  auto grow = [](graph::ConvShape s, int dim) {
+    switch (dim) {
+      case 0: s.cout *= 2; break;
+      case 1: s.cin *= 2; break;
+      case 2: s.oh *= 2; break;
+      case 3: s.ow *= 2; break;
+      default: break;
+    }
+    return s;
+  };
+  for (accel::DesignId id : registry.ids()) {
+    const accel::AcceleratorDesign& d = registry.design(id);
+    const double t0 = d.conv_cycles(base, graph::DataType::kFix16).total();
+    for (int dim = 0; dim < 4; ++dim) {
+      const double t1 =
+          d.conv_cycles(grow(base, dim), graph::DataType::kFix16).total();
+      EXPECT_GE(t1, t0) << d.name() << " dim " << dim;
+    }
+  }
+}
+
+TEST(DesignProperties, ShardingNeverIncreasesPerAcceleratorCycles) {
+  // A sharded layer's per-phase local shape must never cost more than the
+  // whole layer on the same design — except when a kernel-dim split turns
+  // a 3x3 kernel into fragments and knocks the Winograd design off its
+  // fast path (a real effect the second-level search must, and does,
+  // learn to avoid).
+  const accel::DesignRegistry registry = accel::table2_designs();
+  const graph::ConvShape shape{256, 128, 28, 28, 3, 3, 1, 1};
+  for (const Strategy& s : enumerate_strategies(shape, 4, 3)) {
+    const ShardingPlan plan = make_plan(shape, graph::DataType::kFix16, s, 4);
+    const bool splits_kernel = s.ways_of(Dim::kKh) > 1 || s.ways_of(Dim::kKw) > 1 ||
+                               s.ss() == Dim::kKh || s.ss() == Dim::kKw;
+    for (accel::DesignId id : registry.ids()) {
+      const accel::AcceleratorDesign& d = registry.design(id);
+      if (splits_kernel && registry.find("WinogradF43") == id) continue;
+      EXPECT_LE(d.conv_cycles(plan.local, graph::DataType::kFix16).total(),
+                d.conv_cycles(shape, graph::DataType::kFix16).total() * 1.001)
+          << d.name() << " " << s.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars::parallel

@@ -1,0 +1,102 @@
+#include "mars/parallel/comm_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+namespace {
+
+using graph::ConvShape;
+using graph::DataType;
+
+const ConvShape kConsumer{64, 32, 28, 28, 3, 3, 1, 1};
+const DataType kDt = DataType::kFix16;
+const Bytes kIn = kConsumer.in_bytes(kDt);
+
+TEST(Reshard, AlignedLayoutsMoveOnlyHalos) {
+  // Producer sharded H x 4, consumer needs H x 4: aligned, only the 3x3
+  // kernel's boundary rows move.
+  const ActivationSharding layout{1, 4, 1};
+  const ReshardCost cost = reshard_cost(layout, kConsumer, layout, kIn, 4, kDt);
+  EXPECT_GT(cost.halo.count(), 0.0);
+  EXPECT_DOUBLE_EQ(cost.moved.count(), cost.halo.count());
+  // Halo: 2 boundaries x (ways-1) x (k - stride) rows of cin x iw.
+  const double expected = 2.0 * 3 * 2 * (32.0 * kConsumer.iw() * 2);
+  EXPECT_DOUBLE_EQ(cost.halo.count(), expected);
+}
+
+TEST(Reshard, AlignedChannelLayoutIsFree) {
+  // Channel splits have no halos.
+  const ActivationSharding layout{4, 1, 1};
+  const ReshardCost cost = reshard_cost(layout, kConsumer, layout, kIn, 4, kDt);
+  EXPECT_DOUBLE_EQ(cost.moved.count(), 0.0);
+}
+
+TEST(Reshard, PointwiseAlignedSpatialHasNoHalo) {
+  const ConvShape pointwise{64, 32, 28, 28, 1, 1, 1, 1};
+  const ActivationSharding layout{1, 4, 1};
+  const ReshardCost cost =
+      reshard_cost(layout, pointwise, layout, pointwise.in_bytes(kDt), 4, kDt);
+  EXPECT_DOUBLE_EQ(cost.moved.count(), 0.0);
+}
+
+TEST(Reshard, MismatchedDimsPayTranspose) {
+  // Producer sharded along H, consumer wants channel shards: each
+  // accelerator owns 1/4 of H but needs a full-height channel slice.
+  const ActivationSharding produced{1, 4, 1};
+  const ActivationSharding required{4, 1, 1};
+  const ReshardCost cost = reshard_cost(produced, kConsumer, required, kIn, 4, kDt);
+  // need/acc = in/4; coverage = 1/4; moved = 4 * in/4 * 3/4 = 0.75 in.
+  EXPECT_NEAR(cost.moved.count(), kIn.count() * 0.75, 1e-6);
+}
+
+TEST(Reshard, ReplicationBroadcastsToEveryone) {
+  // Producer sharded along H; consumer needs the full tensor everywhere
+  // (e.g. Cout-only ES): each accelerator misses 3/4 of it.
+  const ActivationSharding produced{1, 4, 1};
+  const ActivationSharding required{1, 1, 1};
+  const ReshardCost cost = reshard_cost(produced, kConsumer, required, kIn, 4, kDt);
+  EXPECT_NEAR(cost.moved.count(), 4.0 * kIn.count() * 0.75, 1e-6);
+}
+
+TEST(Reshard, FinerToCoarserStillPays) {
+  const ActivationSharding produced{1, 8, 1};
+  const ActivationSharding required{1, 2, 1};
+  const ReshardCost cost = reshard_cost(produced, kConsumer, required, kIn, 8, kDt);
+  // Mismatched ways: coverage = 1/8 per the uniform-alignment model.
+  EXPECT_GT(cost.moved.count(), 0.0);
+}
+
+TEST(Reshard, SingleAcceleratorIsFree) {
+  const ActivationSharding layout{1, 1, 1};
+  const ReshardCost cost = reshard_cost(layout, kConsumer, layout, kIn, 1, kDt);
+  EXPECT_DOUBLE_EQ(cost.moved.count(), 0.0);
+}
+
+TEST(Reshard, StrideAbsorbsHalo) {
+  // kernel 3, stride 3: windows do not overlap -> no halo.
+  const ConvShape strided{64, 32, 9, 9, 3, 3, 3, 3};
+  const ActivationSharding layout{1, 3, 1};
+  const ReshardCost cost =
+      reshard_cost(layout, strided, layout, strided.in_bytes(kDt), 3, kDt);
+  EXPECT_DOUBLE_EQ(cost.moved.count(), 0.0);
+}
+
+TEST(AllReduce, WireBytesClassicFactor) {
+  EXPECT_DOUBLE_EQ(allreduce_wire_bytes(Bytes(1000.0), 1).count(), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_wire_bytes(Bytes(1000.0), 2).count(), 1000.0);
+  EXPECT_DOUBLE_EQ(allreduce_wire_bytes(Bytes(1000.0), 4).count(), 1500.0);
+  EXPECT_DOUBLE_EQ(allreduce_wire_bytes(Bytes(1000.0), 8).count(), 1750.0);
+  EXPECT_THROW((void)allreduce_wire_bytes(Bytes(1.0), 0), InvalidArgument);
+}
+
+TEST(AllReduce, HopCounts) {
+  EXPECT_EQ(allreduce_hops(1), 0);
+  EXPECT_EQ(allreduce_hops(2), 2);
+  EXPECT_EQ(allreduce_hops(4), 6);
+  EXPECT_EQ(allreduce_hops(8), 14);
+}
+
+}  // namespace
+}  // namespace mars::parallel

@@ -1,0 +1,107 @@
+#include "mars/parallel/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/graph/models/models.h"
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  graph::ConvSpine spine_ = graph::ConvSpine::extract(graph::models::vgg16());
+
+  std::vector<ShardingPlan> plans_for(int begin, int end, const Strategy& s,
+                                      int p) {
+    std::vector<ShardingPlan> plans;
+    for (int l = begin; l < end; ++l) {
+      // Fall back to Cout-only split when s does not fit the layer.
+      Strategy use = s;
+      if (!use.fits(spine_.node(l).shape, p)) {
+        use = Strategy({{Dim::kCout, p}}, std::nullopt);
+      }
+      plans.push_back(make_plan(spine_.node(l).shape, spine_.dtype(), use, p));
+    }
+    return plans;
+  }
+};
+
+TEST_F(MemoryTest, WeightsAccumulateActivationsPeak) {
+  const Strategy s({{Dim::kCout, 2}}, std::nullopt);
+  const auto plans = plans_for(0, 4, s, 2);
+  const MemoryFootprint fp = footprint(spine_, 0, 4, plans);
+
+  double weight_sum = 0.0;
+  double act_peak = 0.0;
+  for (int l = 0; l < 4; ++l) {
+    weight_sum += plans[static_cast<std::size_t>(l)].weight_resident.count();
+    act_peak = std::max(act_peak,
+                        plans[static_cast<std::size_t>(l)].input_live.count() +
+                            plans[static_cast<std::size_t>(l)].output_live.count());
+  }
+  EXPECT_DOUBLE_EQ(fp.weights.count(), weight_sum);
+  EXPECT_DOUBLE_EQ(fp.peak_activation.count(), act_peak);
+  EXPECT_DOUBLE_EQ(fp.total().count(), weight_sum + act_peak);
+}
+
+TEST_F(MemoryTest, FitsThreshold) {
+  const Strategy s({{Dim::kCout, 2}}, std::nullopt);
+  const auto plans = plans_for(0, 4, s, 2);
+  const MemoryFootprint fp = footprint(spine_, 0, 4, plans);
+  EXPECT_TRUE(fp.fits(fp.total() + Bytes(1.0)));
+  EXPECT_TRUE(fp.fits(fp.total()));
+  EXPECT_FALSE(fp.fits(fp.total() - Bytes(1.0)));
+}
+
+TEST_F(MemoryTest, VggFitsOneGiBWhenSharded) {
+  // The paper's platform: 1 GiB DRAM per card. VGG16's whole spine sharded
+  // 4-ways fits comfortably at fix16.
+  const Strategy s({{Dim::kCout, 4}}, std::nullopt);
+  const auto plans = plans_for(0, spine_.size(), s, 4);
+  const MemoryFootprint fp = footprint(spine_, 0, spine_.size(), plans);
+  EXPECT_TRUE(fp.fits(gibibytes(1.0)));
+}
+
+TEST_F(MemoryTest, SsHalvesVggWeightFootprint) {
+  // ES = {H:4} replicates the weights on all 4 accelerators; adding
+  // SS = {Cout} keeps only a double-buffered quarter shard (= half).
+  const Strategy plain({{Dim::kH, 4}}, std::nullopt);
+  const Strategy shared({{Dim::kH, 4}}, Dim::kCout);
+  // Restrict to conv layers (H >= 4): the first 13 spine nodes.
+  const auto plans_plain = plans_for(0, 13, plain, 4);
+  const auto plans_shared = plans_for(0, 13, shared, 4);
+  const MemoryFootprint a = footprint(spine_, 0, 13, plans_plain);
+  const MemoryFootprint b = footprint(spine_, 0, 13, plans_shared);
+  EXPECT_NEAR(b.weights.count() / a.weights.count(), 0.5, 1e-9);
+}
+
+TEST_F(MemoryTest, ResidualSpanningBytesCharged) {
+  const graph::ConvSpine resnet =
+      graph::ConvSpine::extract(graph::models::resnet34());
+  // Find a layer spanned by a shortcut edge and verify the footprint grows.
+  int spanned = -1;
+  for (int l = 1; l + 1 < resnet.size(); ++l) {
+    if (resnet.spanning_bytes(l).count() > 0.0) {
+      spanned = l;
+      break;
+    }
+  }
+  ASSERT_GE(spanned, 0);
+  std::vector<ShardingPlan> plans{make_plan(
+      resnet.node(spanned).shape, resnet.dtype(), Strategy{}, 1)};
+  const MemoryFootprint fp = footprint(resnet, spanned, spanned + 1, plans);
+  EXPECT_GE(fp.peak_activation.count(),
+            resnet.spanning_bytes(spanned).count());
+}
+
+TEST_F(MemoryTest, RejectsBadRanges) {
+  const Strategy s({{Dim::kCout, 2}}, std::nullopt);
+  auto plans = plans_for(0, 2, s, 2);
+  EXPECT_THROW((void)footprint(spine_, 2, 2, plans), InvalidArgument);
+  EXPECT_THROW((void)footprint(spine_, 0, 3, plans), InvalidArgument);
+  EXPECT_THROW((void)footprint(spine_, -1, 1, plans), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::parallel

@@ -1,0 +1,165 @@
+#include "mars/parallel/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+namespace {
+
+using graph::ConvShape;
+using graph::DataType;
+
+const ConvShape kConv{64, 32, 28, 28, 3, 3, 1, 1};
+const DataType kDt = DataType::kFix16;
+
+TEST(Sharding, DefaultPlanSingleAccelerator) {
+  const ShardingPlan plan = make_plan(kConv, kDt, Strategy{}, 1);
+  EXPECT_EQ(plan.p, 1);
+  EXPECT_EQ(plan.phases, 1);
+  EXPECT_EQ(plan.local, kConv);
+  EXPECT_EQ(plan.allreduce_group, 1);
+  EXPECT_DOUBLE_EQ(plan.ring_hop_bytes.count(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.weight_resident.count(),
+                   kConv.weight_bytes(kDt).count());
+}
+
+TEST(Sharding, Figure2bTwoByTwoGrid) {
+  // ES = {Cin, W} on 4 accelerators: loop bounds halve on Cin and W,
+  // partial sums All-Reduce in groups of 2.
+  const Strategy s({{Dim::kCin, 2}, {Dim::kW, 2}}, std::nullopt);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 4);
+
+  EXPECT_EQ(plan.phases, 1);
+  EXPECT_EQ(plan.local.cin, 16);
+  EXPECT_EQ(plan.local.ow, 14);
+  EXPECT_EQ(plan.local.cout, 64);
+  EXPECT_EQ(plan.local.oh, 28);
+  EXPECT_EQ(plan.allreduce_group, 2);
+  // Each reduce subgroup shares an output W-half: Cout x H x W/2.
+  EXPECT_DOUBLE_EQ(plan.allreduce_bytes.count(), 64.0 * 28 * 14 * 2);
+  // Each accelerator holds a quarter of the input and half of the weights
+  // (the paper's description of Fig. 2(b)).
+  EXPECT_DOUBLE_EQ(plan.input_live.count(), kConv.in_bytes(kDt).count() / 4);
+  EXPECT_DOUBLE_EQ(plan.weight_resident.count(),
+                   kConv.weight_bytes(kDt).count() / 2);
+}
+
+TEST(Sharding, Figure2cExclusivePlusShared) {
+  // ES = {W}, SS = {Cout} on 2 accelerators: 2 phases, weight shards
+  // rotate, output accumulates all Cout.
+  const Strategy s({{Dim::kW, 2}}, Dim::kCout);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 2);
+
+  EXPECT_EQ(plan.phases, 2);
+  EXPECT_FALSE(plan.rotate_input);
+  EXPECT_EQ(plan.local.ow, 14);
+  EXPECT_EQ(plan.local.cout, 32);  // Cout / p per phase
+  // Rotating shard: half the weights.
+  EXPECT_DOUBLE_EQ(plan.ring_hop_bytes.count(),
+                   kConv.weight_bytes(kDt).count() / 2);
+  EXPECT_EQ(plan.allreduce_group, 1);
+  // Weight residency: rotating shard double-buffered = 2 * W/2 = W ... per
+  // the es_w=1 case: 2/(1*2) = full weight bytes.
+  EXPECT_DOUBLE_EQ(plan.weight_resident.count(),
+                   kConv.weight_bytes(kDt).count());
+  // Output: each accelerator eventually holds all Cout of its W half.
+  EXPECT_DOUBLE_EQ(plan.output_live.count(), kConv.out_bytes(kDt).count() / 2);
+  // Produced layout is sharded along W only (SS leaves Cout whole).
+  EXPECT_EQ(plan.produced.w_ways, 2);
+  EXPECT_EQ(plan.produced.c_ways, 1);
+}
+
+TEST(Sharding, SpatialSsRotatesInput) {
+  const Strategy s({{Dim::kCout, 2}}, Dim::kH);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 2);
+  EXPECT_TRUE(plan.rotate_input);
+  EXPECT_EQ(plan.phases, 2);
+  EXPECT_DOUBLE_EQ(plan.ring_hop_bytes.count(), kConv.in_bytes(kDt).count() / 2);
+  // Input lives as a double-buffered rotating shard.
+  EXPECT_DOUBLE_EQ(plan.input_live.count(), kConv.in_bytes(kDt).count());
+  // Required input layout: H p-way distributed at entry.
+  EXPECT_EQ(plan.required.h_ways, 2);
+}
+
+TEST(Sharding, CinSsAccumulatesLocallyNoAllReduce) {
+  const Strategy s({{Dim::kW, 2}}, Dim::kCin);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 2);
+  // SS on a reduction dim: rotation serialises the reduction.
+  EXPECT_EQ(plan.allreduce_group, 1);
+  EXPECT_FALSE(plan.rotate_input);  // weights rotate for Cin
+  EXPECT_EQ(plan.local.cin, 16);
+  EXPECT_EQ(plan.required.c_ways, 2);
+}
+
+TEST(Sharding, ReductionEsTriggersAllReduce) {
+  const Strategy s({{Dim::kCin, 4}}, std::nullopt);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 4);
+  EXPECT_EQ(plan.allreduce_group, 4);
+  // All 4 share the full output.
+  EXPECT_DOUBLE_EQ(plan.allreduce_bytes.count(), kConv.out_bytes(kDt).count());
+}
+
+TEST(Sharding, CeilSplitLoopBounds) {
+  // H = 28 split 8 ways -> ceil = 4.
+  const Strategy s({{Dim::kH, 8}}, std::nullopt);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 8);
+  EXPECT_EQ(plan.local.oh, 4);
+}
+
+TEST(Sharding, KernelSplitBehavesLikeReduction) {
+  const Strategy s({{Dim::kKh, 3}}, std::nullopt);
+  const ShardingPlan plan = make_plan(kConv, kDt, s, 3);
+  EXPECT_EQ(plan.local.kh, 1);
+  EXPECT_EQ(plan.allreduce_group, 3);
+}
+
+TEST(Sharding, MemoryScalesDownWithMoreAccelerators) {
+  const Strategy s2({{Dim::kCout, 2}}, std::nullopt);
+  const Strategy s4({{Dim::kCout, 4}}, std::nullopt);
+  const ShardingPlan p2 = make_plan(kConv, kDt, s2, 2);
+  const ShardingPlan p4 = make_plan(kConv, kDt, s4, 4);
+  EXPECT_LT(p4.weight_resident.count(), p2.weight_resident.count());
+  EXPECT_LT(p4.output_live.count(), p2.output_live.count());
+}
+
+TEST(Sharding, SsReducesWeightResidencyVsReplication) {
+  // The paper's SS motivation: shared shards relieve the memory burden.
+  const Strategy replicated({{Dim::kH, 4}}, std::nullopt);
+  const Strategy shared({{Dim::kH, 4}}, Dim::kCout);
+  const ShardingPlan rep = make_plan(kConv, kDt, replicated, 4);
+  const ShardingPlan shr = make_plan(kConv, kDt, shared, 4);
+  // Replicated: full weights everywhere. Shared: 2/p (double buffer).
+  EXPECT_DOUBLE_EQ(rep.weight_resident.count(),
+                   kConv.weight_bytes(kDt).count());
+  EXPECT_DOUBLE_EQ(shr.weight_resident.count(),
+                   kConv.weight_bytes(kDt).count() / 2);
+}
+
+TEST(Sharding, RejectsIllFittingStrategy) {
+  const Strategy s({{Dim::kW, 2}}, std::nullopt);
+  EXPECT_THROW((void)make_plan(kConv, kDt, s, 4), InvalidArgument);
+  EXPECT_THROW((void)make_plan(kConv, kDt, Strategy{}, 0), InvalidArgument);
+}
+
+TEST(Sharding, TotalComputeCoversAllWork) {
+  // Across all accelerators and phases, local loop bounds must cover the
+  // full iteration space (ceil splits may overcover, never undercover).
+  for (const Strategy& s : enumerate_strategies(kConv, 4)) {
+    const ShardingPlan plan = make_plan(kConv, kDt, s, 4);
+    const double covered = plan.local.macs() * plan.p * plan.phases;
+    EXPECT_GE(covered, kConv.macs()) << s.to_string();
+  }
+}
+
+TEST(Sharding, ProducedLayoutNeverCountsSsOrReduction) {
+  for (const Strategy& s : enumerate_strategies(kConv, 8)) {
+    const ShardingPlan plan = make_plan(kConv, kDt, s, 8);
+    EXPECT_EQ(plan.produced.c_ways, s.ways_of(Dim::kCout)) << s.to_string();
+    EXPECT_EQ(plan.produced.h_ways, s.ways_of(Dim::kH)) << s.to_string();
+    EXPECT_EQ(plan.produced.w_ways, s.ways_of(Dim::kW)) << s.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace mars::parallel

@@ -1,0 +1,184 @@
+#include "mars/parallel/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mars/util/error.h"
+
+namespace mars::parallel {
+namespace {
+
+const graph::ConvShape kConv{64, 32, 28, 28, 3, 3, 1, 1};
+const graph::ConvShape kTiny{8, 3, 4, 4, 3, 3, 1, 1};
+
+TEST(Dims, ExtentsAndClassification) {
+  EXPECT_EQ(dim_extent(kConv, Dim::kCout), 64);
+  EXPECT_EQ(dim_extent(kConv, Dim::kCin), 32);
+  EXPECT_EQ(dim_extent(kConv, Dim::kH), 28);
+  EXPECT_EQ(dim_extent(kConv, Dim::kW), 28);
+  EXPECT_EQ(dim_extent(kConv, Dim::kKh), 3);
+  EXPECT_EQ(dim_extent(kConv, Dim::kKw), 3);
+
+  EXPECT_TRUE(is_reduction_dim(Dim::kCin));
+  EXPECT_TRUE(is_reduction_dim(Dim::kKh));
+  EXPECT_TRUE(is_reduction_dim(Dim::kKw));
+  EXPECT_FALSE(is_reduction_dim(Dim::kCout));
+  EXPECT_FALSE(is_reduction_dim(Dim::kH));
+}
+
+TEST(Dims, TensorMembership) {
+  EXPECT_TRUE(dim_in_weight(Dim::kCout));
+  EXPECT_TRUE(dim_in_weight(Dim::kCin));
+  EXPECT_FALSE(dim_in_weight(Dim::kH));
+  EXPECT_TRUE(dim_in_input(Dim::kH));
+  EXPECT_TRUE(dim_in_input(Dim::kCin));
+  EXPECT_FALSE(dim_in_input(Dim::kCout));
+  EXPECT_TRUE(dim_in_output(Dim::kCout));
+  EXPECT_FALSE(dim_in_output(Dim::kCin));
+}
+
+TEST(Strategy, DefaultIsUnpartitioned) {
+  const Strategy none;
+  EXPECT_EQ(none.es_ways(), 1);
+  EXPECT_FALSE(none.has_ss());
+  EXPECT_TRUE(none.fits(kConv, 1));
+  EXPECT_FALSE(none.fits(kConv, 4));
+}
+
+TEST(Strategy, PaperFigure2bExample) {
+  // Fig. 2(b): ES = {Cin, W}, four accelerators (2x2).
+  const Strategy s({{Dim::kCin, 2}, {Dim::kW, 2}}, std::nullopt);
+  EXPECT_EQ(s.es_ways(), 4);
+  EXPECT_EQ(s.reduction_ways(), 2);  // Cin is a reduction dim -> All-Reduce
+  EXPECT_EQ(s.es_ways_in_input(), 4);   // Cin and W both index the input
+  EXPECT_EQ(s.es_ways_in_weight(), 2);  // only Cin indexes the weights
+  EXPECT_EQ(s.es_ways_in_output(), 2);  // only W indexes the output
+  EXPECT_TRUE(s.fits(kConv, 4));
+}
+
+TEST(Strategy, PaperFigure2cExample) {
+  // Fig. 2(c): ES = {W}, SS = {Cout}, two accelerators.
+  const Strategy s({{Dim::kW, 2}}, Dim::kCout);
+  EXPECT_EQ(s.es_ways(), 2);
+  EXPECT_TRUE(s.has_ss());
+  EXPECT_EQ(*s.ss(), Dim::kCout);
+  EXPECT_EQ(s.reduction_ways(), 1);  // no All-Reduce
+  EXPECT_TRUE(s.fits(kConv, 2));
+}
+
+TEST(Strategy, RejectsMalformedInput) {
+  EXPECT_THROW(Strategy({{Dim::kW, 1}}, std::nullopt), InvalidArgument);
+  EXPECT_THROW(Strategy({{Dim::kW, 2}, {Dim::kW, 2}}, std::nullopt),
+               InvalidArgument);
+  EXPECT_THROW(Strategy({{Dim::kW, 2}}, Dim::kW), InvalidArgument);
+}
+
+TEST(Strategy, FitsChecksExtents) {
+  // Kh = 3 cannot be split 4 ways.
+  const Strategy bad({{Dim::kKh, 4}}, std::nullopt);
+  EXPECT_FALSE(bad.fits(kConv, 4));
+  // SS dim must host p shards: H = 4 with p = 8 fails.
+  const Strategy ss_bad({{Dim::kCout, 8}}, Dim::kH);
+  EXPECT_FALSE(ss_bad.fits(kTiny, 8));
+}
+
+TEST(Strategy, WaysOfLookup) {
+  const Strategy s({{Dim::kCout, 4}, {Dim::kH, 2}}, Dim::kW);
+  EXPECT_EQ(s.ways_of(Dim::kCout), 4);
+  EXPECT_EQ(s.ways_of(Dim::kH), 2);
+  EXPECT_EQ(s.ways_of(Dim::kW), 1);  // SS does not count as ES ways
+}
+
+TEST(Strategy, ToStringPaperStyle) {
+  const Strategy s({{Dim::kCin, 2}, {Dim::kW, 2}}, std::nullopt);
+  EXPECT_EQ(s.to_string(), "ES={Cin,W}, SS={}");
+  const Strategy t({{Dim::kW, 2}}, Dim::kCout);
+  EXPECT_EQ(t.to_string(), "ES={W:2}, SS={Cout}");
+  const Strategy u({{Dim::kCout, 4}, {Dim::kH, 2}}, std::nullopt);
+  EXPECT_EQ(u.to_string(), "ES={Cout:4,H}, SS={}");
+}
+
+TEST(Factorizations, KnownCases) {
+  EXPECT_EQ(factorizations(2), (std::vector<std::vector<int>>{{2}}));
+  EXPECT_EQ(factorizations(4), (std::vector<std::vector<int>>{{4}, {2, 2}}));
+  EXPECT_EQ(factorizations(8),
+            (std::vector<std::vector<int>>{{8}, {4, 2}, {2, 2, 2}}));
+  EXPECT_EQ(factorizations(6), (std::vector<std::vector<int>>{{6}, {3, 2}}));
+  EXPECT_EQ(factorizations(7), (std::vector<std::vector<int>>{{7}}));
+}
+
+TEST(Factorizations, RespectsMaxDims) {
+  EXPECT_EQ(factorizations(8, 2), (std::vector<std::vector<int>>{{8}, {4, 2}}));
+  EXPECT_EQ(factorizations(16, 2),
+            (std::vector<std::vector<int>>{{16}, {8, 2}, {4, 4}}));
+}
+
+TEST(Enumerate, SingleAcceleratorIsDefaultOnly) {
+  const std::vector<Strategy> all = enumerate_strategies(kConv, 1);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all.front().es_ways(), 1);
+}
+
+TEST(Enumerate, AllValidAndUnique) {
+  const std::vector<Strategy> all = enumerate_strategies(kConv, 4);
+  EXPECT_GT(all.size(), 20u);
+  std::set<std::string> seen;
+  for (const Strategy& s : all) {
+    EXPECT_TRUE(s.fits(kConv, 4)) << s.to_string();
+    EXPECT_TRUE(seen.insert(s.to_string()).second) << "dup " << s.to_string();
+  }
+}
+
+TEST(Enumerate, PaperCountsForTwoDimES) {
+  // The paper: C(6,2) = 15 two-dim ES choices; with one SS dim on top of a
+  // two-dim ES there are 15 * 4 combinations (SS from the remaining dims,
+  // subject to extent limits). Use a shape big enough in every dim so only
+  // the kernel dims (3 < 4) constrain splitting.
+  const graph::ConvShape big{64, 64, 64, 64, 8, 8, 1, 1};
+  const std::vector<Strategy> all = enumerate_strategies(big, 4, 2);
+  int es_two_dims_no_ss = 0;
+  for (const Strategy& s : all) {
+    if (s.es().size() == 2 && !s.has_ss()) ++es_two_dims_no_ss;
+  }
+  EXPECT_EQ(es_two_dims_no_ss, 15);
+}
+
+TEST(Enumerate, SkipsOversizedSplits) {
+  // Kernel dims (3) cannot take a 4-way split.
+  for (const Strategy& s : enumerate_strategies(kConv, 4)) {
+    EXPECT_LE(s.ways_of(Dim::kKh), 3) << s.to_string();
+    EXPECT_LE(s.ways_of(Dim::kKw), 3) << s.to_string();
+  }
+}
+
+TEST(Enumerate, TinyLayerStillSplittable) {
+  const std::vector<Strategy> all = enumerate_strategies(kTiny, 8);
+  EXPECT_FALSE(all.empty());
+  for (const Strategy& s : all) {
+    EXPECT_TRUE(s.fits(kTiny, 8));
+  }
+}
+
+TEST(Enumerate, DeterministicOrder) {
+  const std::vector<Strategy> a = enumerate_strategies(kConv, 4);
+  const std::vector<Strategy> b = enumerate_strategies(kConv, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+class EnumerateParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerateParam, EsWaysAlwaysEqualP) {
+  const int p = GetParam();
+  for (const Strategy& s : enumerate_strategies(kConv, p)) {
+    EXPECT_EQ(s.es_ways(), p) << s.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, EnumerateParam, ::testing::Values(2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace mars::parallel

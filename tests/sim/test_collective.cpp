@@ -1,0 +1,108 @@
+#include "mars/sim/collective.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/sim/executor.h"
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+
+namespace mars::sim {
+namespace {
+
+SimParams zero_latency() {
+  SimParams params;
+  params.link_latency = Seconds(0.0);
+  params.host_latency = Seconds(0.0);
+  return params;
+}
+
+class CollectiveTest : public ::testing::Test {
+ protected:
+  // One 4-clique at 8 Gb/s: ring transfers use distinct links.
+  topology::Topology topo_ = topology::fully_connected(4, gbps(8.0), gbps(2.0));
+  Executor exec_{topo_, zero_latency()};
+  const std::vector<int> members_{0, 1, 2, 3};
+};
+
+TEST_F(CollectiveTest, RingAllReduceTime) {
+  TaskGraph tg;
+  const Bytes payload(1e6);
+  ring_allreduce(tg, members_, payload, {}, "ar");
+  // 2*(r-1) = 6 steps of payload/4 chunks at 1 GB/s: 6 * 0.25 ms.
+  EXPECT_NEAR(exec_.run(tg).makespan.millis(), 1.5, 1e-9);
+}
+
+TEST_F(CollectiveTest, RingAllReduceMatchesClassicFormula) {
+  TaskGraph tg;
+  const Bytes payload(4e6);
+  ring_allreduce(tg, members_, payload, {}, "ar");
+  // 2*(r-1)/r * payload / bw.
+  const double expected = 2.0 * 3 / 4 * 4e6 / 1e9;
+  EXPECT_NEAR(exec_.run(tg).makespan.count(), expected, 1e-12);
+}
+
+TEST_F(CollectiveTest, AllReduceTrivialGroupIsFree) {
+  TaskGraph tg;
+  const auto done = ring_allreduce(tg, {2}, Bytes(1e9), {}, "solo");
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(exec_.run(tg).makespan.count(), 0.0);
+}
+
+TEST_F(CollectiveTest, AllGatherTime) {
+  TaskGraph tg;
+  const Bytes shard(1e6);
+  ring_allgather(tg, members_, shard, {}, "ag");
+  // r-1 = 3 steps of full shards: 3 ms.
+  EXPECT_NEAR(exec_.run(tg).makespan.millis(), 3.0, 1e-9);
+}
+
+TEST_F(CollectiveTest, RingShiftSingleStep) {
+  TaskGraph tg;
+  ring_shift(tg, members_, Bytes(1e6), {}, "shift");
+  EXPECT_NEAR(exec_.run(tg).makespan.millis(), 1.0, 1e-9);
+  EXPECT_THROW((void)ring_shift(tg, {0}, Bytes(1.0), {}, "bad"), InvalidArgument);
+}
+
+TEST_F(CollectiveTest, ScatterSplitsEvenly) {
+  TaskGraph tg;
+  const auto done = scatter(tg, 0, members_, Bytes(3e6), {}, "sc");
+  EXPECT_EQ(done.size(), 3u);  // src excluded
+  // 1 MB to each of 3 targets over distinct links: concurrent, 1 ms.
+  EXPECT_NEAR(exec_.run(tg).makespan.millis(), 1.0, 1e-9);
+}
+
+TEST_F(CollectiveTest, CollectivesRespectDependencies) {
+  TaskGraph tg;
+  const TaskId gate = tg.add_compute(0, milliseconds(5.0), "gate");
+  ring_allreduce(tg, members_, Bytes(1e6), {gate}, "ar");
+  EXPECT_NEAR(exec_.run(tg).makespan.millis(), 5.0 + 1.5, 1e-9);
+}
+
+TEST_F(CollectiveTest, CompletionTasksPerMember) {
+  TaskGraph tg;
+  const auto done = ring_allreduce(tg, members_, Bytes(1e6), {}, "ar");
+  EXPECT_EQ(done.size(), members_.size());
+}
+
+TEST(CollectiveRingOrder, SlowRingLinkDominates) {
+  // Ring over a 2-group topology: the cross-group hops go via the host and
+  // dominate the collective.
+  topology::Topology grouped = topology::grouped(2, 2, gbps(8.0), gbps(2.0));
+  const Executor exec(grouped, zero_latency());
+  TaskGraph tg;
+  ring_allgather(tg, {0, 1, 2, 3}, Bytes(1e6), {}, "ag");
+  // Each step has two host-mediated hops (1<->2 and 3<->0): 8 ms per step,
+  // but the two hops share no channel; per step the slow hop costs 8 ms.
+  // 3 steps -> ~24 ms.
+  EXPECT_GT(exec.run(tg).makespan.millis(), 20.0);
+}
+
+TEST(CollectiveValidation, EmptyMembersThrow) {
+  TaskGraph tg;
+  EXPECT_THROW((void)ring_allreduce(tg, {}, Bytes(1.0), {}, "x"), InvalidArgument);
+  EXPECT_THROW((void)ring_allgather(tg, {}, Bytes(1.0), {}, "x"), InvalidArgument);
+  EXPECT_THROW((void)scatter(tg, 0, {}, Bytes(1.0), {}, "x"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::sim

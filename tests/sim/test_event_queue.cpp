@@ -1,0 +1,57 @@
+#include "mars/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mars::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(Seconds(3.0), 3);
+  q.push(Seconds(1.0), 1);
+  q.push(Seconds(2.0), 2);
+
+  Seconds t;
+  EXPECT_EQ(q.pop(t), 1);
+  EXPECT_DOUBLE_EQ(t.count(), 1.0);
+  EXPECT_EQ(q.pop(t), 2);
+  EXPECT_EQ(q.pop(t), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesResolveByInsertionOrder) {
+  EventQueue<std::string> q;
+  q.push(Seconds(1.0), "first");
+  q.push(Seconds(1.0), "second");
+  q.push(Seconds(1.0), "third");
+
+  Seconds t;
+  EXPECT_EQ(q.pop(t), "first");
+  EXPECT_EQ(q.pop(t), "second");
+  EXPECT_EQ(q.pop(t), "third");
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue<int> q;
+  q.push(Seconds(5.0), 5);
+  q.push(Seconds(2.0), 2);
+  EXPECT_DOUBLE_EQ(q.next_time().count(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(Seconds(1.0), 1);
+  Seconds t;
+  EXPECT_EQ(q.pop(t), 1);
+  q.push(Seconds(0.5), 50);  // earlier than anything previous
+  q.push(Seconds(2.0), 2);
+  EXPECT_EQ(q.pop(t), 50);
+  EXPECT_DOUBLE_EQ(t.count(), 0.5);
+  EXPECT_EQ(q.pop(t), 2);
+}
+
+}  // namespace
+}  // namespace mars::sim

@@ -1,0 +1,56 @@
+#include "mars/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/topology/presets.h"
+
+namespace mars::sim {
+namespace {
+
+TEST(Trace, EmitsChromeTraceEvents) {
+  const topology::Topology topo = topology::fully_connected(2, gbps(8.0), gbps(2.0));
+  TaskGraph tg;
+  const TaskId a = tg.add_compute(0, milliseconds(1.0), "conv1/ph0");
+  tg.add_transfer(0, 1, Bytes(1e6), "conv1/ss_ring", {a});
+
+  const Executor exec(topo, {});
+  const ExecutionResult result = exec.run(tg);
+  const std::string json = to_chrome_trace(tg, result);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"conv1/ph0\""), std::string::npos);
+  EXPECT_NE(json.find("\"acc0\""), std::string::npos);
+  EXPECT_NE(json.find("net acc0->acc1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, SkipsBarriers) {
+  const topology::Topology topo = topology::fully_connected(2, gbps(8.0), gbps(2.0));
+  TaskGraph tg;
+  const TaskId a = tg.add_compute(0, milliseconds(1.0), "work");
+  tg.add_barrier({a}, "sync-point");
+  const Executor exec(topo, {});
+  const std::string json = to_chrome_trace(tg, exec.run(tg));
+  EXPECT_EQ(json.find("sync-point"), std::string::npos);
+}
+
+TEST(Trace, EscapesLabels) {
+  const topology::Topology topo = topology::fully_connected(2, gbps(8.0), gbps(2.0));
+  TaskGraph tg;
+  tg.add_compute(0, milliseconds(1.0), "with \"quotes\"");
+  const Executor exec(topo, {});
+  const std::string json = to_chrome_trace(tg, exec.run(tg));
+  EXPECT_NE(json.find("with \\\"quotes\\\""), std::string::npos);
+}
+
+TEST(Trace, HostEndpointsNamed) {
+  const topology::Topology topo = topology::fully_connected(2, gbps(8.0), gbps(2.0));
+  TaskGraph tg;
+  tg.add_transfer(kHost, 0, Bytes(1e5), "host_input");
+  const Executor exec(topo, {});
+  const std::string json = to_chrome_trace(tg, exec.run(tg));
+  EXPECT_NE(json.find("net host->acc0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mars::sim

@@ -1,0 +1,181 @@
+#include "mars/topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+
+namespace mars::topology {
+namespace {
+
+TEST(MaskHelpers, Basics) {
+  const AccMask mask = mask_of(0) | mask_of(3) | mask_of(5);
+  EXPECT_EQ(mask_count(mask), 3);
+  EXPECT_TRUE(mask_contains(mask, 3));
+  EXPECT_FALSE(mask_contains(mask, 1));
+  EXPECT_EQ(mask_members(mask), (std::vector<AccId>{0, 3, 5}));
+  EXPECT_EQ(mask_to_string(mask), "{0,3,5}");
+  EXPECT_EQ(mask_to_string(0), "{}");
+}
+
+TEST(Topology, BuildAndInspect) {
+  Topology topo("t");
+  const AccId a = topo.add_accelerator("a", gibibytes(1.0), gbps(2.0));
+  const AccId b = topo.add_accelerator("b", gibibytes(2.0), gbps(4.0));
+  topo.connect(a, b, gbps(8.0));
+
+  EXPECT_EQ(topo.size(), 2);
+  EXPECT_TRUE(topo.has_link(a, b));
+  EXPECT_TRUE(topo.has_link(b, a));  // symmetric
+  EXPECT_DOUBLE_EQ(topo.link(a, b).gbps(), 8.0);
+  EXPECT_DOUBLE_EQ(topo.host_bandwidth(b).gbps(), 4.0);
+  EXPECT_DOUBLE_EQ(topo.accelerator(b).dram.gib(), 2.0);
+  EXPECT_EQ(topo.neighbors(a), (std::vector<AccId>{b}));
+  EXPECT_EQ(topo.full_mask(), 0b11u);
+}
+
+TEST(Topology, RejectsBadInput) {
+  Topology topo("t");
+  const AccId a = topo.add_accelerator("a", gibibytes(1.0), gbps(2.0));
+  EXPECT_THROW(topo.connect(a, a, gbps(1.0)), InvalidArgument);
+  EXPECT_THROW(topo.connect(a, 7, gbps(1.0)), InvalidArgument);
+  EXPECT_THROW((void)topo.accelerator(9), InvalidArgument);
+  EXPECT_THROW(topo.add_accelerator("z", Bytes(0.0), gbps(1.0)), InvalidArgument);
+}
+
+TEST(Topology, Connectivity) {
+  Topology topo = grouped(2, 2, gbps(8.0), gbps(2.0));
+  // Within a group: connected; across groups: not (host-only).
+  EXPECT_TRUE(topo.connected(mask_of(0) | mask_of(1)));
+  EXPECT_TRUE(topo.connected(mask_of(2) | mask_of(3)));
+  EXPECT_FALSE(topo.connected(mask_of(0) | mask_of(2)));
+  EXPECT_FALSE(topo.connected(topo.full_mask()));
+  EXPECT_TRUE(topo.connected(mask_of(3)));
+  EXPECT_FALSE(topo.connected(0));
+}
+
+TEST(Topology, MinInternalBandwidth) {
+  Topology topo("t");
+  for (int i = 0; i < 3; ++i) {
+    topo.add_accelerator("a" + std::to_string(i), gibibytes(1.0), gbps(2.0));
+  }
+  topo.connect(0, 1, gbps(8.0));
+  topo.connect(1, 2, gbps(4.0));
+  topo.connect(0, 2, gbps(1.0));
+  // Spanning 0-1-2 avoids the 1 Gb/s edge: bottleneck 4 Gb/s.
+  EXPECT_DOUBLE_EQ(topo.min_internal_bandwidth(topo.full_mask()).gbps(), 4.0);
+  // Singleton: no internal communication.
+  EXPECT_TRUE(std::isinf(topo.min_internal_bandwidth(mask_of(0)).bits_per_second()));
+  EXPECT_THROW((void)topo.min_internal_bandwidth(mask_of(0) | mask_of(2) | 0x10),
+               InvalidArgument);
+}
+
+TEST(Topology, BestLinkBetween) {
+  Topology topo = grouped(2, 2, gbps(8.0), gbps(2.0));
+  EXPECT_DOUBLE_EQ(topo.best_link_between(mask_of(0), mask_of(1)).gbps(), 8.0);
+  // No direct inter-group link.
+  EXPECT_DOUBLE_EQ(
+      topo.best_link_between(mask_of(0) | mask_of(1), mask_of(2) | mask_of(3))
+          .gbps(),
+      0.0);
+  EXPECT_THROW((void)topo.best_link_between(mask_of(0), mask_of(0)),
+               InvalidArgument);
+}
+
+TEST(Topology, HostBandwidthAggregation) {
+  Topology topo("t");
+  topo.add_accelerator("a", gibibytes(1.0), gbps(2.0));
+  topo.add_accelerator("b", gibibytes(1.0), gbps(1.0));
+  EXPECT_DOUBLE_EQ(topo.min_host_bandwidth(topo.full_mask()).gbps(), 1.0);
+}
+
+TEST(Topology, BandwidthLevels) {
+  Topology topo("t");
+  for (int i = 0; i < 4; ++i) {
+    topo.add_accelerator("a" + std::to_string(i), gibibytes(1.0), gbps(2.0));
+  }
+  topo.connect(0, 1, gbps(8.0));
+  topo.connect(2, 3, gbps(8.0));
+  topo.connect(1, 2, gbps(2.0));
+  const std::vector<Bandwidth> levels = topo.bandwidth_levels();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_DOUBLE_EQ(levels[0].gbps(), 2.0);
+  EXPECT_DOUBLE_EQ(levels[1].gbps(), 8.0);
+}
+
+TEST(Topology, ComponentsAboveThreshold) {
+  Topology topo("t");
+  for (int i = 0; i < 4; ++i) {
+    topo.add_accelerator("a" + std::to_string(i), gibibytes(1.0), gbps(2.0));
+  }
+  topo.connect(0, 1, gbps(8.0));
+  topo.connect(2, 3, gbps(8.0));
+  topo.connect(1, 2, gbps(2.0));
+
+  // With every link: one component.
+  EXPECT_EQ(topo.components_above(topo.full_mask(), Bandwidth(0.0)).size(), 1u);
+  // Above 2 Gb/s: the bridge disappears -> {0,1} and {2,3}.
+  const auto split = topo.components_above(topo.full_mask(), gbps(4.0));
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0], mask_of(0) | mask_of(1));
+  EXPECT_EQ(split[1], mask_of(2) | mask_of(3));
+  // Above everything: singletons.
+  EXPECT_EQ(topo.components_above(topo.full_mask(), gbps(100.0)).size(), 4u);
+}
+
+TEST(Presets, F1SixteenXLargeShape) {
+  const Topology topo = f1_16xlarge();
+  EXPECT_EQ(topo.size(), 8);
+  // Intra-group full crossbar at 8 Gb/s.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(topo.link(i, j).gbps(), 8.0);
+      EXPECT_DOUBLE_EQ(topo.link(i + 4, j + 4).gbps(), 8.0);
+    }
+  }
+  // No direct inter-group links; host at 2 Gb/s; 1 GiB DRAM.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 4; j < 8; ++j) {
+      EXPECT_FALSE(topo.has_link(i, j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(topo.host_bandwidth(0).gbps(), 2.0);
+  EXPECT_DOUBLE_EQ(topo.accelerator(7).dram.gib(), 1.0);
+  EXPECT_NO_THROW(topo.validate());
+}
+
+TEST(Presets, H2HCloudIsUniformClique) {
+  const Topology topo = h2h_cloud(8, gbps(4.0), /*num_fixed_designs=*/4);
+  EXPECT_EQ(topo.size(), 8);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(topo.link(a, b).gbps(), 4.0);
+    }
+    EXPECT_DOUBLE_EQ(topo.host_bandwidth(a).gbps(), 4.0);
+    EXPECT_EQ(topo.accelerator(a).fixed_design, a / 2);  // block assignment
+  }
+}
+
+TEST(Presets, RingAndClique) {
+  const Topology ring_topo = ring(5, gbps(8.0), gbps(2.0));
+  EXPECT_TRUE(ring_topo.connected(ring_topo.full_mask()));
+  EXPECT_TRUE(ring_topo.has_link(0, 4));   // wraparound
+  EXPECT_FALSE(ring_topo.has_link(0, 2));  // no chord
+
+  const Topology clique = fully_connected(4, gbps(8.0), gbps(2.0));
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_TRUE(clique.has_link(a, b));
+    }
+  }
+}
+
+TEST(Presets, AdaptiveByDefault) {
+  const Topology topo = f1_16xlarge();
+  for (AccId id = 0; id < topo.size(); ++id) {
+    EXPECT_EQ(topo.accelerator(id).fixed_design, -1);
+  }
+}
+
+}  // namespace
+}  // namespace mars::topology

@@ -1,0 +1,47 @@
+#include "mars/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mars/util/error.h"
+
+namespace mars {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"model", "latency_ms"});
+  csv.add_row({"alexnet", "0.832"});
+  csv.add_row({"vgg16", "20.6"});
+  EXPECT_EQ(os.str(), "model,latency_ms\nalexnet,0.832\nvgg16,20.6\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, EscapesInsideRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"mapping"});
+  csv.add_row({"ES={H,W}, SS={}"});
+  EXPECT_EQ(os.str(), "mapping\n\"ES={H,W}, SS={}\"\n");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Csv, RejectsEmptyHeader) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars

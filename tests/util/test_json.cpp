@@ -1,0 +1,68 @@
+#include "mars/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars {
+namespace {
+
+TEST(Json, Leaves) {
+  EXPECT_EQ(JsonValue::integer(42).dump(), "42");
+  EXPECT_EQ(JsonValue::integer(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue::boolean(true).dump(), "true");
+  EXPECT_EQ(JsonValue::boolean(false).dump(), "false");
+  EXPECT_EQ(JsonValue::string("hi").dump(), "\"hi\"");
+  EXPECT_EQ(JsonValue::number(1.5).dump(), "1.5");
+}
+
+TEST(Json, NumbersRoundTripPrecision) {
+  EXPECT_EQ(JsonValue::number(0.832).dump(), "0.832");
+  EXPECT_EQ(JsonValue::number(4.098659125).dump(), "4.098659125");
+  // Non-finite values degrade to null (valid JSON).
+  EXPECT_EQ(JsonValue::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(Json, ArraysAndObjects) {
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::integer(1));
+  arr.push(JsonValue::string("two"));
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+  EXPECT_EQ(arr.size(), 2u);
+
+  JsonValue obj = JsonValue::object();
+  obj.set("a", JsonValue::integer(1)).set("b", JsonValue::boolean(false));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":false}");
+}
+
+TEST(Json, Nesting) {
+  JsonValue inner = JsonValue::object();
+  inner.set("x", JsonValue::number(2.0));
+  JsonValue arr = JsonValue::array();
+  arr.push(std::move(inner));
+  JsonValue outer = JsonValue::object();
+  outer.set("items", std::move(arr));
+  EXPECT_EQ(outer.dump(), "{\"items\":[{\"x\":2}]}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonValue::string("say \"hi\"\n").dump(), "\"say \\\"hi\\\"\\n\"");
+  EXPECT_EQ(JsonValue::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonValue::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  JsonValue arr = JsonValue::array();
+  EXPECT_THROW(arr.set("k", JsonValue::integer(1)), InvalidArgument);
+  JsonValue obj = JsonValue::object();
+  EXPECT_THROW(obj.push(JsonValue::integer(1)), InvalidArgument);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::array().dump(), "[]");
+  EXPECT_EQ(JsonValue::object().dump(), "{}");
+}
+
+}  // namespace
+}  // namespace mars

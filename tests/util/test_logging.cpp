@@ -1,0 +1,54 @@
+#include "mars/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mars {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = set_log_level(LogLevel::kWarn);
+    previous_sink_ = set_log_sink(&capture_);
+  }
+  void TearDown() override {
+    set_log_level(previous_level_);
+    set_log_sink(previous_sink_);
+  }
+
+  std::ostringstream capture_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+  std::ostream* previous_sink_ = nullptr;
+};
+
+TEST_F(LoggingTest, RespectsLevelThreshold) {
+  set_log_level(LogLevel::kWarn);
+  MARS_DEBUG << "hidden";
+  MARS_INFO << "hidden too";
+  MARS_WARN << "visible";
+  EXPECT_EQ(capture_.str().find("hidden"), std::string::npos);
+  EXPECT_NE(capture_.str().find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsTagAndMessage) {
+  set_log_level(LogLevel::kInfo);
+  MARS_INFO << "x=" << 42;
+  EXPECT_EQ(capture_.str(), "[mars INFO ] x=42\n");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  MARS_ERROR << "nope";
+  EXPECT_TRUE(capture_.str().empty());
+}
+
+TEST_F(LoggingTest, SetLevelReturnsPrevious) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(set_log_level(LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,60 @@
+#include "mars/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "mars/util/error.h"
+
+namespace mars {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Model", "Latency"});
+  table.add_row({"alexnet", "0.832"});
+  table.add_row({"vgg16", "20.6"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Model   | Latency |"), std::string::npos);
+  EXPECT_NE(out.find("| alexnet | 0.832   |"), std::string::npos);
+  EXPECT_NE(out.find("| vgg16   | 20.6    |"), std::string::npos);
+}
+
+TEST(Table, WidensForLongCells) {
+  Table table({"A"});
+  table.add_row({"a-very-long-cell"});
+  EXPECT_NE(table.render().find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(Table, SeparatorRows) {
+  Table table({"A", "B"});
+  table.add_row({"1", "2"});
+  table.add_separator();
+  table.add_row({"3", "4"});
+  const std::string out = table.render();
+  // header rule + top + separator + bottom = 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find('+'); pos != std::string::npos;
+       pos = out.find("\n+", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, StreamOperator) {
+  Table table({"X"});
+  table.add_row({"y"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.render());
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,219 @@
+// mars_map — command-line front end to the MARS mapping framework.
+//
+//   mars_map models
+//       List the model zoo.
+//   mars_map profile --model vgg16
+//       Per-layer design profile (Table II style).
+//   mars_map map --model resnet34 [--topology f1 | cloud:<n>:<gbps>]
+//                [--seed N] [--json out.json] [--quick] [--fixed]
+//       Run the full MARS search and print (or export) the mapping.
+//   mars_map baseline --model resnet34
+//       The Herald-extended baseline mapping and latency.
+//   mars_map throughput --model resnet34 --batch 8
+//       Pipelined multi-image throughput of the MARS mapping.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "mars/accel/profiler.h"
+#include "mars/core/baseline.h"
+#include "mars/core/mars.h"
+#include "mars/core/serialize.h"
+#include "mars/graph/models/models.h"
+#include "mars/graph/parser.h"
+#include "mars/topology/presets.h"
+#include "mars/util/strings.h"
+#include "mars/util/table.h"
+
+namespace {
+
+using namespace mars;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+topology::Topology make_topology(const Args& args) {
+  const std::string spec = args.get("topology", "f1");
+  if (spec == "f1") return topology::f1_16xlarge();
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() == 3 && parts[0] == "cloud") {
+    const int n = std::stoi(parts[1]);
+    return topology::h2h_cloud(n, gbps(std::stod(parts[2])),
+                               args.flag("fixed") ? 4 : 0);
+  }
+  if (parts.size() == 3 && parts[0] == "ring") {
+    return topology::ring(std::stoi(parts[1]), gbps(std::stod(parts[2])),
+                          gbps(2.0));
+  }
+  throw InvalidArgument("unknown topology '" + spec +
+                        "' (use f1 | cloud:<n>:<gbps> | ring:<n>:<gbps>)");
+}
+
+core::MarsConfig make_config(const Args& args) {
+  core::MarsConfig config;
+  config.seed = std::stoull(args.get("seed", "1"));
+  if (args.flag("quick")) {
+    config.first_ga.population = 12;
+    config.first_ga.generations = 8;
+    config.second.ga.population = 8;
+    config.second.ga.generations = 6;
+  }
+  return config;
+}
+
+int cmd_models() {
+  Table table({"Model", "#Convs", "Mappable", "#Params", "MACs"});
+  for (const std::string& name : graph::models::zoo_names()) {
+    const graph::Graph model = graph::models::by_name(name);
+    table.add_row({name, std::to_string(model.num_convs()),
+                   std::to_string(model.num_spine_layers()),
+                   si_count(model.total_params()), si_count(model.total_macs())});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  const graph::Graph model =
+      graph::models::by_name(args.get("model", "resnet34"));
+  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
+  const accel::DesignRegistry designs = accel::table2_designs();
+  const accel::ProfileMatrix profile(designs, spine);
+
+  Table table({"Layer", "Shape", "Best design", "Cycles", "Utilization"});
+  for (int l = 0; l < spine.size(); ++l) {
+    const accel::DesignId best = profile.best_design(l);
+    table.add_row({spine.node(l).name, graph::to_string(spine.node(l).shape),
+                   designs.design(best).name(),
+                   si_count(profile.at(best, l).cycles, 1),
+                   format_double(profile.at(best, l).utilization * 100.0, 1) +
+                       "%"});
+  }
+  std::cout << table;
+  return 0;
+}
+
+struct LoadedProblem {
+  graph::Graph model;
+  graph::ConvSpine spine;
+  topology::Topology topo;
+  accel::DesignRegistry designs;
+  core::Problem problem;
+
+  static graph::Graph load_model(const Args& args) {
+    if (args.flag("model-file")) {
+      return graph::parse_model_file(args.get("model-file", ""));
+    }
+    return graph::models::by_name(args.get("model", "resnet34"));
+  }
+
+  explicit LoadedProblem(const Args& args)
+      : model(load_model(args)),
+        spine(graph::ConvSpine::extract(model)),
+        topo(make_topology(args)),
+        designs(args.flag("fixed") ? accel::h2h_designs()
+                                   : accel::table2_designs()) {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = !args.flag("fixed");
+  }
+};
+
+int cmd_map(const Args& args) {
+  LoadedProblem lp(args);
+  core::Mars mars(lp.problem, make_config(args));
+  const core::MarsResult result = mars.search();
+
+  std::cout << core::describe(result.mapping, lp.spine, lp.designs,
+                              lp.problem.adaptive)
+            << "simulated latency: " << result.summary.simulated.millis()
+            << " ms (memory " << (result.summary.memory_ok ? "ok" : "VIOLATED")
+            << ")\n";
+
+  if (args.flag("json")) {
+    JsonValue out = JsonValue::object();
+    out.set("mapping", core::to_json(result.mapping, lp.spine, lp.designs,
+                                     lp.problem.adaptive));
+    out.set("summary", core::to_json(result.summary));
+    std::ofstream file(args.get("json", "mapping.json"));
+    file << out.dump() << '\n';
+    std::cout << "wrote " << args.get("json", "mapping.json") << '\n';
+  }
+  return 0;
+}
+
+int cmd_baseline(const Args& args) {
+  LoadedProblem lp(args);
+  const accel::ProfileMatrix profile(lp.designs, lp.spine);
+  const core::Mapping mapping = core::baseline_mapping(lp.problem, profile);
+  const core::MappingEvaluator evaluator(lp.problem);
+  const core::EvaluationSummary summary = evaluator.evaluate(mapping);
+  std::cout << core::describe(mapping, lp.spine, lp.designs, lp.problem.adaptive)
+            << "simulated latency: " << summary.simulated.millis() << " ms\n";
+  return 0;
+}
+
+int cmd_throughput(const Args& args) {
+  LoadedProblem lp(args);
+  const int batch = std::stoi(args.get("batch", "8"));
+  core::Mars mars(lp.problem, make_config(args));
+  const core::MarsResult result = mars.search();
+  const core::MappingEvaluator evaluator(lp.problem);
+  const auto throughput = evaluator.evaluate_throughput(result.mapping, batch);
+  std::cout << "batch " << batch << ": " << throughput.makespan.millis()
+            << " ms total, " << format_double(throughput.images_per_second, 1)
+            << " images/s, pipeline speedup "
+            << format_double(throughput.pipeline_speedup, 2) << "x\n";
+  return 0;
+}
+
+int usage() {
+  std::cout << "usage: mars_map <models|profile|map|baseline|throughput> "
+               "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
+               "[--model-file PATH] [--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "models") return cmd_models();
+    if (args.command == "profile") return cmd_profile(args);
+    if (args.command == "map") return cmd_map(args);
+    if (args.command == "baseline") return cmd_baseline(args);
+    if (args.command == "throughput") return cmd_throughput(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
