@@ -1,7 +1,7 @@
 // Experiment T3 — Table III: baseline vs MARS latency on the five CNN
 // workloads over the F1-style adaptive multi-accelerator system.
 //
-// Paper reference (for shape, not absolute numbers — see EXPERIMENTS.md):
+// Paper reference (for shape, not absolute numbers — see docs/EXPERIMENTS.md):
 //   AlexNet  0.832 -> 0.748 ms (-10.1%)     VGG16    20.6 -> 14.9 (-27.7%)
 //   ResNet34 4.43  -> 2.76 (-37.7%)         ResNet101 14.9 -> 7.95 (-46.6%)
 //   WRN-50-2 16.7  -> 10.1 (-39.5%)         average -32.2%

@@ -14,7 +14,14 @@
 // Where the cited papers under-specify a constant we calibrate so that the
 // three designs have comparable theoretical peaks (the paper's stated
 // intent: "similar numbers of PEs"); every such choice is flagged in
-// DESIGN.md / EXPERIMENTS.md.
+// docs/DESIGN.md and docs/EXPERIMENTS.md.
+//
+// Units convention (util/units.h): cycle counts are raw doubles at this
+// design's frequency() and convert to wall-clock only via
+// Frequency::time_for; traffic is Bytes; latencies returned to callers are
+// Seconds. Designs are immutable after construction (set_dram_bandwidth is
+// topology setup, not per-query state), non-copyable, and owned by the
+// DesignRegistry via unique_ptr — everything else holds DesignId handles.
 #pragma once
 
 #include <memory>

@@ -1,5 +1,11 @@
 // Design registry: the menu of accelerator designs an adaptive system can
 // configure (the paper's set Design = {d1, ..., dM}).
+//
+// The registry owns its designs (unique_ptr); the rest of the system
+// refers to them by dense DesignId. This is the extension point for new
+// accelerator models: subclass AcceleratorDesign, add() it next to the
+// built-ins, and the profiler, both GA levels and the simulator pick it
+// up unchanged (docs/ARCHITECTURE.md, examples/custom_accelerator.cpp).
 #pragma once
 
 #include <memory>

@@ -15,7 +15,7 @@
 //
 // Table II instance: Tm,Tn,Tr,Tc = 64,7,7,14 @ 200 MHz → peak 448 MAC/cycle
 // (the paper prints 438 PEs; we report the tiling product — see
-// EXPERIMENTS.md).
+// docs/DESIGN.md).
 #pragma once
 
 #include "mars/accel/design.h"

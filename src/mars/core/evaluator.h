@@ -5,6 +5,12 @@
 // host transfers) and replays it with link contention. The simulated
 // makespan is the number every benchmark reports; the analytical breakdown
 // rides along for the GA and for diagnostics.
+//
+// Ownership: the evaluator keeps a non-owning pointer to the Problem (and
+// through it the spine/topology/registry); the caller keeps them alive for
+// the evaluator's lifetime. Evaluation is const and stateless, so one
+// evaluator may be shared across searches. Units follow util/units.h:
+// every latency is Seconds, every size Bytes — never raw doubles.
 #pragma once
 
 #include "mars/core/cost_model.h"

@@ -6,6 +6,14 @@
 // with the memoised second-level search and adds inter-set and host I/O
 // costs. Second level: per-layer ES/SS strategies (greedy oracle inside
 // the loop, GA polish on the winner — see second_level.h).
+//
+// Ownership: Mars keeps a non-owning pointer to the Problem, which in turn
+// points (non-owning) at the spine, topology and design registry — the
+// caller keeps all four alive for the lifetime of the Mars object and of
+// any evaluator built from the same Problem. Deterministic under
+// MarsConfig::seed (util/rng.h is the only randomness source). All
+// latencies are Seconds and all sizes Bytes (util/units.h); raw doubles
+// are accelerator cycle counts at the owning design's frequency.
 #pragma once
 
 #include <cstdint>

@@ -25,7 +25,7 @@ struct WorkloadSummary {
 [[nodiscard]] WorkloadSummary summarize(const graph::Graph& model);
 
 /// One comparison row: model, baseline latency, MARS latency, reduction,
-/// plus the paper's reference numbers for EXPERIMENTS.md cross-checks.
+/// plus the paper's reference numbers for docs/EXPERIMENTS.md cross-checks.
 struct ComparisonRow {
   WorkloadSummary workload;
   Seconds baseline{};

@@ -6,7 +6,7 @@
 // an alignment model: along each activation dim, an identical split
 // contributes full coverage (only kernel halos move); a mismatched split
 // contributes the producer's owned fraction (uniform-alignment
-// approximation, documented in DESIGN.md).
+// approximation, documented in docs/DESIGN.md).
 #pragma once
 
 #include "mars/parallel/sharding.h"

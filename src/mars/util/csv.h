@@ -1,5 +1,5 @@
 // CSV emission for benchmark results (machine-readable companion to the
-// ASCII tables; EXPERIMENTS.md references these files).
+// ASCII tables; docs/EXPERIMENTS.md references these files).
 #pragma once
 
 #include <ostream>
