@@ -1,0 +1,109 @@
+// Experiment S1 — online serving sweep: offered rate x batching policy x
+// link bandwidth for a two-model fleet (facebagnet + resnet50) on an
+// 8-accelerator cloud.
+//
+// Extension beyond the paper: MARS optimises one inference's makespan;
+// this harness measures what its mappings deliver under the multi-tenant
+// serving regime the ROADMAP targets — tail latency (p50/p95/p99), SLO
+// goodput, and per-accelerator utilization, with co-resident models
+// contending for the same links and accelerators.
+#include "bench_common.h"
+
+#include <numeric>
+
+#include "mars/serve/metrics.h"
+#include "mars/serve/report.h"
+#include "mars/serve/scheduler.h"
+
+namespace mars::bench {
+namespace {
+
+constexpr double kSlOMillis = 60.0;
+
+double mean_utilization(const serve::ServeMetrics& metrics) {
+  if (metrics.utilization.empty()) return 0.0;
+  return std::accumulate(metrics.utilization.begin(),
+                         metrics.utilization.end(), 0.0) /
+         static_cast<double>(metrics.utilization.size());
+}
+
+void run(const Options& options) {
+  std::cout << "=== Serving sweep: rate x policy x bandwidth "
+               "(facebagnet + resnet50, 8-accelerator cloud, SLO "
+            << kSlOMillis << " ms) ===\n";
+
+  const std::vector<std::string> names = {"facebagnet", "resnet50"};
+  const std::vector<double> mix = {1.0, 1.0};
+  const Seconds duration(options.quick ? 2.0 : 5.0);
+  const std::vector<double> bandwidths =
+      options.quick ? std::vector<double>{4.0} : std::vector<double>{2.0, 4.0, 10.0};
+  const std::vector<double> rates = options.quick
+                                        ? std::vector<double>{50.0, 150.0}
+                                        : std::vector<double>{25.0, 50.0, 100.0, 200.0};
+  const std::vector<serve::BatchPolicy> policies = {
+      serve::BatchPolicy::none(), serve::BatchPolicy::size(4),
+      serve::BatchPolicy::with_timeout(8, milliseconds(2.0))};
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (double bandwidth : bandwidths) {
+    const topology::Topology topo = topology::h2h_cloud(8, gbps(bandwidth), 4);
+    const accel::DesignRegistry designs = accel::h2h_designs();
+    // One mapping per model per platform; every (rate, policy) cell
+    // replays against the same fleet.
+    const auto services = serve::plan_services(
+        names, topo, designs, /*adaptive=*/false,
+        serve::ModelService::Mapper::kMars, mars_config(options));
+    std::vector<const serve::ModelService*> refs;
+    for (const auto& service : services) refs.push_back(service.get());
+
+    std::cout << "\n--- " << bandwidth << " Gb/s links ---\n"
+              << serve::describe_fleet(services);
+    Table table({"Rate /rps", "Policy", "p50 /ms", "p95 /ms", "p99 /ms",
+                 "Goodput /rps", "SLO att.", "Mean util.", "Mean batch"});
+    for (double rate : rates) {
+      const std::vector<serve::Request> arrivals =
+          serve::poisson_arrivals(mix, rate, duration, options.seed);
+      for (const serve::BatchPolicy& policy : policies) {
+        serve::SchedulerOptions sched_options;
+        sched_options.policy = policy;
+        const serve::OnlineScheduler scheduler(topo, refs, sched_options);
+        const serve::ServeMetrics metrics = serve::summarize(
+            scheduler.run(arrivals), names, milliseconds(kSlOMillis));
+        table.add_row({format_double(rate, 0), policy.to_string(),
+                       format_double(metrics.latency.p50.millis(), 2),
+                       format_double(metrics.latency.p95.millis(), 2),
+                       format_double(metrics.latency.p99.millis(), 2),
+                       format_double(metrics.goodput_rps, 1),
+                       format_double(metrics.slo_attainment * 100.0, 1) + "%",
+                       format_double(mean_utilization(metrics) * 100.0, 1) + "%",
+                       format_double(metrics.mean_batch, 2)});
+        csv_rows.push_back(
+            {format_double(bandwidth, 1), format_double(rate, 0),
+             policy.to_string(),
+             format_double(metrics.latency.p50.millis(), 4),
+             format_double(metrics.latency.p95.millis(), 4),
+             format_double(metrics.latency.p99.millis(), 4),
+             format_double(metrics.throughput_rps, 2),
+             format_double(metrics.goodput_rps, 2),
+             format_double(metrics.slo_attainment, 4),
+             format_double(mean_utilization(metrics), 4),
+             format_double(metrics.mean_batch, 3)});
+      }
+      table.add_separator();
+    }
+    std::cout << table;
+  }
+  maybe_write_csv(options,
+                  {"bandwidth_gbps", "rate_rps", "policy", "p50_ms", "p95_ms",
+                   "p99_ms", "throughput_rps", "goodput_rps", "slo_attainment",
+                   "mean_utilization", "mean_batch"},
+                  csv_rows);
+}
+
+}  // namespace
+}  // namespace mars::bench
+
+int main(int argc, char** argv) {
+  mars::bench::run(mars::bench::parse_options(argc, argv));
+  return 0;
+}

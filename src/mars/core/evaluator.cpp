@@ -164,7 +164,8 @@ void MappingEvaluator::append_inference(sim::TaskGraph& tg, const Mapping& mappi
 
 MappingEvaluator::ThroughputResult MappingEvaluator::evaluate_throughput(
     const Mapping& mapping, int batch) const {
-  MARS_CHECK_ARG(batch >= 1, "batch must be positive");
+  MARS_CHECK_ARG(batch >= 1,
+                 "throughput batch must be >= 1, got " << batch);
   const graph::ConvSpine& spine = *problem_->spine;
   mapping.validate(spine, *problem_->topo, *problem_->designs,
                    problem_->adaptive);

@@ -1,0 +1,145 @@
+#include "mars/serve/batcher.h"
+
+#include "mars/util/error.h"
+#include "mars/util/strings.h"
+
+namespace mars::serve {
+
+BatchPolicy BatchPolicy::none() { return BatchPolicy{}; }
+
+BatchPolicy BatchPolicy::size(int n) {
+  MARS_CHECK_ARG(n >= 1, "size-N batching needs N >= 1, got " << n);
+  BatchPolicy policy;
+  policy.kind = Kind::kSize;
+  policy.max_batch = n;
+  return policy;
+}
+
+BatchPolicy BatchPolicy::with_timeout(int max_batch, Seconds timeout) {
+  MARS_CHECK_ARG(max_batch >= 1,
+                 "timeout batching needs a size cap >= 1, got " << max_batch);
+  MARS_CHECK_ARG(timeout.count() >= 0.0, "batching timeout must be >= 0");
+  BatchPolicy policy;
+  policy.kind = Kind::kTimeout;
+  policy.max_batch = max_batch;
+  policy.timeout = timeout;
+  return policy;
+}
+
+namespace {
+
+/// Whole-field numeric parse: rejects prefixes like "4x" that stoi/stod
+/// would silently truncate. Returns false on any parse failure.
+bool parse_int_field(const std::string& field, int& out) {
+  std::size_t consumed = 0;
+  try {
+    out = std::stoi(field, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == field.size();
+}
+
+bool parse_double_field(const std::string& field, double& out) {
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == field.size();
+}
+
+}  // namespace
+
+BatchPolicy BatchPolicy::parse(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() == 1 && parts[0] == "none") return none();
+  if (parts.size() == 2 && parts[0] == "size") {
+    if (int n = 0; parse_int_field(parts[1], n)) return size(n);
+  }
+  if ((parts.size() == 2 || parts.size() == 3) && parts[0] == "timeout") {
+    int cap = 8;
+    double timeout_ms = 0.0;
+    if (parse_double_field(parts[1], timeout_ms) &&
+        (parts.size() == 2 || parse_int_field(parts[2], cap))) {
+      return with_timeout(cap, milliseconds(timeout_ms));
+    }
+  }
+  throw InvalidArgument("bad batching policy '" + spec +
+                        "' (use none | size:N | timeout:MS[:N])");
+}
+
+std::string BatchPolicy::to_string() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kSize:
+      return "size:" + std::to_string(max_batch);
+    case Kind::kTimeout:
+      return "timeout:" + format_double(timeout.millis(), 3) + ":" +
+             std::to_string(max_batch);
+  }
+  return "?";
+}
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy) {}
+
+void Batcher::close_open() {
+  if (open_.empty()) return;
+  ready_.push_back(std::move(open_));
+  open_.clear();
+}
+
+void Batcher::push(const Request& request) {
+  MARS_CHECK_ARG(open_.empty() || request.arrival >= open_.back().arrival,
+                 "requests must be pushed in arrival order");
+  switch (policy_.kind) {
+    case BatchPolicy::Kind::kNone:
+      ready_.push_back({request});
+      break;
+    case BatchPolicy::Kind::kSize:
+      open_.push_back(request);
+      if (static_cast<int>(open_.size()) >= policy_.max_batch) close_open();
+      break;
+    case BatchPolicy::Kind::kTimeout:
+      if (open_.empty()) open_deadline_ = request.arrival + policy_.timeout;
+      open_.push_back(request);
+      if (static_cast<int>(open_.size()) >= policy_.max_batch) close_open();
+      break;
+  }
+}
+
+std::vector<std::vector<Request>> Batcher::pop_ready(Seconds now) {
+  if (policy_.kind == BatchPolicy::Kind::kTimeout && !open_.empty() &&
+      open_deadline_ <= now) {
+    close_open();
+  }
+  std::vector<std::vector<Request>> out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+std::optional<Seconds> Batcher::next_deadline() const {
+  if (policy_.kind != BatchPolicy::Kind::kTimeout || open_.empty()) {
+    return std::nullopt;
+  }
+  return open_deadline_;
+}
+
+std::vector<std::vector<Request>> Batcher::flush() {
+  close_open();
+  std::vector<std::vector<Request>> out = std::move(ready_);
+  ready_.clear();
+  return out;
+}
+
+int Batcher::pending() const {
+  int count = static_cast<int>(open_.size());
+  for (const std::vector<Request>& batch : ready_) {
+    count += static_cast<int>(batch.size());
+  }
+  return count;
+}
+
+}  // namespace mars::serve

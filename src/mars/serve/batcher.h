@@ -1,0 +1,75 @@
+// Admission and dynamic batching for the serving simulator.
+//
+// One Batcher per served model groups arriving requests into batches the
+// dispatcher instantiates together. Three policies, mirroring the knobs
+// real serving stacks expose:
+//   none         every request dispatches immediately (batch of 1);
+//   size:N       a batch closes when N requests have queued;
+//   timeout:T:N  a batch closes at N requests or once its oldest request
+//                has waited T, whichever comes first.
+// Batch formation is a pure function of the arrival sequence, so runs
+// stay deterministic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mars/serve/workload.h"
+
+namespace mars::serve {
+
+struct BatchPolicy {
+  enum class Kind : std::uint8_t { kNone, kSize, kTimeout };
+
+  Kind kind = Kind::kNone;
+  /// Batch-closing size (kSize) or size cap (kTimeout).
+  int max_batch = 1;
+  /// Longest time the oldest request may wait before the open batch is
+  /// dispatched anyway (kTimeout only).
+  Seconds timeout{};
+
+  [[nodiscard]] static BatchPolicy none();
+  [[nodiscard]] static BatchPolicy size(int n);
+  [[nodiscard]] static BatchPolicy with_timeout(int max_batch, Seconds timeout);
+
+  /// Parses "none", "size:N", or "timeout:MS[:N]" (N defaults to 8).
+  /// Throws InvalidArgument on anything else.
+  [[nodiscard]] static BatchPolicy parse(const std::string& spec);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatchPolicy policy);
+
+  /// Admits a request at its arrival time. Arrivals must be pushed in
+  /// non-decreasing arrival order.
+  void push(const Request& request);
+
+  /// Batches whose trigger (size or deadline) fired by `now`, in formation
+  /// order. Calling twice with the same `now` returns nothing new.
+  [[nodiscard]] std::vector<std::vector<Request>> pop_ready(Seconds now);
+
+  /// Deadline of the open batch (timeout policy with pending requests).
+  [[nodiscard]] std::optional<Seconds> next_deadline() const;
+
+  /// Closes the open batch regardless of triggers (end of stream / drain).
+  [[nodiscard]] std::vector<std::vector<Request>> flush();
+
+  /// Requests admitted but not yet returned by pop_ready/flush.
+  [[nodiscard]] int pending() const;
+
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  void close_open();
+
+  BatchPolicy policy_;
+  std::vector<Request> open_;
+  Seconds open_deadline_{};
+  std::vector<std::vector<Request>> ready_;
+};
+
+}  // namespace mars::serve

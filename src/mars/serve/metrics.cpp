@@ -1,0 +1,103 @@
+#include "mars/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mars/util/error.h"
+
+namespace mars::serve {
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+Seconds percentile(const std::vector<Seconds>& sorted, double q) {
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+LatencyStats LatencyStats::from_samples(std::vector<Seconds> samples) {
+  LatencyStats stats;
+  stats.count = static_cast<int>(samples.size());
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  Seconds total{};
+  for (Seconds s : samples) total += s;
+  stats.mean = total / static_cast<double>(samples.size());
+  stats.p50 = percentile(samples, 0.50);
+  stats.p95 = percentile(samples, 0.95);
+  stats.p99 = percentile(samples, 0.99);
+  stats.max = samples.back();
+  return stats;
+}
+
+ServeMetrics summarize(const ServeResult& result,
+                       const std::vector<std::string>& model_names,
+                       Seconds slo) {
+  ServeMetrics metrics;
+  metrics.requests = static_cast<int>(result.completed.size());
+  metrics.batches = result.batches_dispatched;
+  metrics.horizon = result.horizon;
+  metrics.slo = slo;
+  const bool has_slo = slo.count() > 0.0;
+  const double horizon = result.horizon.count();
+
+  std::vector<Seconds> all;
+  all.reserve(result.completed.size());
+  std::vector<std::vector<Seconds>> by_model(model_names.size());
+  std::vector<int> good_by_model(model_names.size(), 0);
+  // Each request contributes 1/batch_size, so the sum counts batches and
+  // requests/sum is the batch-weighted (conventional) mean batch size.
+  std::vector<double> batches_by_model(model_names.size(), 0.0);
+  int good = 0;
+  double batch_count = 0.0;
+  for (const CompletedRequest& done : result.completed) {
+    const auto m = static_cast<std::size_t>(done.request.model);
+    MARS_CHECK(m < model_names.size(),
+               "completed request references model index " << done.request.model
+                                                           << " outside the fleet");
+    const Seconds latency = done.latency();
+    all.push_back(latency);
+    by_model[m].push_back(latency);
+    batches_by_model[m] += 1.0 / done.batch_size;
+    batch_count += 1.0 / done.batch_size;
+    if (!has_slo || latency <= slo) {
+      ++good;
+      ++good_by_model[m];
+    }
+  }
+
+  metrics.latency = LatencyStats::from_samples(all);
+  if (metrics.requests > 0) {
+    metrics.slo_attainment = static_cast<double>(good) / metrics.requests;
+    metrics.mean_batch = metrics.requests / batch_count;
+  }
+  if (horizon > 0.0) {
+    metrics.throughput_rps = metrics.requests / horizon;
+    metrics.goodput_rps = good / horizon;
+  }
+
+  metrics.utilization.reserve(result.acc_busy.size());
+  for (Seconds busy : result.acc_busy) {
+    metrics.utilization.push_back(horizon > 0.0 ? busy.count() / horizon : 0.0);
+  }
+
+  metrics.per_model.reserve(model_names.size());
+  for (std::size_t m = 0; m < model_names.size(); ++m) {
+    ModelMetrics model;
+    model.model = model_names[m];
+    model.requests = static_cast<int>(by_model[m].size());
+    model.latency = LatencyStats::from_samples(std::move(by_model[m]));
+    if (model.requests > 0) {
+      model.slo_attainment =
+          static_cast<double>(good_by_model[m]) / model.requests;
+      model.mean_batch = model.requests / batches_by_model[m];
+    }
+    if (horizon > 0.0) model.goodput_rps = good_by_model[m] / horizon;
+    metrics.per_model.push_back(std::move(model));
+  }
+  return metrics;
+}
+
+}  // namespace mars::serve

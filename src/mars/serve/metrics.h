@@ -1,0 +1,61 @@
+// Serving metrics: what an operator actually reads off a fleet.
+//
+// Turns a raw ServeResult into tail-latency percentiles (nearest-rank on
+// the request latency distribution), throughput and SLO goodput (the rate
+// of requests whose end-to-end latency met the objective), and
+// per-accelerator utilization (compute-busy seconds over the simulated
+// horizon, straight from the executor's acc_busy accounting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/serve/scheduler.h"
+
+namespace mars::serve {
+
+struct LatencyStats {
+  int count = 0;
+  Seconds mean{};
+  Seconds p50{};
+  Seconds p95{};
+  Seconds p99{};
+  Seconds max{};
+
+  /// Nearest-rank percentiles over `samples` (order irrelevant).
+  [[nodiscard]] static LatencyStats from_samples(std::vector<Seconds> samples);
+};
+
+struct ModelMetrics {
+  std::string model;
+  int requests = 0;
+  LatencyStats latency;
+  /// Fraction of this model's requests finishing within the SLO.
+  double slo_attainment = 1.0;
+  /// SLO-compliant completions per second of horizon.
+  double goodput_rps = 0.0;
+  double mean_batch = 0.0;
+};
+
+struct ServeMetrics {
+  int requests = 0;
+  int batches = 0;
+  Seconds horizon{};
+  Seconds slo{};  // <= 0 means "no SLO" (attainment 1, goodput == throughput)
+  LatencyStats latency;
+  double throughput_rps = 0.0;
+  double goodput_rps = 0.0;
+  double slo_attainment = 1.0;
+  double mean_batch = 0.0;
+  /// acc_busy / horizon per accelerator, in [0, 1].
+  std::vector<double> utilization;
+  std::vector<ModelMetrics> per_model;  // aligned with `model_names`
+};
+
+/// `model_names` follows the scheduler's service order; `slo` <= 0
+/// disables the objective.
+[[nodiscard]] ServeMetrics summarize(const ServeResult& result,
+                                     const std::vector<std::string>& model_names,
+                                     Seconds slo);
+
+}  // namespace mars::serve

@@ -1,0 +1,124 @@
+#include "mars/serve/report.h"
+
+#include <sstream>
+
+#include "mars/util/strings.h"
+#include "mars/util/table.h"
+
+namespace mars::serve {
+namespace {
+
+std::string ms(Seconds s) { return format_double(s.millis(), 2); }
+
+std::string percent(double fraction) {
+  return format_double(fraction * 100.0, 1) + "%";
+}
+
+JsonValue latency_json(const LatencyStats& stats) {
+  JsonValue out = JsonValue::object();
+  out.set("count", JsonValue::integer(stats.count));
+  out.set("mean_ms", JsonValue::number(stats.mean.millis()));
+  out.set("p50_ms", JsonValue::number(stats.p50.millis()));
+  out.set("p95_ms", JsonValue::number(stats.p95.millis()));
+  out.set("p99_ms", JsonValue::number(stats.p99.millis()));
+  out.set("max_ms", JsonValue::number(stats.max.millis()));
+  return out;
+}
+
+}  // namespace
+
+std::string describe(const ServeMetrics& metrics) {
+  std::ostringstream os;
+
+  Table fleet({"Requests", "Batches", "Mean batch", "Horizon /s",
+               "Throughput /rps", "Goodput /rps", "SLO attainment"});
+  fleet.add_row({std::to_string(metrics.requests),
+                 std::to_string(metrics.batches),
+                 format_double(metrics.mean_batch, 2),
+                 format_double(metrics.horizon.count(), 3),
+                 format_double(metrics.throughput_rps, 1),
+                 format_double(metrics.goodput_rps, 1),
+                 percent(metrics.slo_attainment)});
+  os << fleet;
+  if (metrics.slo.count() > 0.0) {
+    os << "(SLO: " << ms(metrics.slo) << " ms end-to-end)\n";
+  } else {
+    os << "(no SLO set: goodput == throughput)\n";
+  }
+
+  Table models({"Model", "Requests", "p50 /ms", "p95 /ms", "p99 /ms",
+                "Max /ms", "Goodput /rps", "SLO attainment"});
+  models.add_row({"(all)", std::to_string(metrics.latency.count),
+                  ms(metrics.latency.p50), ms(metrics.latency.p95),
+                  ms(metrics.latency.p99), ms(metrics.latency.max),
+                  format_double(metrics.goodput_rps, 1),
+                  percent(metrics.slo_attainment)});
+  models.add_separator();
+  for (const ModelMetrics& model : metrics.per_model) {
+    models.add_row({model.model, std::to_string(model.requests),
+                    ms(model.latency.p50), ms(model.latency.p95),
+                    ms(model.latency.p99), ms(model.latency.max),
+                    format_double(model.goodput_rps, 1),
+                    percent(model.slo_attainment)});
+  }
+  os << '\n' << models;
+
+  std::vector<std::string> header;
+  std::vector<std::string> row;
+  for (std::size_t i = 0; i < metrics.utilization.size(); ++i) {
+    header.push_back("Acc" + std::to_string(i));
+    row.push_back(percent(metrics.utilization[i]));
+  }
+  if (!header.empty()) {
+    Table utilization(std::move(header));
+    utilization.add_row(std::move(row));
+    os << "\nPer-accelerator utilization (compute-busy / horizon):\n"
+       << utilization;
+  }
+  return os.str();
+}
+
+std::string describe_fleet(
+    const std::vector<std::unique_ptr<ModelService>>& services) {
+  Table table({"Model", "Spine layers", "Sets", "Single-inference /ms"});
+  for (const std::unique_ptr<ModelService>& service : services) {
+    table.add_row({service->name(),
+                   std::to_string(service->problem().spine->size()),
+                   std::to_string(service->mapping().sets.size()),
+                   ms(service->single_latency())});
+  }
+  return table.render();
+}
+
+JsonValue to_json(const ServeMetrics& metrics) {
+  JsonValue out = JsonValue::object();
+  out.set("requests", JsonValue::integer(metrics.requests));
+  out.set("batches", JsonValue::integer(metrics.batches));
+  out.set("mean_batch", JsonValue::number(metrics.mean_batch));
+  out.set("horizon_s", JsonValue::number(metrics.horizon.count()));
+  out.set("slo_ms", JsonValue::number(metrics.slo.millis()));
+  out.set("throughput_rps", JsonValue::number(metrics.throughput_rps));
+  out.set("goodput_rps", JsonValue::number(metrics.goodput_rps));
+  out.set("slo_attainment", JsonValue::number(metrics.slo_attainment));
+  out.set("latency", latency_json(metrics.latency));
+
+  JsonValue utilization = JsonValue::array();
+  for (double u : metrics.utilization) utilization.push(JsonValue::number(u));
+  out.set("utilization", std::move(utilization));
+
+  JsonValue models = JsonValue::array();
+  for (const ModelMetrics& model : metrics.per_model) {
+    JsonValue entry = JsonValue::object();
+    entry.set("model", JsonValue::string(model.model));
+    entry.set("requests", JsonValue::integer(model.requests));
+    entry.set("latency", latency_json(model.latency));
+    entry.set("slo_attainment", JsonValue::number(model.slo_attainment));
+    entry.set("goodput_rps", JsonValue::number(model.goodput_rps));
+    entry.set("mean_batch", JsonValue::number(model.mean_batch));
+    models.push(std::move(entry));
+  }
+  out.set("per_model", std::move(models));
+  return out;
+}
+
+}  // namespace mars::serve

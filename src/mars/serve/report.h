@@ -1,0 +1,23 @@
+// Rendering for serving runs: operator-facing tables and JSON export.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mars/serve/metrics.h"
+#include "mars/serve/service.h"
+#include "mars/util/json.h"
+
+namespace mars::serve {
+
+/// Fleet summary + per-model breakdown + per-accelerator utilization,
+/// as diffable ASCII tables (same renderer as the bench harnesses).
+[[nodiscard]] std::string describe(const ServeMetrics& metrics);
+
+/// One line per planned service (mapping shape + uncontended latency).
+[[nodiscard]] std::string describe_fleet(
+    const std::vector<std::unique_ptr<ModelService>>& services);
+
+[[nodiscard]] JsonValue to_json(const ServeMetrics& metrics);
+
+}  // namespace mars::serve

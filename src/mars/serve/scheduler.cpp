@@ -1,0 +1,348 @@
+#include "mars/serve/scheduler.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "mars/sim/event_queue.h"
+#include "mars/util/error.h"
+
+namespace mars::serve {
+namespace {
+
+using sim::Task;
+using sim::TaskKind;
+
+struct Event {
+  enum class Kind : std::uint8_t {
+    kArrival,       // `request` enters its model's batcher
+    kDeadline,      // re-check model `index`'s batch timeout
+    kTryStart,      // task `index`, leg `leg` attempts to acquire resources
+    kLegDone,       // transfer task `index` finished leg `leg`
+    kTaskDone,      // compute task `index` finished
+  };
+  Kind kind;
+  int index = -1;  // task id or model id, depending on kind
+  int leg = 0;
+  Request request;  // kArrival only
+};
+
+/// In-flight bookkeeping for one admitted request.
+struct LiveRequest {
+  Request request;
+  Seconds dispatch{};
+  int batch_size = 1;
+  int tasks_remaining = 0;
+};
+
+/// The mutable event-loop state for one run. Mirrors Executor::run, with
+/// two extensions: tasks are injected while the clock advances, and
+/// completions can feed back into the workload (closed loop).
+class Engine {
+ public:
+  Engine(const topology::Topology& topo,
+         const std::vector<const ModelService*>& services,
+         const SchedulerOptions& options)
+      : topo_(&topo),
+        services_(&services),
+        network_(topo, options.sim),
+        route_cache_(static_cast<std::size_t>((topo.size() + 1) *
+                                              (topo.size() + 1))) {
+    batchers_.reserve(services.size());
+    for (std::size_t m = 0; m < services.size(); ++m) {
+      batchers_.emplace_back(options.policy);
+    }
+    armed_deadline_.assign(services.size(), std::nullopt);
+    result_.acc_busy.assign(static_cast<std::size_t>(topo.size()),
+                            Seconds(0.0));
+  }
+
+  void add_arrival(const Request& request) {
+    queue_.push(request.arrival,
+                Event{Event::Kind::kArrival, -1, 0, request});
+    next_request_id_ = std::max(next_request_id_, request.id + 1);
+  }
+
+  void enable_closed_loop(Seconds think, Seconds duration) {
+    closed_loop_ = true;
+    think_ = think;
+    issue_horizon_ = duration;
+  }
+
+  ServeResult run() {
+    for (;;) {
+      drain_events();
+      // The queue only runs dry while requests are parked in a batcher
+      // whose trigger can never fire (size-N at end of stream, or a
+      // closed loop with fewer outstanding clients than N): drain them.
+      bool flushed = false;
+      for (std::size_t m = 0; m < batchers_.size(); ++m) {
+        for (std::vector<Request>& batch : batchers_[m].flush()) {
+          dispatch(std::move(batch), now_);
+          flushed = true;
+        }
+      }
+      if (!flushed) break;
+    }
+    MARS_CHECK(static_cast<long long>(result_.completed.size()) ==
+                   static_cast<long long>(live_.size()),
+               "serving deadlock: " << live_.size() - result_.completed.size()
+                                    << " requests never completed");
+    return std::move(result_);
+  }
+
+ private:
+  void drain_events() {
+    while (!queue_.empty()) {
+      const Event event = queue_.pop(now_);
+      switch (event.kind) {
+        case Event::Kind::kArrival:
+          handle_arrival(event.request);
+          break;
+        case Event::Kind::kDeadline:
+          drain_batcher(event.index);
+          break;
+        case Event::Kind::kTryStart:
+          try_start(event.index, event.leg);
+          break;
+        case Event::Kind::kLegDone:
+          leg_done(event.index, event.leg);
+          break;
+        case Event::Kind::kTaskDone:
+          finish_task(event.index);
+          break;
+      }
+    }
+  }
+
+  void handle_arrival(const Request& request) {
+    batchers_[static_cast<std::size_t>(request.model)].push(request);
+    drain_batcher(request.model);
+  }
+
+  void drain_batcher(int model) {
+    Batcher& batcher = batchers_[static_cast<std::size_t>(model)];
+    for (std::vector<Request>& batch : batcher.pop_ready(now_)) {
+      dispatch(std::move(batch), now_);
+    }
+    // Arm the timeout of the (possibly new) open batch. Later arrivals
+    // leave the deadline unchanged, so only arm when it moves; a stale
+    // event after a size-triggered close is harmless (pop_ready
+    // re-checks against the clock).
+    const std::optional<Seconds> deadline = batcher.next_deadline();
+    if (deadline &&
+        deadline != armed_deadline_[static_cast<std::size_t>(model)]) {
+      armed_deadline_[static_cast<std::size_t>(model)] = deadline;
+      queue_.push(*deadline, Event{Event::Kind::kDeadline, model, 0, {}});
+    }
+  }
+
+  /// Clones each request's prototype graph into the live task set. The
+  /// batch's requests start together; pipelining across them emerges from
+  /// resource contention, exactly as in evaluate_throughput.
+  void dispatch(std::vector<Request> batch, Seconds now) {
+    ++result_.batches_dispatched;
+    const int batch_size = static_cast<int>(batch.size());
+    for (Request& request : batch) {
+      const sim::TaskGraph& proto =
+          (*services_)[static_cast<std::size_t>(request.model)]->proto();
+      const int live_index = static_cast<int>(live_.size());
+      live_.push_back(LiveRequest{request, now, batch_size, proto.size()});
+
+      const int offset = static_cast<int>(tasks_.size());
+      for (const Task& task : proto.tasks()) {
+        Task copy = task;
+        copy.id += offset;
+        for (sim::TaskId& dep : copy.deps) dep += offset;
+        tasks_.push_back(std::move(copy));
+        missing_deps_.push_back(
+            static_cast<int>(tasks_.back().deps.size()));
+        dependents_.emplace_back();
+        request_of_.push_back(live_index);
+        for (sim::TaskId dep : tasks_.back().deps) {
+          dependents_[static_cast<std::size_t>(dep)].push_back(
+              tasks_.back().id);
+        }
+        if (tasks_.back().deps.empty()) {
+          queue_.push(now,
+                      Event{Event::Kind::kTryStart, tasks_.back().id, 0, {}});
+        }
+      }
+    }
+  }
+
+  void try_start(int id, int leg) {
+    const Task& task = tasks_[static_cast<std::size_t>(id)];
+    switch (task.kind) {
+      case TaskKind::kBarrier:
+        finish_task(id);
+        break;
+      case TaskKind::kCompute: {
+        Seconds& free = acc_free_[static_cast<std::size_t>(task.acc)];
+        if (free > now_) {
+          queue_.push(free, Event{Event::Kind::kTryStart, id, 0, {}});
+          break;
+        }
+        const Seconds end = now_ + task.duration;
+        free = end;
+        result_.acc_busy[static_cast<std::size_t>(task.acc)] += task.duration;
+        queue_.push(end, Event{Event::Kind::kTaskDone, id, 0, {}});
+        break;
+      }
+      case TaskKind::kTransfer: {
+        if (task.bytes.count() <= 0.0) {
+          finish_task(id);
+          break;
+        }
+        const std::vector<sim::RouteLeg>& route = route_for(task.src, task.dst);
+        MARS_CHECK(leg < static_cast<int>(route.size()),
+                   "leg index out of range");
+        const sim::RouteLeg& hop = route[static_cast<std::size_t>(leg)];
+        Seconds& free = channel_free_[static_cast<std::size_t>(hop.channel)];
+        if (free > now_) {
+          queue_.push(free, Event{Event::Kind::kTryStart, id, leg, {}});
+          break;
+        }
+        const Seconds end = now_ + network_.leg_time(hop, task.bytes);
+        free = end;
+        queue_.push(end, Event{Event::Kind::kLegDone, id, leg, {}});
+        break;
+      }
+    }
+  }
+
+  void leg_done(int id, int leg) {
+    const Task& task = tasks_[static_cast<std::size_t>(id)];
+    const std::vector<sim::RouteLeg>& route = route_for(task.src, task.dst);
+    if (leg + 1 < static_cast<int>(route.size())) {
+      // Store-and-forward at the host before the next leg.
+      queue_.push(now_ + network_.params().host_latency,
+                  Event{Event::Kind::kTryStart, id, leg + 1, {}});
+    } else {
+      finish_task(id);
+    }
+  }
+
+  void finish_task(int id) {
+    result_.horizon = std::max(result_.horizon, now_);
+    ++result_.tasks_executed;
+    for (sim::TaskId dependent : dependents_[static_cast<std::size_t>(id)]) {
+      if (--missing_deps_[static_cast<std::size_t>(dependent)] == 0) {
+        queue_.push(now_, Event{Event::Kind::kTryStart, dependent, 0, {}});
+      }
+    }
+    LiveRequest& live = live_[static_cast<std::size_t>(
+        request_of_[static_cast<std::size_t>(id)])];
+    if (--live.tasks_remaining == 0) complete_request(live);
+  }
+
+  void complete_request(const LiveRequest& live) {
+    result_.completed.push_back(CompletedRequest{
+        live.request, live.dispatch, now_, live.batch_size});
+    if (!closed_loop_ || live.request.client < 0) return;
+    const Seconds next = now_ + think_;
+    if (next > issue_horizon_) return;  // client retires
+    Request request;
+    request.id = next_request_id_++;
+    request.model = live.request.model;
+    request.arrival = next;
+    request.client = live.request.client;
+    queue_.push(next, Event{Event::Kind::kArrival, -1, 0, request});
+  }
+
+  const std::vector<sim::RouteLeg>& route_for(int src, int dst) {
+    const int n = topo_->size();
+    auto& slot = route_cache_[static_cast<std::size_t>((src + 1) * (n + 1) +
+                                                       (dst + 1))];
+    if (!slot) slot = network_.route(src, dst);
+    return *slot;
+  }
+
+  const topology::Topology* topo_;
+  const std::vector<const ModelService*>* services_;
+  sim::Network network_;
+
+  sim::EventQueue<Event> queue_;
+  Seconds now_{};
+
+  std::vector<Batcher> batchers_;
+  std::vector<std::optional<Seconds>> armed_deadline_;
+  std::vector<LiveRequest> live_;
+
+  // Live task set (grows on dispatch; ids are dense global indices).
+  std::vector<Task> tasks_;
+  std::vector<int> missing_deps_;
+  std::vector<std::vector<sim::TaskId>> dependents_;
+  std::vector<int> request_of_;
+
+  std::vector<Seconds> acc_free_ =
+      std::vector<Seconds>(static_cast<std::size_t>(topo_->size()),
+                           Seconds(0.0));
+  std::vector<Seconds> channel_free_ = std::vector<Seconds>(
+      static_cast<std::size_t>(network_.num_channels()), Seconds(0.0));
+  std::vector<std::optional<std::vector<sim::RouteLeg>>> route_cache_;
+
+  bool closed_loop_ = false;
+  Seconds think_{};
+  Seconds issue_horizon_{};
+  int next_request_id_ = 0;
+
+  ServeResult result_;
+};
+
+}  // namespace
+
+OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
+                                 std::vector<const ModelService*> services,
+                                 SchedulerOptions options)
+    : topo_(&topo), services_(std::move(services)), options_(options) {
+  MARS_CHECK_ARG(!services_.empty(), "scheduler needs at least one service");
+  for (const ModelService* service : services_) {
+    MARS_CHECK_ARG(service != nullptr, "null service");
+    MARS_CHECK_ARG(service->problem().topo == topo_,
+                   "service '" << service->name()
+                               << "' was planned on a different topology");
+    // single_latency / proto were produced under the service's SimParams;
+    // replaying under different timing would silently disagree with them.
+    const sim::SimParams& planned = service->problem().sim_params;
+    MARS_CHECK_ARG(planned.link_latency == options_.sim.link_latency &&
+                       planned.host_latency == options_.sim.host_latency,
+                   "service '" << service->name()
+                               << "' was planned under different SimParams "
+                                  "than SchedulerOptions.sim");
+  }
+}
+
+ServeResult OnlineScheduler::run(const std::vector<Request>& arrivals) const {
+  Engine engine(*topo_, services_, options_);
+  for (const Request& request : arrivals) {
+    MARS_CHECK_ARG(request.model >= 0 && request.model < num_models(),
+                   "request " << request.id << " targets unknown model index "
+                              << request.model);
+    MARS_CHECK_ARG(request.arrival.count() >= 0.0,
+                   "request " << request.id << " arrives before t=0");
+    engine.add_arrival(request);
+  }
+  return engine.run();
+}
+
+ServeResult OnlineScheduler::run_closed_loop(const ClosedLoopSpec& spec,
+                                             Seconds duration) const {
+  MARS_CHECK_ARG(spec.clients() > 0, "closed loop needs at least one client");
+  MARS_CHECK_ARG(duration.count() > 0.0, "duration must be positive");
+  Engine engine(*topo_, services_, options_);
+  engine.enable_closed_loop(spec.think, duration);
+  for (int c = 0; c < spec.clients(); ++c) {
+    const int model = spec.client_model[static_cast<std::size_t>(c)];
+    MARS_CHECK_ARG(model >= 0 && model < num_models(),
+                   "client " << c << " bound to unknown model index " << model);
+    Request request;
+    request.id = c;
+    request.model = model;
+    request.arrival = Seconds(0.0);
+    request.client = c;
+    engine.add_arrival(request);
+  }
+  return engine.run();
+}
+
+}  // namespace mars::serve

@@ -1,0 +1,78 @@
+// Online multi-tenant dispatcher: the serving counterpart of sim::Executor.
+//
+// The offline Executor replays one closed task graph from t=0; serving
+// instead sees an unbounded request stream. OnlineScheduler runs its own
+// deterministic event loop over the shared topology: request arrivals
+// feed per-model Batchers, every admitted batch clones its model's
+// prototype task graph (ModelService::proto) into the live task set, and
+// compute/transfer tasks then contend for accelerators and directed
+// channels under exactly the Executor's FIFO semantics — one compute per
+// accelerator, one flow per channel, ties by event insertion order. This
+// is where co-resident models interfere: their tasks queue on the same
+// acc_free / channel_free timelines.
+//
+// Two drive modes: open loop (a precomputed arrival vector — Poisson or
+// trace replay from workload.h) and closed loop (clients re-issue `think`
+// after each completion). Runs are bit-deterministic within a build for a
+// fixed (arrivals, policy, topology).
+#pragma once
+
+#include <vector>
+
+#include "mars/serve/batcher.h"
+#include "mars/serve/service.h"
+#include "mars/sim/network.h"
+
+namespace mars::serve {
+
+struct SchedulerOptions {
+  BatchPolicy policy = BatchPolicy::none();
+  sim::SimParams sim{};
+};
+
+struct CompletedRequest {
+  Request request;
+  Seconds dispatch{};    // when its batch entered the system
+  Seconds completion{};  // when its last task finished
+  int batch_size = 1;
+
+  [[nodiscard]] Seconds latency() const { return completion - request.arrival; }
+  [[nodiscard]] Seconds queueing() const { return dispatch - request.arrival; }
+};
+
+struct ServeResult {
+  std::vector<CompletedRequest> completed;  // in completion order
+  /// Time the last task finished (the simulated busy horizon).
+  Seconds horizon{};
+  /// Compute-busy seconds per accelerator (utilization numerator).
+  std::vector<Seconds> acc_busy;
+  long long tasks_executed = 0;
+  int batches_dispatched = 0;
+};
+
+class OnlineScheduler {
+ public:
+  /// `services` must share `topo` and outlive the scheduler.
+  OnlineScheduler(const topology::Topology& topo,
+                  std::vector<const ModelService*> services,
+                  SchedulerOptions options = {});
+
+  /// Open-loop run over a pre-materialised arrival stream.
+  [[nodiscard]] ServeResult run(const std::vector<Request>& arrivals) const;
+
+  /// Closed-loop run: each client issues its next request `spec.think`
+  /// after the previous completes; no new requests start after `duration`.
+  [[nodiscard]] ServeResult run_closed_loop(const ClosedLoopSpec& spec,
+                                            Seconds duration) const;
+
+  [[nodiscard]] int num_models() const {
+    return static_cast<int>(services_.size());
+  }
+
+ private:
+  const topology::Topology* topo_;
+  std::vector<const ModelService*> services_;
+  SchedulerOptions options_;
+};
+
+}  // namespace mars::serve

@@ -1,0 +1,55 @@
+#include "mars/serve/service.h"
+
+#include "mars/core/baseline.h"
+#include "mars/graph/models/models.h"
+#include "mars/util/error.h"
+
+namespace mars::serve {
+
+ModelService::ModelService(std::string model_name,
+                           const topology::Topology& topo,
+                           const accel::DesignRegistry& designs, bool adaptive,
+                           Mapper mapper, const core::MarsConfig& config)
+    : name_(std::move(model_name)),
+      model_(graph::models::by_name(name_)),
+      spine_(graph::ConvSpine::extract(model_)) {
+  problem_.spine = &spine_;
+  problem_.topo = &topo;
+  problem_.designs = &designs;
+  problem_.adaptive = adaptive;
+
+  switch (mapper) {
+    case Mapper::kBaseline: {
+      const accel::ProfileMatrix profile(designs, spine_);
+      mapping_ = core::baseline_mapping(problem_, profile);
+      break;
+    }
+    case Mapper::kMars: {
+      core::Mars mars(problem_, config);
+      mapping_ = mars.search().mapping;
+      break;
+    }
+  }
+
+  const core::MappingEvaluator evaluator(problem_);
+  proto_ = evaluator.build_task_graph(mapping_);
+  const sim::Executor executor(topo, problem_.sim_params);
+  single_latency_ = executor.run(proto_).makespan;
+}
+
+std::vector<std::unique_ptr<ModelService>> plan_services(
+    const std::vector<std::string>& model_names,
+    const topology::Topology& topo, const accel::DesignRegistry& designs,
+    bool adaptive, ModelService::Mapper mapper,
+    const core::MarsConfig& config) {
+  MARS_CHECK_ARG(!model_names.empty(), "a fleet serves at least one model");
+  std::vector<std::unique_ptr<ModelService>> services;
+  services.reserve(model_names.size());
+  for (const std::string& name : model_names) {
+    services.push_back(std::make_unique<ModelService>(name, topo, designs,
+                                                      adaptive, mapper, config));
+  }
+  return services;
+}
+
+}  // namespace mars::serve

@@ -1,0 +1,61 @@
+// Per-model serving state: the bridge from offline MARS mappings to the
+// online scheduler.
+//
+// A ModelService owns everything one co-resident model needs — the zoo
+// graph, its conv spine, a Problem sharing the fleet's topology/design
+// registry, the chosen mapping (MARS search or the Herald-extended
+// baseline), and the prototype single-inference sim::TaskGraph the
+// dispatcher clones once per admitted request. Ownership note: Problem
+// holds non-owning pointers into this object, so a ModelService is
+// pinned in memory (no copy/move); hold it behind unique_ptr.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mars/core/mars.h"
+
+namespace mars::serve {
+
+class ModelService {
+ public:
+  enum class Mapper : std::uint8_t {
+    kBaseline,  // Herald-extended baseline (fast, no search)
+    kMars,      // two-level GA search under `config`
+  };
+
+  ModelService(std::string model_name, const topology::Topology& topo,
+               const accel::DesignRegistry& designs, bool adaptive,
+               Mapper mapper, const core::MarsConfig& config);
+
+  ModelService(const ModelService&) = delete;
+  ModelService& operator=(const ModelService&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const core::Problem& problem() const { return problem_; }
+  [[nodiscard]] const core::Mapping& mapping() const { return mapping_; }
+  /// Single-inference task graph under the chosen mapping (what the
+  /// dispatcher replays per request).
+  [[nodiscard]] const sim::TaskGraph& proto() const { return proto_; }
+  /// Uncontended single-inference latency of `proto` on the fleet.
+  [[nodiscard]] Seconds single_latency() const { return single_latency_; }
+
+ private:
+  std::string name_;
+  graph::Graph model_;
+  graph::ConvSpine spine_;
+  core::Problem problem_;
+  core::Mapping mapping_;
+  sim::TaskGraph proto_;
+  Seconds single_latency_{};
+};
+
+/// Plans one service per mix entry on the shared topology. The returned
+/// services must outlive any scheduler built over them.
+[[nodiscard]] std::vector<std::unique_ptr<ModelService>> plan_services(
+    const std::vector<std::string>& model_names,
+    const topology::Topology& topo, const accel::DesignRegistry& designs,
+    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config);
+
+}  // namespace mars::serve

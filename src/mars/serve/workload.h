@@ -1,0 +1,72 @@
+// Request workloads for the online serving simulator.
+//
+// A workload is a time-ordered stream of inference requests against the
+// co-resident models of a ServeFleet. Open-loop streams (Poisson arrivals
+// or a replayed CSV trace) are materialised up front so a run is a pure
+// function of (workload, policy, topology); closed-loop clients are
+// described by a spec and re-issue inside the scheduler when their
+// previous request completes. All randomness flows through util/rng.h —
+// a fixed seed reproduces the stream bit-for-bit within a build.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mars/util/units.h"
+
+namespace mars::serve {
+
+/// One inference request against model `model` (index into the fleet's
+/// service list). `client` identifies the issuing closed-loop client,
+/// -1 for open-loop arrivals.
+struct Request {
+  int id = -1;
+  int model = 0;
+  Seconds arrival{};
+  int client = -1;
+};
+
+/// One entry of the model mix: a zoo model name plus its relative traffic
+/// weight (any non-negative scale; weights are normalised internally).
+struct MixEntry {
+  std::string model;
+  double weight = 1.0;
+};
+
+/// Weighted model pick: index of the entry owning the point `u * sum(w)`
+/// on the cumulative weight line, for `u` in [0, 1).
+[[nodiscard]] int pick_model(const std::vector<double>& weights, double u);
+
+/// Open-loop Poisson stream: exponential inter-arrivals at `rate` requests
+/// per second over [0, duration), each request's model drawn from
+/// `mix_weights`. Deterministic under `seed`.
+[[nodiscard]] std::vector<Request> poisson_arrivals(
+    const std::vector<double>& mix_weights, double rate_per_second,
+    Seconds duration, std::uint64_t seed);
+
+/// Trace replay: CSV with header `arrival_s,model`, one request per row.
+/// Model names resolve against `model_names` (the fleet's service order);
+/// rows are sorted by arrival (stable) and re-numbered.
+[[nodiscard]] std::vector<Request> replay_trace(
+    std::istream& in, const std::vector<std::string>& model_names);
+[[nodiscard]] std::vector<Request> replay_trace_file(
+    const std::string& path, const std::vector<std::string>& model_names);
+
+/// Closed-loop workload: `clients` concurrent clients, each bound to one
+/// model, issuing the next request `think` after the previous completes.
+struct ClosedLoopSpec {
+  std::vector<int> client_model;  // model index per client
+  Seconds think{};
+
+  [[nodiscard]] int clients() const {
+    return static_cast<int>(client_model.size());
+  }
+};
+
+/// Assigns `clients` clients to models proportionally to `mix_weights`
+/// (deterministic greedy largest-remainder; no randomness needed).
+[[nodiscard]] ClosedLoopSpec make_closed_loop(
+    const std::vector<double>& mix_weights, int clients, Seconds think);
+
+}  // namespace mars::serve

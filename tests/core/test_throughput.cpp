@@ -91,6 +91,29 @@ TEST_F(ThroughputTest, RejectsBadBatch) {
   EXPECT_THROW(
       (void)evaluator_.evaluate_throughput(two_set_mapping(fx_.problem), 0),
       InvalidArgument);
+  EXPECT_THROW(
+      (void)evaluator_.evaluate_throughput(two_set_mapping(fx_.problem), -8),
+      InvalidArgument);
+}
+
+TEST_F(ThroughputTest, SingleSetBatchOneSpeedupIsExactlyOne) {
+  // One set, one image: no stage to pipeline against, so the speedup is
+  // 1 by construction (same task graph as the single-inference path).
+  Mapping mapping;
+  LayerAssignment set;
+  set.accs = 0b1111;
+  set.design = 0;
+  set.begin = 0;
+  set.end = fx_.spine.size();
+  for (int l = 0; l < fx_.spine.size(); ++l) {
+    set.strategies.emplace_back(
+        std::vector<parallel::DimSplit>{{parallel::Dim::kCout, 4}},
+        std::nullopt);
+  }
+  mapping.sets = {set};
+  const auto result = evaluator_.evaluate_throughput(mapping, 1);
+  EXPECT_DOUBLE_EQ(result.pipeline_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(result.images_per_second * result.makespan.count(), 1.0);
 }
 
 }  // namespace

@@ -155,6 +155,24 @@ TEST(Models, ZooNamesAreConstructible) {
   }
 }
 
+TEST(Models, ZooByNameRoundTripsThroughSpine) {
+  // Serving configs address models purely by zoo name: every published
+  // name must build a graph whose spine extracts cleanly, end to end.
+  const std::vector<std::string> names = models::zoo_names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    const Graph g = models::by_name(name);
+    const ConvSpine spine = ConvSpine::extract(g);
+    EXPECT_GT(spine.size(), 0) << name;
+    EXPECT_EQ(spine.size(), g.num_spine_layers()) << name;
+    EXPECT_GT(spine.input_bytes().count(), 0.0) << name;
+    EXPECT_GT(spine.output_bytes().count(), 0.0) << name;
+    // The spine keeps the zoo name, so serving reports can round-trip
+    // from a request's model string back to the mapped workload.
+    EXPECT_EQ(spine.model_name(), g.name()) << name;
+  }
+}
+
 TEST(Models, DtypePropagates) {
   const Graph g = models::alexnet(224, DataType::kFloat32);
   EXPECT_EQ(g.dtype(), DataType::kFloat32);

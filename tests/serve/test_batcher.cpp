@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "mars/serve/batcher.h"
+#include "mars/util/error.h"
+
+namespace mars::serve {
+namespace {
+
+Request at(int id, double seconds, int model = 0) {
+  Request request;
+  request.id = id;
+  request.model = model;
+  request.arrival = Seconds(seconds);
+  return request;
+}
+
+TEST(BatchPolicy, ParseRoundTrips) {
+  EXPECT_EQ(BatchPolicy::parse("none").kind, BatchPolicy::Kind::kNone);
+  const BatchPolicy size = BatchPolicy::parse("size:6");
+  EXPECT_EQ(size.kind, BatchPolicy::Kind::kSize);
+  EXPECT_EQ(size.max_batch, 6);
+  const BatchPolicy timeout = BatchPolicy::parse("timeout:2.5:16");
+  EXPECT_EQ(timeout.kind, BatchPolicy::Kind::kTimeout);
+  EXPECT_EQ(timeout.max_batch, 16);
+  EXPECT_DOUBLE_EQ(timeout.timeout.millis(), 2.5);
+  // Default size cap.
+  EXPECT_EQ(BatchPolicy::parse("timeout:1").max_batch, 8);
+
+  for (const char* spec : {"none", "size:6", "timeout:2.5:16"}) {
+    EXPECT_EQ(BatchPolicy::parse(BatchPolicy::parse(spec).to_string())
+                  .to_string(),
+              BatchPolicy::parse(spec).to_string());
+  }
+}
+
+TEST(BatchPolicy, ParseRejectsGarbage) {
+  for (const char* spec :
+       {"", "sized", "size", "size:0", "size:x", "size:4x", "timeout",
+        "timeout:-1", "timeout:2ms:8", "timeout:1:0", "timeout:1:2:3",
+        "none:1"}) {
+    EXPECT_THROW((void)BatchPolicy::parse(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(Batcher, NonePolicyDispatchesEachRequestAlone) {
+  Batcher batcher(BatchPolicy::none());
+  batcher.push(at(0, 0.0));
+  batcher.push(at(1, 0.0));
+  const auto batches = batcher.pop_ready(Seconds(0.0));
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(batcher.pending(), 0);
+}
+
+TEST(Batcher, SizePolicyClosesAtN) {
+  Batcher batcher(BatchPolicy::size(3));
+  batcher.push(at(0, 0.0));
+  batcher.push(at(1, 0.1));
+  EXPECT_TRUE(batcher.pop_ready(Seconds(0.1)).empty());
+  EXPECT_EQ(batcher.pending(), 2);
+  batcher.push(at(2, 0.2));
+  const auto batches = batcher.pop_ready(Seconds(0.2));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 3u);
+  EXPECT_EQ(batches[0][2].id, 2);
+  EXPECT_EQ(batcher.pending(), 0);
+}
+
+TEST(Batcher, FlushDrainsPartialBatch) {
+  Batcher batcher(BatchPolicy::size(4));
+  batcher.push(at(0, 0.0));
+  batcher.push(at(1, 0.1));
+  const auto batches = batcher.flush();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+  EXPECT_EQ(batcher.pending(), 0);
+  EXPECT_TRUE(batcher.flush().empty());
+}
+
+TEST(Batcher, TimeoutPolicyFiresAtDeadline) {
+  Batcher batcher(BatchPolicy::with_timeout(8, milliseconds(5.0)));
+  batcher.push(at(0, 0.0));
+  ASSERT_TRUE(batcher.next_deadline().has_value());
+  EXPECT_DOUBLE_EQ(batcher.next_deadline()->millis(), 5.0);
+  EXPECT_TRUE(batcher.pop_ready(milliseconds(4.9)).empty());
+  const auto batches = batcher.pop_ready(milliseconds(5.0));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_FALSE(batcher.next_deadline().has_value());
+}
+
+TEST(Batcher, TimeoutDeadlineAnchorsToOldestRequest) {
+  Batcher batcher(BatchPolicy::with_timeout(8, milliseconds(5.0)));
+  batcher.push(at(0, 0.001));
+  batcher.push(at(1, 0.004));
+  // The second arrival does not extend the first's deadline.
+  EXPECT_DOUBLE_EQ(batcher.next_deadline()->millis(), 6.0);
+  const auto batches = batcher.pop_ready(milliseconds(6.0));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+}
+
+TEST(Batcher, TimeoutSizeCapClosesEarly) {
+  Batcher batcher(BatchPolicy::with_timeout(2, milliseconds(50.0)));
+  batcher.push(at(0, 0.0));
+  batcher.push(at(1, 0.001));
+  const auto batches = batcher.pop_ready(milliseconds(1.0));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 2u);
+}
+
+TEST(Batcher, RejectsOutOfOrderArrivals) {
+  Batcher batcher(BatchPolicy::size(4));
+  batcher.push(at(0, 1.0));
+  EXPECT_THROW(batcher.push(at(1, 0.5)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::serve

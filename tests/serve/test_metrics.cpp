@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "mars/serve/metrics.h"
+#include "mars/serve/report.h"
+
+namespace mars::serve {
+namespace {
+
+CompletedRequest completed(int id, int model, double arrival, double completion,
+                           int batch_size = 1) {
+  CompletedRequest done;
+  done.request.id = id;
+  done.request.model = model;
+  done.request.arrival = Seconds(arrival);
+  done.dispatch = Seconds(arrival);
+  done.completion = Seconds(completion);
+  done.batch_size = batch_size;
+  return done;
+}
+
+TEST(LatencyStats, NearestRankPercentiles) {
+  std::vector<Seconds> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(milliseconds(i));
+  const LatencyStats stats = LatencyStats::from_samples(samples);
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.p50.millis(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.p95.millis(), 95.0);
+  EXPECT_DOUBLE_EQ(stats.p99.millis(), 99.0);
+  EXPECT_DOUBLE_EQ(stats.max.millis(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean.millis(), 50.5);
+}
+
+TEST(LatencyStats, SingleSampleIsEveryPercentile) {
+  const LatencyStats stats = LatencyStats::from_samples({milliseconds(7.0)});
+  EXPECT_DOUBLE_EQ(stats.p50.millis(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.p99.millis(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.max.millis(), 7.0);
+}
+
+TEST(LatencyStats, EmptySamplesAreZero) {
+  const LatencyStats stats = LatencyStats::from_samples({});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.p99.count(), 0.0);
+}
+
+TEST(Summarize, SloSplitsGoodputFromThroughput) {
+  ServeResult result;
+  result.horizon = Seconds(2.0);
+  result.acc_busy = {Seconds(1.0), Seconds(0.5)};
+  result.batches_dispatched = 4;
+  // Model 0: 10 ms and 30 ms latencies; model 1: 15 ms.
+  result.completed.push_back(completed(0, 0, 0.0, 0.010));
+  result.completed.push_back(completed(1, 0, 0.1, 0.130));
+  result.completed.push_back(completed(2, 1, 0.2, 0.215, 2));
+
+  const ServeMetrics metrics =
+      summarize(result, {"alexnet", "resnet34"}, milliseconds(20.0));
+  EXPECT_EQ(metrics.requests, 3);
+  EXPECT_EQ(metrics.batches, 4);
+  EXPECT_DOUBLE_EQ(metrics.throughput_rps, 1.5);
+  EXPECT_DOUBLE_EQ(metrics.goodput_rps, 1.0);  // the 30 ms request misses
+  EXPECT_NEAR(metrics.slo_attainment, 2.0 / 3.0, 1e-12);
+
+  ASSERT_EQ(metrics.per_model.size(), 2u);
+  EXPECT_EQ(metrics.per_model[0].requests, 2);
+  EXPECT_DOUBLE_EQ(metrics.per_model[0].slo_attainment, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.per_model[1].slo_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.per_model[1].mean_batch, 2.0);
+  // Batch-weighted mean: two singleton batches + one batch of 2
+  // (represented by one completed request) = 3 requests / 2.5 batches.
+  EXPECT_DOUBLE_EQ(metrics.mean_batch, 3.0 / 2.5);
+
+  ASSERT_EQ(metrics.utilization.size(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.utilization[0], 0.5);
+  EXPECT_DOUBLE_EQ(metrics.utilization[1], 0.25);
+}
+
+TEST(Summarize, NoSloMeansEverythingIsGood) {
+  ServeResult result;
+  result.horizon = Seconds(1.0);
+  result.completed.push_back(completed(0, 0, 0.0, 0.9));
+  const ServeMetrics metrics = summarize(result, {"alexnet"}, Seconds(0.0));
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.goodput_rps, metrics.throughput_rps);
+}
+
+TEST(Summarize, EmptyResultIsSafe) {
+  const ServeMetrics metrics = summarize({}, {"alexnet"}, milliseconds(10.0));
+  EXPECT_EQ(metrics.requests, 0);
+  EXPECT_DOUBLE_EQ(metrics.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 1.0);
+  EXPECT_EQ(metrics.per_model[0].requests, 0);
+}
+
+TEST(Report, DescribeAndJsonCoverTheFleet) {
+  ServeResult result;
+  result.horizon = Seconds(1.0);
+  result.acc_busy = {Seconds(0.25)};
+  result.batches_dispatched = 2;
+  result.completed.push_back(completed(0, 0, 0.0, 0.010));
+  result.completed.push_back(completed(1, 1, 0.0, 0.050));
+  const ServeMetrics metrics =
+      summarize(result, {"alexnet", "resnet34"}, milliseconds(20.0));
+
+  const std::string text = describe(metrics);
+  EXPECT_NE(text.find("alexnet"), std::string::npos);
+  EXPECT_NE(text.find("resnet34"), std::string::npos);
+  EXPECT_NE(text.find("SLO"), std::string::npos);
+  EXPECT_NE(text.find("Acc0"), std::string::npos);
+
+  const std::string json = to_json(metrics).dump();
+  EXPECT_NE(json.find("\"goodput_rps\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_model\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mars::serve

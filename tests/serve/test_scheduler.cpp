@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mars/serve/metrics.h"
+#include "mars/serve/scheduler.h"
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+
+namespace mars::serve {
+namespace {
+
+Request at(int id, double seconds, int model = 0) {
+  Request request;
+  request.id = id;
+  request.model = model;
+  request.arrival = Seconds(seconds);
+  return request;
+}
+
+/// Baseline-mapped services on the F1 system: fast to plan, and both
+/// models span both accelerator groups, so co-residents really contend.
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : topo_(topology::f1_16xlarge()), designs_(accel::table2_designs()) {
+    for (const char* name : {"alexnet", "resnet18"}) {
+      services_.push_back(std::make_unique<ModelService>(
+          name, topo_, designs_, /*adaptive=*/true,
+          ModelService::Mapper::kBaseline, core::MarsConfig{}));
+      refs_.push_back(services_.back().get());
+    }
+  }
+
+  [[nodiscard]] OnlineScheduler scheduler(
+      BatchPolicy policy = BatchPolicy::none()) const {
+    SchedulerOptions options;
+    options.policy = policy;
+    return OnlineScheduler(topo_, refs_, options);
+  }
+
+  topology::Topology topo_;
+  accel::DesignRegistry designs_;
+  std::vector<std::unique_ptr<ModelService>> services_;
+  std::vector<const ModelService*> refs_;
+};
+
+TEST_F(SchedulerTest, SingleRequestMatchesUncontendedLatency) {
+  const ServeResult result = scheduler().run({at(0, 0.0)});
+  ASSERT_EQ(result.completed.size(), 1u);
+  const CompletedRequest& done = result.completed.front();
+  EXPECT_DOUBLE_EQ(done.dispatch.count(), 0.0);
+  EXPECT_DOUBLE_EQ(done.completion.count(),
+                   services_[0]->single_latency().count());
+  EXPECT_DOUBLE_EQ(done.latency().count(),
+                   services_[0]->single_latency().count());
+  EXPECT_EQ(result.batches_dispatched, 1);
+  EXPECT_EQ(result.tasks_executed, services_[0]->proto().size());
+}
+
+TEST_F(SchedulerTest, LateRequestLatencyIsArrivalRelative) {
+  const ServeResult result = scheduler().run({at(0, 1.5)});
+  ASSERT_EQ(result.completed.size(), 1u);
+  // Offsetting every event by 1.5 s loses a few ulps relative to the
+  // t=0 replay; the schedule itself is identical.
+  EXPECT_NEAR(result.completed[0].latency().count(),
+              services_[0]->single_latency().count(), 1e-12);
+  EXPECT_NEAR(result.completed[0].completion.count(),
+              1.5 + services_[0]->single_latency().count(), 1e-12);
+}
+
+TEST_F(SchedulerTest, RunsAreDeterministic) {
+  const std::vector<Request> arrivals =
+      poisson_arrivals({1.0, 1.0}, 300.0, Seconds(0.5), 42);
+  const ServeResult a = scheduler().run(arrivals);
+  const ServeResult b = scheduler().run(arrivals);
+  ASSERT_EQ(a.completed.size(), b.completed.size());
+  ASSERT_FALSE(a.completed.empty());
+  for (std::size_t i = 0; i < a.completed.size(); ++i) {
+    EXPECT_EQ(a.completed[i].request.id, b.completed[i].request.id);
+    EXPECT_DOUBLE_EQ(a.completed[i].completion.count(),
+                     b.completed[i].completion.count());
+  }
+  EXPECT_DOUBLE_EQ(a.horizon.count(), b.horizon.count());
+  for (std::size_t i = 0; i < a.acc_busy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.acc_busy[i].count(), b.acc_busy[i].count());
+  }
+}
+
+TEST_F(SchedulerTest, ConcurrentRequestsContendForTheFleet) {
+  const ServeResult result = scheduler().run({at(0, 0.0), at(1, 0.0)});
+  ASSERT_EQ(result.completed.size(), 2u);
+  const Seconds single = services_[0]->single_latency();
+  // The second request queues behind the first on shared resources, but
+  // set-level pipelining keeps it under 2x.
+  EXPECT_GT(result.horizon.count(), single.count());
+  EXPECT_LT(result.horizon.count(), 2.0 * single.count());
+  for (const CompletedRequest& done : result.completed) {
+    EXPECT_GE(done.latency().count(), single.count() * 0.999);
+  }
+}
+
+TEST_F(SchedulerTest, CoResidentModelsInterfere) {
+  // alexnet alone vs alexnet dispatched alongside a resnet18 request.
+  const ServeResult alone = scheduler().run({at(0, 0.0, 0)});
+  const ServeResult mixed =
+      scheduler().run({at(0, 0.0, 1), at(1, 0.0, 0)});
+  ASSERT_EQ(mixed.completed.size(), 2u);
+  Seconds alexnet_mixed{};
+  for (const CompletedRequest& done : mixed.completed) {
+    if (done.request.model == 0) alexnet_mixed = done.latency();
+  }
+  EXPECT_GT(alexnet_mixed.count(), alone.completed[0].latency().count());
+  EXPECT_GE(mixed.horizon.count(),
+            std::max(services_[0]->single_latency().count(),
+                     services_[1]->single_latency().count()));
+}
+
+TEST_F(SchedulerTest, SizeBatchingDispatchesWhenFull) {
+  const ServeResult result =
+      scheduler(BatchPolicy::size(2)).run({at(0, 0.0), at(1, 0.01)});
+  ASSERT_EQ(result.completed.size(), 2u);
+  EXPECT_EQ(result.batches_dispatched, 1);
+  for (const CompletedRequest& done : result.completed) {
+    EXPECT_EQ(done.batch_size, 2);
+    EXPECT_DOUBLE_EQ(done.dispatch.count(), 0.01);
+  }
+  // The earlier request paid queueing delay waiting for the batch.
+  const CompletedRequest& first = result.completed[0].request.id == 0
+                                      ? result.completed[0]
+                                      : result.completed[1];
+  EXPECT_DOUBLE_EQ(first.queueing().count(), 0.01);
+}
+
+TEST_F(SchedulerTest, PartialBatchFlushesAtEndOfStream) {
+  const ServeResult result = scheduler(BatchPolicy::size(4))
+                                 .run({at(0, 0.0), at(1, 0.01), at(2, 0.02)});
+  ASSERT_EQ(result.completed.size(), 3u);
+  EXPECT_EQ(result.batches_dispatched, 1);
+  for (const CompletedRequest& done : result.completed) {
+    EXPECT_EQ(done.batch_size, 3);
+    // The flush fires once the stream is exhausted (the last arrival).
+    EXPECT_DOUBLE_EQ(done.dispatch.count(), 0.02);
+  }
+}
+
+TEST_F(SchedulerTest, TimeoutBatchingDispatchesAtDeadline) {
+  const ServeResult result =
+      scheduler(BatchPolicy::with_timeout(8, milliseconds(5.0)))
+          .run({at(0, 0.0)});
+  ASSERT_EQ(result.completed.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.completed[0].dispatch.count(), 0.005);
+  EXPECT_DOUBLE_EQ(result.completed[0].completion.count(),
+                   0.005 + services_[0]->single_latency().count());
+}
+
+TEST_F(SchedulerTest, ClosedLoopRespectsThinkTime) {
+  ClosedLoopSpec spec;
+  spec.client_model = {0};
+  spec.think = milliseconds(2.0);
+  const ServeResult result =
+      scheduler().run_closed_loop(spec, Seconds(0.25));
+  ASSERT_GE(result.completed.size(), 2u);
+  for (std::size_t i = 0; i < result.completed.size(); ++i) {
+    EXPECT_EQ(result.completed[i].request.client, 0);
+    if (i > 0) {
+      // One outstanding request per client: the next issue happens
+      // exactly `think` after the previous completion.
+      EXPECT_DOUBLE_EQ(
+          result.completed[i].request.arrival.count(),
+          result.completed[i - 1].completion.count() + 0.002);
+    }
+  }
+  // No request is issued past the horizon.
+  for (const CompletedRequest& done : result.completed) {
+    EXPECT_LE(done.request.arrival.count(), 0.25);
+  }
+}
+
+TEST_F(SchedulerTest, ClosedLoopServesAllClients) {
+  const ClosedLoopSpec spec = make_closed_loop({1.0, 1.0}, 4, milliseconds(1.0));
+  const ServeResult result =
+      scheduler().run_closed_loop(spec, Seconds(0.1));
+  ASSERT_GE(result.completed.size(), 4u);
+  bool seen[4] = {false, false, false, false};
+  for (const CompletedRequest& done : result.completed) {
+    ASSERT_GE(done.request.client, 0);
+    ASSERT_LT(done.request.client, 4);
+    seen[done.request.client] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST_F(SchedulerTest, UtilizationStaysPhysical) {
+  const std::vector<Request> arrivals =
+      poisson_arrivals({1.0, 1.0}, 200.0, Seconds(0.5), 1);
+  const ServeResult result = scheduler(BatchPolicy::size(4)).run(arrivals);
+  EXPECT_EQ(result.completed.size(), arrivals.size());
+  const ServeMetrics metrics =
+      summarize(result, {"alexnet", "resnet18"}, milliseconds(50.0));
+  ASSERT_EQ(metrics.utilization.size(), static_cast<std::size_t>(topo_.size()));
+  for (double u : metrics.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(metrics.throughput_rps, 0.0);
+  EXPECT_GE(metrics.goodput_rps, 0.0);
+  EXPECT_LE(metrics.goodput_rps, metrics.throughput_rps + 1e-12);
+}
+
+TEST_F(SchedulerTest, RejectsForeignService) {
+  const topology::Topology other = topology::f1_16xlarge();
+  const ModelService foreign("alexnet", other, designs_, /*adaptive=*/true,
+                             ModelService::Mapper::kBaseline,
+                             core::MarsConfig{});
+  EXPECT_THROW((void)OnlineScheduler(topo_, {&foreign}, {}), InvalidArgument);
+}
+
+TEST_F(SchedulerTest, RejectsMismatchedSimParams) {
+  // Services bake single_latency/proto under their Problem's SimParams;
+  // replaying under different timing would silently disagree.
+  SchedulerOptions options;
+  options.sim.host_latency = microseconds(50.0);
+  EXPECT_THROW((void)OnlineScheduler(topo_, refs_, options), InvalidArgument);
+}
+
+TEST_F(SchedulerTest, RejectsBadRequests) {
+  EXPECT_THROW((void)scheduler().run({at(0, 0.0, 7)}), InvalidArgument);
+  EXPECT_THROW((void)scheduler().run({at(0, -1.0)}), InvalidArgument);
+  EXPECT_THROW((void)OnlineScheduler(topo_, {}, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::serve

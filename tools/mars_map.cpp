@@ -11,12 +11,15 @@
 //       The Herald-extended baseline mapping and latency.
 //   mars_map throughput --model resnet34 --batch 8
 //       Pipelined multi-image throughput of the MARS mapping.
+//   mars_map serve --model facebagnet --model resnet50 --rate 200 --duration 10
+//       Online multi-tenant serving simulation over the shared topology.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "mars/accel/profiler.h"
 #include "mars/core/baseline.h"
@@ -24,6 +27,9 @@
 #include "mars/core/serialize.h"
 #include "mars/graph/models/models.h"
 #include "mars/graph/parser.h"
+#include "mars/serve/metrics.h"
+#include "mars/serve/report.h"
+#include "mars/serve/scheduler.h"
 #include "mars/topology/presets.h"
 #include "mars/util/strings.h"
 #include "mars/util/table.h"
@@ -34,11 +40,28 @@ using namespace mars;
 
 struct Args {
   std::string command;
-  std::map<std::string, std::string> options;
-  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  // Options in CLI order; repeatable flags (--model) keep every occurrence.
+  std::vector<std::pair<std::string, std::string>> options;
+
+  bool flag(const std::string& name) const {
+    for (const auto& [key, value] : options) {
+      if (key == name) return true;
+    }
+    return false;
+  }
   std::string get(const std::string& name, const std::string& fallback) const {
-    auto it = options.find(name);
-    return it == options.end() ? fallback : it->second;
+    std::string result = fallback;
+    for (const auto& [key, value] : options) {
+      if (key == name) result = value;  // last occurrence wins
+    }
+    return result;
+  }
+  std::vector<std::string> all(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [key, value] : options) {
+      if (key == name) values.push_back(value);
+    }
+    return values;
   }
 };
 
@@ -50,12 +73,40 @@ Args parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[key] = argv[++i];
+      args.options.emplace_back(key, argv[++i]);
     } else {
-      args.options[key] = "1";
+      args.options.emplace_back(key, "1");
     }
   }
   return args;
+}
+
+/// Whole-string numeric flag parse; anything else is a usage error.
+double number_option(const Args& args, const std::string& name,
+                     const std::string& fallback) {
+  const std::string text = args.get(name, fallback);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size()) {
+    throw InvalidArgument("--" + name + " needs a number, got '" + text + "'");
+  }
+  return value;
+}
+
+int int_option(const Args& args, const std::string& name,
+               const std::string& fallback) {
+  const double value = number_option(args, name, fallback);
+  const int truncated = static_cast<int>(value);
+  if (static_cast<double>(truncated) != value) {
+    throw InvalidArgument("--" + name + " needs an integer, got '" +
+                          args.get(name, fallback) + "'");
+  }
+  return truncated;
 }
 
 topology::Topology make_topology(const Args& args) {
@@ -194,10 +245,123 @@ int cmd_throughput(const Args& args) {
   return 0;
 }
 
-int usage() {
-  std::cout << "usage: mars_map <models|profile|map|baseline|throughput> "
-               "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
-               "[--model-file PATH] [--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n";
+int cmd_serve(const Args& args) {
+  // Model mix: repeated --model name[:weight] (weight defaults to 1).
+  std::vector<std::string> names;
+  std::vector<double> weights;
+  for (const std::string& spec : args.all("model")) {
+    const std::vector<std::string> parts = split(spec, ':');
+    if (parts.empty() || parts[0].empty() || parts.size() > 2) {
+      throw InvalidArgument("bad --model spec '" + spec + "' (use name[:weight])");
+    }
+    double weight = 1.0;
+    if (parts.size() == 2) {
+      std::size_t consumed = 0;
+      try {
+        weight = std::stod(parts[1], &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != parts[1].size() || weight < 0.0) {
+        throw InvalidArgument("bad --model weight in '" + spec +
+                              "' (use name[:weight])");
+      }
+    }
+    names.push_back(parts[0]);
+    weights.push_back(weight);
+  }
+  if (names.empty()) {
+    names = {"resnet34"};
+    weights = {1.0};
+  }
+
+  const topology::Topology topo = make_topology(args);
+  const accel::DesignRegistry designs =
+      args.flag("fixed") ? accel::h2h_designs() : accel::table2_designs();
+
+  // Serving plans one mapping per model up front; default to the quick
+  // search budget (--full restores the offline default, --mapper baseline
+  // skips the search entirely).
+  core::MarsConfig config;
+  config.seed = std::stoull(args.get("seed", "1"));
+  if (!args.flag("full")) {
+    config.first_ga.population = 12;
+    config.first_ga.generations = 8;
+    config.second.ga.population = 8;
+    config.second.ga.generations = 6;
+  }
+  const std::string mapper_name = args.get("mapper", "mars");
+  serve::ModelService::Mapper mapper;
+  if (mapper_name == "mars") {
+    mapper = serve::ModelService::Mapper::kMars;
+  } else if (mapper_name == "baseline") {
+    mapper = serve::ModelService::Mapper::kBaseline;
+  } else {
+    throw InvalidArgument("unknown mapper '" + mapper_name +
+                          "' (use mars | baseline)");
+  }
+
+  // Parse every workload flag before the (expensive) per-model planning
+  // so usage errors fail fast.
+  serve::SchedulerOptions options;
+  options.policy = serve::BatchPolicy::parse(args.get("policy", "none"));
+  const Seconds duration = Seconds(number_option(args, "duration", "5"));
+  const auto seed = static_cast<std::uint64_t>(int_option(args, "seed", "1"));
+  const Seconds slo = milliseconds(number_option(args, "slo", "100"));
+  const double rate = number_option(args, "rate", "100");
+  const int clients = int_option(args, "clients", "8");
+  const Seconds think = milliseconds(number_option(args, "think", "0"));
+
+  const std::vector<std::unique_ptr<serve::ModelService>> services =
+      serve::plan_services(names, topo, designs, !args.flag("fixed"), mapper,
+                           config);
+  std::cout << "Fleet on " << topo.name() << " (" << topo.size()
+            << " accelerators, mapper " << mapper_name << "):\n"
+            << serve::describe_fleet(services) << '\n';
+
+  std::vector<const serve::ModelService*> refs;
+  refs.reserve(services.size());
+  for (const std::unique_ptr<serve::ModelService>& service : services) {
+    refs.push_back(service.get());
+  }
+  const serve::OnlineScheduler scheduler(topo, refs, options);
+
+  serve::ServeResult result;
+  if (args.flag("trace")) {
+    // A bare `--trace` parses as the sentinel value "1".
+    const std::string trace = args.get("trace", "");
+    if (trace == "1") throw InvalidArgument("--trace needs a CSV file path");
+    result = scheduler.run(serve::replay_trace_file(trace, names));
+  } else if (args.flag("clients")) {
+    const serve::ClosedLoopSpec spec =
+        serve::make_closed_loop(weights, clients, think);
+    result = scheduler.run_closed_loop(spec, duration);
+  } else {
+    result =
+        scheduler.run(serve::poisson_arrivals(weights, rate, duration, seed));
+  }
+  const serve::ServeMetrics metrics = serve::summarize(result, names, slo);
+  std::cout << "Workload: policy " << options.policy.to_string() << ", "
+            << result.batches_dispatched << " batches dispatched\n\n"
+            << serve::describe(metrics);
+
+  if (args.flag("json")) {
+    std::string path = args.get("json", "serve.json");
+    if (path == "1") path = "serve.json";  // bare --json
+    std::ofstream file(path);
+    file << serve::to_json(metrics).dump() << '\n';
+    std::cout << "\nwrote " << path << '\n';
+  }
+  return 0;
+}
+
+int usage(std::ostream& os) {
+  os << "usage: mars_map <models|profile|map|baseline|throughput|serve> "
+        "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
+        "[--model-file PATH] [--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
+        "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
+        "--duration S --slo MS --policy none|size:N|timeout:MS[:N] "
+        "--mapper mars|baseline --full --trace CSV --clients N --think MS\n";
   return 1;
 }
 
@@ -211,7 +375,18 @@ int main(int argc, char** argv) {
     if (args.command == "map") return cmd_map(args);
     if (args.command == "baseline") return cmd_baseline(args);
     if (args.command == "throughput") return cmd_throughput(args);
-    return usage();
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (args.command.empty()) return usage(std::cout);
+    std::cerr << "error: unknown command '" << args.command << "'\n";
+    return usage(std::cerr);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
