@@ -1,5 +1,9 @@
 #include "mars/core/serialize.h"
 
+#include <utility>
+
+#include "mars/util/error.h"
+
 namespace mars::core {
 
 JsonValue to_json(const parallel::Strategy& strategy) {
@@ -49,6 +53,75 @@ JsonValue to_json(const Mapping& mapping, const graph::ConvSpine& spine,
   out.set("num_layers", JsonValue::integer(spine.size()));
   out.set("sets", std::move(sets));
   return out;
+}
+
+parallel::Strategy strategy_from_json(const JsonValue& json) {
+  std::vector<parallel::DimSplit> es;
+  const JsonValue& es_json = json.get("es");
+  MARS_CHECK_ARG(es_json.is_array(), "strategy 'es' must be an array");
+  for (std::size_t i = 0; i < es_json.size(); ++i) {
+    const JsonValue& split = es_json.at(i);
+    const std::string& dim_name = split.get("dim").as_string();
+    const std::optional<parallel::Dim> dim = parallel::dim_from_string(dim_name);
+    MARS_CHECK_ARG(dim.has_value(), "unknown ES dim '" << dim_name << "'");
+    es.push_back({*dim, static_cast<int>(split.get("ways").as_integer())});
+  }
+  const std::string& ss_name = json.get("ss").as_string();
+  std::optional<parallel::Dim> ss;
+  if (!ss_name.empty()) {
+    ss = parallel::dim_from_string(ss_name);
+    MARS_CHECK_ARG(ss.has_value(), "unknown SS dim '" << ss_name << "'");
+  }
+  return parallel::Strategy(std::move(es), ss);
+}
+
+Mapping mapping_from_json(const JsonValue& json, const graph::ConvSpine& spine,
+                          const topology::Topology& topo,
+                          const accel::DesignRegistry& designs, bool adaptive) {
+  const std::string& model = json.get("model").as_string();
+  MARS_CHECK_ARG(model == spine.model_name(),
+                 "mapping is for model '" << model << "', expected '"
+                                          << spine.model_name() << "'");
+  MARS_CHECK_ARG(json.get("num_layers").as_integer() == spine.size(),
+                 "mapping covers " << json.get("num_layers").as_integer()
+                                   << " layers, spine has " << spine.size());
+
+  Mapping mapping;
+  const JsonValue& sets = json.get("sets");
+  MARS_CHECK_ARG(sets.is_array(), "mapping 'sets' must be an array");
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    const JsonValue& entry = sets.at(s);
+    LayerAssignment set;
+    const JsonValue& members = entry.get("accelerators");
+    MARS_CHECK_ARG(members.is_array(), "set 'accelerators' must be an array");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const long long acc = members.at(i).as_integer();
+      MARS_CHECK_ARG(acc >= 0 && acc < topo.size(),
+                     "set member " << acc << " outside the topology");
+      set.accs |= topology::mask_of(static_cast<topology::AccId>(acc));
+    }
+    const std::string& design = entry.get("design").as_string();
+    if (adaptive) {
+      set.design = designs.find(design);
+      MARS_CHECK_ARG(set.design != accel::kInvalidDesign,
+                     "unknown design '" << design << "' in mapping");
+    } else {
+      MARS_CHECK_ARG(design == "fixed",
+                     "fixed-design mapping names a design '" << design << "'");
+    }
+    set.begin = static_cast<int>(entry.get("begin").as_integer());
+    set.end = static_cast<int>(entry.get("end").as_integer());
+    const JsonValue& layers = entry.get("layers");
+    MARS_CHECK_ARG(static_cast<int>(layers.size()) == set.num_layers(),
+                   "set [" << set.begin << ", " << set.end << ") carries "
+                           << layers.size() << " layer strategies");
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      set.strategies.push_back(strategy_from_json(layers.at(l).get("strategy")));
+    }
+    mapping.sets.push_back(std::move(set));
+  }
+  mapping.validate(spine, topo, designs, adaptive);
+  return mapping;
 }
 
 JsonValue to_json(const EvaluationSummary& summary) {

@@ -1,5 +1,9 @@
-// JSON export of mappings and evaluation results — the interchange format
-// for downstream tooling (deployment scripts, dashboards) and the CLI.
+// JSON interchange for mappings and evaluation results — export for
+// downstream tooling (deployment scripts, dashboards) and the CLI, plus
+// the inverse parse that rehydrates a searched Mapping (the serving
+// mapping cache's load path). mapping_from_json(to_json(m)) reproduces
+// `m` exactly: every serialised field is integral or a registered name,
+// so the round-trip is lossless.
 #pragma once
 
 #include "mars/core/mapping.h"
@@ -13,6 +17,20 @@ namespace mars::core {
                                 const graph::ConvSpine& spine,
                                 const accel::DesignRegistry& designs,
                                 bool adaptive);
+
+/// Inverse of the Mapping to_json above. Resolves design names against
+/// `designs`, rebuilds masks/ranges/strategies, and validates the result
+/// against (spine, topo, designs, adaptive). Throws InvalidArgument when
+/// the JSON does not describe a valid mapping of this exact problem
+/// (wrong model name, layer count, unknown design/dim, coverage holes).
+[[nodiscard]] Mapping mapping_from_json(const JsonValue& json,
+                                        const graph::ConvSpine& spine,
+                                        const topology::Topology& topo,
+                                        const accel::DesignRegistry& designs,
+                                        bool adaptive);
+
+/// Inverse of the Strategy to_json below.
+[[nodiscard]] parallel::Strategy strategy_from_json(const JsonValue& json);
 
 /// Evaluation summary: simulated + analytic makespans, breakdown
 /// components, memory verdict.

@@ -26,6 +26,13 @@ std::string to_string(Dim dim) {
   return "?";
 }
 
+std::optional<Dim> dim_from_string(const std::string& name) {
+  for (Dim dim : kAllDims) {
+    if (to_string(dim) == name) return dim;
+  }
+  return std::nullopt;
+}
+
 int dim_extent(const graph::ConvShape& shape, Dim dim) {
   switch (dim) {
     case Dim::kCout:

@@ -32,6 +32,10 @@ inline constexpr int kNumDims = 6;
 
 [[nodiscard]] std::string to_string(Dim dim);
 
+/// Inverse of to_string(Dim): "Cout" -> Dim::kCout, ...; nullopt for
+/// anything else (deserialisers turn that into their own error).
+[[nodiscard]] std::optional<Dim> dim_from_string(const std::string& name);
+
 /// Cin / Kh / Kw contribute to the accumulation; sharding them exclusively
 /// leaves partial sums spread across accelerators.
 [[nodiscard]] constexpr bool is_reduction_dim(Dim dim) {

@@ -83,6 +83,80 @@ std::string BatchPolicy::to_string() const {
   return "?";
 }
 
+AdmissionPolicy AdmissionPolicy::none() { return AdmissionPolicy{}; }
+
+AdmissionPolicy AdmissionPolicy::slo_aware(Seconds slo) {
+  MARS_CHECK_ARG(slo.count() > 0.0, "slo admission needs a positive budget");
+  AdmissionPolicy policy;
+  policy.kind = Kind::kSlo;
+  policy.slo = slo;
+  return policy;
+}
+
+AdmissionPolicy AdmissionPolicy::shed(int max_depth) {
+  MARS_CHECK_ARG(max_depth >= 1,
+                 "shed-N admission needs N >= 1, got " << max_depth);
+  AdmissionPolicy policy;
+  policy.kind = Kind::kShed;
+  policy.max_depth = max_depth;
+  return policy;
+}
+
+AdmissionPolicy AdmissionPolicy::parse(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.size() == 1 && parts[0] == "none") return none();
+  if (parts.size() == 2 && parts[0] == "slo") {
+    if (double ms = 0.0; parse_double_field(parts[1], ms)) {
+      return slo_aware(milliseconds(ms));
+    }
+  }
+  if (parts.size() == 2 && parts[0] == "shed") {
+    if (int depth = 0; parse_int_field(parts[1], depth)) return shed(depth);
+  }
+  throw InvalidArgument("bad admission policy '" + spec +
+                        "' (use none | slo:MS | shed:N)");
+}
+
+std::string AdmissionPolicy::to_string() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kSlo:
+      return "slo:" + format_double(slo.millis(), 3);
+    case Kind::kShed:
+      return "shed:" + std::to_string(max_depth);
+  }
+  return "?";
+}
+
+PolicySpec PolicySpec::parse(const std::string& spec) {
+  PolicySpec out;
+  bool saw_batch = false;
+  bool saw_admission = false;
+  for (const std::string& part : split(spec, '+')) {
+    const std::string head = split(part, ':')[0];
+    if (head == "slo" || head == "shed") {
+      MARS_CHECK_ARG(!saw_admission, "policy '" << spec
+                                                << "' names two admission "
+                                                   "policies");
+      out.admission = AdmissionPolicy::parse(part);
+      saw_admission = true;
+    } else {
+      MARS_CHECK_ARG(!saw_batch,
+                     "policy '" << spec << "' names two batching policies");
+      out.batch = BatchPolicy::parse(part);
+      saw_batch = true;
+    }
+  }
+  return out;
+}
+
+std::string PolicySpec::to_string() const {
+  if (admission.kind == AdmissionPolicy::Kind::kNone) return batch.to_string();
+  if (batch.kind == BatchPolicy::Kind::kNone) return admission.to_string();
+  return batch.to_string() + "+" + admission.to_string();
+}
+
 Batcher::Batcher(BatchPolicy policy) : policy_(policy) {}
 
 void Batcher::close_open() {

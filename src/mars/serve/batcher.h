@@ -1,14 +1,27 @@
 // Admission and dynamic batching for the serving simulator.
 //
 // One Batcher per served model groups arriving requests into batches the
-// dispatcher instantiates together. Three policies, mirroring the knobs
-// real serving stacks expose:
+// dispatcher instantiates together. Three batching policies, mirroring
+// the knobs real serving stacks expose:
 //   none         every request dispatches immediately (batch of 1);
 //   size:N       a batch closes when N requests have queued;
 //   timeout:T:N  a batch closes at N requests or once its oldest request
 //                has waited T, whichever comes first.
 // Batch formation is a pure function of the arrival sequence, so runs
 // stay deterministic.
+//
+// In front of batching sits admission control (AdmissionPolicy): the
+// scheduler consults it at every arrival and sheds requests a saturated
+// fleet cannot serve in time, instead of letting the queue grow without
+// bound. Two policies beyond `none`:
+//   slo:MS       reject when the predicted end-to-end latency (backlog on
+//                the model's accelerators, read off the shared timelines,
+//                plus its uncontended single-inference latency) exceeds MS;
+//   shed:N       reject while the model already has N requests in the
+//                system (queued or in flight).
+// Parsing lives here next to BatchPolicy; enforcement is the scheduler's
+// (it owns the timelines the estimate reads). PolicySpec combines the two
+// families for single-flag CLI specs like "size:4+slo:60".
 #pragma once
 
 #include <optional>
@@ -36,6 +49,41 @@ struct BatchPolicy {
   /// Parses "none", "size:N", or "timeout:MS[:N]" (N defaults to 8).
   /// Throws InvalidArgument on anything else.
   [[nodiscard]] static BatchPolicy parse(const std::string& spec);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AdmissionPolicy {
+  enum class Kind : std::uint8_t { kNone, kSlo, kShed };
+
+  Kind kind = Kind::kNone;
+  /// End-to-end latency budget a request must be predicted to meet (kSlo).
+  Seconds slo{};
+  /// Cap on a model's requests in the system — batcher queue plus in
+  /// flight (kShed).
+  int max_depth = 0;
+
+  [[nodiscard]] static AdmissionPolicy none();
+  [[nodiscard]] static AdmissionPolicy slo_aware(Seconds slo);
+  [[nodiscard]] static AdmissionPolicy shed(int max_depth);
+
+  /// Parses "none", "slo:MS", or "shed:N". Throws InvalidArgument on
+  /// anything else.
+  [[nodiscard]] static AdmissionPolicy parse(const std::string& spec);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One batching policy plus one admission policy, as a single CLI spec:
+/// '+'-separated parts, each either a batching or an admission spec, at
+/// most one of each family ("size:4+slo:60", "shed:32", "none").
+struct PolicySpec {
+  BatchPolicy batch;
+  AdmissionPolicy admission;
+
+  /// Throws InvalidArgument on an unparsable part or a duplicated family.
+  /// A bare "none" leaves both families at their defaults.
+  [[nodiscard]] static PolicySpec parse(const std::string& spec);
 
   [[nodiscard]] std::string to_string() const;
 };

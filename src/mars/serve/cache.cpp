@@ -1,0 +1,179 @@
+#include "mars/serve/cache.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mars/core/serialize.h"
+#include "mars/util/error.h"
+#include "mars/util/logging.h"
+
+namespace mars::serve {
+namespace {
+
+constexpr long long kCacheFormat = 1;
+
+/// 64-bit FNV-1a. The canonical text below feeds through this; the exact
+/// constant choice only has to be stable within the cache directory.
+class Fnv1a {
+ public:
+  void mix(const std::string& text) {
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;
+    }
+    // Separate fields so ("ab", "c") and ("a", "bc") differ.
+    hash_ ^= 0x1f;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  void mix(long long value) { mix(std::to_string(value)); }
+  void mix(bool value) { mix(std::string(value ? "t" : "f")); }
+
+  void mix(double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    mix(std::string(buffer));
+  }
+
+  [[nodiscard]] std::string hex() const {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%016" PRIx64, hash_);
+    return buffer;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+void mix_ga(Fnv1a& fnv, const ga::GaConfig& ga) {
+  fnv.mix(static_cast<long long>(ga.population));
+  fnv.mix(static_cast<long long>(ga.generations));
+  fnv.mix(static_cast<long long>(ga.elite));
+  fnv.mix(static_cast<long long>(ga.tournament));
+  fnv.mix(ga.crossover_rate);
+  fnv.mix(ga.mutation_rate);
+  fnv.mix(ga.mutation_sigma);
+  fnv.mix(static_cast<long long>(ga.stall_generations));
+}
+
+}  // namespace
+
+MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {
+  MARS_CHECK_ARG(!dir_.empty(), "mapping cache needs a directory path");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  MARS_CHECK_ARG(!ec, "cannot create mapping cache directory '"
+                          << dir_ << "': " << ec.message());
+  MARS_CHECK_ARG(std::filesystem::is_directory(dir_, ec),
+                 "mapping cache path '" << dir_ << "' is not a directory");
+}
+
+std::string MappingCache::fingerprint(const topology::Topology& topo,
+                                      const accel::DesignRegistry& designs,
+                                      bool adaptive, const std::string& mapper,
+                                      const core::MarsConfig& config) {
+  Fnv1a fnv;
+  fnv.mix(topo.name());
+  fnv.mix(static_cast<long long>(topo.size()));
+  for (topology::AccId a = 0; a < topo.size(); ++a) {
+    const topology::Accelerator& acc = topo.accelerator(a);
+    fnv.mix(acc.name);
+    fnv.mix(acc.dram.count());
+    fnv.mix(acc.host_bw.bits_per_second());
+    fnv.mix(static_cast<long long>(acc.fixed_design));
+    for (topology::AccId b = a + 1; b < topo.size(); ++b) {
+      fnv.mix(topo.link(a, b).bits_per_second());
+    }
+  }
+  fnv.mix(static_cast<long long>(designs.size()));
+  for (accel::DesignId id : designs.ids()) {
+    const accel::AcceleratorDesign& design = designs.design(id);
+    fnv.mix(design.name());
+    fnv.mix(design.frequency().hertz());
+    fnv.mix(design.peak_macs_per_cycle());
+    fnv.mix(static_cast<long long>(design.pe_count()));
+    fnv.mix(design.parameter_string());
+    fnv.mix(design.dram_bytes_per_cycle());
+  }
+  fnv.mix(adaptive);
+  fnv.mix(mapper);
+  mix_ga(fnv, config.first_ga);
+  mix_ga(fnv, config.second.ga);
+  fnv.mix(config.second.enable_ss);
+  fnv.mix(static_cast<long long>(config.second.max_es_dims));
+  fnv.mix(config.refine_winner);
+  fnv.mix(config.seed_baseline);
+  fnv.mix(config.profiled_init);
+  fnv.mix(config.heuristic_candidates);
+  fnv.mix(config.two_level);
+  fnv.mix(static_cast<long long>(config.seed));
+  return fnv.hex();
+}
+
+std::string MappingCache::path_for(const Key& key) const {
+  return (std::filesystem::path(dir_) /
+          (key.model + "-" + key.fingerprint + ".json"))
+      .string();
+}
+
+std::optional<core::Mapping> MappingCache::load(
+    const Key& key, const graph::ConvSpine& spine,
+    const topology::Topology& topo, const accel::DesignRegistry& designs,
+    bool adaptive) const {
+  const std::string path = path_for(key);
+  std::ifstream file(path);
+  if (!file) return std::nullopt;  // plain miss
+  std::ostringstream content;
+  content << file.rdbuf();
+  try {
+    const JsonValue entry = JsonValue::parse(content.str());
+    if (entry.get("format").as_integer() != kCacheFormat ||
+        entry.get("model").as_string() != key.model ||
+        entry.get("fingerprint").as_string() != key.fingerprint) {
+      MARS_WARN << "mapping cache entry " << path
+                << " does not match its key; ignoring";
+      return std::nullopt;
+    }
+    return core::mapping_from_json(entry.get("mapping"), spine, topo, designs,
+                                   adaptive);
+  } catch (const std::exception& e) {
+    MARS_WARN << "mapping cache entry " << path
+              << " is unreadable (treated as a miss): " << e.what();
+    return std::nullopt;
+  }
+}
+
+void MappingCache::store(const Key& key, const core::Mapping& mapping,
+                         const graph::ConvSpine& spine,
+                         const accel::DesignRegistry& designs,
+                         bool adaptive) const {
+  JsonValue entry = JsonValue::object();
+  entry.set("format", JsonValue::integer(kCacheFormat));
+  entry.set("model", JsonValue::string(key.model));
+  entry.set("fingerprint", JsonValue::string(key.fingerprint));
+  entry.set("mapping", core::to_json(mapping, spine, designs, adaptive));
+
+  // Write-then-rename so a concurrent reader never sees a torn file; the
+  // tmp name carries the pid so concurrent cold-starting processes never
+  // interleave writes into the same tmp file (last rename wins whole).
+  const std::string path = path_for(key);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  {
+    std::ofstream file(tmp);
+    MARS_CHECK(file.good(), "cannot write mapping cache file " << tmp);
+    file << entry.dump() << '\n';
+    MARS_CHECK(file.good(), "short write to mapping cache file " << tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  MARS_CHECK(!ec, "cannot move mapping cache file into place at " << path
+                      << ": " << ec.message());
+}
+
+}  // namespace mars::serve

@@ -1,0 +1,75 @@
+// Persistent (model, topology, mapper config) -> Mapping cache.
+//
+// A serving fleet re-plans the same models on the same hardware every
+// startup; the GA search dominates that startup time. MappingCache makes
+// repeat startups a file load: searched mappings are serialised through
+// core/serialize.* into one JSON file per (model, fingerprint) pair under
+// a cache directory, and rehydrated (plus re-validated against the live
+// problem) on the next construction.
+//
+// Invalidation is structural, not temporal: the fingerprint hashes the
+// topology (accelerators, DRAM, links, host bandwidths), the design
+// registry, the adaptive flag, the mapper, and every MarsConfig search
+// knob including the seed. Change any of them and the key misses; stale
+// entries are never read, only orphaned. A corrupt, truncated or
+// foreign-problem file is treated as a miss (logged), never an error —
+// the cache must not be able to break serving startup.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mars/core/mars.h"
+
+namespace mars::serve {
+
+class MappingCache {
+ public:
+  /// Identifies one cache entry. `model` is the spine/zoo model name;
+  /// `fingerprint` comes from MappingCache::fingerprint below.
+  struct Key {
+    std::string model;
+    std::string fingerprint;
+  };
+
+  /// Opens (and creates, if needed) the cache directory. Throws
+  /// InvalidArgument when `dir` exists but is not a directory.
+  explicit MappingCache(std::string dir);
+
+  /// 64-bit FNV-1a over everything the searched mapping depends on:
+  /// topology structure, the design registry (name, frequency, peak
+  /// MACs/cycle, PE count, parameter string, DRAM bytes/cycle per
+  /// design — a custom design whose formula changes without touching any
+  /// of those must change its name or parameter string to invalidate),
+  /// adaptive flag, the mapper label ("mars" / "baseline"), and all
+  /// MarsConfig knobs incl. seed. Returned as 16 hex characters.
+  [[nodiscard]] static std::string fingerprint(const topology::Topology& topo,
+                                               const accel::DesignRegistry& designs,
+                                               bool adaptive,
+                                               const std::string& mapper,
+                                               const core::MarsConfig& config);
+
+  /// File a key maps to: `<dir>/<model>-<fingerprint>.json`.
+  [[nodiscard]] std::string path_for(const Key& key) const;
+
+  /// Loads and re-validates the entry for `key`. Returns nullopt on any
+  /// miss: absent file, unreadable/corrupt JSON, key mismatch, or a
+  /// mapping that no longer validates against the given problem.
+  [[nodiscard]] std::optional<core::Mapping> load(
+      const Key& key, const graph::ConvSpine& spine,
+      const topology::Topology& topo, const accel::DesignRegistry& designs,
+      bool adaptive) const;
+
+  /// Serialises `mapping` under `key` (overwrites any previous entry).
+  /// Throws Error when the file cannot be written.
+  void store(const Key& key, const core::Mapping& mapping,
+             const graph::ConvSpine& spine, const accel::DesignRegistry& designs,
+             bool adaptive) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mars::serve

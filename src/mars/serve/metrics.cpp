@@ -37,6 +37,12 @@ ServeMetrics summarize(const ServeResult& result,
                        Seconds slo) {
   ServeMetrics metrics;
   metrics.requests = static_cast<int>(result.completed.size());
+  metrics.offered = result.offered();
+  metrics.rejected = static_cast<int>(result.rejected.size());
+  if (metrics.offered > 0) {
+    metrics.shed_rate =
+        static_cast<double>(metrics.rejected) / metrics.offered;
+  }
   metrics.batches = result.batches_dispatched;
   metrics.horizon = result.horizon;
   metrics.slo = slo;
@@ -78,6 +84,15 @@ ServeMetrics summarize(const ServeResult& result,
     metrics.goodput_rps = good / horizon;
   }
 
+  std::vector<int> rejected_by_model(model_names.size(), 0);
+  for (const Request& shed : result.rejected) {
+    const auto m = static_cast<std::size_t>(shed.model);
+    MARS_CHECK(m < model_names.size(),
+               "rejected request references model index "
+                   << shed.model << " outside the fleet");
+    ++rejected_by_model[m];
+  }
+
   metrics.utilization.reserve(result.acc_busy.size());
   for (Seconds busy : result.acc_busy) {
     metrics.utilization.push_back(horizon > 0.0 ? busy.count() / horizon : 0.0);
@@ -88,6 +103,7 @@ ServeMetrics summarize(const ServeResult& result,
     ModelMetrics model;
     model.model = model_names[m];
     model.requests = static_cast<int>(by_model[m].size());
+    model.rejected = rejected_by_model[m];
     model.latency = LatencyStats::from_samples(std::move(by_model[m]));
     if (model.requests > 0) {
       model.slo_attainment =

@@ -2,7 +2,9 @@
 //
 // Turns a raw ServeResult into tail-latency percentiles (nearest-rank on
 // the request latency distribution), throughput and SLO goodput (the rate
-// of requests whose end-to-end latency met the objective), and
+// of requests whose end-to-end latency met the objective), shed
+// accounting when admission control is active (offered vs rejected, the
+// goodput/shed-rate trade every load-shedding knob is judged by), and
 // per-accelerator utilization (compute-busy seconds over the simulated
 // horizon, straight from the executor's acc_busy accounting).
 #pragma once
@@ -29,6 +31,8 @@ struct LatencyStats {
 struct ModelMetrics {
   std::string model;
   int requests = 0;
+  /// Requests shed by admission control before execution.
+  int rejected = 0;
   LatencyStats latency;
   /// Fraction of this model's requests finishing within the SLO.
   double slo_attainment = 1.0;
@@ -39,6 +43,11 @@ struct ModelMetrics {
 
 struct ServeMetrics {
   int requests = 0;
+  /// Arrivals offered to admission control (requests + rejected).
+  int offered = 0;
+  /// Requests shed by admission control; shed_rate = rejected / offered.
+  int rejected = 0;
+  double shed_rate = 0.0;
   int batches = 0;
   Seconds horizon{};
   Seconds slo{};  // <= 0 means "no SLO" (attainment 1, goodput == throughput)

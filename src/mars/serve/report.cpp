@@ -30,9 +30,13 @@ JsonValue latency_json(const LatencyStats& stats) {
 std::string describe(const ServeMetrics& metrics) {
   std::ostringstream os;
 
-  Table fleet({"Requests", "Batches", "Mean batch", "Horizon /s",
-               "Throughput /rps", "Goodput /rps", "SLO attainment"});
-  fleet.add_row({std::to_string(metrics.requests),
+  Table fleet({"Offered", "Served", "Shed", "Shed rate", "Batches",
+               "Mean batch", "Horizon /s", "Throughput /rps", "Goodput /rps",
+               "SLO attainment"});
+  fleet.add_row({std::to_string(metrics.offered),
+                 std::to_string(metrics.requests),
+                 std::to_string(metrics.rejected),
+                 percent(metrics.shed_rate),
                  std::to_string(metrics.batches),
                  format_double(metrics.mean_batch, 2),
                  format_double(metrics.horizon.count(), 3),
@@ -46,18 +50,20 @@ std::string describe(const ServeMetrics& metrics) {
     os << "(no SLO set: goodput == throughput)\n";
   }
 
-  Table models({"Model", "Requests", "p50 /ms", "p95 /ms", "p99 /ms",
+  Table models({"Model", "Requests", "Shed", "p50 /ms", "p95 /ms", "p99 /ms",
                 "Max /ms", "Goodput /rps", "SLO attainment"});
   models.add_row({"(all)", std::to_string(metrics.latency.count),
-                  ms(metrics.latency.p50), ms(metrics.latency.p95),
-                  ms(metrics.latency.p99), ms(metrics.latency.max),
+                  std::to_string(metrics.rejected), ms(metrics.latency.p50),
+                  ms(metrics.latency.p95), ms(metrics.latency.p99),
+                  ms(metrics.latency.max),
                   format_double(metrics.goodput_rps, 1),
                   percent(metrics.slo_attainment)});
   models.add_separator();
   for (const ModelMetrics& model : metrics.per_model) {
     models.add_row({model.model, std::to_string(model.requests),
-                    ms(model.latency.p50), ms(model.latency.p95),
-                    ms(model.latency.p99), ms(model.latency.max),
+                    std::to_string(model.rejected), ms(model.latency.p50),
+                    ms(model.latency.p95), ms(model.latency.p99),
+                    ms(model.latency.max),
                     format_double(model.goodput_rps, 1),
                     percent(model.slo_attainment)});
   }
@@ -93,6 +99,9 @@ std::string describe_fleet(
 JsonValue to_json(const ServeMetrics& metrics) {
   JsonValue out = JsonValue::object();
   out.set("requests", JsonValue::integer(metrics.requests));
+  out.set("offered", JsonValue::integer(metrics.offered));
+  out.set("rejected", JsonValue::integer(metrics.rejected));
+  out.set("shed_rate", JsonValue::number(metrics.shed_rate));
   out.set("batches", JsonValue::integer(metrics.batches));
   out.set("mean_batch", JsonValue::number(metrics.mean_batch));
   out.set("horizon_s", JsonValue::number(metrics.horizon.count()));
@@ -111,6 +120,7 @@ JsonValue to_json(const ServeMetrics& metrics) {
     JsonValue entry = JsonValue::object();
     entry.set("model", JsonValue::string(model.model));
     entry.set("requests", JsonValue::integer(model.requests));
+    entry.set("rejected", JsonValue::integer(model.rejected));
     entry.set("latency", latency_json(model.latency));
     entry.set("slo_attainment", JsonValue::number(model.slo_attainment));
     entry.set("goodput_rps", JsonValue::number(model.goodput_rps));

@@ -54,6 +54,25 @@ class Engine {
     armed_deadline_.assign(services.size(), std::nullopt);
     result_.acc_busy.assign(static_cast<std::size_t>(topo.size()),
                             Seconds(0.0));
+
+    admission_ = options.admission;
+    in_system_.assign(services.size(), 0);
+    queued_work_.assign(static_cast<std::size_t>(topo.size()), Seconds(0.0));
+    // Which accelerators each model's prototype computes on — the
+    // timelines its requests queue behind, hence the ones the slo:
+    // admission estimate reads.
+    service_accs_.resize(services.size());
+    for (std::size_t m = 0; m < services.size(); ++m) {
+      std::vector<bool> used(static_cast<std::size_t>(topo.size()), false);
+      for (const Task& task : services[m]->proto().tasks()) {
+        if (task.kind == TaskKind::kCompute) {
+          used[static_cast<std::size_t>(task.acc)] = true;
+        }
+      }
+      for (int a = 0; a < topo.size(); ++a) {
+        if (used[static_cast<std::size_t>(a)]) service_accs_[m].push_back(a);
+      }
+    }
   }
 
   void add_arrival(const Request& request) {
@@ -115,8 +134,59 @@ class Engine {
   }
 
   void handle_arrival(const Request& request) {
+    if (!admit(request)) {
+      result_.rejected.push_back(request);
+      // A shed closed-loop client behaves like one whose request failed
+      // fast: it comes back `think` later instead of stalling forever.
+      reissue_after_think(request.model, request.client);
+      return;
+    }
+    ++in_system_[static_cast<std::size_t>(request.model)];
     batchers_[static_cast<std::size_t>(request.model)].push(request);
     drain_batcher(request.model);
+  }
+
+  [[nodiscard]] bool admit(const Request& request) const {
+    const auto m = static_cast<std::size_t>(request.model);
+    switch (admission_.kind) {
+      case AdmissionPolicy::Kind::kNone:
+        return true;
+      case AdmissionPolicy::Kind::kShed:
+        return in_system_[m] < admission_.max_depth;
+      case AdmissionPolicy::Kind::kSlo:
+        return predicted_latency(request.model) <= admission_.slo;
+    }
+    return true;
+  }
+
+  /// Queueing-delay estimate for a request arriving now: the deepest
+  /// backlog among the model's accelerators — remaining time of the
+  /// running task (acc_free) plus compute already admitted but not yet
+  /// started (queued_work) — plus the model's uncontended latency.
+  /// Transfer contention and batching delay are not modelled, so the
+  /// estimate is optimistic; slo: sheds late rather than early.
+  [[nodiscard]] Seconds predicted_latency(int model) const {
+    Seconds backlog{};
+    for (int acc : service_accs_[static_cast<std::size_t>(model)]) {
+      const auto a = static_cast<std::size_t>(acc);
+      Seconds wait = queued_work_[a];
+      if (acc_free_[a] > now_) wait += acc_free_[a] - now_;
+      backlog = std::max(backlog, wait);
+    }
+    return backlog +
+           (*services_)[static_cast<std::size_t>(model)]->single_latency();
+  }
+
+  void reissue_after_think(int model, int client) {
+    if (!closed_loop_ || client < 0) return;
+    const Seconds next = now_ + think_;
+    if (next > issue_horizon_) return;  // client retires
+    Request request;
+    request.id = next_request_id_++;
+    request.model = model;
+    request.arrival = next;
+    request.client = client;
+    queue_.push(next, Event{Event::Kind::kArrival, -1, 0, request});
   }
 
   void drain_batcher(int model) {
@@ -153,6 +223,9 @@ class Engine {
         Task copy = task;
         copy.id += offset;
         for (sim::TaskId& dep : copy.deps) dep += offset;
+        if (copy.kind == TaskKind::kCompute) {
+          queued_work_[static_cast<std::size_t>(copy.acc)] += copy.duration;
+        }
         tasks_.push_back(std::move(copy));
         missing_deps_.push_back(
             static_cast<int>(tasks_.back().deps.size()));
@@ -185,6 +258,8 @@ class Engine {
         const Seconds end = now_ + task.duration;
         free = end;
         result_.acc_busy[static_cast<std::size_t>(task.acc)] += task.duration;
+        // The work moves from "queued" to "running" (acc_free covers it).
+        queued_work_[static_cast<std::size_t>(task.acc)] -= task.duration;
         queue_.push(end, Event{Event::Kind::kTaskDone, id, 0, {}});
         break;
       }
@@ -238,15 +313,8 @@ class Engine {
   void complete_request(const LiveRequest& live) {
     result_.completed.push_back(CompletedRequest{
         live.request, live.dispatch, now_, live.batch_size});
-    if (!closed_loop_ || live.request.client < 0) return;
-    const Seconds next = now_ + think_;
-    if (next > issue_horizon_) return;  // client retires
-    Request request;
-    request.id = next_request_id_++;
-    request.model = live.request.model;
-    request.arrival = next;
-    request.client = live.request.client;
-    queue_.push(next, Event{Event::Kind::kArrival, -1, 0, request});
+    --in_system_[static_cast<std::size_t>(live.request.model)];
+    reissue_after_think(live.request.model, live.request.client);
   }
 
   const std::vector<sim::RouteLeg>& route_for(int src, int dst) {
@@ -267,6 +335,12 @@ class Engine {
   std::vector<Batcher> batchers_;
   std::vector<std::optional<Seconds>> armed_deadline_;
   std::vector<LiveRequest> live_;
+
+  // Admission-control state.
+  AdmissionPolicy admission_;
+  std::vector<int> in_system_;  // per model: batcher queue + in flight
+  std::vector<Seconds> queued_work_;  // per acc: admitted, not yet started
+  std::vector<std::vector<int>> service_accs_;  // per model: accs its proto uses
 
   // Live task set (grows on dispatch; ids are dense global indices).
   std::vector<Task> tasks_;
@@ -329,6 +403,13 @@ ServeResult OnlineScheduler::run_closed_loop(const ClosedLoopSpec& spec,
                                              Seconds duration) const {
   MARS_CHECK_ARG(spec.clients() > 0, "closed loop needs at least one client");
   MARS_CHECK_ARG(duration.count() > 0.0, "duration must be positive");
+  // A rejected client retries `think` after the rejection; with think == 0
+  // that retry lands at the same simulated instant, is rejected against
+  // unchanged state, and the clock never advances.
+  MARS_CHECK_ARG(options_.admission.kind == AdmissionPolicy::Kind::kNone ||
+                     spec.think.count() > 0.0,
+                 "closed-loop admission control needs think > 0 (a rejected "
+                 "client would retry at the same instant forever)");
   Engine engine(*topo_, services_, options_);
   engine.enable_closed_loop(spec.think, duration);
   for (int c = 0; c < spec.clients(); ++c) {

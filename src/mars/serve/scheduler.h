@@ -11,10 +11,18 @@
 // is where co-resident models interfere: their tasks queue on the same
 // acc_free / channel_free timelines.
 //
+// Admission control runs before batching: every arrival is offered to the
+// configured AdmissionPolicy, and a request the saturated fleet is
+// predicted to fail (slo:MS, using backlog read off the shared accelerator
+// timelines plus the model's uncontended latency) or that finds the
+// model's queue full (shed:N) is rejected instead of admitted — it
+// executes nothing and is recorded in ServeResult::rejected.
+//
 // Two drive modes: open loop (a precomputed arrival vector — Poisson or
 // trace replay from workload.h) and closed loop (clients re-issue `think`
-// after each completion). Runs are bit-deterministic within a build for a
-// fixed (arrivals, policy, topology).
+// after each completion; a rejected client retries on the same cadence).
+// Runs are bit-deterministic within a build for a fixed (arrivals,
+// policy, topology).
 #pragma once
 
 #include <vector>
@@ -27,6 +35,9 @@ namespace mars::serve {
 
 struct SchedulerOptions {
   BatchPolicy policy = BatchPolicy::none();
+  /// Admission control applied at every arrival, before batching. Shed
+  /// requests complete nowhere: they land in ServeResult::rejected.
+  AdmissionPolicy admission = AdmissionPolicy::none();
   sim::SimParams sim{};
 };
 
@@ -42,12 +53,20 @@ struct CompletedRequest {
 
 struct ServeResult {
   std::vector<CompletedRequest> completed;  // in completion order
+  /// Requests shed by admission control, in rejection order. A rejected
+  /// closed-loop client re-issues `think` later, like after a completion.
+  std::vector<Request> rejected;
   /// Time the last task finished (the simulated busy horizon).
   Seconds horizon{};
   /// Compute-busy seconds per accelerator (utilization numerator).
   std::vector<Seconds> acc_busy;
   long long tasks_executed = 0;
   int batches_dispatched = 0;
+
+  /// Arrivals seen by admission control (completed + rejected).
+  [[nodiscard]] int offered() const {
+    return static_cast<int>(completed.size() + rejected.size());
+  }
 };
 
 class OnlineScheduler {

@@ -3,13 +3,15 @@
 #include "mars/core/baseline.h"
 #include "mars/graph/models/models.h"
 #include "mars/util/error.h"
+#include "mars/util/logging.h"
 
 namespace mars::serve {
 
 ModelService::ModelService(std::string model_name,
                            const topology::Topology& topo,
                            const accel::DesignRegistry& designs, bool adaptive,
-                           Mapper mapper, const core::MarsConfig& config)
+                           Mapper mapper, const core::MarsConfig& config,
+                           const MappingCache* cache)
     : name_(std::move(model_name)),
       model_(graph::models::by_name(name_)),
       spine_(graph::ConvSpine::extract(model_)) {
@@ -20,13 +22,43 @@ ModelService::ModelService(std::string model_name,
 
   switch (mapper) {
     case Mapper::kBaseline: {
+      // No cache on this path: the baseline is a closed-form pass, cheaper
+      // than reading and validating a cache entry.
       const accel::ProfileMatrix profile(designs, spine_);
       mapping_ = core::baseline_mapping(problem_, profile);
+      source_ = MappingSource::kBaseline;
       break;
     }
     case Mapper::kMars: {
+      std::optional<MappingCache::Key> key;
+      if (cache != nullptr) {
+        key = MappingCache::Key{
+            name_, MappingCache::fingerprint(topo, designs, adaptive, "mars",
+                                             config)};
+        if (std::optional<core::Mapping> cached =
+                cache->load(*key, spine_, topo, designs, adaptive)) {
+          mapping_ = *std::move(cached);
+          source_ = MappingSource::kCacheHit;
+          MARS_INFO << "mapping cache hit for '" << name_ << "' ("
+                    << cache->path_for(*key) << "), GA search skipped";
+          break;
+        }
+      }
       core::Mars mars(problem_, config);
       mapping_ = mars.search().mapping;
+      source_ = MappingSource::kSearched;
+      if (cache != nullptr) {
+        // A persistence failure (full disk, permissions) only costs the
+        // next startup its cache hit; the searched mapping is in hand.
+        try {
+          cache->store(*key, mapping_, spine_, designs, adaptive);
+          MARS_INFO << "mapping cache miss for '" << name_ << "'; stored "
+                    << cache->path_for(*key);
+        } catch (const std::exception& e) {
+          MARS_WARN << "mapping cache store failed for '" << name_
+                    << "' (serving continues uncached): " << e.what();
+        }
+      }
       break;
     }
   }
@@ -37,17 +69,29 @@ ModelService::ModelService(std::string model_name,
   single_latency_ = executor.run(proto_).makespan;
 }
 
+std::string to_string(ModelService::MappingSource source) {
+  switch (source) {
+    case ModelService::MappingSource::kBaseline:
+      return "baseline";
+    case ModelService::MappingSource::kSearched:
+      return "searched";
+    case ModelService::MappingSource::kCacheHit:
+      return "cache";
+  }
+  return "?";
+}
+
 std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
-    bool adaptive, ModelService::Mapper mapper,
-    const core::MarsConfig& config) {
+    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config,
+    const MappingCache* cache) {
   MARS_CHECK_ARG(!model_names.empty(), "a fleet serves at least one model");
   std::vector<std::unique_ptr<ModelService>> services;
   services.reserve(model_names.size());
   for (const std::string& name : model_names) {
-    services.push_back(std::make_unique<ModelService>(name, topo, designs,
-                                                      adaptive, mapper, config));
+    services.push_back(std::make_unique<ModelService>(
+        name, topo, designs, adaptive, mapper, config, cache));
   }
   return services;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mars/core/mars.h"
+#include "mars/serve/cache.h"
 
 namespace mars::serve {
 
@@ -25,9 +26,22 @@ class ModelService {
     kMars,      // two-level GA search under `config`
   };
 
+  /// Where this service's mapping came from (startup-cost provenance).
+  enum class MappingSource : std::uint8_t {
+    kBaseline,  // baseline mapper, no search
+    kSearched,  // GA search ran (and populated `cache` when given)
+    kCacheHit,  // rehydrated from the mapping cache, search skipped
+  };
+
+  /// When `cache` is non-null and `mapper` is kMars, the service first
+  /// tries the cache under (model, fingerprint(topo, designs, adaptive,
+  /// mapper, config)); a hit skips the GA search entirely, a miss
+  /// searches and then stores the result. The cache must outlive the
+  /// constructor call only (nothing is retained).
   ModelService(std::string model_name, const topology::Topology& topo,
                const accel::DesignRegistry& designs, bool adaptive,
-               Mapper mapper, const core::MarsConfig& config);
+               Mapper mapper, const core::MarsConfig& config,
+               const MappingCache* cache = nullptr);
 
   ModelService(const ModelService&) = delete;
   ModelService& operator=(const ModelService&) = delete;
@@ -40,6 +54,7 @@ class ModelService {
   [[nodiscard]] const sim::TaskGraph& proto() const { return proto_; }
   /// Uncontended single-inference latency of `proto` on the fleet.
   [[nodiscard]] Seconds single_latency() const { return single_latency_; }
+  [[nodiscard]] MappingSource mapping_source() const { return source_; }
 
  private:
   std::string name_;
@@ -47,15 +62,20 @@ class ModelService {
   graph::ConvSpine spine_;
   core::Problem problem_;
   core::Mapping mapping_;
+  MappingSource source_ = MappingSource::kBaseline;
   sim::TaskGraph proto_;
   Seconds single_latency_{};
 };
 
+[[nodiscard]] std::string to_string(ModelService::MappingSource source);
+
 /// Plans one service per mix entry on the shared topology. The returned
-/// services must outlive any scheduler built over them.
+/// services must outlive any scheduler built over them; `cache` (optional)
+/// only has to outlive this call.
 [[nodiscard]] std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
-    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config);
+    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config,
+    const MappingCache* cache = nullptr);
 
 }  // namespace mars::serve

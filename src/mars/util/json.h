@@ -1,7 +1,10 @@
-// Minimal JSON writer (no parsing): enough for exporting mappings,
-// summaries and benchmark results to tooling. Produces compact,
-// well-formed output; strings are escaped, doubles printed with enough
-// precision to round-trip.
+// Minimal JSON value: writer plus a strict recursive-descent parser.
+// Enough for exporting mappings, summaries and benchmark results to
+// tooling, and for rehydrating them (the serving mapping cache). Produces
+// compact, well-formed output; strings are escaped, doubles printed with
+// enough precision to round-trip. The parser accepts exactly the JSON
+// this writer emits (standard JSON, no comments or trailing commas) and
+// throws InvalidArgument with an offset on malformed input.
 #pragma once
 
 #include <initializer_list>
@@ -21,14 +24,40 @@ class JsonValue {
   static JsonValue array();
   static JsonValue object();
 
+  /// Strict parse of one JSON document (trailing non-whitespace is an
+  /// error). Throws InvalidArgument on malformed input.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
   /// Array append (must be an array).
   JsonValue& push(JsonValue value);
   /// Object insert (must be an object); returns *this for chaining.
   JsonValue& set(const std::string& key, JsonValue value);
 
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger;
+  }
+  [[nodiscard]] bool is_integer() const { return kind_ == Kind::kInteger; }
+  [[nodiscard]] bool is_boolean() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  /// Checked leaf accessors; throw InvalidArgument on a kind mismatch.
+  /// as_number() also reads integers; as_integer() only exact integers.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] long long as_integer() const;
+  [[nodiscard]] bool as_boolean() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array element access (must be an array, index in range).
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// True when this object has `key` (false on non-objects).
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member access; throws InvalidArgument when absent. Duplicate
+  /// keys resolve to the first occurrence.
+  [[nodiscard]] const JsonValue& get(const std::string& key) const;
 
   /// Compact serialisation.
   [[nodiscard]] std::string dump() const;

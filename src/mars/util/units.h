@@ -69,6 +69,10 @@ class Seconds {
     count_ += other.count_;
     return *this;
   }
+  constexpr Seconds& operator-=(Seconds other) {
+    count_ -= other.count_;
+    return *this;
+  }
   friend constexpr Seconds operator+(Seconds a, Seconds b) {
     return Seconds(a.count_ + b.count_);
   }

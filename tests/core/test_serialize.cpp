@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "test_support.h"
+#include "mars/accel/profiler.h"
+#include "mars/core/baseline.h"
 #include "mars/core/evaluator.h"
 
 namespace mars::core {
@@ -67,6 +69,82 @@ TEST_F(SerializeTest, FixedModeMappingSaysFixed) {
   const std::string json =
       to_json(mapping, fixed.spine, fixed.designs, false).dump();
   EXPECT_NE(json.find("\"design\":\"fixed\""), std::string::npos);
+}
+
+TEST_F(SerializeTest, StrategyRoundTrips) {
+  const parallel::Strategy original(
+      {{parallel::Dim::kH, 2}, {parallel::Dim::kW, 2}}, parallel::Dim::kCout);
+  const parallel::Strategy reparsed =
+      strategy_from_json(JsonValue::parse(to_json(original).dump()));
+  EXPECT_EQ(reparsed, original);
+
+  const parallel::Strategy no_ss({{parallel::Dim::kCout, 4}}, std::nullopt);
+  EXPECT_EQ(strategy_from_json(JsonValue::parse(to_json(no_ss).dump())), no_ss);
+}
+
+TEST_F(SerializeTest, MappingRoundTripsLosslessly) {
+  const Mapping original = two_set_mapping(fx_.problem);
+  const JsonValue json = to_json(original, fx_.spine, fx_.designs, true);
+  const Mapping reparsed = mapping_from_json(
+      JsonValue::parse(json.dump()), fx_.spine, *fx_.problem.topo, fx_.designs,
+      true);
+  // Field-exact: re-serialising the parse reproduces the document.
+  EXPECT_EQ(to_json(reparsed, fx_.spine, fx_.designs, true).dump(),
+            json.dump());
+  ASSERT_EQ(reparsed.sets.size(), original.sets.size());
+  for (std::size_t s = 0; s < original.sets.size(); ++s) {
+    EXPECT_EQ(reparsed.sets[s].accs, original.sets[s].accs);
+    EXPECT_EQ(reparsed.sets[s].design, original.sets[s].design);
+    EXPECT_EQ(reparsed.sets[s].begin, original.sets[s].begin);
+    EXPECT_EQ(reparsed.sets[s].end, original.sets[s].end);
+    EXPECT_EQ(reparsed.sets[s].strategies, original.sets[s].strategies);
+  }
+}
+
+TEST_F(SerializeTest, FixedModeMappingRoundTrips) {
+  // two_set_mapping does not validate on the fixed fixture (its strategies
+  // ignore the fixed designs); the baseline mapper produces a valid one.
+  testing::FixedFixture fixed;
+  const accel::ProfileMatrix profile(fixed.designs, fixed.spine);
+  const Mapping original = baseline_mapping(fixed.problem, profile);
+  const JsonValue json = to_json(original, fixed.spine, fixed.designs, false);
+  const Mapping reparsed =
+      mapping_from_json(JsonValue::parse(json.dump()), fixed.spine,
+                        *fixed.problem.topo, fixed.designs, false);
+  EXPECT_EQ(to_json(reparsed, fixed.spine, fixed.designs, false).dump(),
+            json.dump());
+}
+
+TEST_F(SerializeTest, MappingParseRejectsForeignProblems) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const JsonValue json = to_json(mapping, fx_.spine, fx_.designs, true);
+
+  // Wrong model: same topology/designs, different spine.
+  testing::AdaptiveFixture other("resnet18");
+  EXPECT_THROW((void)mapping_from_json(json, other.spine, *fx_.problem.topo,
+                                       fx_.designs, true),
+               InvalidArgument);
+
+  // Unknown design name.
+  std::string tampered = json.dump();
+  const std::size_t pos = tampered.find("SuperLIP");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 8, "NoSuchHW");
+  EXPECT_THROW((void)mapping_from_json(JsonValue::parse(tampered), fx_.spine,
+                                       *fx_.problem.topo, fx_.designs, true),
+               InvalidArgument);
+
+  // Structurally broken: drop one set so coverage fails validate().
+  JsonValue partial = JsonValue::parse(json.dump());
+  JsonValue rebuilt = JsonValue::object();
+  rebuilt.set("model", JsonValue::string(fx_.spine.model_name()));
+  rebuilt.set("num_layers", JsonValue::integer(fx_.spine.size()));
+  JsonValue sets = JsonValue::array();
+  sets.push(JsonValue::parse(partial.get("sets").at(0).dump()));
+  rebuilt.set("sets", std::move(sets));
+  EXPECT_THROW((void)mapping_from_json(rebuilt, fx_.spine, *fx_.problem.topo,
+                                       fx_.designs, true),
+               InvalidArgument);
 }
 
 }  // namespace

@@ -116,5 +116,63 @@ TEST(Batcher, RejectsOutOfOrderArrivals) {
   EXPECT_THROW(batcher.push(at(1, 0.5)), InvalidArgument);
 }
 
+TEST(AdmissionPolicy, ParseRoundTrips) {
+  EXPECT_EQ(AdmissionPolicy::parse("none").kind, AdmissionPolicy::Kind::kNone);
+  const AdmissionPolicy slo = AdmissionPolicy::parse("slo:60");
+  EXPECT_EQ(slo.kind, AdmissionPolicy::Kind::kSlo);
+  EXPECT_DOUBLE_EQ(slo.slo.millis(), 60.0);
+  const AdmissionPolicy shed = AdmissionPolicy::parse("shed:16");
+  EXPECT_EQ(shed.kind, AdmissionPolicy::Kind::kShed);
+  EXPECT_EQ(shed.max_depth, 16);
+
+  for (const char* spec : {"none", "slo:60", "slo:2.5", "shed:16"}) {
+    EXPECT_EQ(AdmissionPolicy::parse(AdmissionPolicy::parse(spec).to_string())
+                  .to_string(),
+              AdmissionPolicy::parse(spec).to_string());
+  }
+}
+
+TEST(AdmissionPolicy, ParseRejectsGarbage) {
+  for (const char* spec : {"", "slo", "slo:", "slo:0", "slo:-5", "slo:60ms",
+                           "shed", "shed:0", "shed:-1", "shed:4x", "drop:3",
+                           "none:1", "slo:60:1"}) {
+    EXPECT_THROW((void)AdmissionPolicy::parse(spec), InvalidArgument) << spec;
+  }
+}
+
+TEST(PolicySpec, ParsesBothFamiliesFromOneSpec) {
+  const PolicySpec both = PolicySpec::parse("size:4+slo:60");
+  EXPECT_EQ(both.batch.kind, BatchPolicy::Kind::kSize);
+  EXPECT_EQ(both.batch.max_batch, 4);
+  EXPECT_EQ(both.admission.kind, AdmissionPolicy::Kind::kSlo);
+  EXPECT_DOUBLE_EQ(both.admission.slo.millis(), 60.0);
+
+  // Order-independent; a single part lands in its own family.
+  EXPECT_EQ(PolicySpec::parse("shed:8+timeout:2:4").to_string(),
+            "timeout:2:4+shed:8");
+  const PolicySpec admission_only = PolicySpec::parse("shed:8");
+  EXPECT_EQ(admission_only.batch.kind, BatchPolicy::Kind::kNone);
+  EXPECT_EQ(admission_only.admission.max_depth, 8);
+  const PolicySpec batch_only = PolicySpec::parse("size:4");
+  EXPECT_EQ(batch_only.admission.kind, AdmissionPolicy::Kind::kNone);
+  EXPECT_EQ(PolicySpec::parse("none").to_string(), "none");
+}
+
+TEST(PolicySpec, RoundTripsThroughToString) {
+  for (const char* spec :
+       {"none", "size:4", "timeout:2:8", "slo:60", "shed:8", "size:4+slo:60",
+        "timeout:2:8+shed:32"}) {
+    EXPECT_EQ(PolicySpec::parse(spec).to_string(), spec) << spec;
+  }
+}
+
+TEST(PolicySpec, RejectsDuplicateFamiliesAndGarbage) {
+  for (const char* spec :
+       {"size:4+size:8", "slo:60+shed:8", "none+size:4", "size:4+",
+        "+slo:60", "bogus", ""}) {
+    EXPECT_THROW((void)PolicySpec::parse(spec), InvalidArgument) << spec;
+  }
+}
+
 }  // namespace
 }  // namespace mars::serve

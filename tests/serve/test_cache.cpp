@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mars/core/evaluator.h"
+#include "mars/core/serialize.h"
+#include "mars/serve/cache.h"
+#include "mars/serve/service.h"
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+#include "mars/util/logging.h"
+
+namespace mars::serve {
+namespace {
+
+/// Smoke-sized search budget: the cache semantics do not depend on how
+/// hard the GA worked, only on what it returned.
+core::MarsConfig tiny_config(std::uint64_t seed = 1) {
+  core::MarsConfig config;
+  config.seed = seed;
+  config.first_ga.population = 6;
+  config.first_ga.generations = 3;
+  config.first_ga.stall_generations = 2;
+  config.second.ga.population = 4;
+  config.second.ga.generations = 2;
+  return config;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest()
+      : dir_(std::filesystem::path(::testing::TempDir()) /
+             ("mars-cache-" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()))),
+        topo_(topology::f1_16xlarge()),
+        designs_(accel::table2_designs()) {
+    std::filesystem::remove_all(dir_);
+  }
+
+  ~CacheTest() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::unique_ptr<ModelService> plan(
+      const MappingCache* cache, const topology::Topology& topo,
+      std::uint64_t seed = 1) const {
+    return std::make_unique<ModelService>("alexnet", topo, designs_,
+                                          /*adaptive=*/true,
+                                          ModelService::Mapper::kMars,
+                                          tiny_config(seed), cache);
+  }
+
+  [[nodiscard]] std::size_t entries() const {
+    if (!std::filesystem::exists(dir_)) return 0;
+    std::size_t count = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      (void)entry;
+      ++count;
+    }
+    return count;
+  }
+
+  std::filesystem::path dir_;
+  topology::Topology topo_;
+  accel::DesignRegistry designs_;
+};
+
+TEST_F(CacheTest, SecondConstructionHitsTheCacheWithIdenticalMapping) {
+  const MappingCache cache(dir_.string());
+  const auto cold = plan(&cache, topo_);
+  EXPECT_EQ(cold->mapping_source(), ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 1u);
+
+  const auto warm = plan(&cache, topo_);
+  EXPECT_EQ(warm->mapping_source(), ModelService::MappingSource::kCacheHit);
+  // The rehydrated mapping is the searched mapping, field for field, and
+  // replays to the identical simulated makespan.
+  EXPECT_EQ(core::to_json(warm->mapping(), *warm->problem().spine, designs_,
+                          true)
+                .dump(),
+            core::to_json(cold->mapping(), *cold->problem().spine, designs_,
+                          true)
+                .dump());
+  EXPECT_DOUBLE_EQ(warm->single_latency().count(),
+                   cold->single_latency().count());
+  const core::EvaluationSummary cold_eval =
+      core::MappingEvaluator(cold->problem()).evaluate(cold->mapping());
+  const core::EvaluationSummary warm_eval =
+      core::MappingEvaluator(warm->problem()).evaluate(warm->mapping());
+  EXPECT_DOUBLE_EQ(warm_eval.simulated.count(), cold_eval.simulated.count());
+}
+
+TEST_F(CacheTest, DirectStoreLoadRoundTrip) {
+  const MappingCache cache(dir_.string());
+  const auto service = plan(&cache, topo_);
+  const MappingCache::Key key{
+      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
+                                           tiny_config())};
+  const std::optional<core::Mapping> loaded =
+      cache.load(key, *service->problem().spine, topo_, designs_, true);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(core::to_json(*loaded, *service->problem().spine, designs_, true)
+                .dump(),
+            core::to_json(service->mapping(), *service->problem().spine,
+                          designs_, true)
+                .dump());
+}
+
+TEST_F(CacheTest, TopologyChangeInvalidates) {
+  const MappingCache cache(dir_.string());
+  (void)plan(&cache, topo_);
+  // Same shape, different link bandwidth: a different system, so the
+  // cached mapping must not be reused.
+  const topology::Topology faster = topology::f1_16xlarge(gbps(16.0));
+  const auto replanned = plan(&cache, faster);
+  EXPECT_EQ(replanned->mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 2u);  // both fingerprints now cached
+  // And each system keeps hitting its own entry.
+  EXPECT_EQ(plan(&cache, topo_)->mapping_source(),
+            ModelService::MappingSource::kCacheHit);
+  EXPECT_EQ(plan(&cache, faster)->mapping_source(),
+            ModelService::MappingSource::kCacheHit);
+}
+
+TEST_F(CacheTest, SearchConfigChangeInvalidates) {
+  const MappingCache cache(dir_.string());
+  (void)plan(&cache, topo_, /*seed=*/1);
+  EXPECT_EQ(plan(&cache, topo_, /*seed=*/2)->mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 2u);
+}
+
+TEST_F(CacheTest, FingerprintCoversDesignParameters) {
+  // Two registries whose designs share names but differ in parameters
+  // (table2 vs h2h both register a SuperLIP variant under a different
+  // parameterisation) must not collide; spot-check directly that every
+  // fingerprint input matters by perturbing the registry.
+  const std::string base = MappingCache::fingerprint(
+      topo_, designs_, true, "mars", tiny_config());
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, accel::h2h_designs(), true,
+                                            "mars", tiny_config()));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, false, "mars",
+                                            tiny_config()));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true, "baseline",
+                                            tiny_config()));
+  EXPECT_NE(base,
+            MappingCache::fingerprint(topology::f1_16xlarge(gbps(16.0)),
+                                      designs_, true, "mars", tiny_config()));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true, "mars",
+                                            tiny_config(/*seed=*/2)));
+  // And it is stable: same inputs, same hash.
+  EXPECT_EQ(base, MappingCache::fingerprint(topo_, designs_, true, "mars",
+                                            tiny_config()));
+}
+
+TEST_F(CacheTest, CorruptEntryIsAMissNotAnError) {
+  const MappingCache cache(dir_.string());
+  const auto cold = plan(&cache, topo_);
+  const MappingCache::Key key{
+      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
+                                           tiny_config())};
+  {
+    std::ofstream file(cache.path_for(key), std::ios::trunc);
+    file << "{ not json";
+  }
+  const LogLevel previous = set_log_level(LogLevel::kError);
+  const auto recovered = plan(&cache, topo_);
+  set_log_level(previous);
+  EXPECT_EQ(recovered->mapping_source(),
+            ModelService::MappingSource::kSearched);
+  // The re-search overwrote the corrupt entry; the next run hits again.
+  EXPECT_EQ(plan(&cache, topo_)->mapping_source(),
+            ModelService::MappingSource::kCacheHit);
+}
+
+TEST_F(CacheTest, ForeignEntryUnderTheRightNameIsAMiss) {
+  const MappingCache cache(dir_.string());
+  const auto cold = plan(&cache, topo_);
+  const MappingCache::Key key{
+      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
+                                           tiny_config())};
+  // A well-formed file whose embedded key disagrees with the filename
+  // (e.g. a copy from another cache directory) must not be trusted.
+  std::string content;
+  {
+    std::ifstream file(cache.path_for(key));
+    std::ostringstream os;
+    os << file.rdbuf();
+    content = os.str();
+  }
+  const std::size_t pos = content.find("\"fingerprint\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos + 15, 4, "zzzz");  // not hex: cannot collide
+  {
+    std::ofstream file(cache.path_for(key), std::ios::trunc);
+    file << content;
+  }
+  const LogLevel previous = set_log_level(LogLevel::kError);
+  EXPECT_FALSE(cache.load(key, *cold->problem().spine, topo_, designs_, true)
+                   .has_value());
+  set_log_level(previous);
+}
+
+TEST_F(CacheTest, StoreFailureDoesNotBreakPlanning) {
+  const MappingCache cache(dir_.string());
+  // Yank the directory out from under the cache: the post-search store
+  // fails, but the service must still come up with its searched mapping.
+  std::filesystem::remove_all(dir_);
+  const LogLevel previous = set_log_level(LogLevel::kError);
+  const auto service = plan(&cache, topo_);
+  set_log_level(previous);
+  EXPECT_EQ(service->mapping_source(), ModelService::MappingSource::kSearched);
+  EXPECT_GT(service->single_latency().count(), 0.0);
+}
+
+TEST_F(CacheTest, BaselineMapperBypassesTheCache) {
+  const MappingCache cache(dir_.string());
+  const ModelService service("alexnet", topo_, designs_, /*adaptive=*/true,
+                             ModelService::Mapper::kBaseline,
+                             tiny_config(), &cache);
+  EXPECT_EQ(service.mapping_source(), ModelService::MappingSource::kBaseline);
+  EXPECT_EQ(entries(), 0u);
+}
+
+TEST_F(CacheTest, PlanServicesThreadsTheCacheThrough) {
+  const MappingCache cache(dir_.string());
+  const auto cold =
+      plan_services({"alexnet", "resnet18"}, topo_, designs_, true,
+                    ModelService::Mapper::kMars, tiny_config(), &cache);
+  const auto warm =
+      plan_services({"alexnet", "resnet18"}, topo_, designs_, true,
+                    ModelService::Mapper::kMars, tiny_config(), &cache);
+  for (const auto& service : warm) {
+    EXPECT_EQ(service->mapping_source(),
+              ModelService::MappingSource::kCacheHit)
+        << service->name();
+  }
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_DOUBLE_EQ(warm[i]->single_latency().count(),
+                     cold[i]->single_latency().count());
+  }
+}
+
+TEST_F(CacheTest, RejectsUnusableDirectory) {
+  EXPECT_THROW((void)MappingCache(""), InvalidArgument);
+  const std::filesystem::path file = dir_.parent_path() / "cache-not-a-dir";
+  std::filesystem::create_directories(dir_.parent_path());
+  { std::ofstream out(file); }
+  EXPECT_THROW((void)MappingCache(file.string()), InvalidArgument);
+  std::filesystem::remove(file);
+}
+
+}  // namespace
+}  // namespace mars::serve

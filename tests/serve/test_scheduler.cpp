@@ -39,6 +39,15 @@ class SchedulerTest : public ::testing::Test {
     return OnlineScheduler(topo_, refs_, options);
   }
 
+  [[nodiscard]] OnlineScheduler admitting(AdmissionPolicy admission,
+                                          BatchPolicy policy =
+                                              BatchPolicy::none()) const {
+    SchedulerOptions options;
+    options.policy = policy;
+    options.admission = admission;
+    return OnlineScheduler(topo_, refs_, options);
+  }
+
   topology::Topology topo_;
   accel::DesignRegistry designs_;
   std::vector<std::unique_ptr<ModelService>> services_;
@@ -224,10 +233,139 @@ TEST_F(SchedulerTest, RejectsMismatchedSimParams) {
   EXPECT_THROW((void)OnlineScheduler(topo_, refs_, options), InvalidArgument);
 }
 
+TEST_F(SchedulerTest, ShedPolicyCapsRequestsInTheSystem) {
+  // Four simultaneous arrivals against a depth-1 cap: the first is
+  // admitted, the burst behind it is shed.
+  const ServeResult result =
+      admitting(AdmissionPolicy::shed(1))
+          .run({at(0, 0.0), at(1, 0.0), at(2, 0.0), at(3, 0.0)});
+  EXPECT_EQ(result.completed.size(), 1u);
+  EXPECT_EQ(result.rejected.size(), 3u);
+  EXPECT_EQ(result.offered(), 4);
+  EXPECT_EQ(result.completed[0].request.id, 0);
+  for (const Request& shed : result.rejected) EXPECT_GT(shed.id, 0);
+}
+
+TEST_F(SchedulerTest, ShedPolicyIdlesAtLowLoad) {
+  // Spaced far beyond the single-inference latency, every request finds
+  // the system empty: nothing is shed, and the completions are identical
+  // to the unpoliced run.
+  const std::vector<Request> arrivals = {at(0, 0.0), at(1, 0.5), at(2, 1.0)};
+  const ServeResult policed =
+      admitting(AdmissionPolicy::shed(1)).run(arrivals);
+  const ServeResult open = scheduler().run(arrivals);
+  EXPECT_TRUE(policed.rejected.empty());
+  ASSERT_EQ(policed.completed.size(), open.completed.size());
+  for (std::size_t i = 0; i < open.completed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(policed.completed[i].completion.count(),
+                     open.completed[i].completion.count());
+  }
+}
+
+TEST_F(SchedulerTest, SloAdmissionShedsPredictedMisses) {
+  // Budget below the uncontended latency: even an empty system is
+  // predicted to miss, so everything is shed.
+  const Seconds single = services_[0]->single_latency();
+  const ServeResult hopeless =
+      admitting(AdmissionPolicy::slo_aware(single * 0.5))
+          .run({at(0, 0.0), at(1, 0.0)});
+  EXPECT_TRUE(hopeless.completed.empty());
+  EXPECT_EQ(hopeless.rejected.size(), 2u);
+
+  // A budget just above the uncontended latency admits an empty-system
+  // request but sheds the burst queued behind it.
+  const ServeResult tight =
+      admitting(AdmissionPolicy::slo_aware(single * 1.2))
+          .run({at(0, 0.0), at(1, 0.0), at(2, 0.0), at(3, 0.0)});
+  EXPECT_GE(tight.completed.size(), 1u);
+  EXPECT_FALSE(tight.rejected.empty());
+  EXPECT_EQ(tight.offered(), 4);
+
+  // A generous budget admits everything.
+  const ServeResult relaxed =
+      admitting(AdmissionPolicy::slo_aware(Seconds(10.0)))
+          .run({at(0, 0.0), at(1, 0.0), at(2, 0.0), at(3, 0.0)});
+  EXPECT_TRUE(relaxed.rejected.empty());
+  EXPECT_EQ(relaxed.completed.size(), 4u);
+}
+
+TEST_F(SchedulerTest, SloAdmissionImprovesTailLatencyUnderOverload) {
+  const std::vector<Request> arrivals =
+      poisson_arrivals({1.0, 1.0}, 600.0, Seconds(0.5), 7);
+  const Seconds slo(0.05);
+  const ServeMetrics open = summarize(scheduler().run(arrivals),
+                                      {"alexnet", "resnet18"}, slo);
+  const ServeMetrics policed =
+      summarize(admitting(AdmissionPolicy::slo_aware(slo)).run(arrivals),
+                {"alexnet", "resnet18"}, slo);
+  EXPECT_GT(policed.rejected, 0);
+  EXPECT_LT(policed.latency.p99.count(), open.latency.p99.count());
+  EXPECT_GE(policed.goodput_rps, open.goodput_rps);
+}
+
+TEST_F(SchedulerTest, MetricsCountRejectedRequests) {
+  const ServeResult result =
+      admitting(AdmissionPolicy::shed(1))
+          .run({at(0, 0.0), at(1, 0.0, 1), at(2, 0.0), at(3, 0.0, 1)});
+  const ServeMetrics metrics =
+      summarize(result, {"alexnet", "resnet18"}, milliseconds(50.0));
+  EXPECT_EQ(metrics.offered, 4);
+  EXPECT_EQ(metrics.requests, 2);
+  EXPECT_EQ(metrics.rejected, 2);
+  EXPECT_DOUBLE_EQ(metrics.shed_rate, 0.5);
+  ASSERT_EQ(metrics.per_model.size(), 2u);
+  EXPECT_EQ(metrics.per_model[0].rejected, 1);
+  EXPECT_EQ(metrics.per_model[1].rejected, 1);
+  // Rejected requests never contribute latency samples.
+  EXPECT_EQ(metrics.latency.count, 2);
+}
+
+TEST_F(SchedulerTest, ClosedLoopClientRetriesAfterRejection) {
+  // Two clients on one model under a depth-1 cap: at t=0 one is admitted
+  // and one shed, but the shed client retries after `think` rather than
+  // stalling, so both make progress and the run terminates.
+  ClosedLoopSpec spec;
+  spec.client_model = {0, 0};
+  spec.think = milliseconds(1.0);
+  const ServeResult result = admitting(AdmissionPolicy::shed(1))
+                                 .run_closed_loop(spec, Seconds(0.1));
+  EXPECT_FALSE(result.rejected.empty());
+  bool seen[2] = {false, false};
+  for (const CompletedRequest& done : result.completed) {
+    ASSERT_GE(done.request.client, 0);
+    seen[done.request.client] = true;
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  // Rejections and completions account for every issued request.
+  for (const Request& shed : result.rejected) {
+    EXPECT_LE(shed.arrival.count(), 0.1);
+  }
+}
+
 TEST_F(SchedulerTest, RejectsBadRequests) {
   EXPECT_THROW((void)scheduler().run({at(0, 0.0, 7)}), InvalidArgument);
   EXPECT_THROW((void)scheduler().run({at(0, -1.0)}), InvalidArgument);
   EXPECT_THROW((void)OnlineScheduler(topo_, {}, {}), InvalidArgument);
+}
+
+TEST_F(SchedulerTest, ClosedLoopAdmissionNeedsPositiveThink) {
+  // With think == 0 a rejected client would retry at the same simulated
+  // instant forever; the scheduler refuses the combination up front.
+  ClosedLoopSpec spec;
+  spec.client_model = {0, 0};
+  spec.think = Seconds(0.0);
+  EXPECT_THROW((void)admitting(AdmissionPolicy::shed(1))
+                   .run_closed_loop(spec, Seconds(0.1)),
+               InvalidArgument);
+  // Fine without admission control, and with a positive think.
+  EXPECT_GT(scheduler().run_closed_loop(spec, Seconds(0.05)).completed.size(),
+            0u);
+  spec.think = milliseconds(1.0);
+  EXPECT_GT(admitting(AdmissionPolicy::shed(1))
+                .run_closed_loop(spec, Seconds(0.05))
+                .completed.size(),
+            0u);
 }
 
 }  // namespace

@@ -64,5 +64,92 @@ TEST(Json, EmptyContainers) {
   EXPECT_EQ(JsonValue::object().dump(), "{}");
 }
 
+TEST(JsonParse, Leaves) {
+  EXPECT_EQ(JsonValue::parse("42").as_integer(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_integer(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.5").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_TRUE(JsonValue::parse("true").as_boolean());
+  EXPECT_FALSE(JsonValue::parse("false").as_boolean());
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  // Integers stay integers; as_number reads them too.
+  EXPECT_TRUE(JsonValue::parse("42").is_integer());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_FALSE(JsonValue::parse("42.0").is_integer());
+}
+
+TEST(JsonParse, Containers) {
+  const JsonValue arr = JsonValue::parse(" [1, \"two\", [true]] ");
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.at(0).as_integer(), 1);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+  EXPECT_TRUE(arr.at(2).at(0).as_boolean());
+
+  const JsonValue obj = JsonValue::parse("{\"a\": 1, \"b\": {\"c\": []}}");
+  ASSERT_TRUE(obj.is_object());
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("z"));
+  EXPECT_EQ(obj.get("a").as_integer(), 1);
+  EXPECT_EQ(obj.get("b").get("c").size(), 0u);
+  EXPECT_THROW((void)obj.get("missing"), InvalidArgument);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"say \\\"hi\\\"\\n\"").as_string(),
+            "say \"hi\"\n");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"a\\/b\"").as_string(), "a/b");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonValue obj = JsonValue::object();
+  obj.set("name", JsonValue::string("conv1\n\"x\""));
+  obj.set("count", JsonValue::integer(12));
+  obj.set("scale", JsonValue::number(0.832));
+  obj.set("flag", JsonValue::boolean(true));
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::integer(1)).push(JsonValue::string("two"));
+  obj.set("items", std::move(arr));
+  // parse(dump) reproduces the document byte-for-byte.
+  EXPECT_EQ(JsonValue::parse(obj.dump()).dump(), obj.dump());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* text :
+       {"", "   ", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "+1",
+        "1.2.3", "\"unterminated", "\"bad \\q escape\"", "\"\\u12\"",
+        "\"\\ud800\"", "[1] trailing", "{'a':1}", "[01x]"}) {
+    EXPECT_THROW((void)JsonValue::parse(text), InvalidArgument) << text;
+  }
+}
+
+TEST(JsonParse, DeepNestingThrowsInsteadOfOverflowing) {
+  // A corrupt/hostile document must fail catchably, not blow the stack.
+  const std::string deep(100000, '[');
+  EXPECT_THROW((void)JsonValue::parse(deep), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse(std::string(100000, '[') +
+                                      std::string(100000, ']')),
+               InvalidArgument);
+  // Shallow nesting is unaffected, and sibling containers do not count
+  // toward the depth cap.
+  EXPECT_EQ(JsonValue::parse("[[[[[[[[[[1]]]]]]]]]]").dump(),
+            "[[[[[[[[[[1]]]]]]]]]]");
+  std::string wide = "[";
+  for (int i = 0; i < 500; ++i) wide += "{},";
+  wide += "{}]";
+  EXPECT_EQ(JsonValue::parse(wide).size(), 501u);
+}
+
+TEST(JsonParse, AccessorKindMismatchThrows) {
+  const JsonValue value = JsonValue::parse("{\"a\": [1]}");
+  EXPECT_THROW((void)value.as_string(), InvalidArgument);
+  EXPECT_THROW((void)value.get("a").as_integer(), InvalidArgument);
+  EXPECT_THROW((void)value.get("a").at(5), InvalidArgument);
+  EXPECT_THROW((void)value.at(0), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("\"s\"").as_number(), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace mars

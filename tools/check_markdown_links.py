@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README/docs resolve.
+
+Scans every tracked *.md file at the repository root and under docs/ for
+inline links/images `[text](target)`, skips external targets (http/https/
+mailto) and pure in-page anchors (#...), strips #fragments from the rest,
+and verifies the referenced path exists relative to the linking file.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+listed as file:line). Run from anywhere; paths are anchored at the
+repository root (the parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) / ![alt](target), tolerating one level of nested
+# brackets in the text and an optional "title" after the target.
+LINK = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def check_file(path: Path, root: Path):
+    failures = []
+    in_code_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(f"{path.relative_to(root)}:{lineno}: broken link '{target}'")
+    return failures
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    failures = []
+    checked = 0
+    for md in iter_markdown_files(root):
+        checked += 1
+        failures.extend(check_file(md, root))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

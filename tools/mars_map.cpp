@@ -13,10 +13,17 @@
 //       Pipelined multi-image throughput of the MARS mapping.
 //   mars_map serve --model facebagnet --model resnet50 --rate 200 --duration 10
 //       Online multi-tenant serving simulation over the shared topology.
+//       --mapping-cache DIR persists searched mappings across runs;
+//       --policy composes batching and admission ("size:4+slo:60").
+//
+// The full flag reference lives in docs/CLI.md; the serving data flow in
+// docs/SERVING.md.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +34,7 @@
 #include "mars/core/serialize.h"
 #include "mars/graph/models/models.h"
 #include "mars/graph/parser.h"
+#include "mars/serve/cache.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/report.h"
 #include "mars/serve/scheduler.h"
@@ -303,18 +311,80 @@ int cmd_serve(const Args& args) {
 
   // Parse every workload flag before the (expensive) per-model planning
   // so usage errors fail fast.
+  const serve::PolicySpec policy =
+      serve::PolicySpec::parse(args.get("policy", "none"));
   serve::SchedulerOptions options;
-  options.policy = serve::BatchPolicy::parse(args.get("policy", "none"));
+  options.policy = policy.batch;
+  options.admission = policy.admission;
   const Seconds duration = Seconds(number_option(args, "duration", "5"));
   const auto seed = static_cast<std::uint64_t>(int_option(args, "seed", "1"));
   const Seconds slo = milliseconds(number_option(args, "slo", "100"));
   const double rate = number_option(args, "rate", "100");
   const int clients = int_option(args, "clients", "8");
   const Seconds think = milliseconds(number_option(args, "think", "0"));
+  if (rate <= 0.0) {
+    throw InvalidArgument("--rate must be > 0 requests/s, got '" +
+                          args.get("rate", "100") + "'");
+  }
+  if (duration.count() <= 0.0) {
+    throw InvalidArgument("--duration must be > 0 seconds, got '" +
+                          args.get("duration", "5") + "'");
+  }
+  if (slo.count() < 0.0) {
+    throw InvalidArgument("--slo must be >= 0 ms, got '" +
+                          args.get("slo", "100") + "'");
+  }
+  if (think.count() < 0.0) {
+    throw InvalidArgument("--think must be >= 0 ms, got '" +
+                          args.get("think", "0") + "'");
+  }
+  if (args.flag("clients") && clients < 1) {
+    throw InvalidArgument("--clients must be >= 1, got '" +
+                          args.get("clients", "8") + "'");
+  }
+  if (args.flag("clients") &&
+      policy.admission.kind != serve::AdmissionPolicy::Kind::kNone &&
+      think.count() <= 0.0) {
+    throw InvalidArgument("--policy " + policy.admission.to_string() +
+                          " with --clients needs --think > 0 ms (a rejected "
+                          "client would retry at the same instant forever)");
+  }
 
+  // Optional persistent mapping cache: repeat startups on the same
+  // (topology, designs, config) load the searched mappings instead of
+  // re-running the GA. Provenance goes to stderr so the serving report on
+  // stdout stays byte-identical between cold and warm runs.
+  std::optional<serve::MappingCache> cache;
+  if (args.flag("mapping-cache")) {
+    const std::string dir = args.get("mapping-cache", "");
+    if (dir == "1") {
+      throw InvalidArgument("--mapping-cache needs a directory path");
+    }
+    cache.emplace(dir);
+  }
+
+  const auto plan_start = std::chrono::steady_clock::now();
   const std::vector<std::unique_ptr<serve::ModelService>> services =
       serve::plan_services(names, topo, designs, !args.flag("fixed"), mapper,
-                           config);
+                           config, cache ? &*cache : nullptr);
+  const double plan_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    plan_start)
+          .count();
+  if (cache) {
+    int hits = 0;
+    for (const std::unique_ptr<serve::ModelService>& service : services) {
+      const bool hit = service->mapping_source() ==
+                       serve::ModelService::MappingSource::kCacheHit;
+      hits += hit ? 1 : 0;
+      std::clog << "mapping cache " << (hit ? "hit" : "miss") << ": "
+                << service->name() << '\n';
+    }
+    std::clog << "planned " << services.size() << " service(s) in "
+              << format_double(plan_seconds, 3) << " s (" << hits << "/"
+              << services.size() << " from cache at " << cache->dir()
+              << ")\n";
+  }
   std::cout << "Fleet on " << topo.name() << " (" << topo.size()
             << " accelerators, mapper " << mapper_name << "):\n"
             << serve::describe_fleet(services) << '\n';
@@ -341,7 +411,7 @@ int cmd_serve(const Args& args) {
         scheduler.run(serve::poisson_arrivals(weights, rate, duration, seed));
   }
   const serve::ServeMetrics metrics = serve::summarize(result, names, slo);
-  std::cout << "Workload: policy " << options.policy.to_string() << ", "
+  std::cout << "Workload: policy " << policy.to_string() << ", "
             << result.batches_dispatched << " batches dispatched\n\n"
             << serve::describe(metrics);
 
@@ -360,8 +430,11 @@ int usage(std::ostream& os) {
         "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
         "[--model-file PATH] [--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
         "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
-        "--duration S --slo MS --policy none|size:N|timeout:MS[:N] "
-        "--mapper mars|baseline --full --trace CSV --clients N --think MS\n";
+        "--duration S --slo MS "
+        "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
+        "--mapper mars|baseline --mapping-cache DIR --full --trace CSV "
+        "--clients N --think MS\n"
+        "full reference: docs/CLI.md\n";
   return 1;
 }
 
