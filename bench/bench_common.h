@@ -16,6 +16,7 @@
 #include "mars/core/h2h.h"
 #include "mars/core/mars.h"
 #include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
 #include "mars/topology/presets.h"
 #include "mars/util/csv.h"
 #include "mars/util/strings.h"
@@ -68,6 +69,14 @@ inline core::MarsConfig mars_config(const Options& options) {
     config.second.ga.stall_generations = 6;
   }
   return config;
+}
+
+/// The default serving/search engine at the bench budget: the two-level
+/// GA. Pass a different name ("anneal" | "random" | "baseline") to
+/// compare engines under the same tuning.
+inline std::unique_ptr<plan::SearchEngine> bench_engine(
+    const Options& options, const std::string& name = "ga") {
+  return plan::make_engine(name, mars_config(options));
 }
 
 /// Everything one experiment needs, with stable storage.

@@ -1,14 +1,17 @@
 // Micro-benchmarks (google-benchmark): the per-call costs that set the
 // search throughput — analytical design models, shard-plan construction,
-// the layer cost function, greedy second-level selection, and the
+// the layer cost function, greedy second-level selection, skeleton
+// fitness (the first-level oracle every plan engine calls), and the
 // event-driven executor.
 #include <benchmark/benchmark.h>
 
 #include "mars/accel/registry.h"
 #include "mars/core/evaluator.h"
 #include "mars/core/second_level.h"
+#include "mars/core/skeleton_space.h"
 #include "mars/graph/models/models.h"
 #include "mars/parallel/sharding.h"
+#include "mars/plan/planner.h"
 #include "mars/topology/presets.h"
 
 namespace {
@@ -16,18 +19,13 @@ namespace {
 using namespace mars;  // NOLINT: bench-local convenience
 
 struct Fixture {
-  graph::Graph model = graph::models::vgg16();
-  graph::ConvSpine spine = graph::ConvSpine::extract(model);
   topology::Topology topo = topology::f1_16xlarge();
   accel::DesignRegistry designs = accel::table2_designs();
-  core::Problem problem;
-
-  Fixture() {
-    problem.spine = &spine;
-    problem.topo = &topo;
-    problem.designs = &designs;
-    problem.adaptive = true;
-  }
+  // The Planner owns the graph -> spine -> Problem chain.
+  plan::Planner planner{graph::models::vgg16(), topo, designs,
+                        /*adaptive=*/true};
+  const graph::ConvSpine& spine = planner.spine();
+  const core::Problem& problem = planner.problem();
 };
 
 Fixture& fixture() {
@@ -95,6 +93,19 @@ void BM_GreedySecondLevel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedySecondLevel)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SkeletonFitness(benchmark::State& state) {
+  const auto& fx = fixture();
+  // Steady-state cost: after the first (miss) call this measures the
+  // memoised path plus the DAG aggregation — what the inner GA/SA loop
+  // pays for a revisited skeleton.
+  core::SkeletonSpace space(fx.problem, {});
+  const core::Skeleton skeleton = space.baseline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.fitness(skeleton));
+  }
+}
+BENCHMARK(BM_SkeletonFitness);
 
 void BM_EventSimVgg(benchmark::State& state) {
   const auto& fx = fixture();

@@ -1,0 +1,103 @@
+// Experiment P1 — engine-comparison sweep: search engine x evaluation
+// budget -> mapping quality, the head-to-head optimizer grid the plan
+// layer exists for (MAGMA-style). Every cell runs one engine on the same
+// problem under an evaluation budget, so cells are deterministic per seed
+// and comparable across engines (an evaluation means the same thing —
+// one full-mapping fitness — everywhere).
+//
+// Reads top-to-bottom per engine: how fast does quality converge with
+// budget? Reads across engines at a budget: what does the GA's machinery
+// buy over annealing, over random sampling, over no search at all?
+//
+//   --smoke   tiny grid for CI (Release job): exercises all four engines
+//             end to end without timing anything.
+#include "bench_common.h"
+
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
+
+namespace mars::bench {
+namespace {
+
+void run_engine_grid(const Options& options, bool smoke) {
+  const std::string model = smoke ? "alexnet" : "resnet34";
+  const std::vector<long long> budgets =
+      smoke ? std::vector<long long>{40}
+            : (options.quick ? std::vector<long long>{100, 400}
+                             : std::vector<long long>{100, 400, 1600});
+
+  const topology::Topology topo = topology::f1_16xlarge();
+  const accel::DesignRegistry designs = accel::table2_designs();
+  const plan::Planner planner =
+      plan::Planner::for_model(model, topo, designs, /*adaptive=*/true);
+
+  // One tuning for every engine; schedules large enough that the
+  // evaluation budget (not the engine's own schedule) is the binding
+  // limit in every cell.
+  core::MarsConfig tuning = mars_config(options);
+  tuning.first_ga.generations = 1 << 12;
+  tuning.first_ga.stall_generations = 0;  // budget decides, not the stall
+
+  // Baseline context: what "no search" costs.
+  const plan::PlanResult baseline =
+      planner.plan(*plan::make_engine("baseline", tuning));
+  std::cout << "=== Search-engine grid: engine x evaluation budget ("
+            << model << ", F1 platform, seed " << options.seed << ") ===\n"
+            << "baseline (no search): "
+            << format_double(baseline.summary.simulated.millis(), 3)
+            << " ms simulated\n\n";
+
+  Table table({"Engine", "Budget /evals", "Evals used", "Analytic /ms",
+               "Simulated /ms", "vs baseline", "Wall /s", "Stopped"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::string& name : plan::engine_names()) {
+    for (long long budget_evals : budgets) {
+      const std::unique_ptr<plan::SearchEngine> engine =
+          plan::make_engine(name, tuning);
+      const plan::PlanResult result =
+          planner.plan(*engine, plan::Budget::evaluations(budget_evals));
+      const double vs_baseline =
+          baseline.summary.simulated.count() > 0.0
+              ? result.summary.simulated / baseline.summary.simulated
+              : 1.0;
+      table.add_row(
+          {name, std::to_string(budget_evals),
+           std::to_string(result.provenance.evaluations),
+           format_double(result.summary.analytic_makespan.millis(), 3),
+           format_double(result.summary.simulated.millis(), 3),
+           format_double(vs_baseline, 3) + "x",
+           format_double(result.provenance.elapsed.count(), 3),
+           plan::to_string(result.provenance.stopped)});
+      csv_rows.push_back(
+          {name, std::to_string(budget_evals),
+           std::to_string(result.provenance.evaluations),
+           format_double(result.summary.analytic_makespan.millis(), 4),
+           format_double(result.summary.simulated.millis(), 4),
+           format_double(vs_baseline, 4),
+           format_double(result.provenance.elapsed.count(), 4),
+           plan::to_string(result.provenance.stopped)});
+      if (name == "baseline") break;  // budget-independent, one row
+    }
+    table.add_separator();
+  }
+  std::cout << table
+            << "(budgets are evaluation counts, so rows are deterministic "
+               "per seed; wall time is informational)\n";
+  maybe_write_csv(options,
+                  {"engine", "budget_evals", "evals_used", "analytic_ms",
+                   "simulated_ms", "vs_baseline", "wall_s", "stopped"},
+                  csv_rows);
+}
+
+}  // namespace
+}  // namespace mars::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const mars::bench::Options options = mars::bench::parse_options(argc, argv);
+  mars::bench::run_engine_grid(options, smoke);
+  return 0;
+}

@@ -91,8 +91,7 @@ void run_cache_demo(const Options& options) {
     const auto start = std::chrono::steady_clock::now();
     const auto services =
         serve::plan_services(fleet_models(), topo, designs, /*adaptive=*/false,
-                             serve::ModelService::Mapper::kMars,
-                             mars_config(options), &cache);
+                             *bench_engine(options), &cache);
     const double elapsed = seconds_since(start);
     (warm ? warm_s : cold_s) = elapsed;
     std::vector<std::string> sources;
@@ -127,9 +126,9 @@ void run_rate_sweep(const Options& options) {
     const accel::DesignRegistry designs = accel::h2h_designs();
     // One mapping per model per platform; every (rate, policy) cell
     // replays against the same fleet.
-    const auto services = serve::plan_services(
-        fleet_models(), topo, designs, /*adaptive=*/false,
-        serve::ModelService::Mapper::kMars, mars_config(options));
+    const auto services =
+        serve::plan_services(fleet_models(), topo, designs, /*adaptive=*/false,
+                             *bench_engine(options));
     const std::vector<const serve::ModelService*> refs = as_refs(services);
 
     std::cout << "\n--- " << bandwidth << " Gb/s links ---\n"
@@ -220,9 +219,9 @@ void run_autoscale_sweep(const Options& options) {
     const topology::Topology topo = topology::h2h_cloud(size, gbps(4.0), 4);
     const accel::DesignRegistry designs = accel::h2h_designs();
     const auto plan_start = std::chrono::steady_clock::now();
-    const auto services = serve::plan_services(
-        fleet_models(), topo, designs, /*adaptive=*/false,
-        serve::ModelService::Mapper::kMars, mars_config(options), &cache);
+    const auto services =
+        serve::plan_services(fleet_models(), topo, designs, /*adaptive=*/false,
+                             *bench_engine(options), &cache);
     std::cout << "\nfleet " << size << ": planned in "
               << format_double(seconds_since(plan_start), 3) << " s ("
               << serve::to_string(services[0]->mapping_source()) << ")\n";

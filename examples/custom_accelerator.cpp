@@ -9,8 +9,9 @@
 #include <iostream>
 
 #include "mars/accel/registry.h"
-#include "mars/core/mars.h"
 #include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
 #include "mars/topology/presets.h"
 
 namespace {
@@ -61,20 +62,13 @@ int main() {
   // (chiplet-style; candidate AccSets become ring segments).
   const topology::Topology topo = topology::ring(6, gbps(16.0), gbps(4.0));
 
-  const graph::Graph model = graph::models::resnet(18);
-  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
-
-  core::Problem problem;
-  problem.spine = &spine;
-  problem.topo = &topo;
-  problem.designs = &designs;
-  problem.adaptive = true;
-
-  core::Mars mars(problem, core::MarsConfig{});
-  const core::MarsResult result = mars.search();
+  const plan::Planner planner(graph::models::resnet(18), topo, designs,
+                              /*adaptive=*/true);
+  const plan::GaEngine engine;
+  const plan::PlanResult result = planner.plan(engine);
 
   std::cout << "resnet18 on a 6-ring with a custom design in the menu:\n"
-            << core::describe(result.mapping, spine, designs, true)
+            << core::describe(result.mapping, planner.spine(), designs, true)
             << "latency: " << result.summary.simulated.millis() << " ms\n";
 
   int custom_layers = 0;
@@ -82,6 +76,6 @@ int main() {
     if (set.design == custom) custom_layers += set.num_layers();
   }
   std::cout << "layers mapped to the custom VectorEngine: " << custom_layers
-            << " of " << spine.size() << '\n';
+            << " of " << planner.spine().size() << '\n';
   return 0;
 }

@@ -9,8 +9,9 @@
 #include <iostream>
 
 #include "mars/accel/registry.h"
-#include "mars/core/mars.h"
 #include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
 #include "mars/topology/presets.h"
 #include "mars/util/strings.h"
 #include "mars/util/table.h"
@@ -19,8 +20,9 @@ int main(int argc, char** argv) {
   using namespace mars;
 
   const std::string model_name = argc > 1 ? argv[1] : "resnet34";
+  // Built once; each sweep point copies it into its own Planner (the
+  // spine re-extraction per topology is inherent — the Problem changes).
   const graph::Graph model = graph::models::by_name(model_name);
-  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
   const accel::DesignRegistry designs = accel::table2_designs();
 
   std::cout << "design-space sweep: " << model_name
@@ -28,19 +30,15 @@ int main(int argc, char** argv) {
   Table table({"Group BW", "Latency /ms", "Sets", "Largest set",
                "Spatial-ES layers", "SS layers", "Comm share"});
 
+  core::MarsConfig config;
+  config.seed = 3;
+  const plan::GaEngine engine(config);
+
   for (double bw : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
     const topology::Topology topo =
         topology::f1_16xlarge(gbps(bw), gbps(2.0));
-    core::Problem problem;
-    problem.spine = &spine;
-    problem.topo = &topo;
-    problem.designs = &designs;
-    problem.adaptive = true;
-
-    core::MarsConfig config;
-    config.seed = 3;
-    core::Mars mars(problem, config);
-    const core::MarsResult result = mars.search();
+    const plan::Planner planner(model, topo, designs, /*adaptive=*/true);
+    const plan::PlanResult result = planner.plan(engine);
 
     int spatial = 0;
     int ss = 0;

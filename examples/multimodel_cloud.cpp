@@ -10,9 +10,11 @@
 #include <iostream>
 
 #include "mars/accel/registry.h"
+#include "mars/core/evaluator.h"
 #include "mars/core/h2h.h"
-#include "mars/core/mars.h"
 #include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
 #include "mars/sim/trace.h"
 #include "mars/topology/presets.h"
 
@@ -21,35 +23,32 @@ int main(int argc, char** argv) {
 
   const double bandwidth = argc > 1 ? std::stod(argv[1]) : 4.0;
 
-  const graph::Graph model = graph::models::facebagnet();
-  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
   // Eight FPGAs, uniform links, four designs burnt in two-by-two.
   const topology::Topology topo = topology::h2h_cloud(8, gbps(bandwidth), 4);
   const accel::DesignRegistry designs = accel::h2h_designs();
 
-  core::Problem problem;
-  problem.spine = &spine;
-  problem.topo = &topo;
-  problem.designs = &designs;
-  problem.adaptive = false;  // designs are fixed per accelerator
+  // adaptive=false: designs are fixed per accelerator.
+  const plan::Planner planner(graph::models::facebagnet(), topo, designs,
+                              /*adaptive=*/false);
 
-  std::cout << "facebagnet (" << spine.size() << " layers, 3 streams) on an 8-FPGA "
-            << bandwidth << " Gb/s cloud\n\n";
+  std::cout << "facebagnet (" << planner.spine().size()
+            << " layers, 3 streams) on an 8-FPGA " << bandwidth
+            << " Gb/s cloud\n\n";
 
   // H2H-style: computation+communication-aware, layer-per-accelerator.
-  const core::H2HResult h2h = core::H2HMapper(problem).map();
+  const core::H2HResult h2h = core::H2HMapper(planner.problem()).map();
   std::cout << "H2H-style mapper: " << h2h.simulated.millis() << " ms\n";
 
   // MARS: multi-level parallelism on the same fixed system.
-  core::Mars mars(problem, core::MarsConfig{});
-  const core::MarsResult result = mars.search();
+  const plan::GaEngine engine;
+  const plan::PlanResult result = planner.plan(engine);
   std::cout << "MARS:             " << result.summary.simulated.millis()
             << " ms (" << (result.summary.simulated / h2h.simulated - 1.0) * 100.0
             << "% vs H2H)\n\n"
-            << core::describe(result.mapping, spine, designs, false);
+            << core::describe(result.mapping, planner.spine(), designs, false);
 
   // Export the executed schedule for visual inspection.
-  const core::MappingEvaluator evaluator(problem);
+  const core::MappingEvaluator evaluator(planner.problem());
   const core::MappingEvaluator::SimOutput output =
       evaluator.simulate(result.mapping);
   std::ofstream trace("mars_schedule.json");

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 
+#include "mars/plan/engines.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/report.h"
 #include "mars/serve/scheduler.h"
@@ -33,15 +34,17 @@ int main(int argc, char** argv) {
   const accel::DesignRegistry designs = accel::table2_designs();
 
   // 2. One MARS mapping per co-resident model (quick search budget).
+  //    Swap the engine (plan::make_engine("anneal"|"random"|"baseline"))
+  //    to compare mappers on the same serving workload.
   core::MarsConfig config;
   config.first_ga.population = 12;
   config.first_ga.generations = 8;
   config.second.ga.population = 8;
   config.second.ga.generations = 6;
+  const plan::GaEngine engine(config);
   const std::vector<std::string> names = {"facebagnet", "resnet34"};
   const auto services =
-      serve::plan_services(names, topo, designs, /*adaptive=*/true,
-                           serve::ModelService::Mapper::kMars, config);
+      serve::plan_services(names, topo, designs, /*adaptive=*/true, engine);
   std::cout << "Planned fleet:\n" << serve::describe_fleet(services) << '\n';
 
   std::vector<const serve::ModelService*> refs;

@@ -1,18 +1,20 @@
-// Quickstart: map a CNN onto an adaptive multi-accelerator system in ~40
+// Quickstart: map a CNN onto an adaptive multi-accelerator system in ~30
 // lines of MARS API.
 //
 //   1. pick a workload from the model zoo,
 //   2. describe the system topology (here: the paper's AWS F1 platform),
 //   3. pick the menu of configurable accelerator designs (Table II),
-//   4. run the two-level genetic search,
-//   5. inspect the mapping and its simulated latency.
+//   4. hand the model to a Planner and run a search engine (here the
+//      paper's two-level GA; try plan::make_engine("anneal") or "random"
+//      for the alternatives),
+//   5. inspect the mapping, its simulated latency, and the provenance.
 //
 // Build & run:  ./build/examples/quickstart [model-name]
 #include <iostream>
 
 #include "mars/accel/registry.h"
-#include "mars/core/mars.h"
-#include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
 #include "mars/topology/presets.h"
 
 int main(int argc, char** argv) {
@@ -20,10 +22,6 @@ int main(int argc, char** argv) {
 
   // 1. Workload: any zoo model ("alexnet", "vgg16", "resnet34", ...).
   const std::string model_name = argc > 1 ? argv[1] : "resnet34";
-  const graph::Graph model = graph::models::by_name(model_name);
-  const graph::ConvSpine spine = graph::ConvSpine::extract(model);
-  std::cout << "workload: " << model.name() << " (" << spine.size()
-            << " mappable layers, " << model.total_macs() / 1e9 << " GMACs)\n";
 
   // 2. System: 8 FPGAs in two groups, 8 Gb/s inside a group, 2 Gb/s to the
   //    host, 1 GiB DRAM per card — Fig. 1 of the paper.
@@ -32,20 +30,20 @@ int main(int argc, char** argv) {
   // 3. Accelerator design menu (adaptive: every set picks one design).
   const accel::DesignRegistry designs = accel::table2_designs();
 
-  // 4. Search.
-  core::Problem problem;
-  problem.spine = &spine;
-  problem.topo = &topo;
-  problem.designs = &designs;
-  problem.adaptive = true;
+  // 4. The Planner owns the graph -> spine -> Problem lifetimes; the
+  //    engine is the search algorithm (GA with paper-style defaults).
+  const plan::Planner planner =
+      plan::Planner::for_model(model_name, topo, designs, /*adaptive=*/true);
+  std::cout << "workload: " << planner.model().name() << " ("
+            << planner.spine().size() << " mappable layers, "
+            << planner.model().total_macs() / 1e9 << " GMACs)\n";
 
-  core::MarsConfig config;  // paper-style defaults; config.seed for reruns
-  core::Mars mars(problem, config);
-  const core::MarsResult result = mars.search();
+  const plan::GaEngine engine;  // core::MarsConfig{} defaults; seed for reruns
+  const plan::PlanResult result = planner.plan(engine);
 
   // 5. Results.
   std::cout << "\nmapping found by MARS:\n"
-            << core::describe(result.mapping, spine, designs, true)
+            << core::describe(result.mapping, planner.spine(), designs, true)
             << "\nsimulated latency: " << result.summary.simulated.millis()
             << " ms  (compute " << result.summary.analytic.compute.millis()
             << " ms, intra-set comm "
@@ -57,6 +55,9 @@ int main(int argc, char** argv) {
             << " ms)\n"
             << "memory feasible: " << (result.summary.memory_ok ? "yes" : "NO")
             << " (worst set footprint "
-            << result.summary.worst_set_footprint.mib() << " MiB per card)\n";
+            << result.summary.worst_set_footprint.mib() << " MiB per card)\n"
+            << "search: " << result.provenance.evaluations
+            << " evaluations, stopped: "
+            << plan::to_string(result.provenance.stopped) << '\n';
   return 0;
 }

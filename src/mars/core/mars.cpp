@@ -2,134 +2,70 @@
 
 #include <algorithm>
 
-#include "mars/core/baseline.h"
 #include "mars/util/error.h"
 #include "mars/util/logging.h"
 
 namespace mars::core {
-namespace {
 
-std::vector<topology::AccSetCandidate> trivial_candidates(
-    const topology::Topology& topo) {
-  std::vector<topology::AccSetCandidate> out;
-  for (topology::AccMask component :
-       topo.components_above(topo.full_mask(), Bandwidth(0.0))) {
-    out.push_back({component, topo.min_internal_bandwidth(component)});
-  }
-  for (topology::AccId id = 0; id < topo.size(); ++id) {
-    const topology::AccMask mask = topology::mask_of(id);
-    if (std::none_of(out.begin(), out.end(), [&](const auto& c) {
-          return c.mask == mask;
-        })) {
-      out.push_back({mask, topo.min_internal_bandwidth(mask)});
-    }
-  }
-  return out;
+void validate_config(const MarsConfig& config) {
+  ga::validate_config(config.first_ga);
+  ga::validate_config(config.second.ga);
+  MARS_CHECK_ARG(config.second.max_es_dims >= 1,
+                 "second-level max_es_dims must be >= 1, got "
+                     << config.second.max_es_dims);
 }
-
-}  // namespace
 
 Mars::Mars(const Problem& problem, MarsConfig config)
     : problem_(&problem),
       config_(config),
-      profile_(*problem.designs, *problem.spine),
-      candidates_(config.heuristic_candidates
-                      ? topology::accset_candidates(*problem.topo)
-                      : trivial_candidates(*problem.topo)),
-      codec_(problem, candidates_),
-      second_(problem, config.second),
-      evaluator_(problem) {}
-
-const SecondLevelResult& Mars::second_level_for(const LayerAssignment& skeleton) {
-  const CacheKey key{skeleton.begin, skeleton.end, skeleton.accs, skeleton.design};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
-  }
-  ++cache_misses_;
-  return cache_.emplace(key, second_.greedy(skeleton)).first->second;
+      space_(problem, {config.second, config.heuristic_candidates}) {
+  validate_config(config);
 }
 
-double Mars::skeleton_fitness(const Skeleton& skeleton) {
-  // Per-set penalized latencies aggregated over the set dependency DAG
-  // (models branch overlap for multi-stream workloads).
-  std::vector<Seconds> latencies;
-  latencies.reserve(skeleton.sets.size());
-  for (const LayerAssignment& set : skeleton.sets) {
-    latencies.push_back(second_level_for(set).cost.penalized);
-  }
-  return evaluator_.analytical()
-      .aggregate_makespan(skeleton.sets, latencies)
-      .count();
-}
-
-Mapping Mars::strategies_for(const Skeleton& skeleton) {
-  Mapping mapping;
-  for (const LayerAssignment& set : skeleton.sets) {
-    LayerAssignment full = set;
-    full.strategies = second_level_for(set).strategies;
-    mapping.sets.push_back(std::move(full));
-  }
-  return mapping;
-}
-
-Skeleton Mars::baseline_skeleton() const {
-  return core::baseline_skeleton(*problem_, profile_);
-}
-
-MarsResult Mars::search() {
+MarsResult Mars::search(const ga::StopFn& stop) {
   Rng rng(config_.seed);
-  const std::vector<double> scores = profile_.design_scores();
+  const std::vector<double> scores = space_.design_scores();
+  const FirstLevelCodec& codec = space_.codec();
 
   MarsResult result;
   if (config_.two_level) {
-    ga::GaEngine engine(config_.first_ga, codec_.genome_size());
+    ga::GaEngine engine(config_.first_ga, codec.genome_size());
     std::vector<ga::Genome> seeds;
     if (config_.seed_baseline) {
-      seeds.push_back(codec_.encode(baseline_skeleton(), scores));
+      seeds.push_back(codec.encode(space_.baseline(), scores));
     }
     if (config_.profiled_init) {
       const int extra = std::max(1, config_.first_ga.population / 4);
       for (int i = 0; i < extra; ++i) {
-        seeds.push_back(codec_.profiled_random(scores, rng));
+        seeds.push_back(codec.profiled_random(scores, rng));
       }
     }
     auto fitness = [&](const ga::Genome& genome) {
-      return skeleton_fitness(codec_.decode(genome));
+      return space_.fitness(codec.decode(genome));
     };
-    result.first_level = engine.minimize(fitness, rng, seeds);
+    result.first_level = engine.minimize(fitness, rng, seeds, stop);
 
-    Skeleton winner = codec_.decode(result.first_level.best);
-    result.mapping = strategies_for(winner);
+    Skeleton winner = codec.decode(result.first_level.best);
+    result.mapping = space_.complete(winner);
 
-    if (config_.refine_winner) {
-      for (LayerAssignment& set : result.mapping.sets) {
-        LayerAssignment skeleton = set;
-        skeleton.strategies.clear();
-        Rng child = rng.fork();
-        const SecondLevelResult refined =
-            second_.refine(skeleton, child, &set.strategies);
-        // Keep the better of greedy and refined (the GA is seeded with the
-        // greedy solution, so this only guards decode drift).
-        LayerAssignment trial = set;
-        trial.strategies = refined.strategies;
-        if (evaluator_.analytical().set_cost(trial).penalized <=
-            evaluator_.analytical().set_cost(set).penalized) {
-          set.strategies = refined.strategies;
-        }
-      }
+    // Skip the polish pass when the caller's budget is already spent —
+    // a cancelled search should return as soon as it has a valid mapping.
+    const bool budget_spent =
+        stop && stop(result.first_level.evaluations,
+                     result.first_level.best_fitness);
+    if (config_.refine_winner && !budget_spent) {
+      space_.polish(result.mapping, rng);
     }
   } else {
     // Flat single-level ablation: one genome decides sets AND strategies.
-    const int skeleton_genes = codec_.genome_size();
+    const int skeleton_genes = codec.genome_size();
     const int strategy_genes =
         SecondLevelSearch::kGenesPerLayer * problem_->spine->size();
     ga::GaEngine engine(config_.first_ga, skeleton_genes + strategy_genes);
 
     auto decode_flat = [&](const ga::Genome& genome) {
       const ga::Genome head(genome.begin(), genome.begin() + skeleton_genes);
-      const Skeleton skeleton = codec_.decode(head);
+      const Skeleton skeleton = codec.decode(head);
       Mapping mapping;
       for (const LayerAssignment& set : skeleton.sets) {
         LayerAssignment full = set;
@@ -137,35 +73,35 @@ MarsResult Mars::search() {
           const double* genes =
               genome.data() + skeleton_genes +
               static_cast<std::size_t>(l) * SecondLevelSearch::kGenesPerLayer;
-          full.strategies.push_back(second_.decode_layer(
+          full.strategies.push_back(space_.second().decode_layer(
               problem_->spine->node(l).shape, set.num_accs(), genes));
         }
         mapping.sets.push_back(std::move(full));
       }
       return mapping;
     };
+    const AnalyticalCostModel& analytical = space_.evaluator().analytical();
     auto fitness = [&](const ga::Genome& genome) {
       const Mapping mapping = decode_flat(genome);
       std::vector<Seconds> latencies;
       latencies.reserve(mapping.sets.size());
       for (const LayerAssignment& set : mapping.sets) {
-        latencies.push_back(evaluator_.analytical().set_cost(set).penalized);
+        latencies.push_back(analytical.set_cost(set).penalized);
       }
-      return evaluator_.analytical()
-          .aggregate_makespan(mapping.sets, latencies)
-          .count();
+      return analytical.aggregate_makespan(mapping.sets, latencies).count();
     };
-    result.first_level = engine.minimize(fitness, rng, {});
+    result.first_level = engine.minimize(fitness, rng, {}, stop);
     result.mapping = decode_flat(result.first_level.best);
   }
 
-  result.summary = evaluator_.evaluate(result.mapping);
-  result.second_level_hits = cache_hits_;
-  result.second_level_misses = cache_misses_;
+  result.summary = space_.evaluator().evaluate(result.mapping);
+  result.second_level_hits = space_.cache_hits();
+  result.second_level_misses = space_.cache_misses();
   MARS_INFO << "MARS search done: simulated "
             << result.summary.simulated.millis() << " ms, "
-            << result.mapping.sets.size() << " sets, cache " << cache_hits_
-            << '/' << (cache_hits_ + cache_misses_);
+            << result.mapping.sets.size() << " sets, cache "
+            << result.second_level_hits << '/'
+            << (result.second_level_hits + result.second_level_misses);
   return result;
 }
 

@@ -5,7 +5,9 @@
 // contiguous layer allocation. Its fitness evaluates each candidate set
 // with the memoised second-level search and adds inter-set and host I/O
 // costs. Second level: per-layer ES/SS strategies (greedy oracle inside
-// the loop, GA polish on the winner — see second_level.h).
+// the loop, GA polish on the winner — see second_level.h). The shared
+// search-space machinery (codec, profile, memoised second level) lives in
+// core/skeleton_space.h so other engines (mars::plan) reuse it.
 //
 // Ownership: Mars keeps a non-owning pointer to the Problem, which in turn
 // points (non-owning) at the spine, topology and design registry — the
@@ -17,12 +19,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
-#include "mars/accel/profiler.h"
-#include "mars/core/evaluator.h"
-#include "mars/core/first_level.h"
-#include "mars/core/second_level.h"
+#include "mars/core/skeleton_space.h"
 
 namespace mars::core {
 
@@ -52,6 +50,10 @@ struct MarsConfig {
   std::uint64_t seed = 1;
 };
 
+/// Throws InvalidArgument (naming the bad field and value) when either GA
+/// level's config cannot drive a search.
+void validate_config(const MarsConfig& config);
+
 struct MarsResult {
   Mapping mapping;
   EvaluationSummary summary;
@@ -65,37 +67,21 @@ class Mars {
   Mars(const Problem& problem, MarsConfig config = {});
 
   /// Runs the full search and returns the best mapping with both cost
-  /// views (analytic + event-driven simulation).
-  [[nodiscard]] MarsResult search();
+  /// views (analytic + event-driven simulation). `stop` (optional) is
+  /// polled at first-level generation boundaries — budgeted/cancellable
+  /// callers (plan::GaEngine) use it; a stopped search still returns its
+  /// best-so-far mapping.
+  [[nodiscard]] MarsResult search(const ga::StopFn& stop = {});
 
-  [[nodiscard]] const FirstLevelCodec& codec() const { return codec_; }
-  [[nodiscard]] const accel::ProfileMatrix& profile() const { return profile_; }
+  [[nodiscard]] const FirstLevelCodec& codec() const { return space_.codec(); }
+  [[nodiscard]] const accel::ProfileMatrix& profile() const {
+    return space_.profile();
+  }
 
  private:
-  struct CacheKey {
-    int begin;
-    int end;
-    topology::AccMask accs;
-    accel::DesignId design;
-    auto operator<=>(const CacheKey&) const = default;
-  };
-
-  [[nodiscard]] const SecondLevelResult& second_level_for(
-      const LayerAssignment& skeleton);
-  [[nodiscard]] double skeleton_fitness(const Skeleton& skeleton);
-  [[nodiscard]] Mapping strategies_for(const Skeleton& skeleton);
-  [[nodiscard]] Skeleton baseline_skeleton() const;
-
   const Problem* problem_;
   MarsConfig config_;
-  accel::ProfileMatrix profile_;
-  std::vector<topology::AccSetCandidate> candidates_;
-  FirstLevelCodec codec_;
-  SecondLevelSearch second_;
-  MappingEvaluator evaluator_;
-  std::map<CacheKey, SecondLevelResult> cache_;
-  long long cache_hits_ = 0;
-  long long cache_misses_ = 0;
+  SkeletonSpace space_;
 };
 
 }  // namespace mars::core

@@ -1,0 +1,99 @@
+#include "mars/core/skeleton_space.h"
+
+#include <algorithm>
+
+#include "mars/core/baseline.h"
+
+namespace mars::core {
+namespace {
+
+std::vector<topology::AccSetCandidate> trivial_candidates(
+    const topology::Topology& topo) {
+  std::vector<topology::AccSetCandidate> out;
+  for (topology::AccMask component :
+       topo.components_above(topo.full_mask(), Bandwidth(0.0))) {
+    out.push_back({component, topo.min_internal_bandwidth(component)});
+  }
+  for (topology::AccId id = 0; id < topo.size(); ++id) {
+    const topology::AccMask mask = topology::mask_of(id);
+    if (std::none_of(out.begin(), out.end(), [&](const auto& c) {
+          return c.mask == mask;
+        })) {
+      out.push_back({mask, topo.min_internal_bandwidth(mask)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SkeletonSpace::SkeletonSpace(const Problem& problem, const Config& config)
+    : problem_(&problem),
+      config_(config),
+      profile_(*problem.designs, *problem.spine),
+      candidates_(config.heuristic_candidates
+                      ? topology::accset_candidates(*problem.topo)
+                      : trivial_candidates(*problem.topo)),
+      codec_(problem, candidates_),
+      second_(problem, config.second),
+      evaluator_(problem) {}
+
+const SecondLevelResult& SkeletonSpace::second_level_for(
+    const LayerAssignment& skeleton) {
+  const CacheKey key{skeleton.begin, skeleton.end, skeleton.accs,
+                     skeleton.design};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  return cache_.emplace(key, second_.greedy(skeleton)).first->second;
+}
+
+double SkeletonSpace::fitness(const Skeleton& skeleton) {
+  // Per-set penalized latencies aggregated over the set dependency DAG
+  // (models branch overlap for multi-stream workloads).
+  std::vector<Seconds> latencies;
+  latencies.reserve(skeleton.sets.size());
+  for (const LayerAssignment& set : skeleton.sets) {
+    latencies.push_back(second_level_for(set).cost.penalized);
+  }
+  return evaluator_.analytical()
+      .aggregate_makespan(skeleton.sets, latencies)
+      .count();
+}
+
+Mapping SkeletonSpace::complete(const Skeleton& skeleton) {
+  Mapping mapping;
+  for (const LayerAssignment& set : skeleton.sets) {
+    LayerAssignment full = set;
+    full.strategies = second_level_for(set).strategies;
+    mapping.sets.push_back(std::move(full));
+  }
+  return mapping;
+}
+
+void SkeletonSpace::polish(Mapping& mapping, Rng& rng) const {
+  for (LayerAssignment& set : mapping.sets) {
+    LayerAssignment skeleton = set;
+    skeleton.strategies.clear();
+    Rng child = rng.fork();
+    const SecondLevelResult refined =
+        second_.refine(skeleton, child, &set.strategies);
+    // Keep the better of greedy and refined (the GA is seeded with the
+    // greedy solution, so this only guards decode drift).
+    LayerAssignment trial = set;
+    trial.strategies = refined.strategies;
+    if (evaluator_.analytical().set_cost(trial).penalized <=
+        evaluator_.analytical().set_cost(set).penalized) {
+      set.strategies = refined.strategies;
+    }
+  }
+}
+
+Skeleton SkeletonSpace::baseline() const {
+  return baseline_skeleton(*problem_, profile_);
+}
+
+}  // namespace mars::core

@@ -1,0 +1,89 @@
+// The first-level search space, factored out of the search algorithm.
+//
+// Every mapper that explores skeletons (the two-level GA, simulated
+// annealing, random sampling) needs the same machinery: the profiled
+// design scores, the AccSet candidate family, the genome codec, the
+// memoised second-level strategy search that prices a skeleton, and the
+// completion/polish steps that turn the winning skeleton into a full
+// Mapping. SkeletonSpace owns all of it so search engines reduce to
+// their acceptance rule.
+//
+// Ownership: like Mars, a non-owning pointer to the Problem — the caller
+// keeps the spine/topology/registry alive for this object's lifetime.
+// fitness() memoises per (layer range, AccSet, design), so sharing one
+// SkeletonSpace across a search amortises second-level work exactly as
+// Mars::cache_ used to.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mars/accel/profiler.h"
+#include "mars/core/evaluator.h"
+#include "mars/core/first_level.h"
+#include "mars/core/second_level.h"
+
+namespace mars::core {
+
+class SkeletonSpace {
+ public:
+  struct Config {
+    SecondLevelConfig second;
+    /// Edge-removal/bisection AccSet candidates; when false (ablation A3)
+    /// only the trivial family {full system} u {singletons} is offered.
+    bool heuristic_candidates = true;
+  };
+
+  SkeletonSpace(const Problem& problem, const Config& config);
+
+  [[nodiscard]] const Problem& problem() const { return *problem_; }
+  [[nodiscard]] const FirstLevelCodec& codec() const { return codec_; }
+  [[nodiscard]] const accel::ProfileMatrix& profile() const { return profile_; }
+  [[nodiscard]] const MappingEvaluator& evaluator() const { return evaluator_; }
+  [[nodiscard]] const SecondLevelSearch& second() const { return second_; }
+  [[nodiscard]] std::vector<double> design_scores() const {
+    return profile_.design_scores();
+  }
+
+  /// Penalized analytic makespan of `skeleton` with second-level greedy
+  /// strategies (memoised) — the fitness every skeleton search minimises.
+  [[nodiscard]] double fitness(const Skeleton& skeleton);
+
+  /// `skeleton` with its memoised second-level strategies filled in.
+  [[nodiscard]] Mapping complete(const Skeleton& skeleton);
+
+  /// GA-polish every set's strategies in place (the paper's refine-winner
+  /// pass), keeping the better of greedy and refined per set.
+  void polish(Mapping& mapping, Rng& rng) const;
+
+  /// The Herald-extended baseline skeleton (GA seed / SA start point).
+  [[nodiscard]] Skeleton baseline() const;
+
+  [[nodiscard]] long long cache_hits() const { return cache_hits_; }
+  [[nodiscard]] long long cache_misses() const { return cache_misses_; }
+
+ private:
+  struct CacheKey {
+    int begin;
+    int end;
+    topology::AccMask accs;
+    accel::DesignId design;
+    auto operator<=>(const CacheKey&) const = default;
+  };
+
+  [[nodiscard]] const SecondLevelResult& second_level_for(
+      const LayerAssignment& skeleton);
+
+  const Problem* problem_;
+  Config config_;
+  accel::ProfileMatrix profile_;
+  std::vector<topology::AccSetCandidate> candidates_;
+  FirstLevelCodec codec_;
+  SecondLevelSearch second_;
+  MappingEvaluator evaluator_;
+  std::map<CacheKey, SecondLevelResult> cache_;
+  long long cache_hits_ = 0;
+  long long cache_misses_ = 0;
+};
+
+}  // namespace mars::core

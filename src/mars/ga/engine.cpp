@@ -11,17 +11,40 @@
 
 namespace mars::ga {
 
+void validate_config(const GaConfig& config) {
+  MARS_CHECK_ARG(config.population >= 2,
+                 "GA population must be >= 2, got " << config.population);
+  MARS_CHECK_ARG(config.generations >= 1,
+                 "GA generations must be >= 1, got " << config.generations);
+  MARS_CHECK_ARG(config.elite >= 0 && config.elite < config.population,
+                 "GA elite count must be in [0, population), got elite = "
+                     << config.elite << " with population = "
+                     << config.population);
+  MARS_CHECK_ARG(config.tournament >= 1,
+                 "GA tournament arity must be >= 1, got " << config.tournament);
+  MARS_CHECK_ARG(
+      config.crossover_rate >= 0.0 && config.crossover_rate <= 1.0,
+      "GA crossover_rate must be in [0, 1], got " << config.crossover_rate);
+  MARS_CHECK_ARG(
+      config.mutation_rate >= 0.0 && config.mutation_rate <= 1.0,
+      "GA mutation_rate must be in [0, 1], got " << config.mutation_rate);
+  MARS_CHECK_ARG(config.mutation_sigma > 0.0,
+                 "GA mutation_sigma must be > 0, got " << config.mutation_sigma);
+  MARS_CHECK_ARG(config.gene_lo < config.gene_hi,
+                 "GA gene range is empty: [" << config.gene_lo << ", "
+                                             << config.gene_hi << ")");
+}
+
 GaEngine::GaEngine(GaConfig config, int genome_size)
     : config_(config), genome_size_(genome_size) {
-  MARS_CHECK_ARG(config.population >= 2, "population must be >= 2");
-  MARS_CHECK_ARG(config.elite >= 0 && config.elite < config.population,
-                 "elite count must fit inside the population");
-  MARS_CHECK_ARG(config.gene_lo < config.gene_hi, "empty gene range");
-  MARS_CHECK_ARG(genome_size >= 1, "genome must have at least one gene");
+  validate_config(config);
+  MARS_CHECK_ARG(genome_size >= 1,
+                 "GA genome must have at least one gene, got " << genome_size);
 }
 
 GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
-                            const std::vector<Genome>& seeds) const {
+                            const std::vector<Genome>& seeds,
+                            const StopFn& stop) const {
   const auto pop_size = static_cast<std::size_t>(config_.population);
   std::vector<Genome> population;
   population.reserve(pop_size);
@@ -61,6 +84,11 @@ GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
     }
     result.history.push_back(result.best_fitness);
     result.generations_run = generation + 1;
+    if (stop && stop(result.evaluations, result.best_fitness)) {
+      MARS_DEBUG << "GA stopped by budget/cancellation at generation "
+                 << generation;
+      break;
+    }
     if (config_.stall_generations > 0 && stall >= config_.stall_generations) {
       MARS_DEBUG << "GA early stop at generation " << generation;
       break;

@@ -16,6 +16,13 @@ using Genome = std::vector<double>;
 /// Lower is better. Return +inf (or any non-finite value) for invalid
 /// genomes — the engine treats them as maximally unfit.
 using FitnessFn = std::function<double(const Genome&)>;
+/// Cooperative stop hook, polled once per generation (after the initial
+/// population and after each evolved generation) with the running
+/// evaluation count and best fitness so far. Returning true ends the
+/// search; the engine still returns its best-so-far genome. Checking at
+/// generation granularity keeps runs deterministic under evaluation
+/// budgets (a run never stops mid-generation).
+using StopFn = std::function<bool(long long evaluations, double best_fitness)>;
 
 struct GaConfig {
   int population = 32;
@@ -30,6 +37,14 @@ struct GaConfig {
   /// Stop early after this many generations without improvement (<=0: off).
   int stall_generations = 12;
 };
+
+/// Throws InvalidArgument naming the offending field and value when
+/// `config` cannot drive a search (population < 2, generations < 1,
+/// elite outside [0, population), tournament < 1, crossover/mutation
+/// rates outside [0, 1], mutation_sigma <= 0, empty gene range).
+/// GaEngine's constructor calls this; front-ends (plan engines) call it
+/// eagerly so a bad config fails at construction, not mid-search.
+void validate_config(const GaConfig& config);
 
 struct GaResult {
   Genome best;
@@ -46,8 +61,11 @@ class GaEngine {
 
   /// Runs the GA. `seeds` are injected into the initial population
   /// verbatim (heuristic warm starts); the rest is uniform random.
+  /// `stop` (optional) is polled at generation boundaries for budget /
+  /// cancellation enforcement.
   [[nodiscard]] GaResult minimize(const FitnessFn& fitness, Rng& rng,
-                                  const std::vector<Genome>& seeds = {}) const;
+                                  const std::vector<Genome>& seeds = {},
+                                  const StopFn& stop = {}) const;
 
   [[nodiscard]] const GaConfig& config() const { return config_; }
   [[nodiscard]] int genome_size() const { return genome_size_; }

@@ -1,0 +1,102 @@
+// Search budgets and cooperative cancellation for mars::plan engines.
+//
+// A Budget bounds a search three ways, all optional and composable:
+// evaluation count, wall-clock time, and a CancelToken another thread (or
+// a signal handler) can flip. Enforcement is cooperative — engines poll a
+// BudgetMeter between evaluations (the GA at generation boundaries, so an
+// evaluation budget may overshoot by up to one generation) and always
+// return their best-so-far mapping when stopped. Evaluation budgets keep
+// runs deterministic; wall-clock budgets are inherently not (pass `clock`
+// to make them so in tests).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "mars/util/units.h"
+
+namespace mars::plan {
+
+/// Cooperative cancellation flag, shareable across threads. The owner
+/// keeps it alive for the search's duration.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+struct Budget {
+  /// Stop after this many full-mapping fitness evaluations (<= 0: off).
+  long long max_evaluations = 0;
+  /// Stop after this much wall-clock time (<= 0: off).
+  Seconds wall_clock{};
+  /// Optional cancellation flag, polled alongside the other limits.
+  const CancelToken* cancel = nullptr;
+  /// Test hook: absolute time source replacing steady_clock. The meter
+  /// charges elapsed = clock() - clock()@start.
+  std::function<Seconds()> clock;
+
+  [[nodiscard]] static Budget evaluations(long long n) {
+    Budget budget;
+    budget.max_evaluations = n;
+    return budget;
+  }
+  [[nodiscard]] static Budget wall(Seconds limit) {
+    Budget budget;
+    budget.wall_clock = limit;
+    return budget;
+  }
+  [[nodiscard]] static Budget cancellable(const CancelToken& token) {
+    Budget budget;
+    budget.cancel = &token;
+    return budget;
+  }
+
+  /// An entirely unbounded budget (the default): engines run their own
+  /// configured schedule to completion.
+  [[nodiscard]] bool unlimited() const {
+    return max_evaluations <= 0 && wall_clock.count() <= 0.0 &&
+           cancel == nullptr;
+  }
+};
+
+/// Why a search returned.
+enum class StopReason : std::uint8_t {
+  kCompleted,         // the engine finished its own schedule (or converged)
+  kEvaluationBudget,  // Budget::max_evaluations reached
+  kWallClock,         // Budget::wall_clock elapsed
+  kCancelled,         // Budget::cancel flipped
+};
+
+[[nodiscard]] std::string to_string(StopReason reason);
+
+/// Stateful budget check: construct when the search starts, poll
+/// exhausted() between evaluations. Records the first reason that fired
+/// (stable across repeated polls).
+class BudgetMeter {
+ public:
+  explicit BudgetMeter(Budget budget);
+
+  /// True once any limit has fired; `evaluations` is the running
+  /// full-mapping evaluation count.
+  [[nodiscard]] bool exhausted(long long evaluations);
+
+  [[nodiscard]] Seconds elapsed() const;
+  /// kCompleted until a limit fires.
+  [[nodiscard]] StopReason reason() const { return reason_; }
+
+ private:
+  Budget budget_;
+  std::chrono::steady_clock::time_point start_;
+  Seconds clock_start_{};
+  StopReason reason_ = StopReason::kCompleted;
+};
+
+}  // namespace mars::plan

@@ -1,0 +1,16 @@
+#include "mars/plan/engine.h"
+
+namespace mars::plan {
+
+JsonValue to_json(const Provenance& provenance) {
+  JsonValue out = JsonValue::object();
+  out.set("engine", JsonValue::string(provenance.engine));
+  out.set("spec", JsonValue::string(provenance.spec));
+  out.set("evaluations", JsonValue::integer(provenance.evaluations));
+  out.set("iterations", JsonValue::integer(provenance.iterations));
+  out.set("elapsed_s", JsonValue::number(provenance.elapsed.count()));
+  out.set("stopped", JsonValue::string(to_string(provenance.stopped)));
+  return out;
+}
+
+}  // namespace mars::plan

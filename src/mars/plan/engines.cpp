@@ -1,0 +1,352 @@
+#include "mars/plan/engines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "mars/core/baseline.h"
+#include "mars/core/skeleton_space.h"
+#include "mars/ga/operators.h"
+#include "mars/util/error.h"
+
+namespace mars::plan {
+namespace {
+
+/// How often the skeleton-sampling engines report progress (steps).
+constexpr int kProgressStride = 32;
+
+void append_ga(std::ostream& os, const ga::GaConfig& config) {
+  os << "pop=" << config.population << ",gen=" << config.generations
+     << ",elite=" << config.elite << ",tour=" << config.tournament
+     << ",cx=" << config.crossover_rate << ",mut=" << config.mutation_rate
+     << ",sigma=" << config.mutation_sigma
+     << ",stall=" << config.stall_generations << ",lo=" << config.gene_lo
+     << ",hi=" << config.gene_hi;
+}
+
+void append_second(std::ostream& os, const core::SecondLevelConfig& config) {
+  os << "second{";
+  append_ga(os, config.ga);
+  os << ",ss=" << config.enable_ss << ",esdims=" << config.max_es_dims << '}';
+}
+
+/// Shared tail of the skeleton-sampling engines: complete the winning
+/// skeleton, optionally polish it, and assemble the PlanResult.
+PlanResult finish(core::SkeletonSpace& space, const core::Skeleton& winner,
+                  bool refine_winner, Rng& rng, std::vector<double> history,
+                  Provenance provenance, const BudgetMeter& meter) {
+  PlanResult result;
+  result.mapping = space.complete(winner);
+  // Like Mars: a search stopped by its budget returns without the polish
+  // pass, so cancellation and exhausted budgets take effect promptly.
+  if (refine_winner && provenance.stopped == StopReason::kCompleted) {
+    space.polish(result.mapping, rng);
+  }
+  result.summary = space.evaluator().evaluate(result.mapping);
+  result.history = std::move(history);
+  provenance.elapsed = meter.elapsed();
+  result.provenance = std::move(provenance);
+  return result;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- GaEngine
+
+GaEngine::GaEngine(core::MarsConfig config) : config_(config) {
+  core::validate_config(config_);
+}
+
+std::string GaEngine::spec_string() const {
+  std::ostringstream os;
+  os << "ga[";
+  append_ga(os, config_.first_ga);
+  os << ',';
+  append_second(os, config_.second);
+  os << ",refine=" << config_.refine_winner
+     << ",seedbase=" << config_.seed_baseline
+     << ",profinit=" << config_.profiled_init
+     << ",heur=" << config_.heuristic_candidates
+     << ",two=" << config_.two_level << ",seed=" << config_.seed << ']';
+  return os.str();
+}
+
+PlanResult GaEngine::search(const core::Problem& problem, const Budget& budget,
+                            const ProgressFn& progress) const {
+  BudgetMeter meter(budget);
+  core::Mars mars(problem, config_);
+  ga::StopFn stop;
+  long long last_reported = -1;
+  if (!budget.unlimited() || progress) {
+    // Mars re-polls the hook after the GA to decide on the polish pass;
+    // dedupe by evaluation count so callers see each generation once.
+    stop = [&](long long evaluations, double best) {
+      if (progress && evaluations != last_reported) {
+        progress({evaluations, best, meter.elapsed()});
+        last_reported = evaluations;
+      }
+      return meter.exhausted(evaluations);
+    };
+  }
+  core::MarsResult searched = mars.search(stop);
+
+  PlanResult result;
+  result.mapping = std::move(searched.mapping);
+  result.summary = searched.summary;
+  result.history = std::move(searched.first_level.history);
+  result.provenance = {name(),
+                       spec_string(),
+                       searched.first_level.evaluations,
+                       searched.first_level.generations_run,
+                       meter.elapsed(),
+                       meter.reason()};
+  return result;
+}
+
+// ---------------------------------------------------------- AnnealingEngine
+
+AnnealingEngine::AnnealingEngine(AnnealConfig config)
+    : config_(std::move(config)) {
+  ga::validate_config(config_.second.ga);
+  MARS_CHECK_ARG(config_.iterations >= 1,
+                 "annealing iterations must be >= 1, got "
+                     << config_.iterations);
+  MARS_CHECK_ARG(config_.initial_temperature > 0.0,
+                 "annealing initial_temperature must be > 0, got "
+                     << config_.initial_temperature);
+  MARS_CHECK_ARG(config_.final_temperature > 0.0 &&
+                     config_.final_temperature <= config_.initial_temperature,
+                 "annealing final_temperature must be in (0, initial], got "
+                     << config_.final_temperature << " with initial "
+                     << config_.initial_temperature);
+  MARS_CHECK_ARG(config_.step_sigma > 0.0,
+                 "annealing step_sigma must be > 0, got " << config_.step_sigma);
+  MARS_CHECK_ARG(config_.moves_per_step >= 1,
+                 "annealing moves_per_step must be >= 1, got "
+                     << config_.moves_per_step);
+}
+
+std::string AnnealingEngine::spec_string() const {
+  std::ostringstream os;
+  os << "anneal[iters=" << config_.iterations
+     << ",t0=" << config_.initial_temperature
+     << ",tend=" << config_.final_temperature
+     << ",sigma=" << config_.step_sigma << ",moves=" << config_.moves_per_step
+     << ",seedbase=" << config_.seed_baseline
+     << ",refine=" << config_.refine_winner
+     << ",heur=" << config_.heuristic_candidates << ',';
+  append_second(os, config_.second);
+  os << ",seed=" << config_.seed << ']';
+  return os.str();
+}
+
+PlanResult AnnealingEngine::search(const core::Problem& problem,
+                                   const Budget& budget,
+                                   const ProgressFn& progress) const {
+  BudgetMeter meter(budget);
+  core::SkeletonSpace space(problem,
+                            {config_.second, config_.heuristic_candidates});
+  const core::FirstLevelCodec& codec = space.codec();
+  Rng rng(config_.seed);
+  const std::vector<double> scores = space.design_scores();
+
+  ga::Genome current = config_.seed_baseline
+                           ? codec.encode(space.baseline(), scores)
+                           : codec.profiled_random(scores, rng);
+  double current_fitness = space.fitness(codec.decode(current));
+  ga::Genome best = current;
+  double best_fitness = current_fitness;
+  long long evaluations = 1;
+  std::vector<double> history{best_fitness};
+
+  int step = 0;
+  for (; step < config_.iterations; ++step) {
+    if (meter.exhausted(evaluations)) break;
+    // Geometric cooling from t0 to tend across the configured schedule.
+    const double fraction =
+        config_.iterations > 1
+            ? static_cast<double>(step) / (config_.iterations - 1)
+            : 1.0;
+    const double temperature =
+        config_.initial_temperature *
+        std::pow(config_.final_temperature / config_.initial_temperature,
+                 fraction);
+
+    ga::Genome proposal = current;
+    for (int move = 0; move < config_.moves_per_step; ++move) {
+      const std::size_t gene = rng.index(proposal.size());
+      proposal[gene] = std::clamp(
+          proposal[gene] + rng.gaussian(0.0, config_.step_sigma), 0.0, 1.0);
+    }
+    const double proposal_fitness = space.fitness(codec.decode(proposal));
+    ++evaluations;
+
+    // Metropolis on the relative regression: scale-free across models.
+    const double delta = (proposal_fitness - current_fitness) /
+                         std::max(current_fitness, 1e-30);
+    if (proposal_fitness <= current_fitness ||
+        rng.chance(std::exp(-delta / temperature))) {
+      current = std::move(proposal);
+      current_fitness = proposal_fitness;
+    }
+    if (current_fitness < best_fitness) {
+      best = current;
+      best_fitness = current_fitness;
+    }
+    history.push_back(best_fitness);
+    if (progress && step % kProgressStride == 0) {
+      progress({evaluations, best_fitness, meter.elapsed()});
+    }
+  }
+
+  return finish(space, codec.decode(best), config_.refine_winner, rng,
+                std::move(history),
+                {name(), spec_string(), evaluations, step, {}, meter.reason()},
+                meter);
+}
+
+// ------------------------------------------------------------- RandomEngine
+
+RandomEngine::RandomEngine(RandomConfig config) : config_(std::move(config)) {
+  ga::validate_config(config_.second.ga);
+  MARS_CHECK_ARG(config_.samples >= 1,
+                 "random-search samples must be >= 1, got " << config_.samples);
+  MARS_CHECK_ARG(
+      config_.profiled_fraction >= 0.0 && config_.profiled_fraction <= 1.0,
+      "random-search profiled_fraction must be in [0, 1], got "
+          << config_.profiled_fraction);
+}
+
+std::string RandomEngine::spec_string() const {
+  std::ostringstream os;
+  os << "random[samples=" << config_.samples
+     << ",profiled=" << config_.profiled_fraction
+     << ",seedbase=" << config_.seed_baseline
+     << ",refine=" << config_.refine_winner
+     << ",heur=" << config_.heuristic_candidates << ',';
+  append_second(os, config_.second);
+  os << ",seed=" << config_.seed << ']';
+  return os.str();
+}
+
+PlanResult RandomEngine::search(const core::Problem& problem,
+                                const Budget& budget,
+                                const ProgressFn& progress) const {
+  BudgetMeter meter(budget);
+  core::SkeletonSpace space(problem,
+                            {config_.second, config_.heuristic_candidates});
+  const core::FirstLevelCodec& codec = space.codec();
+  Rng rng(config_.seed);
+  const std::vector<double> scores = space.design_scores();
+
+  ga::Genome best;
+  double best_fitness = std::numeric_limits<double>::infinity();
+  long long evaluations = 0;
+  std::vector<double> history;
+
+  int drawn = 0;
+  for (; drawn < config_.samples; ++drawn) {
+    // The first sample (the baseline) is always evaluated so a stopped
+    // search still returns a valid mapping.
+    if (drawn > 0 && meter.exhausted(evaluations)) break;
+    ga::Genome sample;
+    if (drawn == 0 && config_.seed_baseline) {
+      sample = codec.encode(space.baseline(), scores);
+    } else if (rng.chance(config_.profiled_fraction)) {
+      sample = codec.profiled_random(scores, rng);
+    } else {
+      sample = ga::random_genome(codec.genome_size(), 0.0, 1.0, rng);
+    }
+    const double fitness = space.fitness(codec.decode(sample));
+    ++evaluations;
+    if (fitness < best_fitness) {
+      best = std::move(sample);
+      best_fitness = fitness;
+    }
+    history.push_back(best_fitness);
+    if (progress && drawn % kProgressStride == 0) {
+      progress({evaluations, best_fitness, meter.elapsed()});
+    }
+  }
+
+  return finish(
+      space, codec.decode(best), config_.refine_winner, rng,
+      std::move(history),
+      {name(), spec_string(), evaluations, drawn, {}, meter.reason()}, meter);
+}
+
+// ----------------------------------------------------------- BaselineEngine
+
+PlanResult BaselineEngine::search(const core::Problem& problem,
+                                  const Budget& budget,
+                                  const ProgressFn& progress) const {
+  BudgetMeter meter(budget);
+  const accel::ProfileMatrix profile(*problem.designs, *problem.spine);
+  PlanResult result;
+  result.mapping = core::baseline_mapping(problem, profile);
+  result.summary = core::MappingEvaluator(problem).evaluate(result.mapping);
+  result.history = {result.summary.analytic_makespan.count()};
+  if (progress) {
+    progress({0, result.summary.analytic_makespan.count(), meter.elapsed()});
+  }
+  result.provenance = {name(),         spec_string(), 0, 0,
+                       meter.elapsed(), StopReason::kCompleted};
+  return result;
+}
+
+// ---------------------------------------------------------------- factory
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> names = {"ga", "anneal", "random",
+                                                 "baseline"};
+  return names;
+}
+
+std::unique_ptr<SearchEngine> make_engine(const std::string& name,
+                                          const core::MarsConfig& tuning) {
+  // Evaluation-fair schedules: anneal/random get the GA's worst-case
+  // evaluation count (population x generations) so a budgetless
+  // engine-comparison sweep compares equals.
+  const long long ga_evaluations =
+      static_cast<long long>(std::max(1, tuning.first_ga.population)) *
+      std::max(1, tuning.first_ga.generations);
+  if (name == "ga" || name == "mars") {
+    return std::make_unique<GaEngine>(tuning);
+  }
+  if (name == "anneal") {
+    AnnealConfig config;
+    config.second = tuning.second;
+    config.heuristic_candidates = tuning.heuristic_candidates;
+    config.refine_winner = tuning.refine_winner;
+    config.seed_baseline = tuning.seed_baseline;
+    config.iterations = static_cast<int>(
+        std::min<long long>(ga_evaluations, 1 << 20));
+    config.seed = tuning.seed;
+    return std::make_unique<AnnealingEngine>(config);
+  }
+  if (name == "random") {
+    RandomConfig config;
+    config.second = tuning.second;
+    config.heuristic_candidates = tuning.heuristic_candidates;
+    config.refine_winner = tuning.refine_winner;
+    config.seed_baseline = tuning.seed_baseline;
+    config.samples = static_cast<int>(
+        std::min<long long>(ga_evaluations, 1 << 20));
+    config.seed = tuning.seed;
+    return std::make_unique<RandomEngine>(config);
+  }
+  if (name == "baseline") {
+    return std::make_unique<BaselineEngine>();
+  }
+  std::ostringstream os;
+  os << "unknown search engine '" << name << "' (use ";
+  for (std::size_t i = 0; i < engine_names().size(); ++i) {
+    os << (i > 0 ? " | " : "") << engine_names()[i];
+  }
+  os << ')';
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace mars::plan

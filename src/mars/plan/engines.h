@@ -1,0 +1,134 @@
+// The four concrete search engines behind plan::SearchEngine.
+//
+//  * GaEngine       — the paper's two-level genetic search (wraps
+//                     core::Mars; the default and strongest engine).
+//  * AnnealingEngine — simulated annealing over the first-level skeleton
+//                     genome, pricing each proposal with the memoised
+//                     second-level greedy search (core::SkeletonSpace).
+//  * RandomEngine   — budgeted random sampling of skeletons: the ablation
+//                     floor any search must beat.
+//  * BaselineEngine — the Herald-extended baseline (core/baseline.*), no
+//                     search at all.
+//
+// All engines are deterministic under their config seed, honour Budget
+// limits cooperatively, seed from the baseline mapping by default (so
+// their result never loses to it under the analytic model), and validate
+// their configuration at construction with named errors.
+#pragma once
+
+#include <memory>
+
+#include "mars/core/mars.h"
+#include "mars/plan/engine.h"
+
+namespace mars::plan {
+
+/// Two-level genetic search. Evaluations are first-level genome
+/// evaluations; the budget is polled at generation boundaries.
+class GaEngine final : public SearchEngine {
+ public:
+  explicit GaEngine(core::MarsConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "ga"; }
+  [[nodiscard]] std::string spec_string() const override;
+  [[nodiscard]] PlanResult search(const core::Problem& problem,
+                                  const Budget& budget = {},
+                                  const ProgressFn& progress = {}) const override;
+  [[nodiscard]] const core::MarsConfig& config() const { return config_; }
+
+ private:
+  core::MarsConfig config_;
+};
+
+struct AnnealConfig {
+  core::SecondLevelConfig second;
+  bool heuristic_candidates = true;
+  /// GA-polish the winning skeleton's strategies (same pass as MARS).
+  bool refine_winner = true;
+  /// Start from the encoded baseline skeleton; off starts from a profiled
+  /// random genome.
+  bool seed_baseline = true;
+  /// Proposal steps (= evaluations) when the budget does not stop earlier.
+  int iterations = 1200;
+  /// Geometric temperature schedule, relative to the current fitness:
+  /// a move worsening fitness by `t x 100` percent is accepted with
+  /// probability 1/e at temperature t.
+  double initial_temperature = 0.2;
+  double final_temperature = 1e-3;
+  /// Gaussian step size per perturbed gene (genes live in [0, 1]).
+  double step_sigma = 0.25;
+  /// Genes perturbed per proposal.
+  int moves_per_step = 2;
+  std::uint64_t seed = 1;
+};
+
+class AnnealingEngine final : public SearchEngine {
+ public:
+  explicit AnnealingEngine(AnnealConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "anneal"; }
+  [[nodiscard]] std::string spec_string() const override;
+  [[nodiscard]] PlanResult search(const core::Problem& problem,
+                                  const Budget& budget = {},
+                                  const ProgressFn& progress = {}) const override;
+  [[nodiscard]] const AnnealConfig& config() const { return config_; }
+
+ private:
+  AnnealConfig config_;
+};
+
+struct RandomConfig {
+  core::SecondLevelConfig second;
+  bool heuristic_candidates = true;
+  bool refine_winner = true;
+  /// The first sample is the encoded baseline skeleton (quality floor).
+  bool seed_baseline = true;
+  /// Samples drawn (= evaluations) when the budget does not stop earlier.
+  int samples = 1200;
+  /// Fraction of samples drawn with profiled design genes (the paper's
+  /// initialisation heuristic); the rest are uniform.
+  double profiled_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+class RandomEngine final : public SearchEngine {
+ public:
+  explicit RandomEngine(RandomConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::string spec_string() const override;
+  [[nodiscard]] PlanResult search(const core::Problem& problem,
+                                  const Budget& budget = {},
+                                  const ProgressFn& progress = {}) const override;
+  [[nodiscard]] const RandomConfig& config() const { return config_; }
+
+ private:
+  RandomConfig config_;
+};
+
+/// Herald-extended baseline: closed-form, zero evaluations, bypasses the
+/// serving mapping cache (searches() is false).
+class BaselineEngine final : public SearchEngine {
+ public:
+  [[nodiscard]] std::string name() const override { return "baseline"; }
+  [[nodiscard]] std::string spec_string() const override { return "baseline"; }
+  [[nodiscard]] bool searches() const override { return false; }
+  [[nodiscard]] PlanResult search(const core::Problem& problem,
+                                  const Budget& budget = {},
+                                  const ProgressFn& progress = {}) const override;
+};
+
+/// The engine names make_engine accepts, in documentation order.
+[[nodiscard]] const std::vector<std::string>& engine_names();
+
+/// Builds an engine by name ("ga" — alias "mars" —, "anneal", "random",
+/// "baseline"), deriving its configuration from `tuning`: the GA engine
+/// takes it verbatim; anneal/random inherit the second-level config,
+/// seed, candidate/refine/seed-baseline flags, and size their schedules
+/// to the GA's evaluation budget (population x generations) so engine
+/// comparisons are evaluation-fair. Throws InvalidArgument naming the
+/// unknown engine and the valid names.
+[[nodiscard]] std::unique_ptr<SearchEngine> make_engine(
+    const std::string& name, const core::MarsConfig& tuning = {});
+
+}  // namespace mars::plan

@@ -1,0 +1,64 @@
+#include "mars/plan/planner.h"
+
+#include "mars/accel/profiler.h"
+#include "mars/graph/models/models.h"
+
+namespace mars::plan {
+
+/// Heap-pinned so the Problem's interior pointers survive Planner moves.
+struct Planner::State {
+  graph::Graph model;
+  graph::ConvSpine spine;
+  core::Problem problem;
+  mutable std::unique_ptr<accel::ProfileMatrix> profile;
+
+  State(graph::Graph m, const topology::Topology& topo,
+        const accel::DesignRegistry& designs, bool adaptive)
+      : model(std::move(m)), spine(graph::ConvSpine::extract(model)) {
+    problem.spine = &spine;
+    problem.topo = &topo;
+    problem.designs = &designs;
+    problem.adaptive = adaptive;
+  }
+};
+
+Planner::Planner(graph::Graph model, const topology::Topology& topo,
+                 const accel::DesignRegistry& designs, bool adaptive)
+    : state_(std::make_unique<State>(std::move(model), topo, designs,
+                                     adaptive)) {}
+
+Planner Planner::for_model(const std::string& zoo_name,
+                           const topology::Topology& topo,
+                           const accel::DesignRegistry& designs,
+                           bool adaptive) {
+  return Planner(graph::models::by_name(zoo_name), topo, designs, adaptive);
+}
+
+Planner::Planner(Planner&&) noexcept = default;
+Planner& Planner::operator=(Planner&&) noexcept = default;
+Planner::~Planner() = default;
+
+PlanResult Planner::plan(const SearchEngine& engine, const Budget& budget,
+                         const ProgressFn& progress) const {
+  return engine.search(state_->problem, budget, progress);
+}
+
+const graph::Graph& Planner::model() const { return state_->model; }
+const graph::ConvSpine& Planner::spine() const { return state_->spine; }
+const core::Problem& Planner::problem() const { return state_->problem; }
+const topology::Topology& Planner::topology() const {
+  return *state_->problem.topo;
+}
+const accel::DesignRegistry& Planner::designs() const {
+  return *state_->problem.designs;
+}
+
+const accel::ProfileMatrix& Planner::profile() const {
+  if (!state_->profile) {
+    state_->profile = std::make_unique<accel::ProfileMatrix>(
+        *state_->problem.designs, state_->spine);
+  }
+  return *state_->profile;
+}
+
+}  // namespace mars::plan

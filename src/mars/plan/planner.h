@@ -1,0 +1,66 @@
+// Planner: one value type owning the graph -> spine -> Problem chain.
+//
+// Every MARS caller used to hand-assemble the same fragile non-owning
+// lifetime chain (build a Graph, extract its ConvSpine, wire a Problem at
+// the spine/topology/registry, keep all of it alive past the search).
+// Planner owns the model-side of that chain behind a movable handle: the
+// members live behind a stable heap allocation, so the Problem's interior
+// pointers survive moves and the facade can sit in containers.
+//
+// The system side stays shared: the caller keeps the Topology and
+// DesignRegistry alive for the Planner's lifetime (a serving fleet shares
+// one topology across many Planners).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mars/core/cost_model.h"
+#include "mars/graph/graph.h"
+#include "mars/graph/spine.h"
+#include "mars/plan/engine.h"
+
+namespace mars::accel {
+class ProfileMatrix;
+}
+
+namespace mars::plan {
+
+class Planner {
+ public:
+  /// Takes ownership of `model`; keeps non-owning references to `topo`
+  /// and `designs` (caller keeps them alive).
+  Planner(graph::Graph model, const topology::Topology& topo,
+          const accel::DesignRegistry& designs, bool adaptive = true);
+
+  /// Convenience: look `zoo_name` up in the model zoo.
+  [[nodiscard]] static Planner for_model(const std::string& zoo_name,
+                                         const topology::Topology& topo,
+                                         const accel::DesignRegistry& designs,
+                                         bool adaptive = true);
+
+  Planner(Planner&&) noexcept;             // defined where State is complete
+  Planner& operator=(Planner&&) noexcept;
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+  ~Planner();
+
+  /// Runs `engine` on this problem under `budget`.
+  [[nodiscard]] PlanResult plan(const SearchEngine& engine,
+                                const Budget& budget = {},
+                                const ProgressFn& progress = {}) const;
+
+  [[nodiscard]] const graph::Graph& model() const;
+  [[nodiscard]] const graph::ConvSpine& spine() const;
+  [[nodiscard]] const core::Problem& problem() const;
+  [[nodiscard]] const topology::Topology& topology() const;
+  [[nodiscard]] const accel::DesignRegistry& designs() const;
+  /// Per-(layer, design) cycle profile, built on first use.
+  [[nodiscard]] const accel::ProfileMatrix& profile() const;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace mars::plan

@@ -50,17 +50,6 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-void mix_ga(Fnv1a& fnv, const ga::GaConfig& ga) {
-  fnv.mix(static_cast<long long>(ga.population));
-  fnv.mix(static_cast<long long>(ga.generations));
-  fnv.mix(static_cast<long long>(ga.elite));
-  fnv.mix(static_cast<long long>(ga.tournament));
-  fnv.mix(ga.crossover_rate);
-  fnv.mix(ga.mutation_rate);
-  fnv.mix(ga.mutation_sigma);
-  fnv.mix(static_cast<long long>(ga.stall_generations));
-}
-
 }  // namespace
 
 MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {
@@ -75,8 +64,8 @@ MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {
 
 std::string MappingCache::fingerprint(const topology::Topology& topo,
                                       const accel::DesignRegistry& designs,
-                                      bool adaptive, const std::string& mapper,
-                                      const core::MarsConfig& config) {
+                                      bool adaptive,
+                                      const std::string& search_spec) {
   Fnv1a fnv;
   fnv.mix(topo.name());
   fnv.mix(static_cast<long long>(topo.size()));
@@ -101,17 +90,7 @@ std::string MappingCache::fingerprint(const topology::Topology& topo,
     fnv.mix(design.dram_bytes_per_cycle());
   }
   fnv.mix(adaptive);
-  fnv.mix(mapper);
-  mix_ga(fnv, config.first_ga);
-  mix_ga(fnv, config.second.ga);
-  fnv.mix(config.second.enable_ss);
-  fnv.mix(static_cast<long long>(config.second.max_es_dims));
-  fnv.mix(config.refine_winner);
-  fnv.mix(config.seed_baseline);
-  fnv.mix(config.profiled_init);
-  fnv.mix(config.heuristic_candidates);
-  fnv.mix(config.two_level);
-  fnv.mix(static_cast<long long>(config.seed));
+  fnv.mix(search_spec);
   return fnv.hex();
 }
 

@@ -9,17 +9,21 @@
 //
 // Invalidation is structural, not temporal: the fingerprint hashes the
 // topology (accelerators, DRAM, links, host bandwidths), the design
-// registry, the adaptive flag, the mapper, and every MarsConfig search
-// knob including the seed. Change any of them and the key misses; stale
-// entries are never read, only orphaned. A corrupt, truncated or
-// foreign-problem file is treated as a miss (logged), never an error —
-// the cache must not be able to break serving startup.
+// registry, the adaptive flag, and the search identity — the engine's
+// canonical spec string (plan::SearchEngine::spec_string(), which names
+// the engine and every search knob including the seed) plus any budget
+// the caller appends. Change any of them and the key misses; stale
+// entries are never read, only orphaned. In particular a GA mapping is
+// never served to an annealing run: the engine name itself is part of
+// the key. A corrupt, truncated or foreign-problem file is treated as a
+// miss (logged), never an error — the cache must not be able to break
+// serving startup.
 #pragma once
 
 #include <optional>
 #include <string>
 
-#include "mars/core/mars.h"
+#include "mars/core/mapping.h"
 
 namespace mars::serve {
 
@@ -41,13 +45,13 @@ class MappingCache {
   /// MACs/cycle, PE count, parameter string, DRAM bytes/cycle per
   /// design — a custom design whose formula changes without touching any
   /// of those must change its name or parameter string to invalidate),
-  /// adaptive flag, the mapper label ("mars" / "baseline"), and all
-  /// MarsConfig knobs incl. seed. Returned as 16 hex characters.
+  /// adaptive flag, and `search_spec` — the engine's spec_string()
+  /// (engine name + config + seed), optionally suffixed with the search
+  /// budget by the caller. Returned as 16 hex characters.
   [[nodiscard]] static std::string fingerprint(const topology::Topology& topo,
                                                const accel::DesignRegistry& designs,
                                                bool adaptive,
-                                               const std::string& mapper,
-                                               const core::MarsConfig& config);
+                                               const std::string& search_spec);
 
   /// File a key maps to: `<dir>/<model>-<fingerprint>.json`.
   [[nodiscard]] std::string path_for(const Key& key) const;

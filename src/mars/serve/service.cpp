@@ -1,71 +1,88 @@
 #include "mars/serve/service.h"
 
-#include "mars/core/baseline.h"
+#include <sstream>
+
+#include "mars/core/evaluator.h"
 #include "mars/graph/models/models.h"
+#include "mars/sim/executor.h"
 #include "mars/util/error.h"
 #include "mars/util/logging.h"
 
 namespace mars::serve {
 
+std::string search_spec(const plan::SearchEngine& engine,
+                        const plan::Budget& budget) {
+  std::ostringstream os;
+  os << engine.spec_string();
+  // A budget changes what the search returns, so it is part of the cache
+  // identity. Wall-clock budgets are non-reproducible, but cache reuse of
+  // one is exactly the point: search once under the time cap, reload after.
+  if (budget.max_evaluations > 0) os << ";evals=" << budget.max_evaluations;
+  if (budget.wall_clock.count() > 0.0) {
+    os << ";wall_ms=" << budget.wall_clock.millis();
+  }
+  return os.str();
+}
+
 ModelService::ModelService(std::string model_name,
                            const topology::Topology& topo,
                            const accel::DesignRegistry& designs, bool adaptive,
-                           Mapper mapper, const core::MarsConfig& config,
-                           const MappingCache* cache)
+                           const plan::SearchEngine& engine,
+                           const MappingCache* cache,
+                           const plan::Budget& budget)
     : name_(std::move(model_name)),
-      model_(graph::models::by_name(name_)),
-      spine_(graph::ConvSpine::extract(model_)) {
-  problem_.spine = &spine_;
-  problem_.topo = &topo;
-  problem_.designs = &designs;
-  problem_.adaptive = adaptive;
-
-  switch (mapper) {
-    case Mapper::kBaseline: {
-      // No cache on this path: the baseline is a closed-form pass, cheaper
-      // than reading and validating a cache entry.
-      const accel::ProfileMatrix profile(designs, spine_);
-      mapping_ = core::baseline_mapping(problem_, profile);
-      source_ = MappingSource::kBaseline;
-      break;
-    }
-    case Mapper::kMars: {
-      std::optional<MappingCache::Key> key;
-      if (cache != nullptr) {
-        key = MappingCache::Key{
-            name_, MappingCache::fingerprint(topo, designs, adaptive, "mars",
-                                             config)};
-        if (std::optional<core::Mapping> cached =
-                cache->load(*key, spine_, topo, designs, adaptive)) {
-          mapping_ = *std::move(cached);
-          source_ = MappingSource::kCacheHit;
-          MARS_INFO << "mapping cache hit for '" << name_ << "' ("
-                    << cache->path_for(*key) << "), GA search skipped";
-          break;
-        }
-      }
-      core::Mars mars(problem_, config);
-      mapping_ = mars.search().mapping;
-      source_ = MappingSource::kSearched;
-      if (cache != nullptr) {
-        // A persistence failure (full disk, permissions) only costs the
-        // next startup its cache hit; the searched mapping is in hand.
-        try {
-          cache->store(*key, mapping_, spine_, designs, adaptive);
-          MARS_INFO << "mapping cache miss for '" << name_ << "'; stored "
-                    << cache->path_for(*key);
-        } catch (const std::exception& e) {
-          MARS_WARN << "mapping cache store failed for '" << name_
-                    << "' (serving continues uncached): " << e.what();
-        }
-      }
-      break;
+      planner_(plan::Planner::for_model(name_, topo, designs, adaptive)) {
+  // Closed-form engines bypass the cache: the baseline is cheaper than
+  // reading and validating a cache entry.
+  const bool cacheable = cache != nullptr && engine.searches();
+  bool planned = false;
+  std::optional<MappingCache::Key> key;
+  if (cacheable) {
+    key = MappingCache::Key{
+        name_, MappingCache::fingerprint(topo, designs, adaptive,
+                                         search_spec(engine, budget))};
+    if (std::optional<core::Mapping> cached =
+            cache->load(*key, planner_.spine(), topo, designs, adaptive)) {
+      mapping_ = *std::move(cached);
+      source_ = MappingSource::kCacheHit;
+      provenance_.engine = engine.name();
+      provenance_.spec = search_spec(engine, budget);
+      planned = true;
+      MARS_INFO << "mapping cache hit for '" << name_ << "' ("
+                << cache->path_for(*key) << "), " << engine.name()
+                << " search skipped";
     }
   }
 
-  const core::MappingEvaluator evaluator(problem_);
+  if (!planned) {
+    plan::PlanResult result = planner_.plan(engine, budget);
+    mapping_ = std::move(result.mapping);
+    provenance_ = std::move(result.provenance);
+    source_ = engine.searches() ? MappingSource::kSearched
+                                : MappingSource::kBaseline;
+    // Evaluation/wall budgets are part of the fingerprint, but a cancel
+    // token is a runtime event no key can capture: storing a cancelled
+    // search's truncated mapping would poison every later startup under
+    // the complete-search fingerprint.
+    const bool storable =
+        provenance_.stopped != plan::StopReason::kCancelled;
+    if (cacheable && storable) {
+      // A persistence failure (full disk, permissions) only costs the
+      // next startup its cache hit; the searched mapping is in hand.
+      try {
+        cache->store(*key, mapping_, planner_.spine(), designs, adaptive);
+        MARS_INFO << "mapping cache miss for '" << name_ << "'; stored "
+                  << cache->path_for(*key);
+      } catch (const std::exception& e) {
+        MARS_WARN << "mapping cache store failed for '" << name_
+                  << "' (serving continues uncached): " << e.what();
+      }
+    }
+  }
+
+  const core::MappingEvaluator evaluator(planner_.problem());
   proto_ = evaluator.build_task_graph(mapping_);
-  const sim::Executor executor(topo, problem_.sim_params);
+  const sim::Executor executor(topo, planner_.problem().sim_params);
   single_latency_ = executor.run(proto_).makespan;
 }
 
@@ -84,14 +101,14 @@ std::string to_string(ModelService::MappingSource source) {
 std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
-    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config,
-    const MappingCache* cache) {
+    bool adaptive, const plan::SearchEngine& engine, const MappingCache* cache,
+    const plan::Budget& budget) {
   MARS_CHECK_ARG(!model_names.empty(), "a fleet serves at least one model");
   std::vector<std::unique_ptr<ModelService>> services;
   services.reserve(model_names.size());
   for (const std::string& name : model_names) {
     services.push_back(std::make_unique<ModelService>(
-        name, topo, designs, adaptive, mapper, config, cache));
+        name, topo, designs, adaptive, engine, cache, budget));
   }
   return services;
 }

@@ -1,53 +1,55 @@
 // Per-model serving state: the bridge from offline MARS mappings to the
 // online scheduler.
 //
-// A ModelService owns everything one co-resident model needs — the zoo
-// graph, its conv spine, a Problem sharing the fleet's topology/design
-// registry, the chosen mapping (MARS search or the Herald-extended
-// baseline), and the prototype single-inference sim::TaskGraph the
-// dispatcher clones once per admitted request. Ownership note: Problem
-// holds non-owning pointers into this object, so a ModelService is
-// pinned in memory (no copy/move); hold it behind unique_ptr.
+// A ModelService owns everything one co-resident model needs — a
+// plan::Planner holding the zoo graph, its conv spine and a Problem
+// sharing the fleet's topology/design registry, the chosen mapping
+// (produced by whichever plan::SearchEngine the fleet was configured
+// with, or rehydrated from the mapping cache), and the prototype
+// single-inference sim::TaskGraph the dispatcher clones once per admitted
+// request. Ownership note: the contained Problem points into the Planner
+// state, so a ModelService is pinned in memory (no copy/move); hold it
+// behind unique_ptr.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "mars/core/mars.h"
+#include "mars/plan/planner.h"
 #include "mars/serve/cache.h"
+#include "mars/sim/task_graph.h"
 
 namespace mars::serve {
 
 class ModelService {
  public:
-  enum class Mapper : std::uint8_t {
-    kBaseline,  // Herald-extended baseline (fast, no search)
-    kMars,      // two-level GA search under `config`
-  };
-
   /// Where this service's mapping came from (startup-cost provenance).
   enum class MappingSource : std::uint8_t {
-    kBaseline,  // baseline mapper, no search
-    kSearched,  // GA search ran (and populated `cache` when given)
+    kBaseline,  // closed-form engine (engine.searches() == false)
+    kSearched,  // the engine ran (and populated `cache` when given)
     kCacheHit,  // rehydrated from the mapping cache, search skipped
   };
 
-  /// When `cache` is non-null and `mapper` is kMars, the service first
-  /// tries the cache under (model, fingerprint(topo, designs, adaptive,
-  /// mapper, config)); a hit skips the GA search entirely, a miss
-  /// searches and then stores the result. The cache must outlive the
-  /// constructor call only (nothing is retained).
+  /// Plans `model_name` with `engine` under `budget`. When `cache` is
+  /// non-null and the engine actually searches, the service first tries
+  /// the cache under (model, fingerprint(topo, designs, adaptive,
+  /// engine spec + budget)); a hit skips the search entirely, a miss
+  /// searches and then stores the result. The cache and engine must
+  /// outlive the constructor call only (nothing is retained).
   ModelService(std::string model_name, const topology::Topology& topo,
                const accel::DesignRegistry& designs, bool adaptive,
-               Mapper mapper, const core::MarsConfig& config,
-               const MappingCache* cache = nullptr);
+               const plan::SearchEngine& engine,
+               const MappingCache* cache = nullptr,
+               const plan::Budget& budget = {});
 
   ModelService(const ModelService&) = delete;
   ModelService& operator=(const ModelService&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const core::Problem& problem() const { return problem_; }
+  [[nodiscard]] const core::Problem& problem() const {
+    return planner_.problem();
+  }
   [[nodiscard]] const core::Mapping& mapping() const { return mapping_; }
   /// Single-inference task graph under the chosen mapping (what the
   /// dispatcher replays per request).
@@ -55,13 +57,18 @@ class ModelService {
   /// Uncontended single-inference latency of `proto` on the fleet.
   [[nodiscard]] Seconds single_latency() const { return single_latency_; }
   [[nodiscard]] MappingSource mapping_source() const { return source_; }
+  /// Search provenance: the planning engine's identity and effort. For
+  /// cache hits, records the (zero-cost) load, with the engine identity
+  /// the entry was searched under.
+  [[nodiscard]] const plan::Provenance& provenance() const {
+    return provenance_;
+  }
 
  private:
   std::string name_;
-  graph::Graph model_;
-  graph::ConvSpine spine_;
-  core::Problem problem_;
+  plan::Planner planner_;
   core::Mapping mapping_;
+  plan::Provenance provenance_;
   MappingSource source_ = MappingSource::kBaseline;
   sim::TaskGraph proto_;
   Seconds single_latency_{};
@@ -69,13 +76,19 @@ class ModelService {
 
 [[nodiscard]] std::string to_string(ModelService::MappingSource source);
 
+/// Canonical cache-identity string for a (engine, budget) pair: the
+/// engine's spec_string(), suffixed with the budget when one is set so a
+/// budget-truncated search never aliases an unbudgeted one.
+[[nodiscard]] std::string search_spec(const plan::SearchEngine& engine,
+                                      const plan::Budget& budget);
+
 /// Plans one service per mix entry on the shared topology. The returned
-/// services must outlive any scheduler built over them; `cache` (optional)
-/// only has to outlive this call.
+/// services must outlive any scheduler built over them; `engine` and
+/// `cache` (optional) only have to outlive this call.
 [[nodiscard]] std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
-    bool adaptive, ModelService::Mapper mapper, const core::MarsConfig& config,
-    const MappingCache* cache = nullptr);
+    bool adaptive, const plan::SearchEngine& engine,
+    const MappingCache* cache = nullptr, const plan::Budget& budget = {});
 
 }  // namespace mars::serve

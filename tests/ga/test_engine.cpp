@@ -119,6 +119,79 @@ TEST(GaEngine, ConfigValidation) {
   EXPECT_THROW(GaEngine(GaConfig{}, 0), InvalidArgument);
 }
 
+TEST(GaEngine, ValidateConfigNamesTheOffendingFieldAndValue) {
+  const auto message_of = [](GaConfig config) {
+    try {
+      validate_config(config);
+      return std::string();
+    } catch (const InvalidArgument& e) {
+      return std::string(e.what());
+    }
+  };
+  GaConfig bad_tournament;
+  bad_tournament.tournament = 0;
+  EXPECT_NE(message_of(bad_tournament).find("tournament"), std::string::npos);
+  EXPECT_NE(message_of(bad_tournament).find("got 0"), std::string::npos);
+
+  GaConfig bad_crossover;
+  bad_crossover.crossover_rate = 1.5;
+  EXPECT_NE(message_of(bad_crossover).find("crossover_rate"),
+            std::string::npos);
+  EXPECT_NE(message_of(bad_crossover).find("1.5"), std::string::npos);
+
+  GaConfig bad_mutation;
+  bad_mutation.mutation_rate = -0.25;
+  EXPECT_NE(message_of(bad_mutation).find("mutation_rate"), std::string::npos);
+  EXPECT_NE(message_of(bad_mutation).find("-0.25"), std::string::npos);
+
+  GaConfig bad_sigma;
+  bad_sigma.mutation_sigma = 0.0;
+  EXPECT_NE(message_of(bad_sigma).find("mutation_sigma"), std::string::npos);
+
+  GaConfig bad_generations;
+  bad_generations.generations = 0;
+  EXPECT_NE(message_of(bad_generations).find("generations"),
+            std::string::npos);
+
+  EXPECT_NO_THROW(validate_config(GaConfig{}));
+  // Boundary rates are legal.
+  GaConfig extremes;
+  extremes.crossover_rate = 0.0;
+  extremes.mutation_rate = 1.0;
+  EXPECT_NO_THROW(validate_config(extremes));
+}
+
+TEST(GaEngine, StopHookEndsTheSearchAtAGenerationBoundary) {
+  GaConfig config = small_config();
+  config.generations = 50;
+  GaEngine engine(config, 4);
+  Rng rng(11);
+  long long stop_calls = 0;
+  const GaResult result = engine.minimize(
+      sphere, rng, {},
+      [&](long long evaluations, double best) {
+        EXPECT_GT(evaluations, 0);
+        EXPECT_TRUE(std::isfinite(best));
+        return ++stop_calls >= 3;  // stop at the third poll
+      });
+  EXPECT_EQ(stop_calls, 3);
+  EXPECT_EQ(result.generations_run, 3);
+  EXPECT_FALSE(result.best.empty());
+  // Stopping early costs quality but never validity.
+  EXPECT_TRUE(std::isfinite(result.best_fitness));
+}
+
+TEST(GaEngine, StopHookAtFirstPollReturnsInitialBest) {
+  GaEngine engine(small_config(), 4);
+  Rng rng(12);
+  const GaResult result = engine.minimize(
+      sphere, rng, {}, [](long long, double) { return true; });
+  EXPECT_EQ(result.generations_run, 1);
+  // Only the initial population was evaluated.
+  EXPECT_EQ(result.evaluations, small_config().population);
+  EXPECT_FALSE(result.best.empty());
+}
+
 TEST(GaEngine, RejectsMalformedSeeds) {
   GaEngine engine(small_config(), 4);
   Rng rng(8);

@@ -1,0 +1,75 @@
+#include "mars/plan/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace mars::plan {
+namespace {
+
+TEST(BudgetTest, DefaultIsUnlimited) {
+  const Budget budget;
+  EXPECT_TRUE(budget.unlimited());
+  BudgetMeter meter(budget);
+  EXPECT_FALSE(meter.exhausted(0));
+  EXPECT_FALSE(meter.exhausted(1'000'000'000));
+  EXPECT_EQ(meter.reason(), StopReason::kCompleted);
+}
+
+TEST(BudgetTest, FactoriesAreNotUnlimited) {
+  EXPECT_FALSE(Budget::evaluations(10).unlimited());
+  EXPECT_FALSE(Budget::wall(Seconds(1.0)).unlimited());
+  const CancelToken token;
+  EXPECT_FALSE(Budget::cancellable(token).unlimited());
+}
+
+TEST(BudgetTest, EvaluationBudgetFiresAtTheLimit) {
+  BudgetMeter meter(Budget::evaluations(10));
+  EXPECT_FALSE(meter.exhausted(9));
+  EXPECT_TRUE(meter.exhausted(10));
+  EXPECT_EQ(meter.reason(), StopReason::kEvaluationBudget);
+  // The first reason sticks, and an exhausted meter stays exhausted.
+  EXPECT_TRUE(meter.exhausted(0));
+  EXPECT_EQ(meter.reason(), StopReason::kEvaluationBudget);
+}
+
+TEST(BudgetTest, WallClockBudgetUsesTheInjectedClock) {
+  Budget budget = Budget::wall(milliseconds(10.0));
+  double now = 5.0;  // absolute fake time; only differences matter
+  budget.clock = [&now] { return Seconds(now); };
+  BudgetMeter meter(budget);
+  EXPECT_FALSE(meter.exhausted(0));
+  now += 0.005;
+  EXPECT_FALSE(meter.exhausted(0));
+  EXPECT_NEAR(meter.elapsed().count(), 0.005, 1e-12);
+  now += 0.006;
+  EXPECT_TRUE(meter.exhausted(0));
+  EXPECT_EQ(meter.reason(), StopReason::kWallClock);
+}
+
+TEST(BudgetTest, CancellationWinsOverOtherLimits) {
+  CancelToken token;
+  Budget budget = Budget::evaluations(1);
+  budget.cancel = &token;
+  token.cancel();
+  BudgetMeter meter(budget);
+  EXPECT_TRUE(meter.exhausted(100));
+  EXPECT_EQ(meter.reason(), StopReason::kCancelled);
+}
+
+TEST(BudgetTest, CancelTokenFlipsOnce) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(BudgetTest, StopReasonNames) {
+  EXPECT_EQ(to_string(StopReason::kCompleted), "completed");
+  EXPECT_EQ(to_string(StopReason::kEvaluationBudget), "evaluation-budget");
+  EXPECT_EQ(to_string(StopReason::kWallClock), "wall-clock");
+  EXPECT_EQ(to_string(StopReason::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace mars::plan

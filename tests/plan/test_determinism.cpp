@@ -1,0 +1,68 @@
+// Determinism contract across engines: the same engine spec + the same
+// budget must reproduce the same mapping byte for byte (the serving
+// cache, the benches, and every reported number rely on this).
+#include <gtest/gtest.h>
+
+#include "core/test_support.h"
+#include "mars/core/serialize.h"
+#include "mars/plan/engines.h"
+
+namespace mars::plan {
+namespace {
+
+using core::testing::AdaptiveFixture;
+
+core::MarsConfig tiny_tuning(std::uint64_t seed) {
+  core::MarsConfig config;
+  config.seed = seed;
+  config.first_ga.population = 8;
+  config.first_ga.generations = 5;
+  config.first_ga.stall_generations = 3;
+  config.second.ga.population = 6;
+  config.second.ga.generations = 3;
+  return config;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] std::string mapping_json(const std::string& engine,
+                                         std::uint64_t seed,
+                                         const Budget& budget) const {
+    const PlanResult result =
+        make_engine(engine, tiny_tuning(seed))->search(fx_.problem, budget);
+    return core::to_json(result.mapping, fx_.spine, fx_.designs, true).dump();
+  }
+
+  AdaptiveFixture fx_;
+};
+
+TEST_F(DeterminismTest, SameSeedSameBudgetIsByteIdenticalPerEngine) {
+  for (const std::string& engine : engine_names()) {
+    EXPECT_EQ(mapping_json(engine, 7, {}), mapping_json(engine, 7, {}))
+        << engine;
+  }
+}
+
+TEST_F(DeterminismTest, SameSeedUnderAnEvaluationBudgetIsByteIdentical) {
+  const Budget budget = Budget::evaluations(12);
+  for (const std::string& engine : engine_names()) {
+    EXPECT_EQ(mapping_json(engine, 7, budget), mapping_json(engine, 7, budget))
+        << engine;
+  }
+}
+
+TEST_F(DeterminismTest, SummariesAgreeAcrossRepeatRuns) {
+  for (const std::string& engine : engine_names()) {
+    const PlanResult a =
+        make_engine(engine, tiny_tuning(3))->search(fx_.problem);
+    const PlanResult b =
+        make_engine(engine, tiny_tuning(3))->search(fx_.problem);
+    EXPECT_DOUBLE_EQ(a.summary.simulated.count(), b.summary.simulated.count())
+        << engine;
+    EXPECT_EQ(a.provenance.evaluations, b.provenance.evaluations) << engine;
+    EXPECT_EQ(a.history, b.history) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace mars::plan

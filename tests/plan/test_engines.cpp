@@ -1,0 +1,210 @@
+#include "mars/plan/engines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_support.h"
+#include "mars/core/baseline.h"
+
+namespace mars::plan {
+namespace {
+
+using core::testing::AdaptiveFixture;
+
+core::MarsConfig tiny_tuning(std::uint64_t seed = 7) {
+  core::MarsConfig config;
+  config.seed = seed;
+  config.first_ga.population = 8;
+  config.first_ga.generations = 5;
+  config.first_ga.stall_generations = 3;
+  config.second.ga.population = 6;
+  config.second.ga.generations = 3;
+  return config;
+}
+
+class EnginesTest : public ::testing::Test {
+ protected:
+  AdaptiveFixture fx_;
+};
+
+TEST_F(EnginesTest, EveryEngineProducesAValidMapping) {
+  for (const std::string& name : engine_names()) {
+    const std::unique_ptr<SearchEngine> engine =
+        make_engine(name, tiny_tuning());
+    EXPECT_EQ(engine->name(), name);
+    const PlanResult result = engine->search(fx_.problem);
+    EXPECT_NO_THROW(
+        result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true))
+        << name;
+    EXPECT_GT(result.summary.simulated.count(), 0.0) << name;
+    EXPECT_FALSE(result.history.empty()) << name;
+    EXPECT_EQ(result.provenance.engine, name);
+    EXPECT_EQ(result.provenance.stopped, StopReason::kCompleted) << name;
+  }
+}
+
+TEST_F(EnginesTest, SearchingEnginesNeverLoseToTheBaseline) {
+  // All three searchers seed from the encoded baseline skeleton, so under
+  // the analytic model their result can only match or improve it — the
+  // quality gate that keeps "cheap" engines honest ablation floors.
+  const accel::ProfileMatrix profile(fx_.designs, fx_.spine);
+  const core::Mapping baseline =
+      core::baseline_mapping(fx_.problem, profile);
+  const core::MappingEvaluator evaluator(fx_.problem);
+  const Seconds baseline_analytic =
+      evaluator.analytical().evaluate(baseline).analytic_makespan;
+
+  for (const std::string& name : engine_names()) {
+    const PlanResult result =
+        make_engine(name, tiny_tuning())->search(fx_.problem);
+    EXPECT_LE(result.summary.analytic_makespan.count(),
+              baseline_analytic.count() * (1.0 + 1e-9))
+        << name;
+  }
+}
+
+TEST_F(EnginesTest, ConvergenceHistoryIsMonotone) {
+  for (const char* name : {"ga", "anneal", "random"}) {
+    const PlanResult result =
+        make_engine(name, tiny_tuning())->search(fx_.problem);
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+      EXPECT_LE(result.history[i], result.history[i - 1] + 1e-15) << name;
+    }
+  }
+}
+
+TEST_F(EnginesTest, EvaluationBudgetIsHonoured) {
+  // Exact for the per-evaluation engines; the GA stops at the next
+  // generation boundary, so allow one population of slack.
+  for (const char* name : {"anneal", "random"}) {
+    const PlanResult result = make_engine(name, tiny_tuning())
+                                  ->search(fx_.problem, Budget::evaluations(9));
+    EXPECT_LE(result.provenance.evaluations, 9) << name;
+    EXPECT_EQ(result.provenance.stopped, StopReason::kEvaluationBudget)
+        << name;
+    EXPECT_NO_THROW(
+        result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+  }
+  const core::MarsConfig tuning = tiny_tuning();
+  const PlanResult ga = make_engine("ga", tuning)
+                            ->search(fx_.problem, Budget::evaluations(9));
+  EXPECT_LE(ga.provenance.evaluations, 9 + tuning.first_ga.population);
+  EXPECT_EQ(ga.provenance.stopped, StopReason::kEvaluationBudget);
+}
+
+TEST_F(EnginesTest, WallClockBudgetStopsWithAFakeClock) {
+  double now = 100.0;
+  Budget budget = Budget::wall(milliseconds(5.0));
+  budget.clock = [&now] {
+    now += 0.002;  // every poll advances 2 ms
+    return Seconds(now);
+  };
+  const PlanResult result =
+      make_engine("anneal", tiny_tuning())->search(fx_.problem, budget);
+  EXPECT_EQ(result.provenance.stopped, StopReason::kWallClock);
+  EXPECT_NO_THROW(
+      result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+}
+
+TEST_F(EnginesTest, PreCancelledSearchStillReturnsAValidMapping) {
+  CancelToken token;
+  token.cancel();
+  for (const char* name : {"ga", "anneal", "random"}) {
+    const PlanResult result = make_engine(name, tiny_tuning())
+                                  ->search(fx_.problem,
+                                           Budget::cancellable(token));
+    EXPECT_EQ(result.provenance.stopped, StopReason::kCancelled) << name;
+    EXPECT_NO_THROW(
+        result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true))
+        << name;
+    EXPECT_GT(result.summary.simulated.count(), 0.0) << name;
+  }
+}
+
+TEST_F(EnginesTest, BaselineEngineIgnoresBudgetsAndReportsZeroEvaluations) {
+  CancelToken token;
+  token.cancel();
+  const PlanResult result =
+      BaselineEngine{}.search(fx_.problem, Budget::cancellable(token));
+  EXPECT_EQ(result.provenance.evaluations, 0);
+  EXPECT_EQ(result.provenance.stopped, StopReason::kCompleted);
+  EXPECT_FALSE(BaselineEngine{}.searches());
+}
+
+TEST_F(EnginesTest, ProgressIsReported) {
+  long long calls = 0;
+  long long last_evaluations = 0;
+  const PlanResult result = make_engine("random", tiny_tuning())
+                                ->search(fx_.problem, {},
+                                         [&](const Progress& progress) {
+                                           ++calls;
+                                           last_evaluations =
+                                               progress.evaluations;
+                                         });
+  EXPECT_GT(calls, 0);
+  EXPECT_GT(last_evaluations, 0);
+  EXPECT_LE(last_evaluations, result.provenance.evaluations);
+}
+
+TEST_F(EnginesTest, SpecStringsAreDistinctAndCoverTheSeed) {
+  const core::MarsConfig tuning = tiny_tuning();
+  std::vector<std::string> specs;
+  for (const std::string& name : engine_names()) {
+    specs.push_back(make_engine(name, tuning)->spec_string());
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i], specs[j]);
+    }
+  }
+  for (const char* name : {"ga", "anneal", "random"}) {
+    EXPECT_NE(make_engine(name, tiny_tuning(1))->spec_string(),
+              make_engine(name, tiny_tuning(2))->spec_string())
+        << name;
+  }
+}
+
+TEST_F(EnginesTest, MarsIsAnAliasForGa) {
+  EXPECT_EQ(make_engine("mars", tiny_tuning())->name(), "ga");
+}
+
+TEST_F(EnginesTest, UnknownEngineNamesTheValidSet) {
+  try {
+    (void)make_engine("gradient-descent");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gradient-descent"), std::string::npos);
+    for (const std::string& name : engine_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST_F(EnginesTest, EngineConfigsAreValidatedAtConstruction) {
+  // The satellite contract: bad knobs fail eagerly with named errors,
+  // not as silent misbehaviour mid-search.
+  core::MarsConfig bad_tournament = tiny_tuning();
+  bad_tournament.first_ga.tournament = 0;
+  EXPECT_THROW((void)GaEngine(bad_tournament), InvalidArgument);
+
+  core::MarsConfig bad_rate = tiny_tuning();
+  bad_rate.second.ga.mutation_rate = 1.5;
+  EXPECT_THROW((void)GaEngine(bad_rate), InvalidArgument);
+
+  AnnealConfig bad_anneal;
+  bad_anneal.iterations = 0;
+  EXPECT_THROW((void)AnnealingEngine(bad_anneal), InvalidArgument);
+  bad_anneal = AnnealConfig{};
+  bad_anneal.final_temperature = bad_anneal.initial_temperature * 2.0;
+  EXPECT_THROW((void)AnnealingEngine(bad_anneal), InvalidArgument);
+
+  RandomConfig bad_random;
+  bad_random.samples = 0;
+  EXPECT_THROW((void)RandomEngine(bad_random), InvalidArgument);
+  bad_random = RandomConfig{};
+  bad_random.profiled_fraction = -0.1;
+  EXPECT_THROW((void)RandomEngine(bad_random), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::plan

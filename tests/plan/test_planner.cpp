@@ -1,0 +1,92 @@
+#include "mars/plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "mars/accel/profiler.h"
+#include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+
+namespace mars::plan {
+namespace {
+
+core::MarsConfig tiny_tuning() {
+  core::MarsConfig config;
+  config.seed = 5;
+  config.first_ga.population = 8;
+  config.first_ga.generations = 4;
+  config.second.ga.population = 6;
+  config.second.ga.generations = 3;
+  return config;
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  topology::Topology topo_ = topology::f1_16xlarge();
+  accel::DesignRegistry designs_ = accel::table2_designs();
+};
+
+TEST_F(PlannerTest, OwnsTheWholeProblemChain) {
+  const Planner planner =
+      Planner::for_model("alexnet", topo_, designs_, /*adaptive=*/true);
+  EXPECT_EQ(planner.model().name(), "alexnet");
+  EXPECT_GT(planner.spine().size(), 0);
+  // The Problem points at the Planner-owned spine and the shared system.
+  EXPECT_EQ(planner.problem().spine, &planner.spine());
+  EXPECT_EQ(planner.problem().topo, &topo_);
+  EXPECT_EQ(planner.problem().designs, &designs_);
+  EXPECT_TRUE(planner.problem().adaptive);
+  EXPECT_NO_THROW(planner.problem().validate());
+}
+
+TEST_F(PlannerTest, PlanRunsAnEngineEndToEnd) {
+  const Planner planner =
+      Planner::for_model("alexnet", topo_, designs_, /*adaptive=*/true);
+  const GaEngine engine(tiny_tuning());
+  const PlanResult result = planner.plan(engine);
+  EXPECT_NO_THROW(result.mapping.validate(planner.spine(), topo_, designs_,
+                                          /*adaptive=*/true));
+  EXPECT_GT(result.summary.simulated.count(), 0.0);
+  EXPECT_EQ(result.provenance.engine, "ga");
+}
+
+TEST_F(PlannerTest, SurvivesMovesBecauseStateIsHeapPinned) {
+  Planner planner =
+      Planner::for_model("alexnet", topo_, designs_, /*adaptive=*/true);
+  const core::Problem* problem_before = &planner.problem();
+  const graph::ConvSpine* spine_before = &planner.spine();
+
+  std::vector<Planner> fleet;
+  fleet.push_back(std::move(planner));
+  fleet.emplace_back(graph::models::by_name("resnet18"), topo_, designs_,
+                     /*adaptive=*/true);
+
+  // The interior pointers survived the move and the vector growth.
+  EXPECT_EQ(&fleet[0].problem(), problem_before);
+  EXPECT_EQ(&fleet[0].spine(), spine_before);
+  EXPECT_EQ(fleet[0].problem().spine, spine_before);
+
+  const PlanResult result = fleet[0].plan(BaselineEngine{});
+  EXPECT_NO_THROW(result.mapping.validate(fleet[0].spine(), topo_, designs_,
+                                          /*adaptive=*/true));
+}
+
+TEST_F(PlannerTest, ProfileIsBuiltLazilyAndCached) {
+  const Planner planner =
+      Planner::for_model("alexnet", topo_, designs_, /*adaptive=*/true);
+  const accel::ProfileMatrix& first = planner.profile();
+  EXPECT_EQ(first.num_layers(), planner.spine().size());
+  EXPECT_EQ(&planner.profile(), &first);  // same instance on reuse
+}
+
+TEST_F(PlannerTest, UnknownZooModelThrows) {
+  EXPECT_THROW((void)Planner::for_model("not-a-model", topo_, designs_),
+               Error);
+}
+
+}  // namespace
+}  // namespace mars::plan

@@ -6,6 +6,7 @@
 
 #include "mars/core/evaluator.h"
 #include "mars/core/serialize.h"
+#include "mars/plan/engines.h"
 #include "mars/serve/cache.h"
 #include "mars/serve/service.h"
 #include "mars/topology/presets.h"
@@ -16,7 +17,7 @@ namespace mars::serve {
 namespace {
 
 /// Smoke-sized search budget: the cache semantics do not depend on how
-/// hard the GA worked, only on what it returned.
+/// hard the search worked, only on what it returned.
 core::MarsConfig tiny_config(std::uint64_t seed = 1) {
   core::MarsConfig config;
   config.seed = seed;
@@ -26,6 +27,10 @@ core::MarsConfig tiny_config(std::uint64_t seed = 1) {
   config.second.ga.population = 4;
   config.second.ga.generations = 2;
   return config;
+}
+
+plan::GaEngine tiny_ga(std::uint64_t seed = 1) {
+  return plan::GaEngine(tiny_config(seed));
 }
 
 class CacheTest : public ::testing::Test {
@@ -47,9 +52,15 @@ class CacheTest : public ::testing::Test {
       const MappingCache* cache, const topology::Topology& topo,
       std::uint64_t seed = 1) const {
     return std::make_unique<ModelService>("alexnet", topo, designs_,
-                                          /*adaptive=*/true,
-                                          ModelService::Mapper::kMars,
-                                          tiny_config(seed), cache);
+                                          /*adaptive=*/true, tiny_ga(seed),
+                                          cache);
+  }
+
+  /// The fingerprint ModelService computes for tiny_ga under no budget.
+  [[nodiscard]] std::string tiny_fingerprint(
+      const topology::Topology& topo, std::uint64_t seed = 1) const {
+    return MappingCache::fingerprint(topo, designs_, true,
+                                     tiny_ga(seed).spec_string());
   }
 
   [[nodiscard]] std::size_t entries() const {
@@ -95,9 +106,7 @@ TEST_F(CacheTest, SecondConstructionHitsTheCacheWithIdenticalMapping) {
 TEST_F(CacheTest, DirectStoreLoadRoundTrip) {
   const MappingCache cache(dir_.string());
   const auto service = plan(&cache, topo_);
-  const MappingCache::Key key{
-      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
-                                           tiny_config())};
+  const MappingCache::Key key{"alexnet", tiny_fingerprint(topo_)};
   const std::optional<core::Mapping> loaded =
       cache.load(key, *service->problem().spine, topo_, designs_, true);
   ASSERT_TRUE(loaded.has_value());
@@ -133,35 +142,104 @@ TEST_F(CacheTest, SearchConfigChangeInvalidates) {
   EXPECT_EQ(entries(), 2u);
 }
 
+TEST_F(CacheTest, CrossEngineEntriesNeverAlias) {
+  // The satellite bug this guards: engines sharing one tuning struct must
+  // not share cache entries. Every engine's spec embeds its own name and
+  // effective knobs, so a GA mapping is never served to an annealing run.
+  const MappingCache cache(dir_.string());
+  const core::MarsConfig tuning = tiny_config();
+  const auto ga = plan::make_engine("ga", tuning);
+  const auto anneal = plan::make_engine("anneal", tuning);
+  const auto random = plan::make_engine("random", tuning);
+  EXPECT_NE(MappingCache::fingerprint(topo_, designs_, true,
+                                      ga->spec_string()),
+            MappingCache::fingerprint(topo_, designs_, true,
+                                      anneal->spec_string()));
+  EXPECT_NE(MappingCache::fingerprint(topo_, designs_, true,
+                                      anneal->spec_string()),
+            MappingCache::fingerprint(topo_, designs_, true,
+                                      random->spec_string()));
+
+  const ModelService ga_service("alexnet", topo_, designs_, true, *ga,
+                                &cache);
+  EXPECT_EQ(ga_service.mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 1u);
+  // Same model, same cache, different engine: a fresh search, not a hit.
+  const ModelService anneal_service("alexnet", topo_, designs_, true, *anneal,
+                                    &cache);
+  EXPECT_EQ(anneal_service.mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 2u);
+  // Each engine then hits its own entry.
+  EXPECT_EQ(ModelService("alexnet", topo_, designs_, true, *anneal, &cache)
+                .mapping_source(),
+            ModelService::MappingSource::kCacheHit);
+}
+
+TEST_F(CacheTest, BudgetIsPartOfTheCacheIdentity) {
+  // A budget-truncated search returns a different mapping than an
+  // unbudgeted one; serving the unbudgeted entry to a budgeted startup
+  // (or vice versa) would misreport what was searched.
+  const plan::GaEngine engine = tiny_ga();
+  plan::Budget budget;
+  budget.max_evaluations = 8;
+  EXPECT_NE(search_spec(engine, {}), search_spec(engine, budget));
+
+  const MappingCache cache(dir_.string());
+  const ModelService unbudgeted("alexnet", topo_, designs_, true, engine,
+                                &cache);
+  EXPECT_EQ(entries(), 1u);
+  const ModelService budgeted("alexnet", topo_, designs_, true, engine,
+                              &cache, budget);
+  EXPECT_EQ(budgeted.mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 2u);
+}
+
+TEST_F(CacheTest, CancelledSearchIsNotStored) {
+  // A cancel token is a runtime event the fingerprint cannot key, so a
+  // truncated best-so-far mapping must never poison the complete-search
+  // entry.
+  const MappingCache cache(dir_.string());
+  plan::CancelToken token;
+  token.cancel();
+  const ModelService service("alexnet", topo_, designs_, /*adaptive=*/true,
+                             tiny_ga(), &cache,
+                             plan::Budget::cancellable(token));
+  EXPECT_EQ(service.mapping_source(), ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 0u);
+  // The next (uncancelled) startup searches fully and stores as usual.
+  EXPECT_EQ(plan(&cache, topo_)->mapping_source(),
+            ModelService::MappingSource::kSearched);
+  EXPECT_EQ(entries(), 1u);
+}
+
 TEST_F(CacheTest, FingerprintCoversDesignParameters) {
   // Two registries whose designs share names but differ in parameters
   // (table2 vs h2h both register a SuperLIP variant under a different
   // parameterisation) must not collide; spot-check directly that every
   // fingerprint input matters by perturbing the registry.
-  const std::string base = MappingCache::fingerprint(
-      topo_, designs_, true, "mars", tiny_config());
-  EXPECT_NE(base, MappingCache::fingerprint(topo_, accel::h2h_designs(), true,
-                                            "mars", tiny_config()));
-  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, false, "mars",
-                                            tiny_config()));
-  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true, "baseline",
-                                            tiny_config()));
+  const std::string spec = tiny_ga().spec_string();
+  const std::string base =
+      MappingCache::fingerprint(topo_, designs_, true, spec);
   EXPECT_NE(base,
-            MappingCache::fingerprint(topology::f1_16xlarge(gbps(16.0)),
-                                      designs_, true, "mars", tiny_config()));
-  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true, "mars",
-                                            tiny_config(/*seed=*/2)));
+            MappingCache::fingerprint(topo_, accel::h2h_designs(), true, spec));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, false, spec));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true,
+                                            plan::BaselineEngine{}.spec_string()));
+  EXPECT_NE(base, MappingCache::fingerprint(topology::f1_16xlarge(gbps(16.0)),
+                                            designs_, true, spec));
+  EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true,
+                                            tiny_ga(/*seed=*/2).spec_string()));
   // And it is stable: same inputs, same hash.
-  EXPECT_EQ(base, MappingCache::fingerprint(topo_, designs_, true, "mars",
-                                            tiny_config()));
+  EXPECT_EQ(base, MappingCache::fingerprint(topo_, designs_, true, spec));
 }
 
 TEST_F(CacheTest, CorruptEntryIsAMissNotAnError) {
   const MappingCache cache(dir_.string());
   const auto cold = plan(&cache, topo_);
-  const MappingCache::Key key{
-      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
-                                           tiny_config())};
+  const MappingCache::Key key{"alexnet", tiny_fingerprint(topo_)};
   {
     std::ofstream file(cache.path_for(key), std::ios::trunc);
     file << "{ not json";
@@ -179,9 +257,7 @@ TEST_F(CacheTest, CorruptEntryIsAMissNotAnError) {
 TEST_F(CacheTest, ForeignEntryUnderTheRightNameIsAMiss) {
   const MappingCache cache(dir_.string());
   const auto cold = plan(&cache, topo_);
-  const MappingCache::Key key{
-      "alexnet", MappingCache::fingerprint(topo_, designs_, true, "mars",
-                                           tiny_config())};
+  const MappingCache::Key key{"alexnet", tiny_fingerprint(topo_)};
   // A well-formed file whose embedded key disagrees with the filename
   // (e.g. a copy from another cache directory) must not be trusted.
   std::string content;
@@ -216,23 +292,21 @@ TEST_F(CacheTest, StoreFailureDoesNotBreakPlanning) {
   EXPECT_GT(service->single_latency().count(), 0.0);
 }
 
-TEST_F(CacheTest, BaselineMapperBypassesTheCache) {
+TEST_F(CacheTest, BaselineEngineBypassesTheCache) {
   const MappingCache cache(dir_.string());
   const ModelService service("alexnet", topo_, designs_, /*adaptive=*/true,
-                             ModelService::Mapper::kBaseline,
-                             tiny_config(), &cache);
+                             plan::BaselineEngine{}, &cache);
   EXPECT_EQ(service.mapping_source(), ModelService::MappingSource::kBaseline);
   EXPECT_EQ(entries(), 0u);
 }
 
 TEST_F(CacheTest, PlanServicesThreadsTheCacheThrough) {
   const MappingCache cache(dir_.string());
-  const auto cold =
-      plan_services({"alexnet", "resnet18"}, topo_, designs_, true,
-                    ModelService::Mapper::kMars, tiny_config(), &cache);
-  const auto warm =
-      plan_services({"alexnet", "resnet18"}, topo_, designs_, true,
-                    ModelService::Mapper::kMars, tiny_config(), &cache);
+  const plan::GaEngine engine = tiny_ga();
+  const auto cold = plan_services({"alexnet", "resnet18"}, topo_, designs_,
+                                  true, engine, &cache);
+  const auto warm = plan_services({"alexnet", "resnet18"}, topo_, designs_,
+                                  true, engine, &cache);
   for (const auto& service : warm) {
     EXPECT_EQ(service->mapping_source(),
               ModelService::MappingSource::kCacheHit)

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "mars/plan/engines.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/scheduler.h"
 #include "mars/topology/presets.h"
@@ -24,10 +25,10 @@ class SchedulerTest : public ::testing::Test {
  protected:
   SchedulerTest()
       : topo_(topology::f1_16xlarge()), designs_(accel::table2_designs()) {
+    const plan::BaselineEngine baseline;
     for (const char* name : {"alexnet", "resnet18"}) {
       services_.push_back(std::make_unique<ModelService>(
-          name, topo_, designs_, /*adaptive=*/true,
-          ModelService::Mapper::kBaseline, core::MarsConfig{}));
+          name, topo_, designs_, /*adaptive=*/true, baseline));
       refs_.push_back(services_.back().get());
     }
   }
@@ -220,8 +221,7 @@ TEST_F(SchedulerTest, UtilizationStaysPhysical) {
 TEST_F(SchedulerTest, RejectsForeignService) {
   const topology::Topology other = topology::f1_16xlarge();
   const ModelService foreign("alexnet", other, designs_, /*adaptive=*/true,
-                             ModelService::Mapper::kBaseline,
-                             core::MarsConfig{});
+                             plan::BaselineEngine{});
   EXPECT_THROW((void)OnlineScheduler(topo_, {&foreign}, {}), InvalidArgument);
 }
 

@@ -5,12 +5,15 @@
 //   mars_map profile --model vgg16
 //       Per-layer design profile (Table II style).
 //   mars_map map --model resnet34 [--topology f1 | cloud:<n>:<gbps>]
-//                [--seed N] [--json out.json] [--quick] [--fixed]
-//       Run the full MARS search and print (or export) the mapping.
+//                [--mapper ga|anneal|random|baseline] [--search-budget MS]
+//                [--search-evals N] [--seed N] [--json out.json] [--quick]
+//                [--fixed]
+//       Run a mapping search (default: the two-level GA) and print (or
+//       export) the mapping with its provenance.
 //   mars_map baseline --model resnet34
 //       The Herald-extended baseline mapping and latency.
 //   mars_map throughput --model resnet34 --batch 8
-//       Pipelined multi-image throughput of the MARS mapping.
+//       Pipelined multi-image throughput of the searched mapping.
 //   mars_map serve --model facebagnet --model resnet50 --rate 200 --duration 10
 //       Online multi-tenant serving simulation over the shared topology.
 //       --mapping-cache DIR persists searched mappings across runs;
@@ -20,6 +23,7 @@
 // docs/SERVING.md.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -29,11 +33,12 @@
 #include <vector>
 
 #include "mars/accel/profiler.h"
-#include "mars/core/baseline.h"
-#include "mars/core/mars.h"
+#include "mars/core/evaluator.h"
 #include "mars/core/serialize.h"
 #include "mars/graph/models/models.h"
 #include "mars/graph/parser.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
 #include "mars/serve/cache.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/report.h"
@@ -146,6 +151,40 @@ core::MarsConfig make_config(const Args& args) {
   return config;
 }
 
+/// `--mapper NAME` -> a search engine tuned by `config`. Unknown names are
+/// usage errors that name the flag, the value, and the valid set; engine
+/// config-validation errors pass through with their own field messages.
+std::unique_ptr<plan::SearchEngine> make_engine(const Args& args,
+                                                const core::MarsConfig& config) {
+  const std::string name = args.get("mapper", "ga");
+  const std::vector<std::string>& names = plan::engine_names();
+  if (name != "mars" &&
+      std::find(names.begin(), names.end(), name) == names.end()) {
+    throw InvalidArgument("unknown --mapper '" + name +
+                          "' (use ga | anneal | random | baseline)");
+  }
+  return plan::make_engine(name, config);
+}
+
+/// `--search-budget MS` (wall clock) and `--search-evals N` (evaluation
+/// count); 0 (the default) leaves the engine's own schedule unbounded.
+plan::Budget make_budget(const Args& args) {
+  plan::Budget budget;
+  const double ms = number_option(args, "search-budget", "0");
+  if (ms < 0.0) {
+    throw InvalidArgument("--search-budget must be >= 0 ms, got '" +
+                          args.get("search-budget", "0") + "'");
+  }
+  budget.wall_clock = milliseconds(ms);
+  const int evals = int_option(args, "search-evals", "0");
+  if (evals < 0) {
+    throw InvalidArgument("--search-evals must be >= 0, got '" +
+                          args.get("search-evals", "0") + "'");
+  }
+  budget.max_evaluations = evals;
+  return budget;
+}
+
 int cmd_models() {
   Table table({"Model", "#Convs", "Mappable", "#Params", "MACs"});
   for (const std::string& name : graph::models::zoo_names()) {
@@ -178,12 +217,12 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+/// The system side (owned here) plus the model side (owned by the
+/// Planner): the whole former graph/spine/Problem assembly chain.
 struct LoadedProblem {
-  graph::Graph model;
-  graph::ConvSpine spine;
   topology::Topology topo;
   accel::DesignRegistry designs;
-  core::Problem problem;
+  plan::Planner planner;
 
   static graph::Graph load_model(const Args& args) {
     if (args.flag("model-file")) {
@@ -193,34 +232,36 @@ struct LoadedProblem {
   }
 
   explicit LoadedProblem(const Args& args)
-      : model(load_model(args)),
-        spine(graph::ConvSpine::extract(model)),
-        topo(make_topology(args)),
+      : topo(make_topology(args)),
         designs(args.flag("fixed") ? accel::h2h_designs()
-                                   : accel::table2_designs()) {
-    problem.spine = &spine;
-    problem.topo = &topo;
-    problem.designs = &designs;
-    problem.adaptive = !args.flag("fixed");
-  }
+                                   : accel::table2_designs()),
+        planner(load_model(args), topo, designs, !args.flag("fixed")) {}
 };
 
 int cmd_map(const Args& args) {
   LoadedProblem lp(args);
-  core::Mars mars(lp.problem, make_config(args));
-  const core::MarsResult result = mars.search();
+  const std::unique_ptr<plan::SearchEngine> engine =
+      make_engine(args, make_config(args));
+  const plan::PlanResult result = lp.planner.plan(*engine, make_budget(args));
+  const bool adaptive = lp.planner.problem().adaptive;
 
-  std::cout << core::describe(result.mapping, lp.spine, lp.designs,
-                              lp.problem.adaptive)
+  std::cout << core::describe(result.mapping, lp.planner.spine(), lp.designs,
+                              adaptive)
             << "simulated latency: " << result.summary.simulated.millis()
             << " ms (memory " << (result.summary.memory_ok ? "ok" : "VIOLATED")
-            << ")\n";
+            << ")\n"
+            << "search: engine " << result.provenance.engine << ", "
+            << result.provenance.evaluations << " evaluations in "
+            << format_double(result.provenance.elapsed.count(), 3)
+            << " s, stopped: " << plan::to_string(result.provenance.stopped)
+            << '\n';
 
   if (args.flag("json")) {
     JsonValue out = JsonValue::object();
-    out.set("mapping", core::to_json(result.mapping, lp.spine, lp.designs,
-                                     lp.problem.adaptive));
+    out.set("mapping", core::to_json(result.mapping, lp.planner.spine(),
+                                     lp.designs, adaptive));
     out.set("summary", core::to_json(result.summary));
+    out.set("provenance", plan::to_json(result.provenance));
     std::ofstream file(args.get("json", "mapping.json"));
     file << out.dump() << '\n';
     std::cout << "wrote " << args.get("json", "mapping.json") << '\n';
@@ -230,21 +271,22 @@ int cmd_map(const Args& args) {
 
 int cmd_baseline(const Args& args) {
   LoadedProblem lp(args);
-  const accel::ProfileMatrix profile(lp.designs, lp.spine);
-  const core::Mapping mapping = core::baseline_mapping(lp.problem, profile);
-  const core::MappingEvaluator evaluator(lp.problem);
-  const core::EvaluationSummary summary = evaluator.evaluate(mapping);
-  std::cout << core::describe(mapping, lp.spine, lp.designs, lp.problem.adaptive)
-            << "simulated latency: " << summary.simulated.millis() << " ms\n";
+  const plan::BaselineEngine engine;
+  const plan::PlanResult result = lp.planner.plan(engine);
+  std::cout << core::describe(result.mapping, lp.planner.spine(), lp.designs,
+                              lp.planner.problem().adaptive)
+            << "simulated latency: " << result.summary.simulated.millis()
+            << " ms\n";
   return 0;
 }
 
 int cmd_throughput(const Args& args) {
   LoadedProblem lp(args);
-  const int batch = std::stoi(args.get("batch", "8"));
-  core::Mars mars(lp.problem, make_config(args));
-  const core::MarsResult result = mars.search();
-  const core::MappingEvaluator evaluator(lp.problem);
+  const int batch = int_option(args, "batch", "8");
+  const std::unique_ptr<plan::SearchEngine> engine =
+      make_engine(args, make_config(args));
+  const plan::PlanResult result = lp.planner.plan(*engine, make_budget(args));
+  const core::MappingEvaluator evaluator(lp.planner.problem());
   const auto throughput = evaluator.evaluate_throughput(result.mapping, batch);
   std::cout << "batch " << batch << ": " << throughput.makespan.millis()
             << " ms total, " << format_double(throughput.images_per_second, 1)
@@ -298,16 +340,9 @@ int cmd_serve(const Args& args) {
     config.second.ga.population = 8;
     config.second.ga.generations = 6;
   }
-  const std::string mapper_name = args.get("mapper", "mars");
-  serve::ModelService::Mapper mapper;
-  if (mapper_name == "mars") {
-    mapper = serve::ModelService::Mapper::kMars;
-  } else if (mapper_name == "baseline") {
-    mapper = serve::ModelService::Mapper::kBaseline;
-  } else {
-    throw InvalidArgument("unknown mapper '" + mapper_name +
-                          "' (use mars | baseline)");
-  }
+  // "mars" stays accepted as an alias of "ga" for old scripts.
+  const std::unique_ptr<plan::SearchEngine> engine = make_engine(args, config);
+  const plan::Budget search_budget = make_budget(args);
 
   // Parse every workload flag before the (expensive) per-model planning
   // so usage errors fail fast.
@@ -365,8 +400,8 @@ int cmd_serve(const Args& args) {
 
   const auto plan_start = std::chrono::steady_clock::now();
   const std::vector<std::unique_ptr<serve::ModelService>> services =
-      serve::plan_services(names, topo, designs, !args.flag("fixed"), mapper,
-                           config, cache ? &*cache : nullptr);
+      serve::plan_services(names, topo, designs, !args.flag("fixed"), *engine,
+                           cache ? &*cache : nullptr, search_budget);
   const double plan_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     plan_start)
@@ -386,7 +421,7 @@ int cmd_serve(const Args& args) {
               << ")\n";
   }
   std::cout << "Fleet on " << topo.name() << " (" << topo.size()
-            << " accelerators, mapper " << mapper_name << "):\n"
+            << " accelerators, mapper " << engine->name() << "):\n"
             << serve::describe_fleet(services) << '\n';
 
   std::vector<const serve::ModelService*> refs;
@@ -428,13 +463,15 @@ int cmd_serve(const Args& args) {
 int usage(std::ostream& os) {
   os << "usage: mars_map <models|profile|map|baseline|throughput|serve> "
         "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
-        "[--model-file PATH] [--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
+        "[--model-file PATH] [--mapper ga|anneal|random|baseline] "
+        "[--search-budget MS] [--search-evals N] "
+        "[--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
         "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
         "--duration S --slo MS "
         "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
-        "--mapper mars|baseline --mapping-cache DIR --full --trace CSV "
+        "--mapper NAME --mapping-cache DIR --full --trace CSV "
         "--clients N --think MS\n"
-        "full reference: docs/CLI.md\n";
+        "full reference: docs/CLI.md and docs/SEARCH.md\n";
   return 1;
 }
 
