@@ -1,9 +1,11 @@
 #include "mars/core/mars.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "mars/util/error.h"
 #include "mars/util/logging.h"
+#include "mars/util/worker_pool.h"
 
 namespace mars::core {
 
@@ -13,6 +15,8 @@ void validate_config(const MarsConfig& config) {
   MARS_CHECK_ARG(config.second.max_es_dims >= 1,
                  "second-level max_es_dims must be >= 1, got "
                      << config.second.max_es_dims);
+  MARS_CHECK_ARG(config.threads >= 1,
+                 "threads must be >= 1, got " << config.threads);
 }
 
 Mars::Mars(const Problem& problem, MarsConfig config)
@@ -26,6 +30,12 @@ MarsResult Mars::search(const ga::StopFn& stop) {
   Rng rng(config_.seed);
   const std::vector<double> scores = space_.design_scores();
   const FirstLevelCodec& codec = space_.codec();
+  // Shared fitness pool for either GA level arrangement. threads == 1
+  // stays on the serial single-genome path (no pool, no batching).
+  std::unique_ptr<util::WorkerPool> pool;
+  if (config_.threads > 1) {
+    pool = std::make_unique<util::WorkerPool>(config_.threads);
+  }
 
   MarsResult result;
   if (config_.two_level) {
@@ -43,7 +53,13 @@ MarsResult Mars::search(const ga::StopFn& stop) {
     auto fitness = [&](const ga::Genome& genome) {
       return space_.fitness(codec.decode(genome));
     };
-    result.first_level = engine.minimize(fitness, rng, seeds, stop);
+    ga::BatchFitnessFn batch;
+    if (pool) {
+      batch = [&](const std::vector<ga::Genome>& genomes) {
+        return space_.fitness_batch(genomes, pool.get());
+      };
+    }
+    result.first_level = engine.minimize(fitness, rng, seeds, stop, batch);
 
     Skeleton winner = codec.decode(result.first_level.best);
     result.mapping = space_.complete(winner);
@@ -90,7 +106,22 @@ MarsResult Mars::search(const ga::StopFn& stop) {
       }
       return analytical.aggregate_makespan(mapping.sets, latencies).count();
     };
-    result.first_level = engine.minimize(fitness, rng, {}, stop);
+    // Flat fitness touches no shared mutable state (no memo cache), so
+    // the batch is a plain parallel map over the cohort.
+    ga::BatchFitnessFn batch;
+    if (pool) {
+      batch = [&](const std::vector<ga::Genome>& genomes) {
+        std::vector<double> values(genomes.size());
+        pool->parallel_for(genomes.size(),
+                           [&](std::size_t begin, std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               values[i] = fitness(genomes[i]);
+                             }
+                           });
+        return values;
+      };
+    }
+    result.first_level = engine.minimize(fitness, rng, {}, stop, batch);
     result.mapping = decode_flat(result.first_level.best);
   }
 

@@ -48,6 +48,10 @@ struct MarsConfig {
   /// instead of running the second level per set.
   bool two_level = true;
   std::uint64_t seed = 1;
+  /// Fitness-evaluation threads (a util::WorkerPool sized here). Purely
+  /// an execution knob: results are byte-identical at any value, so it is
+  /// deliberately NOT part of any engine spec_string / cache fingerprint.
+  int threads = 1;
 };
 
 /// Throws InvalidArgument (naming the bad field and value) when either GA

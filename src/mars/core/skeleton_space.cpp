@@ -1,8 +1,10 @@
 #include "mars/core/skeleton_space.h"
 
 #include <algorithm>
+#include <set>
 
 #include "mars/core/baseline.h"
+#include "mars/util/worker_pool.h"
 
 namespace mars::core {
 namespace {
@@ -62,6 +64,89 @@ double SkeletonSpace::fitness(const Skeleton& skeleton) {
   return evaluator_.analytical()
       .aggregate_makespan(skeleton.sets, latencies)
       .count();
+}
+
+std::vector<double> SkeletonSpace::fitness_batch(
+    const std::vector<Skeleton>& skeletons, util::WorkerPool* pool) {
+  // Phase 1 (serial): one left-to-right sweep over the batch collecting
+  // the keys the cache does not hold yet. The first appearance of a key
+  // is charged as the miss (and carries the LayerAssignment the greedy
+  // search will run on), every later appearance as a hit — the exact
+  // counts a serial evaluation would record.
+  std::vector<LayerAssignment> missing;
+  std::set<CacheKey> scheduled;
+  for (const Skeleton& skeleton : skeletons) {
+    for (const LayerAssignment& set : skeleton.sets) {
+      const CacheKey key{set.begin, set.end, set.accs, set.design};
+      if (cache_.contains(key) || scheduled.contains(key)) {
+        ++cache_hits_;
+        continue;
+      }
+      ++cache_misses_;
+      scheduled.insert(key);
+      missing.push_back(set);
+    }
+  }
+
+  // Phase 2 (parallel): price the missing keys. greedy() is a pure const
+  // function of the key, so any assignment of keys to threads yields the
+  // same results; the pool's static partitioning makes it deterministic
+  // by construction.
+  std::vector<SecondLevelResult> computed(missing.size());
+  const auto price = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      computed[i] = second_.greedy(missing[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(missing.size(), price);
+  } else {
+    price(0, missing.size());
+  }
+
+  // Phase 3 (serial): publish in first-seen order, then aggregate each
+  // skeleton from the (now fully warm) cache.
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const LayerAssignment& set = missing[i];
+    cache_.emplace(CacheKey{set.begin, set.end, set.accs, set.design},
+                   std::move(computed[i]));
+  }
+  std::vector<double> fitnesses;
+  fitnesses.reserve(skeletons.size());
+  for (const Skeleton& skeleton : skeletons) {
+    std::vector<Seconds> latencies;
+    latencies.reserve(skeleton.sets.size());
+    for (const LayerAssignment& set : skeleton.sets) {
+      latencies.push_back(
+          cache_.at({set.begin, set.end, set.accs, set.design})
+              .cost.penalized);
+    }
+    fitnesses.push_back(evaluator_.analytical()
+                            .aggregate_makespan(skeleton.sets, latencies)
+                            .count());
+  }
+  return fitnesses;
+}
+
+std::vector<Skeleton> SkeletonSpace::decode_batch(
+    const std::vector<ga::Genome>& genomes, util::WorkerPool* pool) const {
+  std::vector<Skeleton> skeletons(genomes.size());
+  const auto decode = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      skeletons[i] = codec_.decode(genomes[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(genomes.size(), decode);
+  } else {
+    decode(0, genomes.size());
+  }
+  return skeletons;
+}
+
+std::vector<double> SkeletonSpace::fitness_batch(
+    const std::vector<ga::Genome>& genomes, util::WorkerPool* pool) {
+  return fitness_batch(decode_batch(genomes, pool), pool);
 }
 
 Mapping SkeletonSpace::complete(const Skeleton& skeleton) {

@@ -13,6 +13,13 @@
 // fitness() memoises per (layer range, AccSet, design), so sharing one
 // SkeletonSpace across a search amortises second-level work exactly as
 // Mars::cache_ used to.
+//
+// Parallelism: fitness_batch() prices many skeletons at once, fanning the
+// uncached second-level searches across a util::WorkerPool. Results are
+// byte-identical to serial evaluation (the greedy oracle is a pure
+// function of the cache key), and so are the hit/miss counters: the
+// first appearance of a key in a batch is the miss, every later one a
+// hit, exactly as a serial left-to-right sweep would count them.
 #pragma once
 
 #include <map>
@@ -22,6 +29,10 @@
 #include "mars/core/evaluator.h"
 #include "mars/core/first_level.h"
 #include "mars/core/second_level.h"
+
+namespace mars::util {
+class WorkerPool;
+}
 
 namespace mars::core {
 
@@ -48,6 +59,27 @@ class SkeletonSpace {
   /// Penalized analytic makespan of `skeleton` with second-level greedy
   /// strategies (memoised) — the fitness every skeleton search minimises.
   [[nodiscard]] double fitness(const Skeleton& skeleton);
+
+  /// fitness() over a whole batch. When `pool` is non-null the uncached
+  /// second-level searches (the expensive part — each is an independent
+  /// pure function of its key) run across the pool; the dedupe, the cache
+  /// insertion order, and the returned values are identical to evaluating
+  /// the batch serially, at any thread count. `pool == nullptr` runs the
+  /// same code path single-threaded.
+  [[nodiscard]] std::vector<double> fitness_batch(
+      const std::vector<Skeleton>& skeletons, util::WorkerPool* pool = nullptr);
+
+  /// decode + fitness_batch in one call — the shape every genome search
+  /// (GA cohorts, anneal chains, random samples) prices with. The decode
+  /// fans across the pool too (a pure function, so partitioning cannot
+  /// change the result).
+  [[nodiscard]] std::vector<double> fitness_batch(
+      const std::vector<ga::Genome>& genomes, util::WorkerPool* pool = nullptr);
+
+  /// The parallel decode underlying the genome overload.
+  [[nodiscard]] std::vector<Skeleton> decode_batch(
+      const std::vector<ga::Genome>& genomes,
+      util::WorkerPool* pool = nullptr) const;
 
   /// `skeleton` with its memoised second-level strategies filled in.
   [[nodiscard]] Mapping complete(const Skeleton& skeleton);

@@ -44,7 +44,8 @@ GaEngine::GaEngine(GaConfig config, int genome_size)
 
 GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
                             const std::vector<Genome>& seeds,
-                            const StopFn& stop) const {
+                            const StopFn& stop,
+                            const BatchFitnessFn& batch) const {
   const auto pop_size = static_cast<std::size_t>(config_.population);
   std::vector<Genome> population;
   population.reserve(pop_size);
@@ -61,14 +62,27 @@ GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
   GaResult result;
   result.best_fitness = std::numeric_limits<double>::infinity();
 
-  auto evaluate = [&](const Genome& genome) {
-    ++result.evaluations;
-    const double value = fitness(genome);
-    return std::isfinite(value) ? value : std::numeric_limits<double>::infinity();
+  // Scores for a group of genomes, through `batch` when provided (the
+  // parallel path) or `fitness` one by one. Non-finite values are clamped
+  // to +inf (maximally unfit) either way.
+  auto evaluate_all = [&](const std::vector<Genome>& genomes) {
+    std::vector<double> values =
+        batch ? batch(genomes) : std::vector<double>();
+    if (!batch) {
+      values.reserve(genomes.size());
+      for (const Genome& genome : genomes) values.push_back(fitness(genome));
+    }
+    MARS_CHECK(values.size() == genomes.size(),
+               "batch fitness returned " << values.size() << " scores for "
+                                         << genomes.size() << " genomes");
+    for (double& value : values) {
+      if (!std::isfinite(value)) value = std::numeric_limits<double>::infinity();
+    }
+    result.evaluations += static_cast<long long>(genomes.size());
+    return values;
   };
 
-  std::vector<double> scores(pop_size);
-  for (std::size_t i = 0; i < pop_size; ++i) scores[i] = evaluate(population[i]);
+  std::vector<double> scores = evaluate_all(population);
 
   int stall = 0;
   for (int generation = 0; generation < config_.generations; ++generation) {
@@ -109,7 +123,13 @@ GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
       next.push_back(population[order[static_cast<std::size_t>(e)]]);
       next_scores.push_back(scores[order[static_cast<std::size_t>(e)]]);
     }
-    while (next.size() < pop_size) {
+    // Breed the whole offspring cohort first, then evaluate it as one
+    // batch: only breeding draws from the Rng, so the genome stream —
+    // and with it the search — is identical to child-at-a-time
+    // interleaving, while the evaluations become batchable.
+    std::vector<Genome> offspring;
+    offspring.reserve(pop_size - next.size());
+    while (next.size() + offspring.size() < pop_size) {
       const Genome& parent_a =
           population[tournament_select(scores, config_.tournament, rng)];
       const Genome& parent_b =
@@ -119,8 +139,12 @@ GaResult GaEngine::minimize(const FitnessFn& fitness, Rng& rng,
                          : parent_a;
       gaussian_mutate(child, config_.mutation_rate, config_.mutation_sigma,
                       config_.gene_lo, config_.gene_hi, rng);
-      next_scores.push_back(evaluate(child));
-      next.push_back(std::move(child));
+      offspring.push_back(std::move(child));
+    }
+    std::vector<double> offspring_scores = evaluate_all(offspring);
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      next.push_back(std::move(offspring[i]));
+      next_scores.push_back(offspring_scores[i]);
     }
     population = std::move(next);
     scores = std::move(next_scores);

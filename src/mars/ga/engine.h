@@ -23,6 +23,15 @@ using FitnessFn = std::function<double(const Genome&)>;
 /// generation granularity keeps runs deterministic under evaluation
 /// budgets (a run never stops mid-generation).
 using StopFn = std::function<bool(long long evaluations, double best_fitness)>;
+/// Optional batch evaluator: fitness for each genome, same order. When
+/// provided, the engine hands it whole populations (the initial one and
+/// each generation's offspring) instead of calling FitnessFn per genome —
+/// the hook for parallel fitness evaluation. Must return exactly the
+/// values the serial FitnessFn would: the engine's genome stream is
+/// independent of evaluation (selection/mutation draw from the Rng,
+/// evaluation does not), so equal values imply byte-identical searches.
+using BatchFitnessFn =
+    std::function<std::vector<double>(const std::vector<Genome>&)>;
 
 struct GaConfig {
   int population = 32;
@@ -62,10 +71,13 @@ class GaEngine {
   /// Runs the GA. `seeds` are injected into the initial population
   /// verbatim (heuristic warm starts); the rest is uniform random.
   /// `stop` (optional) is polled at generation boundaries for budget /
-  /// cancellation enforcement.
+  /// cancellation enforcement. `batch` (optional) evaluates whole
+  /// populations at once (parallel fitness); byte-identical to the serial
+  /// path as long as it returns the same values as `fitness`.
   [[nodiscard]] GaResult minimize(const FitnessFn& fitness, Rng& rng,
                                   const std::vector<Genome>& seeds = {},
-                                  const StopFn& stop = {}) const;
+                                  const StopFn& stop = {},
+                                  const BatchFitnessFn& batch = {}) const;
 
   [[nodiscard]] const GaConfig& config() const { return config_; }
   [[nodiscard]] int genome_size() const { return genome_size_; }

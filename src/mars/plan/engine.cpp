@@ -10,6 +10,16 @@ JsonValue to_json(const Provenance& provenance) {
   out.set("iterations", JsonValue::integer(provenance.iterations));
   out.set("elapsed_s", JsonValue::number(provenance.elapsed.count()));
   out.set("stopped", JsonValue::string(to_string(provenance.stopped)));
+  if (!provenance.winner.empty()) {
+    out.set("winner", JsonValue::string(provenance.winner));
+  }
+  if (!provenance.members.empty()) {
+    JsonValue members = JsonValue::array();
+    for (const Provenance& member : provenance.members) {
+      members.push(to_json(member));
+    }
+    out.set("members", std::move(members));
+  }
   return out;
 }
 

@@ -39,12 +39,17 @@ using ProgressFn = std::function<void(const Progress&)>;
 
 /// Where a mapping came from: everything needed to reproduce or audit it.
 struct Provenance {
-  std::string engine;  // "ga" | "anneal" | "random" | "baseline"
+  std::string engine;  // "ga" | "anneal" | "random" | "baseline" | "portfolio"
   std::string spec;    // canonical engine + config identity (cache key)
   long long evaluations = 0;
   int iterations = 0;  // GA generations / SA steps / samples drawn
   Seconds elapsed{};
   StopReason stopped = StopReason::kCompleted;
+  /// Composite engines only (portfolio): the member whose mapping won,
+  /// and one provenance record per member raced, in racing order —
+  /// evaluations/elapsed then sum over `members`. Empty for leaf engines.
+  std::string winner;
+  std::vector<Provenance> members;
 };
 
 [[nodiscard]] JsonValue to_json(const Provenance& provenance);

@@ -10,12 +10,23 @@
 #include "mars/core/skeleton_space.h"
 #include "mars/ga/operators.h"
 #include "mars/util/error.h"
+#include "mars/util/strings.h"
+#include "mars/util/worker_pool.h"
 
 namespace mars::plan {
 namespace {
 
-/// How often the skeleton-sampling engines report progress (steps).
+/// How often the skeleton-sampling engines report progress (steps), and
+/// how many samples the random engine draws per evaluation batch. Fixed —
+/// never derived from the thread count — so results are independent of
+/// `threads` by construction.
 constexpr int kProgressStride = 32;
+
+/// A fitness pool when `threads` asks for one; engines pass nullptr (the
+/// serial path) otherwise so a single-threaded search costs nothing.
+std::unique_ptr<util::WorkerPool> make_pool(int threads) {
+  return threads > 1 ? std::make_unique<util::WorkerPool>(threads) : nullptr;
+}
 
 void append_ga(std::ostream& os, const ga::GaConfig& config) {
   os << "pop=" << config.population << ",gen=" << config.generations
@@ -30,6 +41,19 @@ void append_second(std::ostream& os, const core::SecondLevelConfig& config) {
   os << "second{";
   append_ga(os, config.ga);
   os << ",ss=" << config.enable_ss << ",esdims=" << config.max_es_dims << '}';
+}
+
+/// A leaf engine's provenance record (winner/members stay empty).
+Provenance leaf_provenance(std::string engine, std::string spec,
+                           long long evaluations, int iterations,
+                           StopReason stopped) {
+  Provenance provenance;
+  provenance.engine = std::move(engine);
+  provenance.spec = std::move(spec);
+  provenance.evaluations = evaluations;
+  provenance.iterations = iterations;
+  provenance.stopped = stopped;
+  return provenance;
 }
 
 /// Shared tail of the skeleton-sampling engines: complete the winning
@@ -96,12 +120,10 @@ PlanResult GaEngine::search(const core::Problem& problem, const Budget& budget,
   result.mapping = std::move(searched.mapping);
   result.summary = searched.summary;
   result.history = std::move(searched.first_level.history);
-  result.provenance = {name(),
-                       spec_string(),
-                       searched.first_level.evaluations,
-                       searched.first_level.generations_run,
-                       meter.elapsed(),
-                       meter.reason()};
+  result.provenance =
+      leaf_provenance(name(), spec_string(), searched.first_level.evaluations,
+                      searched.first_level.generations_run, meter.reason());
+  result.provenance.elapsed = meter.elapsed();
   return result;
 }
 
@@ -126,6 +148,10 @@ AnnealingEngine::AnnealingEngine(AnnealConfig config)
   MARS_CHECK_ARG(config_.moves_per_step >= 1,
                  "annealing moves_per_step must be >= 1, got "
                      << config_.moves_per_step);
+  MARS_CHECK_ARG(config_.chains >= 1,
+                 "annealing chains must be >= 1, got " << config_.chains);
+  MARS_CHECK_ARG(config_.threads >= 1,
+                 "annealing threads must be >= 1, got " << config_.threads);
 }
 
 std::string AnnealingEngine::spec_string() const {
@@ -134,7 +160,7 @@ std::string AnnealingEngine::spec_string() const {
      << ",t0=" << config_.initial_temperature
      << ",tend=" << config_.final_temperature
      << ",sigma=" << config_.step_sigma << ",moves=" << config_.moves_per_step
-     << ",seedbase=" << config_.seed_baseline
+     << ",chains=" << config_.chains << ",seedbase=" << config_.seed_baseline
      << ",refine=" << config_.refine_winner
      << ",heur=" << config_.heuristic_candidates << ',';
   append_second(os, config_.second);
@@ -149,16 +175,57 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
   core::SkeletonSpace space(problem,
                             {config_.second, config_.heuristic_candidates});
   const core::FirstLevelCodec& codec = space.codec();
-  Rng rng(config_.seed);
+  const std::unique_ptr<util::WorkerPool> pool = make_pool(config_.threads);
+  Rng master(config_.seed);
   const std::vector<double> scores = space.design_scores();
 
-  ga::Genome current = config_.seed_baseline
-                           ? codec.encode(space.baseline(), scores)
-                           : codec.profiled_random(scores, rng);
-  double current_fitness = space.fitness(codec.decode(current));
-  ga::Genome best = current;
-  double best_fitness = current_fitness;
-  long long evaluations = 1;
+  // One independent Metropolis chain per config_.chains, each with its
+  // own forked RNG stream — so a chain's draws never depend on how its
+  // siblings' evaluations were scheduled, which is what keeps results
+  // byte-identical at any thread count. Under an evaluation budget
+  // smaller than the chain count, only the first `budget` chains start
+  // (the profiled-random start cohort is one evaluation per chain), so
+  // even initialisation never overdraws.
+  int chains = config_.chains;
+  if (!config_.seed_baseline && budget.max_evaluations > 0) {
+    chains = static_cast<int>(std::min<long long>(
+        chains, std::max<long long>(1, budget.max_evaluations)));
+  }
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(chains));
+  for (int c = 0; c < chains; ++c) rngs.push_back(master.fork());
+
+  std::vector<ga::Genome> current(static_cast<std::size_t>(chains));
+  std::vector<double> current_fitness(static_cast<std::size_t>(chains));
+  long long evaluations = 0;
+  if (config_.seed_baseline) {
+    // All chains start from the baseline skeleton: one evaluation, shared.
+    const ga::Genome start = codec.encode(space.baseline(), scores);
+    const double fitness =
+        space.fitness_batch({codec.decode(start)}, pool.get()).front();
+    evaluations = 1;
+    for (int c = 0; c < chains; ++c) {
+      current[static_cast<std::size_t>(c)] = start;
+      current_fitness[static_cast<std::size_t>(c)] = fitness;
+    }
+  } else {
+    std::vector<ga::Genome> starts;
+    starts.reserve(static_cast<std::size_t>(chains));
+    for (int c = 0; c < chains; ++c) {
+      starts.push_back(
+          codec.profiled_random(scores, rngs[static_cast<std::size_t>(c)]));
+    }
+    current_fitness = space.fitness_batch(starts, pool.get());
+    current = std::move(starts);
+    evaluations = chains;
+  }
+
+  std::size_t best_chain = 0;
+  for (std::size_t c = 1; c < current_fitness.size(); ++c) {
+    if (current_fitness[c] < current_fitness[best_chain]) best_chain = c;
+  }
+  ga::Genome best = current[best_chain];
+  double best_fitness = current_fitness[best_chain];
   std::vector<double> history{best_fitness};
 
   int step = 0;
@@ -174,26 +241,44 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
         std::pow(config_.final_temperature / config_.initial_temperature,
                  fraction);
 
-    ga::Genome proposal = current;
-    for (int move = 0; move < config_.moves_per_step; ++move) {
-      const std::size_t gene = rng.index(proposal.size());
-      proposal[gene] = std::clamp(
-          proposal[gene] + rng.gaussian(0.0, config_.step_sigma), 0.0, 1.0);
+    // This step's cohort: one proposal per chain, truncated to the first
+    // k chains when the evaluation budget has fewer than `chains` left
+    // (keeps the budget exact, like the serial engine).
+    std::size_t active = static_cast<std::size_t>(chains);
+    if (budget.max_evaluations > 0) {
+      active = static_cast<std::size_t>(
+          std::min<long long>(static_cast<long long>(active),
+                              budget.max_evaluations - evaluations));
     }
-    const double proposal_fitness = space.fitness(codec.decode(proposal));
-    ++evaluations;
+    std::vector<ga::Genome> proposals;
+    proposals.reserve(active);
+    for (std::size_t c = 0; c < active; ++c) {
+      ga::Genome proposal = current[c];
+      for (int move = 0; move < config_.moves_per_step; ++move) {
+        const std::size_t gene = rngs[c].index(proposal.size());
+        proposal[gene] = std::clamp(
+            proposal[gene] + rngs[c].gaussian(0.0, config_.step_sigma), 0.0,
+            1.0);
+      }
+      proposals.push_back(std::move(proposal));
+    }
+    const std::vector<double> proposal_fitness =
+        space.fitness_batch(proposals, pool.get());
+    evaluations += static_cast<long long>(active);
 
-    // Metropolis on the relative regression: scale-free across models.
-    const double delta = (proposal_fitness - current_fitness) /
-                         std::max(current_fitness, 1e-30);
-    if (proposal_fitness <= current_fitness ||
-        rng.chance(std::exp(-delta / temperature))) {
-      current = std::move(proposal);
-      current_fitness = proposal_fitness;
-    }
-    if (current_fitness < best_fitness) {
-      best = current;
-      best_fitness = current_fitness;
+    for (std::size_t c = 0; c < active; ++c) {
+      // Metropolis on the relative regression: scale-free across models.
+      const double delta = (proposal_fitness[c] - current_fitness[c]) /
+                           std::max(current_fitness[c], 1e-30);
+      if (proposal_fitness[c] <= current_fitness[c] ||
+          rngs[c].chance(std::exp(-delta / temperature))) {
+        current[c] = std::move(proposals[c]);
+        current_fitness[c] = proposal_fitness[c];
+      }
+      if (current_fitness[c] < best_fitness) {
+        best = current[c];
+        best_fitness = current_fitness[c];
+      }
     }
     history.push_back(best_fitness);
     if (progress && step % kProgressStride == 0) {
@@ -201,9 +286,10 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
     }
   }
 
-  return finish(space, codec.decode(best), config_.refine_winner, rng,
+  return finish(space, codec.decode(best), config_.refine_winner, master,
                 std::move(history),
-                {name(), spec_string(), evaluations, step, {}, meter.reason()},
+                leaf_provenance(name(), spec_string(), evaluations, step,
+                                meter.reason()),
                 meter);
 }
 
@@ -217,6 +303,9 @@ RandomEngine::RandomEngine(RandomConfig config) : config_(std::move(config)) {
       config_.profiled_fraction >= 0.0 && config_.profiled_fraction <= 1.0,
       "random-search profiled_fraction must be in [0, 1], got "
           << config_.profiled_fraction);
+  MARS_CHECK_ARG(config_.threads >= 1,
+                 "random-search threads must be >= 1, got "
+                     << config_.threads);
 }
 
 std::string RandomEngine::spec_string() const {
@@ -238,6 +327,7 @@ PlanResult RandomEngine::search(const core::Problem& problem,
   core::SkeletonSpace space(problem,
                             {config_.second, config_.heuristic_candidates});
   const core::FirstLevelCodec& codec = space.codec();
+  const std::unique_ptr<util::WorkerPool> pool = make_pool(config_.threads);
   Rng rng(config_.seed);
   const std::vector<double> scores = space.design_scores();
 
@@ -246,35 +336,58 @@ PlanResult RandomEngine::search(const core::Problem& problem,
   long long evaluations = 0;
   std::vector<double> history;
 
+  // Samples are drawn serially (one RNG stream, same order as a serial
+  // sweep) but priced in batches of kProgressStride. The batch size is
+  // clamped to the remaining evaluation budget — never derived from the
+  // thread count — so budget honouring stays exact and results are
+  // byte-identical at any `threads`. The first batch is the seed point
+  // alone: a pre-cancelled search still returns a valid mapping having
+  // spent exactly one evaluation.
   int drawn = 0;
-  for (; drawn < config_.samples; ++drawn) {
-    // The first sample (the baseline) is always evaluated so a stopped
-    // search still returns a valid mapping.
+  while (drawn < config_.samples) {
     if (drawn > 0 && meter.exhausted(evaluations)) break;
-    ga::Genome sample;
-    if (drawn == 0 && config_.seed_baseline) {
-      sample = codec.encode(space.baseline(), scores);
-    } else if (rng.chance(config_.profiled_fraction)) {
-      sample = codec.profiled_random(scores, rng);
-    } else {
-      sample = ga::random_genome(codec.genome_size(), 0.0, 1.0, rng);
+    long long batch_size =
+        std::min<long long>(kProgressStride, config_.samples - drawn);
+    if (drawn == 0) batch_size = 1;
+    if (budget.max_evaluations > 0) {
+      batch_size =
+          std::min(batch_size, budget.max_evaluations - evaluations);
     }
-    const double fitness = space.fitness(codec.decode(sample));
-    ++evaluations;
-    if (fitness < best_fitness) {
-      best = std::move(sample);
-      best_fitness = fitness;
+    MARS_CHECK(batch_size >= 1, "random-search batch underflow");
+
+    std::vector<ga::Genome> samples;
+    samples.reserve(static_cast<std::size_t>(batch_size));
+    for (long long i = 0; i < batch_size; ++i) {
+      if (drawn + i == 0 && config_.seed_baseline) {
+        samples.push_back(codec.encode(space.baseline(), scores));
+      } else if (rng.chance(config_.profiled_fraction)) {
+        samples.push_back(codec.profiled_random(scores, rng));
+      } else {
+        samples.push_back(
+            ga::random_genome(codec.genome_size(), 0.0, 1.0, rng));
+      }
     }
-    history.push_back(best_fitness);
-    if (progress && drawn % kProgressStride == 0) {
+    const std::vector<double> fitnesses =
+        space.fitness_batch(samples, pool.get());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      ++evaluations;
+      if (fitnesses[i] < best_fitness) {
+        best = std::move(samples[i]);
+        best_fitness = fitnesses[i];
+      }
+      history.push_back(best_fitness);
+    }
+    drawn += static_cast<int>(batch_size);
+    if (progress) {
       progress({evaluations, best_fitness, meter.elapsed()});
     }
   }
 
-  return finish(
-      space, codec.decode(best), config_.refine_winner, rng,
-      std::move(history),
-      {name(), spec_string(), evaluations, drawn, {}, meter.reason()}, meter);
+  return finish(space, codec.decode(best), config_.refine_winner, rng,
+                std::move(history),
+                leaf_provenance(name(), spec_string(), evaluations, drawn,
+                                meter.reason()),
+                meter);
 }
 
 // ----------------------------------------------------------- BaselineEngine
@@ -291,21 +404,118 @@ PlanResult BaselineEngine::search(const core::Problem& problem,
   if (progress) {
     progress({0, result.summary.analytic_makespan.count(), meter.elapsed()});
   }
-  result.provenance = {name(),         spec_string(), 0, 0,
-                       meter.elapsed(), StopReason::kCompleted};
+  result.provenance =
+      leaf_provenance(name(), spec_string(), 0, 0, StopReason::kCompleted);
+  result.provenance.elapsed = meter.elapsed();
   return result;
+}
+
+// ---------------------------------------------------------- PortfolioEngine
+
+PortfolioEngine::PortfolioEngine(
+    std::vector<std::unique_ptr<SearchEngine>> members, Seconds member_wall)
+    : members_(std::move(members)), member_wall_(member_wall) {
+  MARS_CHECK_ARG(members_.size() >= 2,
+                 "portfolio needs >= 2 member engines, got "
+                     << members_.size());
+  for (const std::unique_ptr<SearchEngine>& member : members_) {
+    MARS_CHECK_ARG(member != nullptr, "portfolio member engine is null");
+  }
+}
+
+std::string PortfolioEngine::spec_string() const {
+  std::ostringstream os;
+  os << "portfolio[";
+  if (member_wall_.count() > 0.0) {
+    os << "member_wall_ms=" << member_wall_.count() * 1e3 << ',';
+  }
+  os << "members=";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    os << (i > 0 ? ";" : "") << members_[i]->spec_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+PlanResult PortfolioEngine::search(const core::Problem& problem,
+                                   const Budget& budget,
+                                   const ProgressFn& progress) const {
+  BudgetMeter meter(budget);
+  Provenance provenance;
+  provenance.engine = name();
+  provenance.spec = spec_string();
+
+  PlanResult best;
+  bool have_result = false;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    // The first member always races (its engine returns a valid mapping
+    // even pre-cancelled); later members only start while budget remains.
+    if (i > 0 && meter.exhausted(provenance.evaluations)) break;
+
+    // This member's slice: the remaining budget, divided evenly over the
+    // members not yet raced — a member that finishes under its slice
+    // donates the leftovers to those after it.
+    const auto remaining_members =
+        static_cast<long long>(members_.size() - i);
+    Budget slice;
+    slice.cancel = budget.cancel;
+    slice.clock = budget.clock;
+    if (budget.max_evaluations > 0) {
+      slice.max_evaluations =
+          std::max<long long>(1, (budget.max_evaluations -
+                                  provenance.evaluations) /
+                                     remaining_members);
+    }
+    if (budget.wall_clock.count() > 0.0) {
+      const double remaining_s =
+          std::max(0.0, (budget.wall_clock - meter.elapsed()).count());
+      // Keep the limit armed even when overdrawn (0 would mean "off").
+      slice.wall_clock = Seconds(
+          std::max(remaining_s / static_cast<double>(remaining_members),
+                   1e-9));
+    }
+    if (member_wall_.count() > 0.0 &&
+        (slice.wall_clock.count() <= 0.0 || member_wall_ < slice.wall_clock)) {
+      slice.wall_clock = member_wall_;
+    }
+
+    ProgressFn member_progress;
+    if (progress) {
+      const long long offset = provenance.evaluations;
+      member_progress = [&, offset](const Progress& update) {
+        progress({offset + update.evaluations, update.best_fitness,
+                  meter.elapsed()});
+      };
+    }
+    PlanResult raced = members_[i]->search(problem, slice, member_progress);
+    provenance.evaluations += raced.provenance.evaluations;
+    provenance.iterations += raced.provenance.iterations;
+    provenance.members.push_back(raced.provenance);
+    if (!have_result ||
+        raced.summary.analytic_makespan < best.summary.analytic_makespan) {
+      provenance.winner = provenance.members.back().engine;
+      best = std::move(raced);
+      have_result = true;
+    }
+  }
+
+  // The overall stop reason: whichever shared limit (if any) has fired by
+  // the end of the race — members stopping at their own slices is normal
+  // completion, visible per member under provenance.members.
+  (void)meter.exhausted(provenance.evaluations);
+  provenance.stopped = meter.reason();
+  provenance.elapsed = meter.elapsed();
+  best.provenance = std::move(provenance);
+  return best;
 }
 
 // ---------------------------------------------------------------- factory
 
-const std::vector<std::string>& engine_names() {
-  static const std::vector<std::string> names = {"ga", "anneal", "random",
-                                                 "baseline"};
-  return names;
-}
+namespace {
 
-std::unique_ptr<SearchEngine> make_engine(const std::string& name,
-                                          const core::MarsConfig& tuning) {
+/// A leaf (non-composite) engine by name; nullptr when `name` is unknown.
+std::unique_ptr<SearchEngine> make_leaf_engine(
+    const std::string& name, const core::MarsConfig& tuning) {
   // Evaluation-fair schedules: anneal/random get the GA's worst-case
   // evaluation count (population x generations) so a budgetless
   // engine-comparison sweep compares equals.
@@ -324,6 +534,7 @@ std::unique_ptr<SearchEngine> make_engine(const std::string& name,
     config.iterations = static_cast<int>(
         std::min<long long>(ga_evaluations, 1 << 20));
     config.seed = tuning.seed;
+    config.threads = tuning.threads;
     return std::make_unique<AnnealingEngine>(config);
   }
   if (name == "random") {
@@ -335,17 +546,85 @@ std::unique_ptr<SearchEngine> make_engine(const std::string& name,
     config.samples = static_cast<int>(
         std::min<long long>(ga_evaluations, 1 << 20));
     config.seed = tuning.seed;
+    config.threads = tuning.threads;
     return std::make_unique<RandomEngine>(config);
   }
   if (name == "baseline") {
     return std::make_unique<BaselineEngine>();
+  }
+  return nullptr;
+}
+
+/// "race:<m>+<m>[+...][,MS]" -> a PortfolioEngine over named leaf members
+/// with an optional per-member wall-clock cap.
+std::unique_ptr<SearchEngine> make_race_engine(
+    const std::string& spec, const core::MarsConfig& tuning) {
+  const std::string body = spec.substr(std::string("race:").size());
+  std::vector<std::string> parts = split(body, ',');
+  MARS_CHECK_ARG(!parts.empty() && parts.size() <= 2,
+                 "bad race spec '" << spec
+                                   << "' (use race:<m>+<m>[+...][,MS])");
+  Seconds member_wall(0.0);
+  if (parts.size() == 2) {
+    std::size_t consumed = 0;
+    double ms = 0.0;
+    try {
+      ms = std::stod(parts[1], &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    MARS_CHECK_ARG(consumed == parts[1].size() && ms > 0.0,
+                   "race per-member budget must be a positive ms count, got '"
+                       << parts[1] << "' in '" << spec << "'");
+    member_wall = milliseconds(ms);
+  }
+  std::vector<std::unique_ptr<SearchEngine>> members;
+  for (const std::string& member : split(parts[0], '+')) {
+    std::unique_ptr<SearchEngine> engine = make_leaf_engine(member, tuning);
+    MARS_CHECK_ARG(engine != nullptr,
+                   "unknown race member '"
+                       << member << "' in '" << spec
+                       << "' (members are leaf engines: ga | anneal | "
+                          "random | baseline)");
+    members.push_back(std::move(engine));
+  }
+  MARS_CHECK_ARG(members.size() >= 2, "race spec '"
+                                          << spec
+                                          << "' needs >= 2 members, got "
+                                          << members.size());
+  return std::make_unique<PortfolioEngine>(std::move(members), member_wall);
+}
+
+}  // namespace
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> names = {"ga", "anneal", "random",
+                                                 "baseline", "portfolio"};
+  return names;
+}
+
+std::unique_ptr<SearchEngine> make_engine(const std::string& name,
+                                          const core::MarsConfig& tuning) {
+  if (name == "portfolio") {
+    // The default race: every searching engine under one budget.
+    std::vector<std::unique_ptr<SearchEngine>> members;
+    for (const char* member : {"ga", "anneal", "random"}) {
+      members.push_back(make_leaf_engine(member, tuning));
+    }
+    return std::make_unique<PortfolioEngine>(std::move(members));
+  }
+  if (name.rfind("race:", 0) == 0) {
+    return make_race_engine(name, tuning);
+  }
+  if (std::unique_ptr<SearchEngine> engine = make_leaf_engine(name, tuning)) {
+    return engine;
   }
   std::ostringstream os;
   os << "unknown search engine '" << name << "' (use ";
   for (std::size_t i = 0; i < engine_names().size(); ++i) {
     os << (i > 0 ? " | " : "") << engine_names()[i];
   }
-  os << ')';
+  os << " | race:<m>+<m>[+...][,MS])";
   throw InvalidArgument(os.str());
 }
 

@@ -1,4 +1,4 @@
-// The four concrete search engines behind plan::SearchEngine.
+// The five concrete search engines behind plan::SearchEngine.
 //
 //  * GaEngine       — the paper's two-level genetic search (wraps
 //                     core::Mars; the default and strongest engine).
@@ -9,11 +9,19 @@
 //                     floor any search must beat.
 //  * BaselineEngine — the Herald-extended baseline (core/baseline.*), no
 //                     search at all.
+//  * PortfolioEngine — a composite: races member engines under slices of
+//                     one shared budget and keeps the winning mapping
+//                     (the MAGMA observation that no single optimizer
+//                     wins across workloads, operationalised).
 //
 // All engines are deterministic under their config seed, honour Budget
 // limits cooperatively, seed from the baseline mapping by default (so
 // their result never loses to it under the analytic model), and validate
 // their configuration at construction with named errors.
+//
+// Threading: every `threads` knob below fans fitness evaluation across a
+// util::WorkerPool. Results are byte-identical at any thread count, so
+// `threads` never appears in a spec_string (docs/PERFORMANCE.md).
 #pragma once
 
 #include <memory>
@@ -59,7 +67,17 @@ struct AnnealConfig {
   double step_sigma = 0.25;
   /// Genes perturbed per proposal.
   int moves_per_step = 2;
+  /// Independent Metropolis chains sharing the temperature schedule and
+  /// the memoised second level; the best chain wins. Each step proposes
+  /// one move per chain and prices them as one batch, so chains are what
+  /// `threads` parallelises (one chain is inherently sequential). Part of
+  /// the spec (changes results). Evaluation budgets stay exact: a step
+  /// (and, without seed_baseline, the start cohort) truncates to the
+  /// first k chains when fewer than `chains` evaluations remain.
+  int chains = 1;
   std::uint64_t seed = 1;
+  /// Fitness threads (execution-only, never in the spec; see above).
+  int threads = 1;
 };
 
 class AnnealingEngine final : public SearchEngine {
@@ -89,6 +107,13 @@ struct RandomConfig {
   /// initialisation heuristic); the rest are uniform.
   double profiled_fraction = 0.5;
   std::uint64_t seed = 1;
+  /// Fitness threads (execution-only, never in the spec). Samples are
+  /// drawn in fixed-size batches (32) whose size is independent of
+  /// `threads` and clamped to the remaining evaluation budget, so
+  /// evaluation budgets stay exact and results match the serial engine
+  /// bit for bit. Wall-clock budgets and cancellation are polled at
+  /// batch boundaries, so either may overshoot by up to one batch.
+  int threads = 1;
 };
 
 class RandomEngine final : public SearchEngine {
@@ -118,16 +143,59 @@ class BaselineEngine final : public SearchEngine {
                                   const ProgressFn& progress = {}) const override;
 };
 
+/// Races member engines sequentially under slices of one shared Budget
+/// and returns the member mapping with the lowest analytic makespan
+/// (ties to the earlier member). Slicing policy: before member i of the
+/// n - i not yet raced, the remaining evaluation/wall-clock budget is
+/// divided evenly among the n - i — so a member that stops early
+/// (converged, stall) donates its unused slice to the members after it.
+/// An optional per-member wall-clock cap ("race:ga+anneal,500") applies
+/// on top (min with the slice). Cancellation is checked between members;
+/// a cancelled portfolio returns the best mapping of the members that
+/// did run (the first member always runs — engines return a valid
+/// mapping even pre-cancelled).
+///
+/// Provenance: engine "portfolio", `winner` names the winning member,
+/// `members` holds each raced member's own provenance in order, and
+/// evaluations/iterations sum over members. spec_string() embeds every
+/// member's spec, so a portfolio never aliases a member alone in the
+/// mapping cache.
+class PortfolioEngine final : public SearchEngine {
+ public:
+  /// `members` must hold >= 2 engines; `member_wall` <= 0 means no
+  /// per-member cap. Throws InvalidArgument (named) otherwise.
+  explicit PortfolioEngine(std::vector<std::unique_ptr<SearchEngine>> members,
+                           Seconds member_wall = Seconds(0.0));
+
+  [[nodiscard]] std::string name() const override { return "portfolio"; }
+  [[nodiscard]] std::string spec_string() const override;
+  [[nodiscard]] PlanResult search(const core::Problem& problem,
+                                  const Budget& budget = {},
+                                  const ProgressFn& progress = {}) const override;
+  [[nodiscard]] const std::vector<std::unique_ptr<SearchEngine>>& members()
+      const {
+    return members_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SearchEngine>> members_;
+  Seconds member_wall_;
+};
+
 /// The engine names make_engine accepts, in documentation order.
 [[nodiscard]] const std::vector<std::string>& engine_names();
 
 /// Builds an engine by name ("ga" — alias "mars" —, "anneal", "random",
-/// "baseline"), deriving its configuration from `tuning`: the GA engine
-/// takes it verbatim; anneal/random inherit the second-level config,
-/// seed, candidate/refine/seed-baseline flags, and size their schedules
-/// to the GA's evaluation budget (population x generations) so engine
-/// comparisons are evaluation-fair. Throws InvalidArgument naming the
-/// unknown engine and the valid names.
+/// "baseline", "portfolio"), deriving its configuration from `tuning`:
+/// the GA engine takes it verbatim; anneal/random inherit the
+/// second-level config, seed, threads, candidate/refine/seed-baseline
+/// flags, and size their schedules to the GA's evaluation budget
+/// (population x generations) so engine comparisons are evaluation-fair.
+/// "portfolio" races ga+anneal+random; "race:<m>+<m>[+...][,MS]" picks
+/// the members explicitly with an optional per-member wall-clock cap of
+/// MS milliseconds (members are leaf engine names — a race inside a race
+/// is rejected). Throws InvalidArgument naming the unknown engine and
+/// the valid names.
 [[nodiscard]] std::unique_ptr<SearchEngine> make_engine(
     const std::string& name, const core::MarsConfig& tuning = {});
 

@@ -114,5 +114,56 @@ TEST_F(MarsTest, FixedDesignModeSearches) {
   EXPECT_GT(result.summary.simulated.count(), 0.0);
 }
 
+TEST_F(MarsTest, ThreadedSearchIsByteIdenticalToSerial) {
+  // `threads` is an execution knob, not a search knob: the whole
+  // MarsResult — mapping, histories, evaluation and cache counters — must
+  // match the serial run exactly (docs/PERFORMANCE.md).
+  MarsConfig serial_config = fast_config();
+  MarsConfig threaded_config = fast_config();
+  threaded_config.threads = 4;
+
+  const MarsResult serial = Mars(fx_.problem, serial_config).search();
+  const MarsResult threaded = Mars(fx_.problem, threaded_config).search();
+
+  EXPECT_EQ(serial.first_level.best, threaded.first_level.best);
+  EXPECT_EQ(serial.first_level.history, threaded.first_level.history);
+  EXPECT_EQ(serial.first_level.evaluations, threaded.first_level.evaluations);
+  EXPECT_EQ(serial.second_level_hits, threaded.second_level_hits);
+  EXPECT_EQ(serial.second_level_misses, threaded.second_level_misses);
+  ASSERT_EQ(serial.mapping.sets.size(), threaded.mapping.sets.size());
+  for (std::size_t i = 0; i < serial.mapping.sets.size(); ++i) {
+    EXPECT_EQ(serial.mapping.sets[i].strategies,
+              threaded.mapping.sets[i].strategies)
+        << i;
+  }
+  EXPECT_EQ(serial.summary.simulated.count(),
+            threaded.summary.simulated.count());
+}
+
+TEST_F(MarsTest, ThreadedFlatAblationIsByteIdenticalToSerial) {
+  MarsConfig serial_config = fast_config();
+  serial_config.two_level = false;
+  MarsConfig threaded_config = serial_config;
+  threaded_config.threads = 3;
+
+  const MarsResult serial = Mars(fx_.problem, serial_config).search();
+  const MarsResult threaded = Mars(fx_.problem, threaded_config).search();
+  EXPECT_EQ(serial.first_level.best, threaded.first_level.best);
+  EXPECT_EQ(serial.first_level.history, threaded.first_level.history);
+  EXPECT_EQ(serial.summary.simulated.count(),
+            threaded.summary.simulated.count());
+}
+
+TEST_F(MarsTest, NonPositiveThreadCountIsANamedError) {
+  MarsConfig config = fast_config();
+  config.threads = 0;
+  try {
+    Mars mars(fx_.problem, config);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mars::core

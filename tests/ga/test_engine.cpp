@@ -218,5 +218,50 @@ TEST(GaEngine, MultimodalSearchFindsGoodBasin) {
   EXPECT_LT(result.best_fitness, 8.0);
 }
 
+TEST(GaEngine, BatchEvaluatorReproducesTheSerialSearchExactly) {
+  // The batch hook sees whole cohorts but must not change the search:
+  // same values in -> byte-identical best/history/evaluations out.
+  auto sphere = [](const Genome& genome) {
+    double sum = 0.0;
+    for (double g : genome) sum += (g - 0.5) * (g - 0.5);
+    return sum;
+  };
+  const GaEngine engine(small_config(), 6);
+
+  Rng serial_rng(11);
+  const GaResult serial = engine.minimize(sphere, serial_rng);
+
+  std::vector<std::size_t> cohort_sizes;
+  BatchFitnessFn batch = [&](const std::vector<Genome>& genomes) {
+    cohort_sizes.push_back(genomes.size());
+    std::vector<double> values;
+    values.reserve(genomes.size());
+    for (const Genome& genome : genomes) values.push_back(sphere(genome));
+    return values;
+  };
+  Rng batch_rng(11);
+  const GaResult batched = engine.minimize(sphere, batch_rng, {}, {}, batch);
+
+  EXPECT_EQ(serial.best, batched.best);
+  EXPECT_EQ(serial.history, batched.history);
+  EXPECT_EQ(serial.evaluations, batched.evaluations);
+  EXPECT_DOUBLE_EQ(serial.best_fitness, batched.best_fitness);
+  // The hook really carried the evaluations: first the initial
+  // population, then one offspring cohort per generation.
+  ASSERT_FALSE(cohort_sizes.empty());
+  EXPECT_EQ(cohort_sizes.front(),
+            static_cast<std::size_t>(small_config().population));
+}
+
+TEST(GaEngine, BatchEvaluatorSizeMismatchIsAnError) {
+  const GaEngine engine(small_config(), 4);
+  BatchFitnessFn bad = [](const std::vector<Genome>& genomes) {
+    return std::vector<double>(genomes.size() + 1, 1.0);
+  };
+  auto one = [](const Genome&) { return 1.0; };
+  Rng rng(3);
+  EXPECT_THROW((void)engine.minimize(one, rng, {}, {}, bad), InternalError);
+}
+
 }  // namespace
 }  // namespace mars::ga

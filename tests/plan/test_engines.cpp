@@ -180,6 +180,44 @@ TEST_F(EnginesTest, UnknownEngineNamesTheValidSet) {
   }
 }
 
+TEST_F(EnginesTest, MultiChainAnnealHonoursTinyEvaluationBudgetsExactly) {
+  // Even the start cohort clamps to the budget: chains=8 with a budget of
+  // 4 starts only 4 chains (seed_baseline=false spends one evaluation
+  // per started chain).
+  AnnealConfig config;
+  config.second = tiny_tuning().second;
+  config.chains = 8;
+  config.seed_baseline = false;
+  config.iterations = 50;
+  const PlanResult result =
+      AnnealingEngine(config).search(fx_.problem, Budget::evaluations(4));
+  EXPECT_LE(result.provenance.evaluations, 4);
+  EXPECT_EQ(result.provenance.stopped, StopReason::kEvaluationBudget);
+  EXPECT_NO_THROW(
+      result.mapping.validate(fx_.spine, fx_.topo, fx_.designs, true));
+}
+
+TEST_F(EnginesTest, MultiChainAnnealIsByteIdenticalAcrossThreadCounts) {
+  AnnealConfig serial;
+  serial.second = tiny_tuning().second;
+  serial.chains = 4;
+  serial.iterations = 30;
+  AnnealConfig threaded = serial;
+  threaded.threads = 4;
+  const PlanResult a = AnnealingEngine(serial).search(fx_.problem);
+  const PlanResult b = AnnealingEngine(threaded).search(fx_.problem);
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.provenance.evaluations, b.provenance.evaluations);
+  EXPECT_DOUBLE_EQ(a.summary.simulated.count(), b.summary.simulated.count());
+  // threads is execution-only; chains is spec-relevant.
+  EXPECT_EQ(AnnealingEngine(serial).spec_string(),
+            AnnealingEngine(threaded).spec_string());
+  AnnealConfig other_chains = serial;
+  other_chains.chains = 2;
+  EXPECT_NE(AnnealingEngine(serial).spec_string(),
+            AnnealingEngine(other_chains).spec_string());
+}
+
 TEST_F(EnginesTest, EngineConfigsAreValidatedAtConstruction) {
   // The satellite contract: bad knobs fail eagerly with named errors,
   // not as silent misbehaviour mid-search.

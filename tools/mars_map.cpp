@@ -5,11 +5,14 @@
 //   mars_map profile --model vgg16
 //       Per-layer design profile (Table II style).
 //   mars_map map --model resnet34 [--topology f1 | cloud:<n>:<gbps>]
-//                [--mapper ga|anneal|random|baseline] [--search-budget MS]
-//                [--search-evals N] [--seed N] [--json out.json] [--quick]
-//                [--fixed]
+//                [--mapper ga|anneal|random|baseline|portfolio|race:...]
+//                [--search-budget MS] [--search-evals N] [--threads N]
+//                [--seed N] [--json out.json] [--quick] [--fixed]
 //       Run a mapping search (default: the two-level GA) and print (or
-//       export) the mapping with its provenance.
+//       export) the mapping with its provenance. --threads fans fitness
+//       evaluation across a worker pool (identical results, less wall
+//       clock); --mapper portfolio races ga+anneal+random under one
+//       budget and keeps the winner.
 //   mars_map baseline --model resnet34
 //       The Herald-extended baseline mapping and latency.
 //   mars_map throughput --model resnet34 --batch 8
@@ -139,9 +142,22 @@ topology::Topology make_topology(const Args& args) {
                         "' (use f1 | cloud:<n>:<gbps> | ring:<n>:<gbps>)");
 }
 
+/// `--threads N` -> fitness-evaluation worker count. Execution-only (the
+/// mapping is byte-identical at any value); 0/negative are named usage
+/// errors, matching the `--rate`/`--slo` convention.
+int thread_count(const Args& args) {
+  const int threads = int_option(args, "threads", "1");
+  if (threads < 1) {
+    throw InvalidArgument("--threads must be >= 1, got '" +
+                          args.get("threads", "1") + "'");
+  }
+  return threads;
+}
+
 core::MarsConfig make_config(const Args& args) {
   core::MarsConfig config;
   config.seed = std::stoull(args.get("seed", "1"));
+  config.threads = thread_count(args);
   if (args.flag("quick")) {
     config.first_ga.population = 12;
     config.first_ga.generations = 8;
@@ -158,10 +174,12 @@ std::unique_ptr<plan::SearchEngine> make_engine(const Args& args,
                                                 const core::MarsConfig& config) {
   const std::string name = args.get("mapper", "ga");
   const std::vector<std::string>& names = plan::engine_names();
-  if (name != "mars" &&
+  if (name != "mars" && name.rfind("race:", 0) != 0 &&
       std::find(names.begin(), names.end(), name) == names.end()) {
-    throw InvalidArgument("unknown --mapper '" + name +
-                          "' (use ga | anneal | random | baseline)");
+    throw InvalidArgument(
+        "unknown --mapper '" + name +
+        "' (use ga | anneal | random | baseline | portfolio | "
+        "race:<m>+<m>[,MS])");
   }
   return plan::make_engine(name, config);
 }
@@ -255,6 +273,15 @@ int cmd_map(const Args& args) {
             << format_double(result.provenance.elapsed.count(), 3)
             << " s, stopped: " << plan::to_string(result.provenance.stopped)
             << '\n';
+  if (!result.provenance.winner.empty()) {
+    std::cout << "portfolio winner: " << result.provenance.winner << " (";
+    for (std::size_t i = 0; i < result.provenance.members.size(); ++i) {
+      const plan::Provenance& member = result.provenance.members[i];
+      std::cout << (i > 0 ? ", " : "") << member.engine << " "
+                << member.evaluations << " evals";
+    }
+    std::cout << ")\n";
+  }
 
   if (args.flag("json")) {
     JsonValue out = JsonValue::object();
@@ -334,6 +361,7 @@ int cmd_serve(const Args& args) {
   // skips the search entirely).
   core::MarsConfig config;
   config.seed = std::stoull(args.get("seed", "1"));
+  config.threads = thread_count(args);
   if (!args.flag("full")) {
     config.first_ga.population = 12;
     config.first_ga.generations = 8;
@@ -463,13 +491,14 @@ int cmd_serve(const Args& args) {
 int usage(std::ostream& os) {
   os << "usage: mars_map <models|profile|map|baseline|throughput|serve> "
         "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
-        "[--model-file PATH] [--mapper ga|anneal|random|baseline] "
-        "[--search-budget MS] [--search-evals N] "
+        "[--model-file PATH] "
+        "[--mapper ga|anneal|random|baseline|portfolio|race:<m>+<m>[,MS]] "
+        "[--search-budget MS] [--search-evals N] [--threads N] "
         "[--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
         "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
         "--duration S --slo MS "
         "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
-        "--mapper NAME --mapping-cache DIR --full --trace CSV "
+        "--mapper NAME --threads N --mapping-cache DIR --full --trace CSV "
         "--clients N --think MS\n"
         "full reference: docs/CLI.md and docs/SEARCH.md\n";
   return 1;
