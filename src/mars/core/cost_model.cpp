@@ -1,6 +1,7 @@
 #include "mars/core/cost_model.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "mars/parallel/comm_pattern.h"
@@ -35,28 +36,35 @@ void Problem::validate() const {
 AnalyticalCostModel::AnalyticalCostModel(const Problem& problem)
     : problem_(&problem) {
   problem.validate();
-}
-
-std::vector<const accel::AcceleratorDesign*> AnalyticalCostModel::member_designs(
-    const LayerAssignment& set) const {
-  std::vector<const accel::AcceleratorDesign*> designs;
-  if (problem_->adaptive) {
-    designs.push_back(&problem_->designs->design(set.design));
-    return designs;
+  for (const graph::SpineEdge& edge : problem.spine->edges()) {
+    if (edge.producer < 0) {
+      input_consumer_.push_back(edge.consumer);
+      input_bytes_.push_back(edge.bytes.count());
+    } else {
+      edge_producer_.push_back(edge.producer);
+      edge_consumer_.push_back(edge.consumer);
+      edge_bytes_.push_back(edge.bytes.count());
+    }
   }
-  for (topology::AccId acc : topology::mask_members(set.accs)) {
-    designs.push_back(
-        &problem_->designs->design(problem_->topo->accelerator(acc).fixed_design));
-  }
-  return designs;
 }
 
 Seconds AnalyticalCostModel::phase_compute_time(const LayerAssignment& set,
                                                 const graph::ConvShape& local) const {
+  // Allocation-free member sweep (this runs per strategy option inside the
+  // greedy second level): adaptive sets have one configured design; fixed
+  // sets take the slowest member, visited in ascending accelerator order —
+  // the same order member_designs() yields.
+  if (problem_->adaptive) {
+    return problem_->designs->design(set.design)
+        .conv_latency(local, problem_->spine->dtype());
+  }
   Seconds worst(0.0);
-  for (const accel::AcceleratorDesign* design : member_designs(set)) {
-    worst = std::max(
-        worst, design->conv_latency(local, problem_->spine->dtype()));
+  for (topology::AccMask rest = set.accs; rest != 0; rest &= rest - 1) {
+    const auto acc = static_cast<topology::AccId>(std::countr_zero(rest));
+    const accel::AcceleratorDesign& design =
+        problem_->designs->design(problem_->topo->accelerator(acc).fixed_design);
+    worst = std::max(worst,
+                     design.conv_latency(local, problem_->spine->dtype()));
   }
   return worst;
 }
@@ -65,10 +73,18 @@ Seconds AnalyticalCostModel::fused_time(const LayerAssignment& set, int layer,
                                         int p) const {
   const Bytes traffic =
       problem_->spine->node(layer).fused_traffic / static_cast<double>(p);
+  if (problem_->adaptive) {
+    const accel::AcceleratorDesign& design =
+        problem_->designs->design(set.design);
+    return design.frequency().time_for(design.dram_cycles(traffic));
+  }
   Seconds worst(0.0);
-  for (const accel::AcceleratorDesign* design : member_designs(set)) {
-    worst = std::max(
-        worst, design->frequency().time_for(design->dram_cycles(traffic)));
+  for (topology::AccMask rest = set.accs; rest != 0; rest &= rest - 1) {
+    const auto acc = static_cast<topology::AccId>(std::countr_zero(rest));
+    const accel::AcceleratorDesign& design =
+        problem_->designs->design(problem_->topo->accelerator(acc).fixed_design);
+    worst = std::max(worst,
+                     design.frequency().time_for(design.dram_cycles(traffic)));
   }
   return worst;
 }
@@ -202,22 +218,45 @@ Bytes AnalyticalCostModel::bytes_between(const std::vector<LayerAssignment>& set
   return total;
 }
 
+std::vector<Bytes> AnalyticalCostModel::inter_set_bytes(
+    const std::vector<LayerAssignment>& sets) const {
+  const std::size_t s = sets.size();
+  // Layer -> set index (-1 outside every set). Ranges are disjoint by the
+  // Mapping/decode contract, so each edge lands in exactly one cell.
+  std::vector<int> owner(static_cast<std::size_t>(problem_->spine->size()), -1);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (int layer = sets[i].begin; layer < sets[i].end; ++layer) {
+      owner[static_cast<std::size_t>(layer)] = static_cast<int>(i);
+    }
+  }
+  std::vector<Bytes> matrix(s * s);
+  for (std::size_t e = 0; e < edge_bytes_.size(); ++e) {
+    const int from = owner[static_cast<std::size_t>(edge_producer_[e])];
+    const int to = owner[static_cast<std::size_t>(edge_consumer_[e])];
+    if (from < 0 || to < 0) continue;
+    matrix[static_cast<std::size_t>(from) * s + static_cast<std::size_t>(to)] +=
+        Bytes(edge_bytes_[e]);
+  }
+  return matrix;
+}
+
 Seconds AnalyticalCostModel::aggregate_makespan(
     const std::vector<LayerAssignment>& sets,
     const std::vector<Seconds>& set_latencies) const {
   MARS_CHECK_ARG(sets.size() == set_latencies.size(),
                  "one latency per set required");
   const graph::ConvSpine& spine = *problem_->spine;
+  const std::size_t s = sets.size();
 
   // Host input feeds whichever sets consume network-input edges.
-  std::vector<Seconds> start(sets.size(), Seconds(0.0));
-  for (const graph::SpineEdge& edge : spine.edges()) {
-    if (edge.producer >= 0) continue;
-    for (std::size_t i = 0; i < sets.size(); ++i) {
-      if (edge.consumer >= sets[i].begin && edge.consumer < sets[i].end) {
+  std::vector<Seconds> start(s, Seconds(0.0));
+  for (std::size_t e = 0; e < input_bytes_.size(); ++e) {
+    for (std::size_t i = 0; i < s; ++i) {
+      if (input_consumer_[e] >= sets[i].begin &&
+          input_consumer_[e] < sets[i].end) {
         const Seconds arrival =
             problem_->topo->min_host_bandwidth(sets[i].accs)
-                .transfer_time(edge.bytes) +
+                .transfer_time(Bytes(input_bytes_[e])) +
             problem_->sim_params.link_latency;
         start[i] = std::max(start[i], arrival);
       }
@@ -225,12 +264,15 @@ Seconds AnalyticalCostModel::aggregate_makespan(
   }
 
   // Longest path over the set DAG (ranges are ordered, edges go forward).
-  std::vector<Seconds> finish(sets.size(), Seconds(0.0));
+  // The pair byte totals come from one pass over the edge arrays instead
+  // of an O(sets^2 x edges) bytes_between sweep.
+  const std::vector<Bytes> crossing = inter_set_bytes(sets);
+  std::vector<Seconds> finish(s, Seconds(0.0));
   Seconds makespan(0.0);
-  for (std::size_t i = 0; i < sets.size(); ++i) {
+  for (std::size_t i = 0; i < s; ++i) {
     Seconds ready = start[i];
     for (std::size_t j = 0; j < i; ++j) {
-      const Bytes bytes = bytes_between(sets, j, i);
+      const Bytes bytes = crossing[j * s + i];
       if (bytes.count() <= 0.0) continue;
       ready = std::max(ready,
                        finish[j] + inter_set_time(sets[j].accs, sets[i].accs, bytes));
@@ -251,9 +293,11 @@ EvaluationSummary AnalyticalCostModel::evaluate(const Mapping& mapping) const {
   mapping.validate(spine, *problem_->topo, *problem_->designs, problem_->adaptive);
 
   EvaluationSummary summary;
+  const std::size_t num_sets = mapping.sets.size();
+  const std::vector<Bytes> crossing = inter_set_bytes(mapping.sets);
   std::vector<Seconds> set_latencies;
-  set_latencies.reserve(mapping.sets.size());
-  for (std::size_t i = 0; i < mapping.sets.size(); ++i) {
+  set_latencies.reserve(num_sets);
+  for (std::size_t i = 0; i < num_sets; ++i) {
     const LayerAssignment& set = mapping.sets[i];
     const SetCost cost = set_cost(set);
     summary.analytic.compute += cost.latency.compute;
@@ -263,8 +307,8 @@ EvaluationSummary AnalyticalCostModel::evaluate(const Mapping& mapping) const {
         std::max(summary.worst_set_footprint, cost.footprint.total());
     set_latencies.push_back(cost.latency.total());
 
-    for (std::size_t j = i + 1; j < mapping.sets.size(); ++j) {
-      const Bytes bytes = bytes_between(mapping.sets, i, j);
+    for (std::size_t j = i + 1; j < num_sets; ++j) {
+      const Bytes bytes = crossing[i * num_sets + j];
       if (bytes.count() > 0.0) {
         summary.analytic.inter_set +=
             inter_set_time(set.accs, mapping.sets[j].accs, bytes);

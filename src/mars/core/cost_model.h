@@ -88,6 +88,15 @@ class AnalyticalCostModel {
                                     std::size_t producer,
                                     std::size_t consumer) const;
 
+  /// bytes_between for every ordered pair at once: row-major S x S matrix
+  /// with entry [producer * S + consumer]. Computed in a single pass over
+  /// the contiguous edge arrays (each edge lands in exactly one cell when
+  /// the set ranges are disjoint), so per-cell sums accumulate in edge
+  /// order — bit-identical to calling bytes_between per pair. Requires
+  /// disjoint layer ranges; layers outside every set contribute nothing.
+  [[nodiscard]] std::vector<Bytes> inter_set_bytes(
+      const std::vector<LayerAssignment>& sets) const;
+
   /// Critical-path aggregation: schedules the sets over their data-
   /// dependency DAG (set j feeds set i when a spine edge crosses them),
   /// charging inter-set transfers on the edges and host I/O at the
@@ -101,10 +110,17 @@ class AnalyticalCostModel {
   [[nodiscard]] const Problem& problem() const { return *problem_; }
 
  private:
-  [[nodiscard]] std::vector<const accel::AcceleratorDesign*> member_designs(
-      const LayerAssignment& set) const;
-
   const Problem* problem_;
+  // Contiguous (struct-of-arrays) copies of the spine edges, split into
+  // layer-to-layer edges and network-input edges. The per-candidate inner
+  // loops (inter_set_bytes, aggregate_makespan's host-input scan) stream
+  // these flat arrays instead of chasing SpineEdge structs — the search
+  // hot path re-aggregates them once per fitness evaluation.
+  std::vector<int> edge_producer_;
+  std::vector<int> edge_consumer_;
+  std::vector<double> edge_bytes_;
+  std::vector<int> input_consumer_;
+  std::vector<double> input_bytes_;
 };
 
 }  // namespace mars::core

@@ -53,13 +53,24 @@ MarsResult Mars::search(const ga::StopFn& stop) {
     auto fitness = [&](const ga::Genome& genome) {
       return space_.fitness(codec.decode(genome));
     };
-    ga::BatchFitnessFn batch;
-    if (pool) {
-      batch = [&](const std::vector<ga::Genome>& genomes) {
-        return space_.fitness_batch(genomes, pool.get());
-      };
-    }
-    result.first_level = engine.minimize(fitness, rng, seeds, stop, batch);
+    // Cohorts always go through the batch/delta pair (pool may be null —
+    // the batch paths run the identical code single-threaded): initial
+    // populations seed SkeletonSpace's per-genome records, offspring
+    // arrive as moves priced incrementally against those records. Both
+    // paths return exactly the serial values, so the search itself is
+    // byte-identical at any thread count.
+    ga::BatchFitnessFn batch = [&](const std::vector<ga::Genome>& genomes) {
+      return space_.fitness_batch(genomes, pool.get());
+    };
+    ga::DeltaBatchFitnessFn delta =
+        [&](const std::vector<ga::Genome>& parents,
+            const std::vector<ga::Genome>& children,
+            const std::vector<ga::GenomeDelta>& deltas) {
+          return space_.fitness_delta_batch(parents, children, deltas,
+                                            pool.get());
+        };
+    result.first_level =
+        engine.minimize(fitness, rng, seeds, stop, batch, delta);
 
     Skeleton winner = codec.decode(result.first_level.best);
     result.mapping = space_.complete(winner);

@@ -1,9 +1,10 @@
 #include "mars/core/skeleton_space.h"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
 #include "mars/core/baseline.h"
+#include "mars/util/error.h"
 #include "mars/util/worker_pool.h"
 
 namespace mars::core {
@@ -66,25 +67,38 @@ double SkeletonSpace::fitness(const Skeleton& skeleton) {
       .count();
 }
 
-std::vector<double> SkeletonSpace::fitness_batch(
+std::vector<std::vector<Seconds>> SkeletonSpace::price_batch(
     const std::vector<Skeleton>& skeletons, util::WorkerPool* pool) {
   // Phase 1 (serial): one left-to-right sweep over the batch collecting
   // the keys the cache does not hold yet. The first appearance of a key
   // is charged as the miss (and carries the LayerAssignment the greedy
   // search will run on), every later appearance as a hit — the exact
-  // counts a serial evaluation would record.
+  // counts a serial evaluation would record. Cached latencies are read
+  // out during the same probe; only keys priced this batch wait for a
+  // second read after the publish.
   std::vector<LayerAssignment> missing;
-  std::set<CacheKey> scheduled;
-  for (const Skeleton& skeleton : skeletons) {
-    for (const LayerAssignment& set : skeleton.sets) {
+  std::unordered_set<CacheKey, CacheKeyHash> scheduled;
+  std::vector<std::vector<Seconds>> latencies(skeletons.size());
+  std::vector<std::vector<std::size_t>> pending(skeletons.size());
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    const auto& sets = skeletons[i].sets;
+    latencies[i].resize(sets.size());
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      const LayerAssignment& set = sets[s];
       const CacheKey key{set.begin, set.end, set.accs, set.design};
-      if (cache_.contains(key) || scheduled.contains(key)) {
+      if (const auto it = cache_.find(key); it != cache_.end()) {
         ++cache_hits_;
+        latencies[i][s] = it->second.cost.penalized;
         continue;
       }
-      ++cache_misses_;
-      scheduled.insert(key);
-      missing.push_back(set);
+      if (scheduled.contains(key)) {
+        ++cache_hits_;
+      } else {
+        ++cache_misses_;
+        scheduled.insert(key);
+        missing.push_back(set);
+      }
+      pending[i].push_back(s);
     }
   }
 
@@ -104,25 +118,32 @@ std::vector<double> SkeletonSpace::fitness_batch(
     price(0, missing.size());
   }
 
-  // Phase 3 (serial): publish in first-seen order, then aggregate each
-  // skeleton from the (now fully warm) cache.
+  // Phase 3 (serial): publish in first-seen order, then fill the latency
+  // slots that waited on this batch's pricing from the now-warm cache.
   for (std::size_t i = 0; i < missing.size(); ++i) {
     const LayerAssignment& set = missing[i];
     cache_.emplace(CacheKey{set.begin, set.end, set.accs, set.design},
                    std::move(computed[i]));
   }
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
+    for (const std::size_t s : pending[i]) {
+      const LayerAssignment& set = skeletons[i].sets[s];
+      latencies[i][s] = cache_.at({set.begin, set.end, set.accs, set.design})
+                            .cost.penalized;
+    }
+  }
+  return latencies;
+}
+
+std::vector<double> SkeletonSpace::fitness_batch(
+    const std::vector<Skeleton>& skeletons, util::WorkerPool* pool) {
+  const std::vector<std::vector<Seconds>> latencies =
+      price_batch(skeletons, pool);
   std::vector<double> fitnesses;
   fitnesses.reserve(skeletons.size());
-  for (const Skeleton& skeleton : skeletons) {
-    std::vector<Seconds> latencies;
-    latencies.reserve(skeleton.sets.size());
-    for (const LayerAssignment& set : skeleton.sets) {
-      latencies.push_back(
-          cache_.at({set.begin, set.end, set.accs, set.design})
-              .cost.penalized);
-    }
+  for (std::size_t i = 0; i < skeletons.size(); ++i) {
     fitnesses.push_back(evaluator_.analytical()
-                            .aggregate_makespan(skeleton.sets, latencies)
+                            .aggregate_makespan(skeletons[i].sets, latencies[i])
                             .count());
   }
   return fitnesses;
@@ -146,7 +167,211 @@ std::vector<Skeleton> SkeletonSpace::decode_batch(
 
 std::vector<double> SkeletonSpace::fitness_batch(
     const std::vector<ga::Genome>& genomes, util::WorkerPool* pool) {
-  return fitness_batch(decode_batch(genomes, pool), pool);
+  // Decode with traces so every priced genome leaves an EvalRecord behind:
+  // a later fitness_delta_batch() generation can then mutate any member of
+  // this cohort incrementally.
+  std::vector<Skeleton> skeletons(genomes.size());
+  std::vector<FirstLevelCodec::DecodeTrace> traces(genomes.size());
+  const auto decode = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      skeletons[i] = codec_.decode(genomes[i], &traces[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(genomes.size(), decode);
+  } else {
+    decode(0, genomes.size());
+  }
+
+  std::vector<std::vector<Seconds>> latencies = price_batch(skeletons, pool);
+  std::vector<double> fitnesses(genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    fitnesses[i] = evaluator_.analytical()
+                       .aggregate_makespan(skeletons[i].sets, latencies[i])
+                       .count();
+    remember(genomes[i], std::make_shared<const EvalPayload>(EvalPayload{
+                             std::move(traces[i]), std::move(skeletons[i]),
+                             std::move(latencies[i]), fitnesses[i]}));
+  }
+  return fitnesses;
+}
+
+std::vector<double> SkeletonSpace::fitness_delta_batch(
+    const std::vector<ga::Genome>& parents,
+    const std::vector<ga::Genome>& children,
+    const std::vector<GenomeDelta>& deltas, util::WorkerPool* pool) {
+  MARS_CHECK_ARG(children.size() == deltas.size(),
+                 "one GenomeDelta per child required");
+  const std::size_t n = children.size();
+
+  // Phase 1 (serial): decode each child — incrementally when its parent's
+  // record is on hand — and run the same left-to-right hit/miss sweep as
+  // price_batch. When retrace() reports the move left the decode trace
+  // untouched (the common case for small engine moves), the child's
+  // skeleton is the parent's, so the whole evaluation short-circuits:
+  // every set is a hit and the fitness is the parent's double verbatim —
+  // exactly what re-aggregating the identical sets and latencies would
+  // return — and the child's record aliases the parent payload without
+  // assembling, copying, or aggregating anything. For genuinely changed
+  // skeletons, boundary moves shift only the sets between the two touched
+  // entries, so the positionally unchanged prefix and suffix of the set
+  // list reuse the parent's latencies and are charged as hits outright:
+  // records only describe published skeletons and the cache never evicts,
+  // so the full path would find those keys in cache_ too. Parent payloads
+  // are held by shared_ptr, so a records_ eviction inside remember()
+  // cannot invalidate them.
+  std::vector<Skeleton> skeletons(n);
+  std::vector<FirstLevelCodec::DecodeTrace> traces(n);
+  std::vector<char> unchanged(n, 0);
+  std::vector<std::vector<Seconds>> latencies(n);
+  std::vector<std::vector<std::size_t>> pending(n);
+  std::vector<EvalRecord> parent_records(parents.size());
+  std::vector<char> parent_looked(parents.size(), 0);
+  std::vector<LayerAssignment> missing;
+  std::unordered_set<CacheKey, CacheKeyHash> scheduled;
+  const auto same_key = [](const LayerAssignment& a, const LayerAssignment& b) {
+    return a.begin == b.begin && a.end == b.end && a.accs == b.accs &&
+           a.design == b.design;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    MARS_CHECK_ARG(deltas[i].parent < parents.size(),
+                   "delta parent index " << deltas[i].parent
+                                         << " outside a cohort of "
+                                         << parents.size());
+    // recall() once per distinct parent: records_ cannot change before
+    // phase 3, and the shared_ptr keeps every looked-up payload alive.
+    const std::size_t p = deltas[i].parent;
+    if (!parent_looked[p]) {
+      parent_records[p] = recall(parents[p]);
+      parent_looked[p] = 1;
+    }
+    const EvalPayload* record = parent_records[p].get();
+    // A move touching more than a quarter of the genome is not incremental
+    // (e.g. a crossover between diverged parents): retrace and set matching
+    // would almost surely recompute everything and their bookkeeping would
+    // be pure overhead, so price it through the identical full-decode
+    // subpath instead.
+    if (record != nullptr &&
+        deltas[i].changed.size() * 4 >
+            static_cast<std::size_t>(codec_.genome_size())) {
+      record = nullptr;
+    }
+    if (record == nullptr) {
+      skeletons[i] = codec_.decode(children[i], &traces[i]);
+    } else {
+      FirstLevelCodec::Retrace rt = codec_.retrace(
+          children[i], parents[p], record->trace, deltas[i].changed);
+      if (rt.same) {
+        // Identical trace, hence identical skeleton: S cache hits and the
+        // parent's fitness, with no assembly or aggregation.
+        cache_hits_ += static_cast<long long>(record->skeleton.sets.size());
+        unchanged[i] = 1;
+        continue;
+      }
+      traces[i] = std::move(rt.trace);
+      skeletons[i] = codec_.assemble(traces[i]);
+    }
+
+    const auto& sets = skeletons[i].sets;
+    const std::size_t count = sets.size();
+    latencies[i].resize(count);
+    std::size_t prefix = 0;
+    std::size_t suffix = 0;
+    if (record != nullptr) {
+      const auto& psets = record->skeleton.sets;
+      const std::size_t overlap = std::min(count, psets.size());
+      while (prefix < overlap && same_key(sets[prefix], psets[prefix])) {
+        latencies[i][prefix] = record->latencies[prefix];
+        ++prefix;
+      }
+      while (suffix < overlap - prefix &&
+             same_key(sets[count - 1 - suffix],
+                      psets[psets.size() - 1 - suffix])) {
+        latencies[i][count - 1 - suffix] =
+            record->latencies[psets.size() - 1 - suffix];
+        ++suffix;
+      }
+      cache_hits_ += static_cast<long long>(prefix + suffix);
+    }
+    for (std::size_t s = prefix; s < count - suffix; ++s) {
+      const LayerAssignment& set = sets[s];
+      const CacheKey key{set.begin, set.end, set.accs, set.design};
+      if (const auto it = cache_.find(key); it != cache_.end()) {
+        ++cache_hits_;
+        latencies[i][s] = it->second.cost.penalized;
+        continue;
+      }
+      if (scheduled.contains(key)) {
+        ++cache_hits_;
+      } else {
+        ++cache_misses_;
+        scheduled.insert(key);
+        missing.push_back(set);
+      }
+      pending[i].push_back(s);
+    }
+  }
+
+  // Phase 2 (parallel): identical to price_batch — the genuinely new keys
+  // fan across the pool.
+  std::vector<SecondLevelResult> computed(missing.size());
+  const auto price = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      computed[i] = second_.greedy(missing[i]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(missing.size(), price);
+  } else {
+    price(0, missing.size());
+  }
+
+  // Phase 3 (serial): publish in first-seen order, then aggregate.
+  // Parent-matched sets reuse the recorded latency — the exact double
+  // copied out of the same cache entry — and everything else reads the
+  // warm cache.
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const LayerAssignment& set = missing[i];
+    cache_.emplace(CacheKey{set.begin, set.end, set.accs, set.design},
+                   std::move(computed[i]));
+  }
+  std::vector<double> fitnesses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (unchanged[i]) {
+      // Same sets, same latencies — the aggregate is the parent's double,
+      // and the child's record is the parent payload itself.
+      const EvalRecord& record = parent_records[deltas[i].parent];
+      fitnesses[i] = record->fitness;
+      remember(children[i], record);
+      continue;
+    }
+    for (const std::size_t s : pending[i]) {
+      const LayerAssignment& set = skeletons[i].sets[s];
+      latencies[i][s] = cache_.at({set.begin, set.end, set.accs, set.design})
+                            .cost.penalized;
+    }
+    fitnesses[i] = evaluator_.analytical()
+                       .aggregate_makespan(skeletons[i].sets, latencies[i])
+                       .count();
+    remember(children[i], std::make_shared<const EvalPayload>(EvalPayload{
+                              std::move(traces[i]), std::move(skeletons[i]),
+                              std::move(latencies[i]), fitnesses[i]}));
+  }
+  return fitnesses;
+}
+
+SkeletonSpace::EvalRecord SkeletonSpace::recall(const ga::Genome& genome) const {
+  if (records_.empty()) return nullptr;
+  const RecordSlot& slot = records_[GenomeHash{}(genome) % kRecordSlots];
+  if (slot.record != nullptr && slot.genome == genome) return slot.record;
+  return nullptr;
+}
+
+void SkeletonSpace::remember(const ga::Genome& genome, EvalRecord record) {
+  if (records_.empty()) records_.resize(kRecordSlots);
+  RecordSlot& slot = records_[GenomeHash{}(genome) % kRecordSlots];
+  slot.genome = genome;  // assignment reuses the slot's capacity
+  slot.record = std::move(record);
 }
 
 Mapping SkeletonSpace::complete(const Skeleton& skeleton) {

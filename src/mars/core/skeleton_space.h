@@ -22,7 +22,9 @@
 // hit, exactly as a serial left-to-right sweep would count them.
 #pragma once
 
-#include <map>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mars/accel/profiler.h"
@@ -35,6 +37,11 @@ class WorkerPool;
 }
 
 namespace mars::core {
+
+/// The move description fitness_delta_batch consumes — defined next to
+/// the GA engine that emits it (see ga::GenomeDelta for the superset
+/// contract on `changed`).
+using GenomeDelta = ga::GenomeDelta;
 
 class SkeletonSpace {
  public:
@@ -81,6 +88,23 @@ class SkeletonSpace {
       const std::vector<ga::Genome>& genomes,
       util::WorkerPool* pool = nullptr) const;
 
+  /// fitness_batch(children, pool), but told how each child differs from a
+  /// parent genome in `parents`. A child whose parent this object priced
+  /// recently (the genome fitness paths keep a bounded record per genome)
+  /// is re-decoded incrementally via FirstLevelCodec::redecode; when the
+  /// skeleton comes out identical to the parent's the evaluation
+  /// short-circuits to the parent's fitness, and otherwise sets the move
+  /// did not touch reuse the parent's per-set latencies without a cache
+  /// lookup. Children without a usable record fall back to the full path.
+  /// The contract is exactness, not approximation: the returned fitness
+  /// values AND the hit/miss counter increments are bit-identical to
+  /// fitness_batch(children, pool), at any thread count.
+  [[nodiscard]] std::vector<double> fitness_delta_batch(
+      const std::vector<ga::Genome>& parents,
+      const std::vector<ga::Genome>& children,
+      const std::vector<GenomeDelta>& deltas,
+      util::WorkerPool* pool = nullptr);
+
   /// `skeleton` with its memoised second-level strategies filled in.
   [[nodiscard]] Mapping complete(const Skeleton& skeleton);
 
@@ -103,8 +127,52 @@ class SkeletonSpace {
     auto operator<=>(const CacheKey&) const = default;
   };
 
+  /// Order-free mixing of the key fields. The cache is only ever probed by
+  /// key (never iterated), so hashing instead of ordering is observable
+  /// solely as speed.
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const {
+      std::size_t h = 1469598103934665603ull;
+      const auto mix = [&h](unsigned long long bits) {
+        h = (h ^ bits) * 1099511628211ull;
+      };
+      mix(static_cast<unsigned long long>(static_cast<unsigned>(key.begin)));
+      mix(static_cast<unsigned long long>(static_cast<unsigned>(key.end)));
+      mix(static_cast<unsigned long long>(key.accs));
+      mix(static_cast<unsigned long long>(static_cast<unsigned>(key.design)));
+      return h;
+    }
+  };
+
+  /// One priced genome, kept so the next generation's mutants can reuse
+  /// its decode trace and per-set latencies. Invariant: every set of
+  /// `skeleton` has been published to cache_ (which never evicts), so a
+  /// set matching a recorded parent set is always a cache hit — the delta
+  /// path may charge it as one without a map lookup.
+  struct EvalPayload {
+    FirstLevelCodec::DecodeTrace trace;
+    Skeleton skeleton;
+    std::vector<Seconds> latencies;  // penalized, one per set
+    double fitness = 0.0;
+  };
+  /// Records share payloads immutably: a child whose move left the decode
+  /// trace untouched aliases its parent's payload instead of copying it,
+  /// and a payload outlives any records_ eviction while a batch still
+  /// holds it.
+  using EvalRecord = std::shared_ptr<const EvalPayload>;
+
   [[nodiscard]] const SecondLevelResult& second_level_for(
       const LayerAssignment& skeleton);
+
+  /// Phases 1-3 shared by every batch path: the serial hit/miss key sweep,
+  /// the (optionally pooled) greedy pricing of deduped missing keys, the
+  /// first-seen-order publish, and the per-skeleton penalized latencies
+  /// read back from the warm cache.
+  [[nodiscard]] std::vector<std::vector<Seconds>> price_batch(
+      const std::vector<Skeleton>& skeletons, util::WorkerPool* pool);
+
+  [[nodiscard]] EvalRecord recall(const ga::Genome& genome) const;
+  void remember(const ga::Genome& genome, EvalRecord record);
 
   const Problem* problem_;
   Config config_;
@@ -113,9 +181,40 @@ class SkeletonSpace {
   FirstLevelCodec codec_;
   SecondLevelSearch second_;
   MappingEvaluator evaluator_;
-  std::map<CacheKey, SecondLevelResult> cache_;
+  std::unordered_map<CacheKey, SecondLevelResult, CacheKeyHash> cache_;
   long long cache_hits_ = 0;
   long long cache_misses_ = 0;
+  /// FNV-1a over the genome's byte representation. Hashing bit patterns is
+  /// sound here: equality stays the exact operator== on the doubles, and a
+  /// key the hash cannot find again (e.g. a NaN gene) merely forces the
+  /// exact full-path fallback.
+  struct GenomeHash {
+    std::size_t operator()(const ga::Genome& genome) const {
+      std::size_t h = 1469598103934665603ull;
+      for (const double gene : genome) {
+        unsigned long long bits;
+        std::memcpy(&bits, &gene, sizeof bits);
+        h = (h ^ bits) * 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  /// One slot of the direct-mapped record table; empty while record is
+  /// null.
+  struct RecordSlot {
+    ga::Genome genome;
+    EvalRecord record;
+  };
+
+  /// Genome-keyed records backing fitness_delta_batch, held in a
+  /// direct-mapped table (power-of-two slots, overwrite on collision) so
+  /// recall/remember sit on the per-child hot path at the cost of one
+  /// hash and one compare. Collisions evict silently, which can only
+  /// force the exact full-path fallback, never change a result or a
+  /// counter. Allocated lazily on the first remember().
+  static constexpr std::size_t kRecordSlots = 4096;
+  std::vector<RecordSlot> records_;
 };
 
 }  // namespace mars::core

@@ -200,9 +200,12 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
   long long evaluations = 0;
   if (config_.seed_baseline) {
     // All chains start from the baseline skeleton: one evaluation, shared.
+    // Priced through the genome overload so the start point leaves a
+    // record behind for the first step's delta evaluation.
     const ga::Genome start = codec.encode(space.baseline(), scores);
     const double fitness =
-        space.fitness_batch({codec.decode(start)}, pool.get()).front();
+        space.fitness_batch(std::vector<ga::Genome>{start}, pool.get())
+            .front();
     evaluations = 1;
     for (int c = 0; c < chains; ++c) {
       current[static_cast<std::size_t>(c)] = start;
@@ -250,20 +253,31 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
           std::min<long long>(static_cast<long long>(active),
                               budget.max_evaluations - evaluations));
     }
+    // Each proposal is its chain's current genome plus moves_per_step gene
+    // edits, and is priced as that move: the listed genes are a superset
+    // of the actual diff (a clamped edit may land on the old value), which
+    // is exactly the GenomeDelta contract. fitness_delta_batch returns the
+    // full-evaluation values bit-for-bit, so the chains are unchanged.
     std::vector<ga::Genome> proposals;
+    std::vector<ga::GenomeDelta> moves;
     proposals.reserve(active);
+    moves.reserve(active);
     for (std::size_t c = 0; c < active; ++c) {
       ga::Genome proposal = current[c];
-      for (int move = 0; move < config_.moves_per_step; ++move) {
+      ga::GenomeDelta move;
+      move.parent = c;
+      for (int m = 0; m < config_.moves_per_step; ++m) {
         const std::size_t gene = rngs[c].index(proposal.size());
         proposal[gene] = std::clamp(
             proposal[gene] + rngs[c].gaussian(0.0, config_.step_sigma), 0.0,
             1.0);
+        move.changed.push_back(gene);
       }
       proposals.push_back(std::move(proposal));
+      moves.push_back(std::move(move));
     }
     const std::vector<double> proposal_fitness =
-        space.fitness_batch(proposals, pool.get());
+        space.fitness_delta_batch(current, proposals, moves, pool.get());
     evaluations += static_cast<long long>(active);
 
     for (std::size_t c = 0; c < active; ++c) {
@@ -555,15 +569,19 @@ std::unique_ptr<SearchEngine> make_leaf_engine(
   return nullptr;
 }
 
-/// "race:<m>+<m>[+...][,MS]" -> a PortfolioEngine over named leaf members
-/// with an optional per-member wall-clock cap.
+/// "race:<m>[@seed]+<m>[@seed][+...][,MS]" -> a PortfolioEngine over named
+/// leaf members with an optional per-member wall-clock cap. A member may
+/// pin its own RNG seed with `@<seed>` (e.g. race:ga@7+anneal@9,250):
+/// members without one inherit the session seed. The seed lands in the
+/// member's spec_string(), so two races differing only in member seeds
+/// get distinct serve-cache fingerprints.
 std::unique_ptr<SearchEngine> make_race_engine(
     const std::string& spec, const core::MarsConfig& tuning) {
   const std::string body = spec.substr(std::string("race:").size());
   std::vector<std::string> parts = split(body, ',');
   MARS_CHECK_ARG(!parts.empty() && parts.size() <= 2,
-                 "bad race spec '" << spec
-                                   << "' (use race:<m>+<m>[+...][,MS])");
+                 "bad race spec '"
+                     << spec << "' (use race:<m>[@seed]+<m>[@seed][+...][,MS])");
   Seconds member_wall(0.0);
   if (parts.size() == 2) {
     std::size_t consumed = 0;
@@ -580,10 +598,31 @@ std::unique_ptr<SearchEngine> make_race_engine(
   }
   std::vector<std::unique_ptr<SearchEngine>> members;
   for (const std::string& member : split(parts[0], '+')) {
-    std::unique_ptr<SearchEngine> engine = make_leaf_engine(member, tuning);
+    std::string leaf = member;
+    core::MarsConfig member_tuning = tuning;
+    const std::size_t at = member.find('@');
+    if (at != std::string::npos) {
+      leaf = member.substr(0, at);
+      const std::string seed_text = member.substr(at + 1);
+      std::size_t consumed = 0;
+      unsigned long long seed = 0;
+      try {
+        seed = std::stoull(seed_text, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      MARS_CHECK_ARG(
+          !seed_text.empty() && consumed == seed_text.size() &&
+              seed_text.find('-') == std::string::npos,
+          "race member seed must be a non-negative integer, got '"
+              << seed_text << "' in member '" << member << "' of '" << spec
+              << "'");
+      member_tuning.seed = static_cast<std::uint64_t>(seed);
+    }
+    std::unique_ptr<SearchEngine> engine = make_leaf_engine(leaf, member_tuning);
     MARS_CHECK_ARG(engine != nullptr,
                    "unknown race member '"
-                       << member << "' in '" << spec
+                       << leaf << "' in '" << spec
                        << "' (members are leaf engines: ga | anneal | "
                           "random | baseline)");
     members.push_back(std::move(engine));
@@ -624,7 +663,7 @@ std::unique_ptr<SearchEngine> make_engine(const std::string& name,
   for (std::size_t i = 0; i < engine_names().size(); ++i) {
     os << (i > 0 ? " | " : "") << engine_names()[i];
   }
-  os << " | race:<m>+<m>[+...][,MS])";
+  os << " | race:<m>[@seed]+<m>[@seed][+...][,MS])";
   throw InvalidArgument(os.str());
 }
 

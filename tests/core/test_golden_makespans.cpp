@@ -1,0 +1,116 @@
+// Golden-value regression tests: the analytic makespan of every zoo model
+// under the baseline engine and a small fixed-seed GA search, pinned to
+// the values the cost model produced when the incremental-evaluation path
+// landed. Any change to the cost model, the decode, the second-level
+// greedy, or the engines that shifts these numbers is a behaviour change
+// and must be reviewed (and this table regenerated) deliberately.
+//
+// Tolerance: comparisons are relative at 1e-9 — loose enough to absorb
+// FP-contraction differences between compilers and build types, tight
+// enough that any real modelling change trips it. Regenerate with:
+//   MARS_REGEN_GOLDENS=1 ./mars_test_core --gtest_filter='*Golden*'
+// and paste the printed rows over kGoldens.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mars/accel/registry.h"
+#include "mars/graph/models/models.h"
+#include "mars/plan/engines.h"
+#include "mars/plan/planner.h"
+#include "mars/topology/presets.h"
+
+namespace mars::core {
+namespace {
+
+struct Golden {
+  const char* model;
+  double baseline;  // analytic makespan, seconds
+  double ga;        // analytic makespan, seconds, golden_tuning() search
+};
+
+// Generated on the F1 16xlarge topology with the Table-2 designs
+// (adaptive mode) via MARS_REGEN_GOLDENS — see the header comment.
+constexpr Golden kGoldens[] = {
+    {"alexnet", 0.0050294134999999997, 0.0040794477499999995},
+    {"casia_surf", 0.027555267687500003, 0.014206352187500002},
+    {"facebagnet", 0.020856468562500001, 0.011324982562499997},
+    {"resnet101", 0.047387835374999979, 0.029198643749999996},
+    {"resnet152", 0.065739035375000004, 0.039965075750000016},
+    {"resnet18", 0.010908499375, 0.0067428837499999995},
+    {"resnet34", 0.016371963375, 0.011831979749999997},
+    {"resnet50", 0.036551131375000004, 0.018076915750000006},
+    {"vgg11", 0.025725091750000002, 0.022527024124999996},
+    {"vgg13", 0.04152763575, 0.030807040124999997},
+    {"vgg16", 0.052422675750000002, 0.040942352125000005},
+    {"vgg19", 0.062939795749999999, 0.051077664125000005},
+    {"wrn50_2", 0.058360283374999995, 0.036564595749999984},
+};
+
+/// A deliberately small but fixed GA: the point is reproducibility, not
+/// mapping quality, so budgets are tuned for suite runtime. Deterministic
+/// at any thread count by the engines' batch contract; run here with the
+/// default threads=1.
+MarsConfig golden_tuning() {
+  MarsConfig config;
+  config.seed = 2023;
+  config.first_ga.population = 6;
+  config.first_ga.generations = 3;
+  config.first_ga.stall_generations = 2;
+  config.second.ga.population = 4;
+  config.second.ga.generations = 2;
+  return config;
+}
+
+double searched_makespan(const std::string& model, const std::string& engine) {
+  const topology::Topology topo = topology::f1_16xlarge();
+  const accel::DesignRegistry designs = accel::table2_designs();
+  const plan::Planner planner =
+      plan::Planner::for_model(model, topo, designs, /*adaptive=*/true);
+  return planner.plan(*plan::make_engine(engine, golden_tuning()))
+      .summary.analytic_makespan.count();
+}
+
+double relative_gap(double a, double b) {
+  return std::abs(a - b) / std::max({std::abs(a), std::abs(b), 1e-300});
+}
+
+TEST(GoldenMakespanTest, EveryZooModelMatchesPinnedValues) {
+  const bool regen = std::getenv("MARS_REGEN_GOLDENS") != nullptr;
+  if (regen) {
+    for (const std::string& model : graph::models::zoo_names()) {
+      std::printf("    {\"%s\", %.17g, %.17g},\n", model.c_str(),
+                  searched_makespan(model, "baseline"),
+                  searched_makespan(model, "ga"));
+    }
+    GTEST_SKIP() << "golden regeneration run — paste the rows above";
+  }
+
+  // The table must stay in lockstep with the zoo: a model added without a
+  // golden (or renamed) fails here, not silently.
+  const std::vector<std::string> zoo = graph::models::zoo_names();
+  ASSERT_EQ(std::size(kGoldens), zoo.size());
+
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.model);
+    EXPECT_NE(std::find(zoo.begin(), zoo.end(), std::string(golden.model)),
+              zoo.end());
+    const double baseline = searched_makespan(golden.model, "baseline");
+    EXPECT_LT(relative_gap(baseline, golden.baseline), 1e-9)
+        << "baseline drifted: got " << std::scientific << baseline
+        << " want " << golden.baseline;
+    const double ga = searched_makespan(golden.model, "ga");
+    EXPECT_LT(relative_gap(ga, golden.ga), 1e-9)
+        << "ga drifted: got " << std::scientific << ga << " want "
+        << golden.ga;
+    // The GA seeds from the baseline skeleton, so it can only improve it.
+    EXPECT_LE(golden.ga, golden.baseline * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -1,0 +1,259 @@
+// Differential harness pinning SkeletonSpace::fitness_delta_batch to the
+// full evaluation path. The contract under test is exactness, not
+// approximation: for every move an engine can emit, the incremental path
+// must return bit-identical fitness values AND leave the memo-cache
+// hit/miss counters in exactly the state full re-evaluation would — at
+// any thread count, on fresh and warm caches, across adaptive and
+// fixed-design problems. The test matrix below executes well over 1000
+// seeded mutation streams (see the StreamCount test, which counts them).
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/test_support.h"
+#include "mars/core/skeleton_space.h"
+#include "mars/graph/models/models.h"
+#include "mars/util/worker_pool.h"
+#include "support/mutation_stream.h"
+
+namespace mars::core {
+namespace {
+
+using testing::AdaptiveFixture;
+using testing::FixedFixture;
+namespace stream = mars::testing;
+
+/// Streams per (problem, shape, threads) cell of the main matrix. The two
+/// fixtures x three shapes x two thread counts at this count put the suite
+/// past the 1000-stream floor on their own.
+constexpr int kStreamsPerCell = 90;
+
+/// Prices `streams` seeded mutation streams over one configuration: a
+/// `full` space sees only fitness_batch(children), an `inc` space sees the
+/// parent cohorts through fitness_batch and every child generation through
+/// fitness_delta_batch. Both spaces therefore process identical genome
+/// sequences, so their fitness values and cumulative counters must stay
+/// exactly equal. Returns the number of streams executed.
+int run_differential(const Problem& problem, stream::MoveShape shape,
+                     util::WorkerPool* pool, int streams,
+                     std::uint64_t seed0) {
+  SkeletonSpace full(problem, {{}, true});
+  SkeletonSpace inc(problem, {{}, true});
+  int executed = 0;
+  for (int s = 0; s < streams; ++s) {
+    Rng rng(seed0 + static_cast<std::uint64_t>(s) * 7919);
+    std::vector<ga::Genome> parents = stream::random_parents(full, 4, rng);
+
+    // Identical parent pricing on both sides; this also seeds the
+    // incremental space's per-genome records.
+    const std::vector<double> parent_full = full.fitness_batch(parents, pool);
+    const std::vector<double> parent_inc = inc.fitness_batch(parents, pool);
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      EXPECT_EQ(parent_full[i], parent_inc[i]) << "stream " << s;
+    }
+
+    // Two generations: the second breeds from delta-evaluated children,
+    // so record reuse after an incremental evaluation is exercised too.
+    for (int generation = 0; generation < 2; ++generation) {
+      const stream::MutationCohort cohort =
+          stream::breed_cohort(parents, shape, 6, rng);
+      const std::vector<double> f = full.fitness_batch(cohort.children, pool);
+      const std::vector<double> d = inc.fitness_delta_batch(
+          cohort.parents, cohort.children, cohort.deltas, pool);
+      EXPECT_EQ(f.size(), d.size());
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        EXPECT_EQ(f[i], d[i])  // bit-equal, not just close
+            << "stream " << s << " generation " << generation << " child "
+            << i;
+      }
+      EXPECT_EQ(full.cache_hits(), inc.cache_hits())
+          << "stream " << s << " generation " << generation;
+      EXPECT_EQ(full.cache_misses(), inc.cache_misses())
+          << "stream " << s << " generation " << generation;
+      parents = cohort.children;
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+class IncrementalDifferentialTest
+    : public ::testing::TestWithParam<stream::MoveShape> {};
+
+TEST_P(IncrementalDifferentialTest, AdaptiveSerial) {
+  AdaptiveFixture fx;
+  EXPECT_EQ(run_differential(fx.problem, GetParam(), nullptr, kStreamsPerCell,
+                             11),
+            kStreamsPerCell);
+}
+
+TEST_P(IncrementalDifferentialTest, AdaptiveFourThreads) {
+  AdaptiveFixture fx;
+  util::WorkerPool pool(4);
+  EXPECT_EQ(run_differential(fx.problem, GetParam(), &pool, kStreamsPerCell,
+                             23),
+            kStreamsPerCell);
+}
+
+TEST_P(IncrementalDifferentialTest, FixedSerial) {
+  FixedFixture fx;
+  EXPECT_EQ(run_differential(fx.problem, GetParam(), nullptr, kStreamsPerCell,
+                             37),
+            kStreamsPerCell);
+}
+
+TEST_P(IncrementalDifferentialTest, FixedFourThreads) {
+  FixedFixture fx;
+  util::WorkerPool pool(4);
+  EXPECT_EQ(run_differential(fx.problem, GetParam(), &pool, kStreamsPerCell,
+                             41),
+            kStreamsPerCell);
+}
+
+INSTANTIATE_TEST_SUITE_P(MoveShapes, IncrementalDifferentialTest,
+                         ::testing::Values(stream::MoveShape::kAnneal,
+                                           stream::MoveShape::kGaMutate,
+                                           stream::MoveShape::kGaCross),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case stream::MoveShape::kAnneal:
+                               return "Anneal";
+                             case stream::MoveShape::kGaMutate:
+                               return "GaMutate";
+                             case stream::MoveShape::kGaCross:
+                               return "GaCross";
+                           }
+                           return "Unknown";
+                         });
+
+// The matrix above is the floor the harness promises: 3 move shapes x
+// (adaptive + fixed) x (serial + 4 threads) x kStreamsPerCell streams.
+TEST(IncrementalDifferentialTest, StreamCountMeetsFloor) {
+  EXPECT_GE(3 * 2 * 2 * kStreamsPerCell, 1000);
+}
+
+// A thinner sweep across the whole model zoo (anneal moves, serial):
+// spine shapes with branches, multi-input models, and deep chains all hit
+// the same exactness bar.
+TEST(IncrementalDifferentialTest, EveryZooModelMatches) {
+  for (const std::string& name : graph::models::zoo_names()) {
+    SCOPED_TRACE(name);
+    AdaptiveFixture fx(name);
+    EXPECT_EQ(run_differential(fx.problem, stream::MoveShape::kAnneal,
+                               nullptr, 2, 101),
+              2);
+  }
+}
+
+// Fallback exactness: deltas naming a parent the space has never priced
+// (no record) must silently take the full path and still match.
+TEST(IncrementalDeltaFallbackTest, UnknownParentFallsBackExactly) {
+  AdaptiveFixture fx;
+  SkeletonSpace full(fx.problem, {{}, true});
+  SkeletonSpace inc(fx.problem, {{}, true});
+  Rng rng(7);
+  const std::vector<ga::Genome> parents = stream::random_parents(full, 3, rng);
+  const stream::MutationCohort cohort =
+      stream::breed_cohort(parents, stream::MoveShape::kAnneal, 5, rng);
+  // Neither space has seen the parents: full path on both sides.
+  const std::vector<double> f = full.fitness_batch(cohort.children, nullptr);
+  const std::vector<double> d = inc.fitness_delta_batch(
+      cohort.parents, cohort.children, cohort.deltas, nullptr);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], d[i]) << i;
+  EXPECT_EQ(full.cache_hits(), inc.cache_hits());
+  EXPECT_EQ(full.cache_misses(), inc.cache_misses());
+}
+
+// A delta whose `changed` list is a strict superset of the real diff
+// (every gene listed, none actually different) must evaluate to the
+// parent's exact fitness.
+TEST(IncrementalDeltaFallbackTest, SupersetChangeListIsExact) {
+  AdaptiveFixture fx;
+  SkeletonSpace space(fx.problem, {{}, true});
+  Rng rng(13);
+  const std::vector<ga::Genome> parents = stream::random_parents(space, 1, rng);
+  const std::vector<double> base = space.fitness_batch(parents, nullptr);
+
+  ga::GenomeDelta everything;
+  everything.parent = 0;
+  for (std::size_t g = 0; g < parents[0].size(); ++g) {
+    if (space.codec().block_of(g) != FirstLevelCodec::GeneBlock::kPriority) {
+      everything.changed.push_back(g);
+    }
+  }
+  const std::vector<double> again =
+      space.fitness_delta_batch(parents, parents, {everything}, nullptr);
+  EXPECT_EQ(again[0], base[0]);
+}
+
+// Priority-gene moves cannot reuse the parent partition; the delta path
+// must detect that and full-decode — and still match the full path.
+TEST(IncrementalDeltaFallbackTest, PriorityMovesMatchFullPath) {
+  AdaptiveFixture fx;
+  SkeletonSpace full(fx.problem, {{}, true});
+  SkeletonSpace inc(fx.problem, {{}, true});
+  Rng rng(17);
+  const std::vector<ga::Genome> parents = stream::random_parents(full, 2, rng);
+  (void)full.fitness_batch(parents, nullptr);
+  (void)inc.fitness_batch(parents, nullptr);
+
+  std::vector<ga::Genome> children;
+  std::vector<ga::GenomeDelta> deltas;
+  for (std::size_t c = 0; c < parents.size(); ++c) {
+    ga::Genome child = parents[c];
+    child[0] = 1.0 - child[0];  // gene 0 is always a priority gene
+    deltas.push_back({c, {0}});
+    children.push_back(std::move(child));
+  }
+  const std::vector<double> f = full.fitness_batch(children, nullptr);
+  const std::vector<double> d =
+      inc.fitness_delta_batch(parents, children, deltas, nullptr);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], d[i]) << i;
+  EXPECT_EQ(full.cache_hits(), inc.cache_hits());
+  EXPECT_EQ(full.cache_misses(), inc.cache_misses());
+}
+
+// --------------------------------------------------------------- purity
+// Fitness is a pure function of the encoded key: the same genome priced
+// through the serial, batch, and delta paths — on fresh or warm caches —
+// returns the identical double, and repeat evaluations charge pure cache
+// hits (the counter delta is exactly sets-many hits, zero misses).
+TEST(SkeletonSpacePurityTest, AllPathsAgreeOnFreshAndWarmCaches) {
+  AdaptiveFixture fx;
+  Rng rng(29);
+
+  SkeletonSpace serial_space(fx.problem, {{}, true});
+  const std::vector<ga::Genome> genome =
+      stream::random_parents(serial_space, 1, rng);
+  const Skeleton skeleton = serial_space.codec().decode(genome[0]);
+  const auto num_sets = static_cast<long long>(skeleton.sets.size());
+
+  // Fresh caches, three paths.
+  const double serial = serial_space.fitness(skeleton);
+  SkeletonSpace batch_space(fx.problem, {{}, true});
+  const double batch = batch_space.fitness_batch(genome, nullptr).front();
+  SkeletonSpace delta_space(fx.problem, {{}, true});
+  const double delta =
+      delta_space
+          .fitness_delta_batch(genome, genome, {{0, {}}}, nullptr)
+          .front();
+  EXPECT_EQ(serial, batch);
+  EXPECT_EQ(serial, delta);
+
+  // Warm caches: same values, counter delta = pure hits on every path.
+  for (SkeletonSpace* space : {&serial_space, &batch_space, &delta_space}) {
+    const long long hits = space->cache_hits();
+    const long long misses = space->cache_misses();
+    EXPECT_EQ(space->fitness(skeleton), serial);
+    EXPECT_EQ(space->fitness_batch(genome, nullptr).front(), serial);
+    EXPECT_EQ(
+        space->fitness_delta_batch(genome, genome, {{0, {}}}, nullptr).front(),
+        serial);
+    EXPECT_EQ(space->cache_hits(), hits + 3 * num_sets);
+    EXPECT_EQ(space->cache_misses(), misses);
+  }
+}
+
+}  // namespace
+}  // namespace mars::core

@@ -170,10 +170,54 @@ TEST_F(PortfolioTest, RaceSpecSelectsMembersAndPerMemberWall) {
   EXPECT_EQ(result.provenance.members[1].engine, "anneal");
 }
 
+TEST_F(PortfolioTest, RaceSpecAcceptsPerMemberSeeds) {
+  // A member's @seed overrides the session seed for that member only; a
+  // member without one inherits it. Each member's full spec (seed
+  // included) must be embedded verbatim in the race's spec string.
+  const std::unique_ptr<SearchEngine> race =
+      make_engine("race:ga@11+anneal@9+random,250", tiny_tuning(7));
+  const std::string spec = race->spec_string();
+  EXPECT_NE(spec.find(make_engine("ga", tiny_tuning(11))->spec_string()),
+            std::string::npos)
+      << spec;
+  EXPECT_NE(spec.find(make_engine("anneal", tiny_tuning(9))->spec_string()),
+            std::string::npos)
+      << spec;
+  EXPECT_NE(spec.find(make_engine("random", tiny_tuning(7))->spec_string()),
+            std::string::npos)
+      << spec;
+}
+
+TEST_F(PortfolioTest, RaceMemberSeedsIsolateCacheFingerprints) {
+  // Two races differing only in one member's seed explore different
+  // trajectories, so the serving cache must never alias their mappings.
+  const core::MarsConfig tuning = tiny_tuning();
+  const std::unique_ptr<SearchEngine> seven =
+      make_engine("race:ga@7+anneal@9", tuning);
+  const std::unique_ptr<SearchEngine> ten =
+      make_engine("race:ga@7+anneal@10", tuning);
+  const std::unique_ptr<SearchEngine> inherited =
+      make_engine("race:ga+anneal", tuning);
+
+  const auto print = [this](const SearchEngine& engine) {
+    return serve::MappingCache::fingerprint(fx_.topo, fx_.designs, true,
+                                            serve::search_spec(engine, {}));
+  };
+  EXPECT_NE(seven->spec_string(), ten->spec_string());
+  EXPECT_NE(print(*seven), print(*ten));
+  EXPECT_NE(print(*seven), print(*inherited));
+  // Same spec -> same fingerprint stays true with seeds in play.
+  const std::unique_ptr<SearchEngine> again =
+      make_engine("race:ga@7+anneal@9", tuning);
+  EXPECT_EQ(print(*seven), print(*again));
+}
+
 TEST_F(PortfolioTest, BadRaceSpecsAreNamedErrors) {
   for (const char* spec :
        {"race:ga", "race:ga+gradient", "race:ga+anneal,abc",
-        "race:ga+anneal,-5", "race:portfolio+ga", "race:ga+anneal,1,2"}) {
+        "race:ga+anneal,-5", "race:portfolio+ga", "race:ga+anneal,1,2",
+        "race:ga@x+anneal", "race:ga@+anneal", "race:ga@-5+anneal",
+        "race:ga@7.5+anneal"}) {
     try {
       (void)make_engine(spec, tiny_tuning());
       FAIL() << "expected InvalidArgument for '" << spec << "'";

@@ -1,0 +1,109 @@
+// Seeded mutation-stream generator shared by the incremental-evaluation
+// differential tests (tests/core/test_incremental_eval.cpp) and the
+// full-vs-incremental micro-benchmark (bench/bench_micro.cpp).
+//
+// A stream reproduces the move shapes the real engines emit — annealing's
+// k sequential gene edits, the GA's per-gene gaussian mutation, and
+// crossover followed by mutation — as (parents, children, deltas) cohorts
+// that can be priced through SkeletonSpace::fitness_batch (the full path)
+// or SkeletonSpace::fitness_delta_batch (the incremental path) and
+// compared bit for bit. Everything draws from one explicitly threaded Rng
+// per stream, so a (seed, shape, sizes) tuple names the stream exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mars/core/skeleton_space.h"
+#include "mars/ga/operators.h"
+#include "mars/util/rng.h"
+
+namespace mars::testing {
+
+/// The engine move shape a cohort mimics.
+enum class MoveShape {
+  /// AnnealingEngine: moves_per_step sequential clamped gaussian edits on
+  /// one parent; `changed` lists the edited genes (a superset of the real
+  /// diff — a clamp may rewrite a gene to its old value).
+  kAnneal,
+  /// GaEngine without crossover: per-gene Bernoulli gaussian mutation;
+  /// `changed` is the exact diff scan, as the engine reports it.
+  kGaMutate,
+  /// GaEngine with crossover: uniform crossover against a second parent,
+  /// then mutation; `changed` is the exact diff against the first parent.
+  kGaCross,
+};
+
+/// One generation of engine moves over a shared parent cohort.
+struct MutationCohort {
+  std::vector<ga::Genome> parents;
+  std::vector<ga::Genome> children;
+  std::vector<ga::GenomeDelta> deltas;
+};
+
+/// Breeds `num_children` children from `parents` under `shape`, drawing
+/// every stochastic choice from `rng`. Deterministic for a fixed Rng
+/// state; the cohort's deltas satisfy the GenomeDelta superset contract
+/// exactly the way the engines' own emission does.
+inline MutationCohort breed_cohort(const std::vector<ga::Genome>& parents,
+                                   MoveShape shape, std::size_t num_children,
+                                   Rng& rng) {
+  MutationCohort cohort;
+  cohort.parents = parents;
+  cohort.children.reserve(num_children);
+  cohort.deltas.reserve(num_children);
+  for (std::size_t i = 0; i < num_children; ++i) {
+    const std::size_t pa = rng.index(parents.size());
+    const ga::Genome& parent = parents[pa];
+    ga::Genome child = parent;
+    ga::GenomeDelta delta;
+    delta.parent = pa;
+    switch (shape) {
+      case MoveShape::kAnneal: {
+        const int moves = 1 + static_cast<int>(rng.index(3));
+        for (int m = 0; m < moves; ++m) {
+          const std::size_t gene = rng.index(child.size());
+          child[gene] = std::clamp(child[gene] + rng.gaussian(0.0, 0.2), 0.0,
+                                   1.0);
+          delta.changed.push_back(gene);  // superset: clamp may no-op
+        }
+        break;
+      }
+      case MoveShape::kGaMutate: {
+        ga::gaussian_mutate(child, /*rate=*/0.15, /*sigma=*/0.25, 0.0, 1.0,
+                            rng);
+        for (std::size_t g = 0; g < child.size(); ++g) {
+          if (child[g] != parent[g]) delta.changed.push_back(g);
+        }
+        break;
+      }
+      case MoveShape::kGaCross: {
+        const ga::Genome& other = parents[rng.index(parents.size())];
+        child = ga::uniform_crossover(parent, other, rng);
+        ga::gaussian_mutate(child, /*rate=*/0.15, /*sigma=*/0.25, 0.0, 1.0,
+                            rng);
+        for (std::size_t g = 0; g < child.size(); ++g) {
+          if (child[g] != parent[g]) delta.changed.push_back(g);
+        }
+        break;
+      }
+    }
+    cohort.children.push_back(std::move(child));
+    cohort.deltas.push_back(std::move(delta));
+  }
+  return cohort;
+}
+
+/// A fresh uniform-random parent cohort sized for `space`'s genome.
+inline std::vector<ga::Genome> random_parents(const core::SkeletonSpace& space,
+                                              std::size_t count, Rng& rng) {
+  std::vector<ga::Genome> parents;
+  parents.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    parents.push_back(
+        ga::random_genome(space.codec().genome_size(), 0.0, 1.0, rng));
+  }
+  return parents;
+}
+
+}  // namespace mars::testing
