@@ -28,6 +28,7 @@
 #include "mars/core/second_level.h"
 #include "mars/core/skeleton_space.h"
 #include "mars/graph/models/models.h"
+#include "mars/obs/metrics.h"
 #include "mars/parallel/sharding.h"
 #include "mars/plan/planner.h"
 #include "mars/topology/presets.h"
@@ -291,7 +292,7 @@ bool run_differential(const core::Problem& problem) {
   return true;
 }
 
-int run_smoke(const std::string& floor_path) {
+int run_smoke_gate(const std::string& floor_path) {
   const auto& fx = fixture();
   if (!run_differential(fx.problem)) return 1;
 
@@ -344,6 +345,21 @@ int run_smoke(const std::string& floor_path) {
         pass ? "ok" : "REGRESSED");
   }
   return ok ? 0 : 1;
+}
+
+/// Smoke gate wrapped in a metrics session: every SkeletonSpace built by
+/// the gate flushes its cache counters here on destruction, and the
+/// snapshot documents what the gate actually measured (memo hit mix,
+/// record-table churn) alongside the pass/fail line.
+int run_smoke(const std::string& floor_path) {
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* previous = obs::install_metrics(&registry);
+  const int status = run_smoke_gate(floor_path);
+  obs::install_metrics(previous);
+  for (const auto& [name, value] : registry.counter_values()) {
+    std::printf("[smoke] metric %s=%lld\n", name.c_str(), value);
+  }
+  return status;
 }
 
 }  // namespace

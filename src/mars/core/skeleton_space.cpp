@@ -39,7 +39,20 @@ SkeletonSpace::SkeletonSpace(const Problem& problem, const Config& config)
                       : trivial_candidates(*problem.topo)),
       codec_(problem, candidates_),
       second_(problem, config.second),
-      evaluator_(problem) {}
+      evaluator_(problem),
+      memo_hits_(&metrics_.counter("search.space.memo.hits")),
+      memo_misses_(&metrics_.counter("search.space.memo.misses")),
+      record_hits_(&metrics_.counter("search.space.records.hits")),
+      record_misses_(&metrics_.counter("search.space.records.misses")),
+      record_evictions_(&metrics_.counter("search.space.records.evictions")),
+      delta_unchanged_(&metrics_.counter("search.space.delta.unchanged")),
+      delta_bails_(&metrics_.counter("search.space.delta.bails")) {}
+
+SkeletonSpace::~SkeletonSpace() {
+  if (obs::MetricsRegistry* global = obs::metrics()) {
+    metrics_.flush_to(*global);
+  }
+}
 
 const SecondLevelResult& SkeletonSpace::second_level_for(
     const LayerAssignment& skeleton) {
@@ -47,10 +60,10 @@ const SecondLevelResult& SkeletonSpace::second_level_for(
                      skeleton.design};
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    ++cache_hits_;
+    memo_hits_->add();
     return it->second;
   }
-  ++cache_misses_;
+  memo_misses_->add();
   return cache_.emplace(key, second_.greedy(skeleton)).first->second;
 }
 
@@ -87,14 +100,14 @@ std::vector<std::vector<Seconds>> SkeletonSpace::price_batch(
       const LayerAssignment& set = sets[s];
       const CacheKey key{set.begin, set.end, set.accs, set.design};
       if (const auto it = cache_.find(key); it != cache_.end()) {
-        ++cache_hits_;
+        memo_hits_->add();
         latencies[i][s] = it->second.cost.penalized;
         continue;
       }
       if (scheduled.contains(key)) {
-        ++cache_hits_;
+        memo_hits_->add();
       } else {
-        ++cache_misses_;
+        memo_misses_->add();
         scheduled.insert(key);
         missing.push_back(set);
       }
@@ -255,6 +268,7 @@ std::vector<double> SkeletonSpace::fitness_delta_batch(
         deltas[i].changed.size() * 4 >
             static_cast<std::size_t>(codec_.genome_size())) {
       record = nullptr;
+      delta_bails_->add();
     }
     if (record == nullptr) {
       skeletons[i] = codec_.decode(children[i], &traces[i]);
@@ -264,8 +278,9 @@ std::vector<double> SkeletonSpace::fitness_delta_batch(
       if (rt.same) {
         // Identical trace, hence identical skeleton: S cache hits and the
         // parent's fitness, with no assembly or aggregation.
-        cache_hits_ += static_cast<long long>(record->skeleton.sets.size());
+        memo_hits_->add(static_cast<long long>(record->skeleton.sets.size()));
         unchanged[i] = 1;
+        delta_unchanged_->add();
         continue;
       }
       traces[i] = std::move(rt.trace);
@@ -291,20 +306,20 @@ std::vector<double> SkeletonSpace::fitness_delta_batch(
             record->latencies[psets.size() - 1 - suffix];
         ++suffix;
       }
-      cache_hits_ += static_cast<long long>(prefix + suffix);
+      memo_hits_->add(static_cast<long long>(prefix + suffix));
     }
     for (std::size_t s = prefix; s < count - suffix; ++s) {
       const LayerAssignment& set = sets[s];
       const CacheKey key{set.begin, set.end, set.accs, set.design};
       if (const auto it = cache_.find(key); it != cache_.end()) {
-        ++cache_hits_;
+        memo_hits_->add();
         latencies[i][s] = it->second.cost.penalized;
         continue;
       }
       if (scheduled.contains(key)) {
-        ++cache_hits_;
+        memo_hits_->add();
       } else {
-        ++cache_misses_;
+        memo_misses_->add();
         scheduled.insert(key);
         missing.push_back(set);
       }
@@ -361,15 +376,25 @@ std::vector<double> SkeletonSpace::fitness_delta_batch(
 }
 
 SkeletonSpace::EvalRecord SkeletonSpace::recall(const ga::Genome& genome) const {
-  if (records_.empty()) return nullptr;
+  if (records_.empty()) {
+    record_misses_->add();
+    return nullptr;
+  }
   const RecordSlot& slot = records_[GenomeHash{}(genome) % kRecordSlots];
-  if (slot.record != nullptr && slot.genome == genome) return slot.record;
+  if (slot.record != nullptr && slot.genome == genome) {
+    record_hits_->add();
+    return slot.record;
+  }
+  record_misses_->add();
   return nullptr;
 }
 
 void SkeletonSpace::remember(const ga::Genome& genome, EvalRecord record) {
   if (records_.empty()) records_.resize(kRecordSlots);
   RecordSlot& slot = records_[GenomeHash{}(genome) % kRecordSlots];
+  if (slot.record != nullptr && !(slot.genome == genome)) {
+    record_evictions_->add();  // direct-mapped collision overwrites the slot
+  }
   slot.genome = genome;  // assignment reuses the slot's capacity
   slot.record = std::move(record);
 }

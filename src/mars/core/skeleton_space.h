@@ -31,6 +31,7 @@
 #include "mars/core/evaluator.h"
 #include "mars/core/first_level.h"
 #include "mars/core/second_level.h"
+#include "mars/obs/metrics.h"
 
 namespace mars::util {
 class WorkerPool;
@@ -53,6 +54,9 @@ class SkeletonSpace {
   };
 
   SkeletonSpace(const Problem& problem, const Config& config);
+  /// Flushes the instance metrics into the installed global registry
+  /// (obs::metrics()), when one is installed.
+  ~SkeletonSpace();
 
   [[nodiscard]] const Problem& problem() const { return *problem_; }
   [[nodiscard]] const FirstLevelCodec& codec() const { return codec_; }
@@ -115,8 +119,19 @@ class SkeletonSpace {
   /// The Herald-extended baseline skeleton (GA seed / SA start point).
   [[nodiscard]] Skeleton baseline() const;
 
-  [[nodiscard]] long long cache_hits() const { return cache_hits_; }
-  [[nodiscard]] long long cache_misses() const { return cache_misses_; }
+  /// Second-level memo hit/miss counts (the `search.space.memo.*`
+  /// counters). The exactness contracts above are stated in terms of these
+  /// two values.
+  [[nodiscard]] long long cache_hits() const { return memo_hits_->value(); }
+  [[nodiscard]] long long cache_misses() const {
+    return memo_misses_->value();
+  }
+
+  /// All instance counters (memo, record table, delta path) by name; see
+  /// docs/OBSERVABILITY.md for the `search.space.*` naming scheme.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
 
  private:
   struct CacheKey {
@@ -182,8 +197,19 @@ class SkeletonSpace {
   SecondLevelSearch second_;
   MappingEvaluator evaluator_;
   std::unordered_map<CacheKey, SecondLevelResult, CacheKeyHash> cache_;
-  long long cache_hits_ = 0;
-  long long cache_misses_ = 0;
+  /// Instance metric registry backing the counters below (one per
+  /// SkeletonSpace so per-search counts stay exact); the destructor folds
+  /// it into the installed global registry. The Counter pointers are
+  /// resolved once in the constructor — registry references are stable —
+  /// so hot-path increments are a single relaxed atomic add.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* memo_hits_;
+  obs::Counter* memo_misses_;
+  obs::Counter* record_hits_;
+  obs::Counter* record_misses_;
+  obs::Counter* record_evictions_;
+  obs::Counter* delta_unchanged_;
+  obs::Counter* delta_bails_;
   /// FNV-1a over the genome's byte representation. Hashing bit patterns is
   /// sound here: equality stays the exact operator== on the doubles, and a
   /// key the hash cannot find again (e.g. a NaN gene) merely forces the

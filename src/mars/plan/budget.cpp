@@ -1,5 +1,8 @@
 #include "mars/plan/budget.h"
 
+#include "mars/obs/metrics.h"
+#include "mars/obs/trace.h"
+
 namespace mars::plan {
 
 std::string to_string(StopReason reason) {
@@ -19,6 +22,9 @@ std::string to_string(StopReason reason) {
 BudgetMeter::BudgetMeter(Budget budget)
     : budget_(std::move(budget)), start_(std::chrono::steady_clock::now()) {
   if (budget_.clock) clock_start_ = budget_.clock();
+  if (obs::MetricsRegistry* registry = obs::metrics()) {
+    polls_ = &registry->counter("plan.budget.polls");
+  }
 }
 
 Seconds BudgetMeter::elapsed() const {
@@ -29,6 +35,7 @@ Seconds BudgetMeter::elapsed() const {
 }
 
 bool BudgetMeter::exhausted(long long evaluations) {
+  if (polls_ != nullptr) polls_->add();
   if (reason_ != StopReason::kCompleted) return true;
   // Cancellation wins over the passive limits: it is the only one a user
   // actively requested.
@@ -41,7 +48,17 @@ bool BudgetMeter::exhausted(long long evaluations) {
              elapsed() >= budget_.wall_clock) {
     reason_ = StopReason::kWallClock;
   }
-  return reason_ != StopReason::kCompleted;
+  if (reason_ != StopReason::kCompleted) {
+    // The poll that tripped a limit is the event worth seeing on the
+    // timeline (per-poll instants would swamp a long search).
+    if (obs::TraceRecorder* rec = obs::trace()) {
+      rec->instant(obs::Clock::kWall, rec->track(obs::Clock::kWall, "plan"),
+                   "budget " + to_string(reason_), rec->wall_now(),
+                   {{"evaluations", JsonValue::integer(evaluations)}});
+    }
+    return true;
+  }
+  return false;
 }
 
 }  // namespace mars::plan

@@ -17,6 +17,10 @@
 
 #include "mars/util/units.h"
 
+namespace mars::obs {
+class Counter;
+}
+
 namespace mars::plan {
 
 /// Cooperative cancellation flag, shareable across threads. The owner
@@ -97,6 +101,10 @@ class BudgetMeter {
   std::chrono::steady_clock::time_point start_;
   Seconds clock_start_{};
   StopReason reason_ = StopReason::kCompleted;
+  /// `plan.budget.polls` in the installed registry (null when none): how
+  /// often engines actually check their limits — the cooperative-
+  /// cancellation latency is bounded by the gap between polls.
+  obs::Counter* polls_ = nullptr;
 };
 
 }  // namespace mars::plan

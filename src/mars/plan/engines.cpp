@@ -9,6 +9,7 @@
 #include "mars/core/baseline.h"
 #include "mars/core/skeleton_space.h"
 #include "mars/ga/operators.h"
+#include "mars/obs/trace.h"
 #include "mars/util/error.h"
 #include "mars/util/strings.h"
 #include "mars/util/worker_pool.h"
@@ -26,6 +27,21 @@ constexpr int kProgressStride = 32;
 /// serial path) otherwise so a single-threaded search costs nothing.
 std::unique_ptr<util::WorkerPool> make_pool(int threads) {
   return threads > 1 ? std::make_unique<util::WorkerPool>(threads) : nullptr;
+}
+
+/// Wall-domain search progress: evaluation-count and best-fitness counter
+/// lanes named after the engine. No-op without an installed recorder;
+/// search results never depend on whether tracing is on.
+void trace_progress(const char* engine, long long evaluations, double best) {
+  obs::TraceRecorder* rec = obs::trace();
+  if (rec == nullptr) return;
+  const Seconds now = rec->wall_now();
+  rec->counter(obs::Clock::kWall, std::string(engine) + " evaluations", now,
+               static_cast<double>(evaluations));
+  if (std::isfinite(best)) {
+    rec->counter(obs::Clock::kWall, std::string(engine) + " best_fitness", now,
+                 best);
+  }
 }
 
 void append_ga(std::ostream& os, const ga::GaConfig& config) {
@@ -100,15 +116,17 @@ std::string GaEngine::spec_string() const {
 PlanResult GaEngine::search(const core::Problem& problem, const Budget& budget,
                             const ProgressFn& progress) const {
   BudgetMeter meter(budget);
+  const obs::ScopedWallSpan span("plan", "search ga");
   core::Mars mars(problem, config_);
   ga::StopFn stop;
   long long last_reported = -1;
-  if (!budget.unlimited() || progress) {
+  if (!budget.unlimited() || progress || obs::trace() != nullptr) {
     // Mars re-polls the hook after the GA to decide on the polish pass;
     // dedupe by evaluation count so callers see each generation once.
     stop = [&](long long evaluations, double best) {
-      if (progress && evaluations != last_reported) {
-        progress({evaluations, best, meter.elapsed()});
+      if (evaluations != last_reported) {
+        trace_progress("ga", evaluations, best);
+        if (progress) progress({evaluations, best, meter.elapsed()});
         last_reported = evaluations;
       }
       return meter.exhausted(evaluations);
@@ -172,6 +190,7 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
                                    const Budget& budget,
                                    const ProgressFn& progress) const {
   BudgetMeter meter(budget);
+  const obs::ScopedWallSpan span("plan", "search anneal");
   core::SkeletonSpace space(problem,
                             {config_.second, config_.heuristic_candidates});
   const core::FirstLevelCodec& codec = space.codec();
@@ -295,8 +314,18 @@ PlanResult AnnealingEngine::search(const core::Problem& problem,
       }
     }
     history.push_back(best_fitness);
-    if (progress && step % kProgressStride == 0) {
-      progress({evaluations, best_fitness, meter.elapsed()});
+    if (step % kProgressStride == 0) {
+      trace_progress("anneal", evaluations, best_fitness);
+      if (obs::TraceRecorder* rec = obs::trace()) {
+        // Per-chain current-fitness lanes: shows which chains are stuck
+        // at which temperature.
+        const Seconds now = rec->wall_now();
+        for (std::size_t c = 0; c < current_fitness.size(); ++c) {
+          rec->counter(obs::Clock::kWall, "anneal chain " + std::to_string(c),
+                       now, current_fitness[c]);
+        }
+      }
+      if (progress) progress({evaluations, best_fitness, meter.elapsed()});
     }
   }
 
@@ -338,6 +367,7 @@ PlanResult RandomEngine::search(const core::Problem& problem,
                                 const Budget& budget,
                                 const ProgressFn& progress) const {
   BudgetMeter meter(budget);
+  const obs::ScopedWallSpan span("plan", "search random");
   core::SkeletonSpace space(problem,
                             {config_.second, config_.heuristic_candidates});
   const core::FirstLevelCodec& codec = space.codec();
@@ -392,6 +422,7 @@ PlanResult RandomEngine::search(const core::Problem& problem,
       history.push_back(best_fitness);
     }
     drawn += static_cast<int>(batch_size);
+    trace_progress("random", evaluations, best_fitness);
     if (progress) {
       progress({evaluations, best_fitness, meter.elapsed()});
     }
@@ -410,6 +441,7 @@ PlanResult BaselineEngine::search(const core::Problem& problem,
                                   const Budget& budget,
                                   const ProgressFn& progress) const {
   BudgetMeter meter(budget);
+  const obs::ScopedWallSpan span("plan", "search baseline");
   const accel::ProfileMatrix profile(*problem.designs, *problem.spine);
   PlanResult result;
   result.mapping = core::baseline_mapping(problem, profile);
@@ -455,6 +487,7 @@ PlanResult PortfolioEngine::search(const core::Problem& problem,
                                    const Budget& budget,
                                    const ProgressFn& progress) const {
   BudgetMeter meter(budget);
+  const obs::ScopedWallSpan span("plan", "search portfolio");
   Provenance provenance;
   provenance.engine = name();
   provenance.spec = spec_string();
@@ -501,7 +534,19 @@ PlanResult PortfolioEngine::search(const core::Problem& problem,
                   meter.elapsed()});
       };
     }
+    obs::TraceRecorder* rec = obs::trace();
+    const Seconds member_start =
+        rec != nullptr ? rec->wall_now() : Seconds(0.0);
     PlanResult raced = members_[i]->search(problem, slice, member_progress);
+    if (rec != nullptr) {
+      // One wall span per raced member on the shared "plan" track, so a
+      // portfolio run renders as back-to-back member slices.
+      rec->complete(obs::Clock::kWall, rec->track(obs::Clock::kWall, "plan"),
+                    "member " + raced.provenance.engine, member_start,
+                    rec->wall_now() - member_start,
+                    {{"evaluations",
+                      JsonValue::integer(raced.provenance.evaluations)}});
+    }
     provenance.evaluations += raced.provenance.evaluations;
     provenance.iterations += raced.provenance.iterations;
     provenance.members.push_back(raced.provenance);

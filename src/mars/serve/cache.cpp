@@ -52,7 +52,12 @@ class Fnv1a {
 
 }  // namespace
 
-MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {
+MappingCache::MappingCache(std::string dir)
+    : dir_(std::move(dir)),
+      hits_(&metrics_.counter("serve.cache.hits")),
+      misses_(&metrics_.counter("serve.cache.misses")),
+      corrupt_(&metrics_.counter("serve.cache.corrupt")),
+      stores_(&metrics_.counter("serve.cache.stores")) {
   MARS_CHECK_ARG(!dir_.empty(), "mapping cache needs a directory path");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -60,6 +65,12 @@ MappingCache::MappingCache(std::string dir) : dir_(std::move(dir)) {
                           << dir_ << "': " << ec.message());
   MARS_CHECK_ARG(std::filesystem::is_directory(dir_, ec),
                  "mapping cache path '" << dir_ << "' is not a directory");
+}
+
+MappingCache::~MappingCache() {
+  if (obs::MetricsRegistry* global = obs::metrics()) {
+    metrics_.flush_to(*global);
+  }
 }
 
 std::string MappingCache::fingerprint(const topology::Topology& topo,
@@ -106,7 +117,10 @@ std::optional<core::Mapping> MappingCache::load(
     bool adaptive) const {
   const std::string path = path_for(key);
   std::ifstream file(path);
-  if (!file) return std::nullopt;  // plain miss
+  if (!file) {
+    misses_->add();  // plain miss: no entry for this key
+    return std::nullopt;
+  }
   std::ostringstream content;
   content << file.rdbuf();
   try {
@@ -116,13 +130,20 @@ std::optional<core::Mapping> MappingCache::load(
         entry.get("fingerprint").as_string() != key.fingerprint) {
       MARS_WARN << "mapping cache entry " << path
                 << " does not match its key; ignoring";
+      misses_->add();
+      corrupt_->add();
       return std::nullopt;
     }
-    return core::mapping_from_json(entry.get("mapping"), spine, topo, designs,
-                                   adaptive);
+    core::Mapping mapping = core::mapping_from_json(entry.get("mapping"),
+                                                    spine, topo, designs,
+                                                    adaptive);
+    hits_->add();
+    return mapping;
   } catch (const std::exception& e) {
     MARS_WARN << "mapping cache entry " << path
               << " is unreadable (treated as a miss): " << e.what();
+    misses_->add();
+    corrupt_->add();
     return std::nullopt;
   }
 }
@@ -153,6 +174,7 @@ void MappingCache::store(const Key& key, const core::Mapping& mapping,
   std::filesystem::rename(tmp, path, ec);
   MARS_CHECK(!ec, "cannot move mapping cache file into place at " << path
                       << ": " << ec.message());
+  stores_->add();
 }
 
 }  // namespace mars::serve

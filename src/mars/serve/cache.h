@@ -24,6 +24,7 @@
 #include <string>
 
 #include "mars/core/mapping.h"
+#include "mars/obs/metrics.h"
 
 namespace mars::serve {
 
@@ -39,6 +40,9 @@ class MappingCache {
   /// Opens (and creates, if needed) the cache directory. Throws
   /// InvalidArgument when `dir` exists but is not a directory.
   explicit MappingCache(std::string dir);
+  /// Flushes the instance metrics into the installed global registry
+  /// (obs::metrics()), when one is installed.
+  ~MappingCache();
 
   /// 64-bit FNV-1a over everything the searched mapping depends on:
   /// topology structure, the design registry (name, frequency, peak
@@ -72,8 +76,29 @@ class MappingCache {
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// Lifetime load/store outcome counts for this cache instance (the
+  /// `serve.cache.*` counters; see docs/OBSERVABILITY.md). `corrupt`
+  /// counts the subset of misses caused by an unreadable or mismatched
+  /// entry, as opposed to an absent file.
+  [[nodiscard]] long long hits() const { return hits_->value(); }
+  [[nodiscard]] long long misses() const { return misses_->value(); }
+  [[nodiscard]] long long corrupt() const { return corrupt_->value(); }
+  [[nodiscard]] long long stores() const { return stores_->value(); }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   std::string dir_;
+  /// Instance registry (the canonical counts live here; the destructor
+  /// folds them into the installed global registry). load()/store() are
+  /// const, so they increment through these pointers, resolved once at
+  /// construction — registry references are stable.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* corrupt_;
+  obs::Counter* stores_;
 };
 
 }  // namespace mars::serve

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
+#include "mars/obs/metrics.h"
+#include "mars/obs/trace.h"
 #include "mars/sim/event_queue.h"
 #include "mars/util/error.h"
 
@@ -73,6 +76,38 @@ class Engine {
         if (used[static_cast<std::size_t>(a)]) service_accs_[m].push_back(a);
       }
     }
+
+    // Observability: resolve the recorder and registry once per run. Every
+    // event below is emitted from this serial event loop with simulated
+    // timestamps, so the simulated-domain trace is deterministic per seed
+    // regardless of --threads (which only parallelises planning).
+    rec_ = obs::trace();
+    if (rec_ != nullptr) {
+      model_tracks_.reserve(services.size());
+      in_system_name_.reserve(services.size());
+      for (std::size_t m = 0; m < services.size(); ++m) {
+        // The index prefix keeps tracks distinct when two services serve
+        // the same model name.
+        const std::string label =
+            "model " + std::to_string(m) + ":" + services[m]->name();
+        model_tracks_.push_back(rec_->track(obs::Clock::kSim, label));
+        in_system_name_.push_back("in_system " + label);
+      }
+      acc_tracks_.reserve(static_cast<std::size_t>(topo.size()));
+      queued_name_.reserve(static_cast<std::size_t>(topo.size()));
+      for (int a = 0; a < topo.size(); ++a) {
+        const std::string label = "acc " + std::to_string(a);
+        acc_tracks_.push_back(rec_->track(obs::Clock::kSim, label));
+        queued_name_.push_back("queued_s " + label);
+      }
+    }
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+      shed_total_ = &registry->counter("serve.admission.shed");
+      completed_total_ = &registry->counter("serve.requests.completed");
+      batches_total_ = &registry->counter("serve.batches.dispatched");
+      tasks_total_ = &registry->counter("serve.tasks.executed");
+      latency_hist_ = &registry->histogram("serve.latency_seconds");
+    }
   }
 
   void add_arrival(const Request& request) {
@@ -135,6 +170,13 @@ class Engine {
 
   void handle_arrival(const Request& request) {
     if (!admit(request)) {
+      if (shed_total_ != nullptr) shed_total_->add();
+      if (rec_ != nullptr) {
+        rec_->instant(obs::Clock::kSim,
+                      model_tracks_[static_cast<std::size_t>(request.model)],
+                      "shed", request.arrival,
+                      {{"request", JsonValue::integer(request.id)}});
+      }
       result_.rejected.push_back(request);
       // A shed closed-loop client behaves like one whose request failed
       // fast: it comes back `think` later instead of stalling forever.
@@ -142,8 +184,25 @@ class Engine {
       return;
     }
     ++in_system_[static_cast<std::size_t>(request.model)];
+    if (rec_ != nullptr) trace_admit(request);
     batchers_[static_cast<std::size_t>(request.model)].push(request);
     drain_batcher(request.model);
+  }
+
+  /// Request lifecycle as nestable async spans on the model's track, all
+  /// grouped by (cat "req", request id): an outer <model name> span covers
+  /// arrival -> completion, with "queue" (arrival -> dispatch) and
+  /// "execute" (dispatch -> completion) phases nested inside.
+  void trace_admit(const Request& request) {
+    const auto m = static_cast<std::size_t>(request.model);
+    const int track = model_tracks_[m];
+    rec_->async_begin(obs::Clock::kSim, track, "req", request.id,
+                      (*services_)[m]->name(), request.arrival,
+                      {{"client", JsonValue::integer(request.client)}});
+    rec_->async_begin(obs::Clock::kSim, track, "req", request.id, "queue",
+                      request.arrival);
+    rec_->counter(obs::Clock::kSim, in_system_name_[m], request.arrival,
+                  static_cast<double>(in_system_[m]));
   }
 
   [[nodiscard]] bool admit(const Request& request) const {
@@ -211,12 +270,26 @@ class Engine {
   /// resource contention, exactly as in evaluate_throughput.
   void dispatch(std::vector<Request> batch, Seconds now) {
     ++result_.batches_dispatched;
+    if (batches_total_ != nullptr) batches_total_->add();
     const int batch_size = static_cast<int>(batch.size());
+    if (rec_ != nullptr && !batch.empty()) {
+      rec_->instant(obs::Clock::kSim,
+                    model_tracks_[static_cast<std::size_t>(batch.front().model)],
+                    "batch", now, {{"size", JsonValue::integer(batch_size)}});
+    }
     for (Request& request : batch) {
       const sim::TaskGraph& proto =
           (*services_)[static_cast<std::size_t>(request.model)]->proto();
       const int live_index = static_cast<int>(live_.size());
       live_.push_back(LiveRequest{request, now, batch_size, proto.size()});
+      if (rec_ != nullptr) {
+        const int track =
+            model_tracks_[static_cast<std::size_t>(request.model)];
+        rec_->async_end(obs::Clock::kSim, track, "req", request.id, "queue",
+                        now);
+        rec_->async_begin(obs::Clock::kSim, track, "req", request.id,
+                          "execute", now);
+      }
 
       const int offset = static_cast<int>(tasks_.size());
       for (const Task& task : proto.tasks()) {
@@ -241,6 +314,16 @@ class Engine {
         }
       }
     }
+    if (rec_ != nullptr && !batch.empty()) {
+      // Post-dispatch queued-work samples for the accelerators this
+      // model computes on.
+      for (const int acc :
+           service_accs_[static_cast<std::size_t>(batch.front().model)]) {
+        const auto a = static_cast<std::size_t>(acc);
+        rec_->counter(obs::Clock::kSim, queued_name_[a], now,
+                      queued_work_[a].count());
+      }
+    }
   }
 
   void try_start(int id, int leg) {
@@ -260,6 +343,7 @@ class Engine {
         result_.acc_busy[static_cast<std::size_t>(task.acc)] += task.duration;
         // The work moves from "queued" to "running" (acc_free covers it).
         queued_work_[static_cast<std::size_t>(task.acc)] -= task.duration;
+        if (rec_ != nullptr) trace_compute(id, task, end);
         queue_.push(end, Event{Event::Kind::kTaskDone, id, 0, {}});
         break;
       }
@@ -285,6 +369,21 @@ class Engine {
     }
   }
 
+  /// One busy span per compute task on its accelerator's track (an
+  /// accelerator runs one task at a time, so spans on a track never
+  /// overlap), plus the post-start queued-work counter sample.
+  void trace_compute(int id, const Task& task, Seconds end) {
+    const auto a = static_cast<std::size_t>(task.acc);
+    const LiveRequest& live = live_[static_cast<std::size_t>(
+        request_of_[static_cast<std::size_t>(id)])];
+    const auto m = static_cast<std::size_t>(live.request.model);
+    rec_->complete(obs::Clock::kSim, acc_tracks_[a], (*services_)[m]->name(),
+                   now_, end - now_,
+                   {{"request", JsonValue::integer(live.request.id)}});
+    rec_->counter(obs::Clock::kSim, queued_name_[a], now_,
+                  queued_work_[a].count());
+  }
+
   void leg_done(int id, int leg) {
     const Task& task = tasks_[static_cast<std::size_t>(id)];
     const std::vector<sim::RouteLeg>& route = route_for(task.src, task.dst);
@@ -300,6 +399,7 @@ class Engine {
   void finish_task(int id) {
     result_.horizon = std::max(result_.horizon, now_);
     ++result_.tasks_executed;
+    if (tasks_total_ != nullptr) tasks_total_->add();
     for (sim::TaskId dependent : dependents_[static_cast<std::size_t>(id)]) {
       if (--missing_deps_[static_cast<std::size_t>(dependent)] == 0) {
         queue_.push(now_, Event{Event::Kind::kTryStart, dependent, 0, {}});
@@ -314,6 +414,20 @@ class Engine {
     result_.completed.push_back(CompletedRequest{
         live.request, live.dispatch, now_, live.batch_size});
     --in_system_[static_cast<std::size_t>(live.request.model)];
+    if (completed_total_ != nullptr) completed_total_->add();
+    if (latency_hist_ != nullptr) {
+      latency_hist_->observe((now_ - live.request.arrival).count());
+    }
+    if (rec_ != nullptr) {
+      const auto m = static_cast<std::size_t>(live.request.model);
+      const int track = model_tracks_[m];
+      rec_->async_end(obs::Clock::kSim, track, "req", live.request.id,
+                      "execute", now_);
+      rec_->async_end(obs::Clock::kSim, track, "req", live.request.id,
+                      (*services_)[m]->name(), now_);
+      rec_->counter(obs::Clock::kSim, in_system_name_[m], now_,
+                    static_cast<double>(in_system_[m]));
+    }
     reissue_after_think(live.request.model, live.request.client);
   }
 
@@ -359,6 +473,19 @@ class Engine {
   Seconds think_{};
   Seconds issue_horizon_{};
   int next_request_id_ = 0;
+
+  // Observability handles, resolved once at construction (all null/empty
+  // when no recorder/registry is installed — the common case).
+  obs::TraceRecorder* rec_ = nullptr;
+  std::vector<int> model_tracks_;            // sim track per model
+  std::vector<int> acc_tracks_;              // sim track per accelerator
+  std::vector<std::string> in_system_name_;  // counter name per model
+  std::vector<std::string> queued_name_;     // counter name per accelerator
+  obs::Counter* shed_total_ = nullptr;
+  obs::Counter* completed_total_ = nullptr;
+  obs::Counter* batches_total_ = nullptr;
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
 
   ServeResult result_;
 };

@@ -1,12 +1,15 @@
 #include "mars/util/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace mars {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-std::ostream* g_sink = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::ostream* g_sink = nullptr;  // guarded by g_log_mutex
+std::mutex g_log_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -27,14 +30,13 @@ const char* level_tag(LogLevel level) {
 }  // namespace
 
 LogLevel set_log_level(LogLevel level) {
-  LogLevel previous = g_level;
-  g_level = level;
-  return previous;
+  return g_level.exchange(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 std::ostream* set_log_sink(std::ostream* sink) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::ostream* previous = g_sink;
   g_sink = sink;
   return previous;
@@ -43,6 +45,9 @@ std::ostream* set_log_sink(std::ostream* sink) {
 namespace detail {
 
 void emit_log(LogLevel level, const std::string& message) {
+  // One mutex-guarded write per statement: messages from concurrent worker
+  // threads come out whole, never interleaved mid-line.
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
   std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
   os << "[mars " << level_tag(level) << "] " << message << '\n';
 }

@@ -2,8 +2,11 @@
 //
 // MARS is a library first; logging defaults to warnings-and-up on stderr so
 // embedding applications stay quiet. Search drivers bump the level to Info
-// to narrate GA progress. Not thread-safe by design (MARS search is
-// single-threaded; the simulator is deterministic).
+// to narrate GA progress. Thread-safe: search has been multi-threaded since
+// the worker pool landed, so the level is atomic and each statement is
+// emitted under a mutex (whole lines, never interleaved). Swapping the sink
+// concurrently with logging is safe, but the caller must keep the old sink
+// alive until the swap returns.
 #pragma once
 
 #include <ostream>

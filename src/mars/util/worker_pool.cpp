@@ -1,8 +1,35 @@
 #include "mars/util/worker_pool.h"
 
+#include <string>
+
+#include "mars/obs/trace.h"
 #include "mars/util/error.h"
 
 namespace mars::util {
+namespace {
+
+/// Runs one parallel_for chunk, wrapped in a wall-clock trace span on the
+/// worker's track when a recorder is installed (worker 0 is the calling
+/// thread). No allocation or locking on the no-recorder path. Spans for
+/// throwing chunks are dropped — the exception itself is the record there.
+void run_chunk(int worker, std::size_t begin, std::size_t end,
+               const WorkerPool::ChunkFn& fn) {
+  obs::TraceRecorder* rec = obs::trace();
+  if (rec == nullptr) {
+    fn(begin, end);
+    return;
+  }
+  const int track =
+      rec->track(obs::Clock::kWall, "pool worker " + std::to_string(worker));
+  const Seconds start = rec->wall_now();
+  fn(begin, end);
+  rec->complete(obs::Clock::kWall, track, "chunk", start,
+                rec->wall_now() - start,
+                {{"begin", JsonValue::integer(static_cast<long long>(begin))},
+                 {"end", JsonValue::integer(static_cast<long long>(end))}});
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(int threads) : threads_(threads) {
   MARS_CHECK_ARG(threads >= 1, "WorkerPool needs >= 1 thread, got " << threads);
@@ -45,7 +72,7 @@ void WorkerPool::parallel_for(std::size_t n, const ChunkFn& fn) {
   // The caller is chunk 0; workers 1..threads-1 run concurrently.
   const auto [begin, end] = chunk(n, threads_, 0);
   try {
-    if (begin < end) fn(begin, end);
+    if (begin < end) run_chunk(0, begin, end, fn);
   } catch (...) {
     errors_[0] = std::current_exception();
   }
@@ -76,7 +103,7 @@ void WorkerPool::worker_loop(int worker) {
     }
     const auto [begin, end] = chunk(n, threads_, worker);
     try {
-      if (begin < end) (*job)(begin, end);
+      if (begin < end) run_chunk(worker, begin, end, *job);
     } catch (...) {
       errors_[static_cast<std::size_t>(worker)] = std::current_exception();
     }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace mars {
 namespace {
@@ -48,6 +51,37 @@ TEST_F(LoggingTest, SetLevelReturnsPrevious) {
   set_log_level(LogLevel::kInfo);
   EXPECT_EQ(set_log_level(LogLevel::kError), LogLevel::kInfo);
   EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+// Search has been multi-threaded since the worker pool landed: concurrent
+// statements must come out as whole lines, never interleaved. Run under
+// TSan in CI (the util suite is in the tsan job).
+TEST_F(LoggingTest, ConcurrentStatementsEmitWholeLines) {
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kMessagesPerThread; ++i) {
+        MARS_INFO << "thread=" << t << " msg=" << i << " tail";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every line is complete: prefix, both fields, and the tail marker.
+  std::istringstream lines(capture_.str());
+  std::string line;
+  int total = 0;
+  while (std::getline(lines, line)) {
+    ++total;
+    EXPECT_EQ(line.rfind("[mars INFO ] thread=", 0), 0u) << line;
+    EXPECT_NE(line.find(" msg="), std::string::npos) << line;
+    EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+  }
+  EXPECT_EQ(total, kThreads * kMessagesPerThread);
 }
 
 }  // namespace

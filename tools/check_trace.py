@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event JSON file emitted by `--trace`.
+
+Checks the JSON-object envelope ({"traceEvents": [...]}) and, per event:
+
+* required fields by phase — every event needs name/ph/pid/tid; "X" also
+  needs ts and a non-negative dur; "i" a scope "s"; "b"/"e" a cat and id;
+  "C" an args.value; "M" an args.name;
+* duration ("B"/"E") events nest properly per (pid, tid): every "E" closes
+  a matching open "B", none left open at the end;
+* nestable async ("b"/"e") events balance per (pid, cat, id), begins
+  before ends;
+* timestamps are non-decreasing per (pid, tid) in array order — the
+  recorder sorts its export, so out-of-order timestamps mean a broken
+  merge.
+
+Exit status: 0 when the trace is valid, 1 when any check fails (each
+failure is listed with its event index), 2 on usage or I/O errors.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M"}
+
+
+def validate(doc):
+    failures = []
+
+    def fail(index, message):
+        failures.append(f"event {index}: {message}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ['document: expected an object with a "traceEvents" array']
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ['document: "traceEvents" is not an array']
+
+    open_durations = {}  # (pid, tid) -> [names of open "B" events]
+    open_async = {}  # (pid, cat, id) -> open "b" count
+    last_ts = {}  # (pid, tid) -> last seen timestamp
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(index, "not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            fail(index, f"unknown phase {phase!r}")
+            continue
+        for field in ("name", "pid"):
+            if field not in event:
+                fail(index, f'phase "{phase}" is missing "{field}"')
+        if phase != "M" and "tid" not in event:
+            fail(index, f'phase "{phase}" is missing "tid"')
+
+        pid, tid = event.get("pid"), event.get("tid", 0)
+        track = (pid, tid)
+        ts = event.get("ts")
+
+        if phase == "M":
+            if not isinstance(event.get("args"), dict) or "name" not in event["args"]:
+                fail(index, 'metadata event is missing "args.name"')
+            continue
+
+        if not isinstance(ts, (int, float)):
+            fail(index, f'phase "{phase}" is missing a numeric "ts"')
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            fail(
+                index,
+                f"timestamp {ts} goes backwards on track pid={pid} tid={tid} "
+                f"(previous {last_ts[track]})",
+            )
+        last_ts[track] = ts
+
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                fail(index, 'complete event is missing a numeric "dur"')
+            elif dur < 0:
+                fail(index, f"complete event has negative dur {dur}")
+        elif phase == "B":
+            open_durations.setdefault(track, []).append(event.get("name"))
+        elif phase == "E":
+            stack = open_durations.get(track, [])
+            if not stack:
+                fail(index, f'"E" with no open "B" on pid={pid} tid={tid}')
+            else:
+                stack.pop()
+        elif phase in ("i", "I"):
+            if event.get("s", "t") not in ("t", "p", "g"):
+                fail(index, f'instant event has invalid scope {event.get("s")!r}')
+        elif phase == "C":
+            if not isinstance(event.get("args"), dict) or not event["args"]:
+                fail(index, 'counter event is missing "args" values')
+        elif phase in ("b", "e", "n"):
+            if "cat" not in event or "id" not in event:
+                fail(index, f'nestable async "{phase}" needs "cat" and "id"')
+                continue
+            key = (pid, event["cat"], event["id"])
+            if phase == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            elif phase == "e":
+                if open_async.get(key, 0) == 0:
+                    fail(index, f'async "e" with no open "b" for {key}')
+                else:
+                    open_async[key] -= 1
+
+    for (pid, tid), stack in open_durations.items():
+        for name in stack:
+            failures.append(
+                f'end of trace: "B" event {name!r} never closed on '
+                f"pid={pid} tid={tid}"
+            )
+    for key, count in open_async.items():
+        if count:
+            failures.append(
+                f"end of trace: {count} async begin(s) never closed for "
+                f"(pid, cat, id)={key}"
+            )
+    return failures
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read {argv[1]}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {argv[1]} is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    failures = validate(doc)
+    for failure in failures:
+        print(f"{argv[1]}: {failure}", file=sys.stderr)
+    if failures:
+        print(f"{argv[1]}: INVALID ({len(failures)} failure(s))", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"]
+    data = sum(1 for event in events if event.get("ph") != "M")
+    print(f"{argv[1]}: ok ({data} events, {len(events) - data} metadata)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,10 +20,17 @@
 //   mars_map serve --model facebagnet --model resnet50 --rate 200 --duration 10
 //       Online multi-tenant serving simulation over the shared topology.
 //       --mapping-cache DIR persists searched mappings across runs;
-//       --policy composes batching and admission ("size:4+slo:60").
+//       --policy composes batching and admission ("size:4+slo:60");
+//       --replay CSV replays a recorded arrival trace.
+//
+// map, throughput and serve all accept `--trace FILE.json` (Chrome Trace
+// Event / Perfetto timeline of the run) and `--metrics FILE.json` (counter
+// registry snapshot). Both write their files after the command finishes and
+// report to stderr only — stdout is byte-identical with and without them.
 //
 // The full flag reference lives in docs/CLI.md; the serving data flow in
-// docs/SERVING.md.
+// docs/SERVING.md; clock domains and the trace determinism contract in
+// docs/OBSERVABILITY.md.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <algorithm>
@@ -40,6 +47,8 @@
 #include "mars/core/serialize.h"
 #include "mars/graph/models/models.h"
 #include "mars/graph/parser.h"
+#include "mars/obs/metrics.h"
+#include "mars/obs/trace.h"
 #include "mars/plan/engines.h"
 #include "mars/plan/planner.h"
 #include "mars/serve/cache.h"
@@ -124,6 +133,67 @@ int int_option(const Args& args, const std::string& name,
   }
   return truncated;
 }
+
+/// Per-command observability session: `--trace FILE.json` installs a
+/// TraceRecorder, and a MetricsRegistry is always installed so component
+/// destructors have somewhere to flush their counters. Declare this FIRST
+/// in a command so every component destructs — and flushes — before this
+/// destructor uninstalls and exports. Everything the session prints goes
+/// to stderr: stdout stays byte-identical with and without --trace.
+struct ObsSession {
+  std::optional<obs::TraceRecorder> recorder;
+  obs::MetricsRegistry registry;
+  std::string trace_path;
+  std::string metrics_path;
+
+  explicit ObsSession(const Args& args) {
+    // Validate both paths before installing anything: a throw from here
+    // must not leave a global pointer at a dying recorder.
+    if (args.flag("trace")) {
+      trace_path = args.get("trace", "");
+      if (trace_path == "1") {
+        throw InvalidArgument("--trace needs an output file path (.json)");
+      }
+    }
+    if (args.flag("metrics")) {
+      metrics_path = args.get("metrics", "");
+      if (metrics_path == "1") {
+        throw InvalidArgument("--metrics needs an output file path (.json)");
+      }
+    }
+    if (!trace_path.empty()) {
+      recorder.emplace();
+      obs::install_trace(&*recorder);
+    }
+    obs::install_metrics(&registry);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    obs::install_metrics(nullptr);
+    if (recorder) obs::install_trace(nullptr);
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      recorder->write(file);
+      std::clog << "wrote trace (" << recorder->event_count()
+                << " events) to " << trace_path << '\n';
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      file << registry.to_json().dump() << '\n';
+      std::clog << "wrote metrics to " << metrics_path << '\n';
+    }
+    // Counter snapshot as stderr provenance whenever observability was
+    // asked for (quiet otherwise — normal runs keep a clean stderr).
+    if (recorder || !metrics_path.empty()) {
+      for (const auto& [name, value] : registry.counter_values()) {
+        std::clog << "metric " << name << "=" << value << '\n';
+      }
+    }
+  }
+};
 
 topology::Topology make_topology(const Args& args) {
   const std::string spec = args.get("topology", "f1");
@@ -257,6 +327,7 @@ struct LoadedProblem {
 };
 
 int cmd_map(const Args& args) {
+  const ObsSession session(args);
   LoadedProblem lp(args);
   const std::unique_ptr<plan::SearchEngine> engine =
       make_engine(args, make_config(args));
@@ -308,6 +379,7 @@ int cmd_baseline(const Args& args) {
 }
 
 int cmd_throughput(const Args& args) {
+  const ObsSession session(args);
   LoadedProblem lp(args);
   const int batch = int_option(args, "batch", "8");
   const std::unique_ptr<plan::SearchEngine> engine =
@@ -323,6 +395,7 @@ int cmd_throughput(const Args& args) {
 }
 
 int cmd_serve(const Args& args) {
+  const ObsSession session(args);
   // Model mix: repeated --model name[:weight] (weight defaults to 1).
   std::vector<std::string> names;
   std::vector<double> weights;
@@ -447,6 +520,10 @@ int cmd_serve(const Args& args) {
               << format_double(plan_seconds, 3) << " s (" << hits << "/"
               << services.size() << " from cache at " << cache->dir()
               << ")\n";
+    std::clog << "mapping cache counters: hits=" << cache->hits()
+              << " misses=" << cache->misses()
+              << " corrupt=" << cache->corrupt()
+              << " stores=" << cache->stores() << '\n';
   }
   std::cout << "Fleet on " << topo.name() << " (" << topo.size()
             << " accelerators, mapper " << engine->name() << "):\n"
@@ -460,11 +537,11 @@ int cmd_serve(const Args& args) {
   const serve::OnlineScheduler scheduler(topo, refs, options);
 
   serve::ServeResult result;
-  if (args.flag("trace")) {
-    // A bare `--trace` parses as the sentinel value "1".
-    const std::string trace = args.get("trace", "");
-    if (trace == "1") throw InvalidArgument("--trace needs a CSV file path");
-    result = scheduler.run(serve::replay_trace_file(trace, names));
+  if (args.flag("replay")) {
+    // A bare `--replay` parses as the sentinel value "1".
+    const std::string replay = args.get("replay", "");
+    if (replay == "1") throw InvalidArgument("--replay needs a CSV file path");
+    result = scheduler.run(serve::replay_trace_file(replay, names));
   } else if (args.flag("clients")) {
     const serve::ClosedLoopSpec spec =
         serve::make_closed_loop(weights, clients, think);
@@ -494,13 +571,15 @@ int usage(std::ostream& os) {
         "[--model-file PATH] "
         "[--mapper ga|anneal|random|baseline|portfolio|race:<m>+<m>[,MS]] "
         "[--search-budget MS] [--search-evals N] [--threads N] "
-        "[--seed N] [--quick] [--fixed] [--json PATH] [--batch N]\n"
+        "[--seed N] [--quick] [--fixed] [--json PATH] [--batch N] "
+        "[--trace FILE.json] [--metrics FILE.json]\n"
         "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
         "--duration S --slo MS "
         "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
-        "--mapper NAME --threads N --mapping-cache DIR --full --trace CSV "
+        "--mapper NAME --threads N --mapping-cache DIR --full --replay CSV "
         "--clients N --think MS\n"
-        "full reference: docs/CLI.md and docs/SEARCH.md\n";
+        "full reference: docs/CLI.md, docs/SEARCH.md and "
+        "docs/OBSERVABILITY.md\n";
   return 1;
 }
 
