@@ -5,13 +5,19 @@
 // sweep shows the goodput-vs-shed-rate trade load shedding buys under
 // overload.
 //
-// Two extra modes:
-//   --autoscale   fleet size x offered rate -> goodput frontier (the
-//                 autoscaling planning curve: how many accelerators a
-//                 traffic level needs before goodput collapses);
-//   (always)      a mapping-cache demonstration first: the same fleet is
-//                 planned cold (GA search) and warm (cache load), and
-//                 both startup times are reported.
+// Three extra modes:
+//   --autoscale     fleet size x offered rate -> goodput frontier (the
+//                   autoscaling planning curve: how many accelerators a
+//                   traffic level needs before goodput collapses);
+//   --fleet-scale   sharded-serving throughput: ~1M simulated requests
+//                   routed across {1,2,4,8} replica groups at --threads
+//                   {1,4}, with an in-bench byte-identity gate (any
+//                   thread count, and repeat runs, must produce the
+//                   identical merged result — exit 1 on mismatch).
+//                   --smoke shrinks the stream for CI;
+//   (always)        a mapping-cache demonstration first: the same fleet
+//                   is planned cold (GA search) and warm (cache load),
+//                   and both startup times are reported.
 //
 // Extension beyond the paper: MARS optimises one inference's makespan;
 // this harness measures what its mappings deliver under the multi-tenant
@@ -25,6 +31,7 @@
 #include <numeric>
 
 #include "mars/serve/cache.h"
+#include "mars/serve/fleet.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/report.h"
 #include "mars/serve/scheduler.h"
@@ -268,15 +275,162 @@ void run_autoscale_sweep(const Options& options) {
                   csv_rows);
 }
 
+/// Order-sensitive digest of a merged ServeResult: byte-identical runs
+/// hash equal, any reorder or value drift hashes different. FNV-1a over
+/// the completed and rejected streams plus the scalar tallies.
+std::uint64_t result_digest(const serve::ServeResult& result) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffu;
+      hash *= kPrime;
+    }
+  };
+  const auto mix_seconds = [&](Seconds s) {
+    std::uint64_t bits = 0;
+    const double count = s.count();
+    std::memcpy(&bits, &count, sizeof(bits));
+    mix(bits);
+  };
+  for (const serve::CompletedRequest& done : result.completed) {
+    mix(static_cast<std::uint64_t>(done.request.id));
+    mix(static_cast<std::uint64_t>(done.request.model));
+    mix_seconds(done.request.arrival);
+    mix_seconds(done.dispatch);
+    mix_seconds(done.completion);
+    mix(static_cast<std::uint64_t>(done.batch_size));
+  }
+  for (const serve::Request& shed : result.rejected) {
+    mix(static_cast<std::uint64_t>(shed.id));
+    mix(static_cast<std::uint64_t>(shed.model));
+    mix_seconds(shed.arrival);
+  }
+  for (Seconds busy : result.acc_busy) mix_seconds(busy);
+  mix_seconds(result.horizon);
+  mix(static_cast<std::uint64_t>(result.tasks_executed));
+  mix(static_cast<std::uint64_t>(result.batches_dispatched));
+  return hash;
+}
+
+/// Fleet-scale throughput: one Poisson request stream routed across
+/// {1,2,4,8} replica groups (each a 4-accelerator cloud running the
+/// two-model fleet), at worker-thread counts {1,4}. Admission control
+/// (shed:8) keeps every configuration saturated-but-bounded, so the
+/// bench measures the router + per-shard event loop, not unbounded
+/// queue growth. Every (shards) row asserts the merged result is
+/// byte-identical across thread counts and across a repeat run; any
+/// mismatch fails the bench (exit 1) — this is the CI determinism gate.
+int run_fleet_scale(const Options& options, bool smoke) {
+  const double rate = smoke ? 25000.0 : 100000.0;
+  const Seconds duration(smoke ? 2.0 : 10.0);
+  std::cout << "=== Fleet-scale sharded serving: ~"
+            << static_cast<long long>(rate * duration.count())
+            << " simulated requests (" << join(fleet_models(), " + ")
+            << ", 4-accelerator replica groups, policy shed:8) ===\n";
+
+  // One replica group's topology; every shard is a copy, so all shard
+  // counts share the same planned services.
+  const topology::Topology group = topology::h2h_cloud(4, gbps(4.0), 4);
+  const accel::DesignRegistry designs = accel::h2h_designs();
+  const auto services =
+      serve::plan_services(fleet_models(), group, designs, /*adaptive=*/false,
+                           *bench_engine(options, "baseline"));
+  const std::vector<const serve::ModelService*> refs = as_refs(services);
+
+  const std::vector<double> mix = {1.0, 1.0};
+  const std::vector<serve::Request> arrivals =
+      serve::poisson_arrivals(mix, rate, duration, options.seed);
+  const serve::PolicySpec policy = serve::PolicySpec::parse("shed:8");
+
+  bool all_identical = true;
+  std::vector<std::vector<std::string>> csv_rows;
+  Table table({"Shards", "Threads", "Offered", "Served", "Shed rate",
+               "p99 /ms", "Wall /s", "Wall req/s", "Identical"});
+  for (int shards : {1, 2, 4, 8}) {
+    std::optional<std::uint64_t> reference;
+    for (int threads : {1, 4}) {
+      serve::FleetOptions fleet_options;
+      fleet_options.shards = shards;
+      fleet_options.threads = threads;
+      fleet_options.scheduler.policy = policy.batch;
+      fleet_options.scheduler.admission = policy.admission;
+      const serve::FleetScheduler scheduler(group, refs, fleet_options);
+
+      const auto start = std::chrono::steady_clock::now();
+      const serve::ServeResult result = scheduler.run(arrivals);
+      const double wall = seconds_since(start);
+      std::uint64_t digest = result_digest(result);
+      // Repeat the 4-thread run: same seed, same bytes, or the gate fails.
+      if (threads == 4) {
+        const std::uint64_t again = result_digest(scheduler.run(arrivals));
+        if (again != digest) {
+          std::cerr << "FLEET-SCALE MISMATCH: shards=" << shards
+                    << " threads=4 repeat run diverged\n";
+          all_identical = false;
+        }
+      }
+      if (!reference) reference = digest;
+      const bool identical = digest == *reference;
+      if (!identical) {
+        std::cerr << "FLEET-SCALE MISMATCH: shards=" << shards
+                  << " threads=" << threads
+                  << " diverged from the threads=1 reference\n";
+        all_identical = false;
+      }
+
+      const serve::ServeMetrics metrics = serve::summarize(
+          result, fleet_models(), milliseconds(kSlOMillis));
+      const double wall_rps =
+          wall > 0.0 ? static_cast<double>(metrics.offered) / wall : 0.0;
+      table.add_row({std::to_string(shards), std::to_string(threads),
+                     std::to_string(metrics.offered),
+                     std::to_string(metrics.requests),
+                     format_double(metrics.shed_rate * 100.0, 1) + "%",
+                     format_double(metrics.latency.p99.millis(), 2),
+                     format_double(wall, 3), format_double(wall_rps, 0),
+                     identical ? "yes" : "NO"});
+      csv_rows.push_back(
+          {std::to_string(shards), std::to_string(threads),
+           std::to_string(metrics.offered), std::to_string(metrics.requests),
+           std::to_string(metrics.rejected),
+           format_double(metrics.shed_rate, 4),
+           format_double(metrics.latency.p99.millis(), 4),
+           format_double(metrics.throughput_rps, 2), format_double(wall, 4),
+           format_double(wall_rps, 0), identical ? "1" : "0"});
+    }
+    table.add_separator();
+  }
+  std::cout << table;
+  maybe_write_csv(options,
+                  {"shards", "threads", "offered", "served", "rejected",
+                   "shed_rate", "p99_ms", "sim_throughput_rps", "wall_s",
+                   "wall_rps", "identical"},
+                  csv_rows);
+  if (!all_identical) {
+    std::cerr << "fleet-scale determinism gate FAILED\n";
+    return 1;
+  }
+  std::cout << "determinism gate: all shard/thread configurations "
+               "byte-identical\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace mars::bench
 
 int main(int argc, char** argv) {
   bool autoscale = false;
+  bool fleet_scale = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--autoscale") autoscale = true;
+    const std::string arg = argv[i];
+    if (arg == "--autoscale") autoscale = true;
+    if (arg == "--fleet-scale") fleet_scale = true;
+    if (arg == "--smoke") smoke = true;
   }
   const mars::bench::Options options = mars::bench::parse_options(argc, argv);
+  if (fleet_scale) return mars::bench::run_fleet_scale(options, smoke);
   if (autoscale) {
     mars::bench::run_autoscale_sweep(options);
     return 0;

@@ -1,0 +1,225 @@
+#include "mars/serve/fleet.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "mars/obs/metrics.h"
+#include "mars/obs/trace.h"
+#include "mars/util/error.h"
+#include "mars/util/worker_pool.h"
+
+namespace mars::serve {
+namespace {
+
+/// FNV-1a, 64-bit. Fed explicit little-endian bytes so the hash — and
+/// therefore shard routing and every downstream result — is identical
+/// across platforms.
+inline std::uint64_t fnv1a_int(std::uint64_t hash, int value) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  auto bits = static_cast<std::uint32_t>(value);
+  for (int i = 0; i < 4; ++i) {
+    hash ^= (bits >> (8 * i)) & 0xffu;
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+/// A shard that received no traffic still contributes its (idle)
+/// accelerators to the merged fleet view.
+ServeResult empty_shard_result(int group_accelerators) {
+  ServeResult result;
+  result.acc_busy.assign(static_cast<std::size_t>(group_accelerators),
+                         Seconds(0.0));
+  return result;
+}
+
+}  // namespace
+
+FleetPartition partition_fleet(int accelerators, int shards) {
+  MARS_CHECK_ARG(accelerators >= 1,
+                 "fleet needs at least one accelerator, got " << accelerators);
+  MARS_CHECK_ARG(shards >= 1, "shards must be >= 1, got " << shards);
+  FleetPartition partition;
+  partition.clamped = shards > accelerators;
+  partition.shards = partition.clamped ? accelerators : shards;
+  partition.group_accelerators = accelerators / partition.shards;
+  partition.unused_accelerators =
+      accelerators - partition.shards * partition.group_accelerators;
+  return partition;
+}
+
+int shard_of(int model, int request_id, int shards) {
+  if (shards <= 1) return 0;
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  const std::uint64_t hash = fnv1a_int(fnv1a_int(kOffset, model), request_id);
+  return static_cast<int>(hash % static_cast<std::uint64_t>(shards));
+}
+
+ServeResult merge_shard_results(std::vector<ServeResult> shard_results,
+                                int group_accelerators) {
+  MARS_CHECK_ARG(!shard_results.empty(), "nothing to merge");
+  MARS_CHECK_ARG(group_accelerators >= 1,
+                 "group_accelerators must be >= 1, got " << group_accelerators);
+  ServeResult merged;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  for (const ServeResult& shard : shard_results) {
+    MARS_CHECK_ARG(static_cast<int>(shard.acc_busy.size()) ==
+                       group_accelerators,
+                   "shard result has " << shard.acc_busy.size()
+                                       << " accelerators, expected "
+                                       << group_accelerators);
+    completed += shard.completed.size();
+    rejected += shard.rejected.size();
+  }
+  merged.completed.reserve(completed);
+  merged.rejected.reserve(rejected);
+  merged.acc_busy.reserve(shard_results.size() *
+                          static_cast<std::size_t>(group_accelerators));
+  for (ServeResult& shard : shard_results) {
+    merged.completed.insert(merged.completed.end(), shard.completed.begin(),
+                            shard.completed.end());
+    merged.rejected.insert(merged.rejected.end(), shard.rejected.begin(),
+                           shard.rejected.end());
+    merged.acc_busy.insert(merged.acc_busy.end(), shard.acc_busy.begin(),
+                           shard.acc_busy.end());
+    merged.horizon = std::max(merged.horizon, shard.horizon);
+    merged.tasks_executed += shard.tasks_executed;
+    merged.batches_dispatched += shard.batches_dispatched;
+  }
+  // The concatenation above is shard-major, so a stable sort keyed on
+  // time alone resolves ties to (shard, intra-shard) order — the full
+  // deterministic (time, shard, intra-shard) merge order.
+  std::stable_sort(merged.completed.begin(), merged.completed.end(),
+                   [](const CompletedRequest& a, const CompletedRequest& b) {
+                     return a.completion < b.completion;
+                   });
+  std::stable_sort(merged.rejected.begin(), merged.rejected.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return merged;
+}
+
+FleetScheduler::FleetScheduler(const topology::Topology& group_topo,
+                               std::vector<const ModelService*> services,
+                               FleetOptions options)
+    : group_topo_(&group_topo),
+      services_(std::move(services)),
+      options_(std::move(options)) {
+  MARS_CHECK_ARG(options_.shards >= 1,
+                 "shards must be >= 1, got " << options_.shards);
+  MARS_CHECK_ARG(options_.threads >= 1,
+                 "threads must be >= 1, got " << options_.threads);
+  shard_schedulers_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    SchedulerOptions per_shard = options_.scheduler;
+    // Only a real fleet prefixes its tracks; the single-shard path must
+    // reproduce the serial scheduler's trace byte for byte.
+    if (options_.shards > 1) {
+      std::string prefix = "s";
+      prefix += std::to_string(s);
+      prefix += ' ';
+      per_shard.trace_label_prefix = std::move(prefix);
+    }
+    shard_schedulers_.emplace_back(group_topo, services_,
+                                   std::move(per_shard));
+  }
+  if (obs::MetricsRegistry* registry = obs::metrics()) {
+    registry->gauge("serve.fleet.shards")
+        .set(static_cast<double>(options_.shards));
+  }
+}
+
+template <typename ShardFn>
+std::vector<ServeResult> FleetScheduler::run_shards(ShardFn&& fn) const {
+  const auto n = static_cast<std::size_t>(options_.shards);
+  std::vector<ServeResult> results(n);
+  obs::TraceRecorder* rec = obs::trace();
+  if (rec != nullptr || options_.threads == 1) {
+    // Serial: engines emit their simulated-domain events in shard order,
+    // so the trace stream is deterministic. Wall spans record how long
+    // each shard's engine really ran.
+    const int wall_track =
+        rec != nullptr ? rec->track(obs::Clock::kWall, "serve") : 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const Seconds start = rec != nullptr ? rec->wall_now() : Seconds(0.0);
+      results[s] = fn(static_cast<int>(s));
+      if (rec != nullptr) {
+        rec->complete(obs::Clock::kWall, wall_track,
+                      "shard " + std::to_string(s), start,
+                      rec->wall_now() - start);
+      }
+    }
+    return results;
+  }
+  // Parallel: one independent engine per shard, results published by
+  // index — output is identical to the serial loop above.
+  util::WorkerPool pool(
+      std::min(options_.threads, options_.shards));
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      results[s] = fn(static_cast<int>(s));
+    }
+  });
+  return results;
+}
+
+ServeResult FleetScheduler::run(const std::vector<Request>& arrivals) const {
+  if (options_.shards == 1) return shard_schedulers_[0].run(arrivals);
+  // Route per arrival; order within a shard preserves arrival order, so
+  // each engine sees a well-formed sub-stream.
+  std::vector<std::vector<Request>> per_shard(
+      static_cast<std::size_t>(options_.shards));
+  for (const Request& request : arrivals) {
+    per_shard[static_cast<std::size_t>(
+                  shard_of(request.model, request.id, options_.shards))]
+        .push_back(request);
+  }
+  if (obs::MetricsRegistry* registry = obs::metrics()) {
+    registry->counter("serve.fleet.requests.routed")
+        .add(static_cast<long long>(arrivals.size()));
+  }
+  std::vector<ServeResult> results = run_shards([&](int s) {
+    return shard_schedulers_[static_cast<std::size_t>(s)].run(
+        per_shard[static_cast<std::size_t>(s)]);
+  });
+  return merge_shard_results(std::move(results), group_topo_->size());
+}
+
+ServeResult FleetScheduler::run_closed_loop(const ClosedLoopSpec& spec,
+                                            Seconds duration) const {
+  if (options_.shards == 1) {
+    return shard_schedulers_[0].run_closed_loop(spec, duration);
+  }
+  // A client binds to one shard for the whole run (routed by its model
+  // and fleet-wide client index) — closed-loop feedback never crosses
+  // shard boundaries.
+  std::vector<ClosedLoopSpec> per_shard(
+      static_cast<std::size_t>(options_.shards));
+  for (auto& shard_spec : per_shard) shard_spec.think = spec.think;
+  for (int c = 0; c < spec.clients(); ++c) {
+    const int model = spec.client_model[static_cast<std::size_t>(c)];
+    per_shard[static_cast<std::size_t>(shard_of(model, c, options_.shards))]
+        .client_model.push_back(model);
+  }
+  if (obs::MetricsRegistry* registry = obs::metrics()) {
+    registry->counter("serve.fleet.requests.routed")
+        .add(static_cast<long long>(spec.clients()));
+  }
+  std::vector<ServeResult> results = run_shards([&](int s) {
+    const ClosedLoopSpec& shard_spec =
+        per_shard[static_cast<std::size_t>(s)];
+    // An unlucky routing can leave a shard clientless; it idles.
+    if (shard_spec.clients() == 0) {
+      return empty_shard_result(group_topo_->size());
+    }
+    return shard_schedulers_[static_cast<std::size_t>(s)].run_closed_loop(
+        shard_spec, duration);
+  });
+  return merge_shard_results(std::move(results), group_topo_->size());
+}
+
+}  // namespace mars::serve

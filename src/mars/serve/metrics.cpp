@@ -8,10 +8,13 @@
 namespace mars::serve {
 namespace {
 
-/// Nearest-rank percentile of an ascending-sorted sample vector.
+/// Nearest-rank percentile of an ascending-sorted sample vector. The
+/// epsilon absorbs binary-representation error in q * n: 0.95 * 20 is
+/// 19.000000000000004 in a double, and a bare ceil would round that up
+/// to rank 20 — off by one whenever q * n lands on an integer.
 Seconds percentile(const std::vector<Seconds>& sorted, double q) {
   const auto n = static_cast<double>(sorted.size());
-  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n - 1e-9));
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
@@ -78,6 +81,10 @@ ServeMetrics summarize(const ServeResult& result,
   if (metrics.requests > 0) {
     metrics.slo_attainment = static_cast<double>(good) / metrics.requests;
     metrics.mean_batch = metrics.requests / batch_count;
+  } else if (metrics.rejected > 0) {
+    // Every offered request was shed: nothing met the SLO. The default
+    // 1.0 (vacuous truth) only applies when nothing was offered at all.
+    metrics.slo_attainment = 0.0;
   }
   if (horizon > 0.0) {
     metrics.throughput_rps = metrics.requests / horizon;
@@ -109,6 +116,10 @@ ServeMetrics summarize(const ServeResult& result,
       model.slo_attainment =
           static_cast<double>(good_by_model[m]) / model.requests;
       model.mean_batch = model.requests / batches_by_model[m];
+    } else if (model.rejected > 0) {
+      // Same all-shed rule per model: a model whose every request was
+      // rejected attained nothing.
+      model.slo_attainment = 0.0;
     }
     if (horizon > 0.0) model.goodput_rps = good_by_model[m] / horizon;
     metrics.per_model.push_back(std::move(model));

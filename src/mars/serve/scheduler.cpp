@@ -1,40 +1,58 @@
 #include "mars/serve/scheduler.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
 #include <optional>
 #include <string>
+#include <type_traits>
 
 #include "mars/obs/metrics.h"
 #include "mars/obs/trace.h"
 #include "mars/sim/event_queue.h"
+#include "mars/util/arena.h"
 #include "mars/util/error.h"
 
 namespace mars::serve {
 namespace {
 
-using sim::Task;
 using sim::TaskKind;
+
+/// Arena-backed state of one admitted request: a fixed header plus the
+/// per-task missing-dependency counters, in a single block sized by the
+/// model's task count. Blocks are recycled through a per-model intrusive
+/// free list the moment the request completes — by then every event that
+/// referenced the instance has been consumed (a task event exists only
+/// while its task is unfinished), so reuse is safe and deterministic.
+struct Instance {
+  Request request;
+  Seconds dispatch{};
+  int batch_size = 1;
+  int tasks_remaining = 0;
+  Instance* next_free = nullptr;
+
+  /// The trailing missing-dependency array (one int per prototype task).
+  [[nodiscard]] int* missing() { return reinterpret_cast<int*>(this + 1); }
+};
+
+// The trailing int array is placed directly after the header; recycling
+// skips destructors entirely, so the header must not acquire any.
+static_assert(std::is_trivially_destructible_v<Instance>);
+static_assert(alignof(Instance) % alignof(int) == 0);
 
 struct Event {
   enum class Kind : std::uint8_t {
     kArrival,       // `request` enters its model's batcher
     kDeadline,      // re-check model `index`'s batch timeout
-    kTryStart,      // task `index`, leg `leg` attempts to acquire resources
-    kLegDone,       // transfer task `index` finished leg `leg`
-    kTaskDone,      // compute task `index` finished
+    kTryStart,      // task `index` of `instance`, leg `leg`, wants resources
+    kLegDone,       // transfer task `index` of `instance` finished leg `leg`
+    kTaskDone,      // compute task `index` of `instance` finished
   };
   Kind kind;
-  int index = -1;  // task id or model id, depending on kind
+  int index = -1;  // prototype task index or model id, depending on kind
   int leg = 0;
-  Request request;  // kArrival only
-};
-
-/// In-flight bookkeeping for one admitted request.
-struct LiveRequest {
-  Request request;
-  Seconds dispatch{};
-  int batch_size = 1;
-  int tasks_remaining = 0;
+  Instance* instance = nullptr;  // task events only
+  Request request;               // kArrival only
 };
 
 /// The mutable event-loop state for one run. Mirrors Executor::run, with
@@ -50,26 +68,37 @@ class Engine {
         network_(topo, options.sim),
         route_cache_(static_cast<std::size_t>((topo.size() + 1) *
                                               (topo.size() + 1))) {
-    batchers_.reserve(services.size());
-    for (std::size_t m = 0; m < services.size(); ++m) {
-      batchers_.emplace_back(options.policy);
+    // The `none` policy dispatches every arrival immediately as a batch of
+    // one; bypassing the Batcher on that path keeps steady-state dispatch
+    // allocation-free (the batcher returns freshly built vectors).
+    immediate_dispatch_ = options.policy.kind == BatchPolicy::Kind::kNone;
+    if (!immediate_dispatch_) {
+      batchers_.reserve(services.size());
+      for (std::size_t m = 0; m < services.size(); ++m) {
+        batchers_.emplace_back(options.policy);
+      }
+      armed_deadline_.assign(services.size(), std::nullopt);
     }
-    armed_deadline_.assign(services.size(), std::nullopt);
     result_.acc_busy.assign(static_cast<std::size_t>(topo.size()),
                             Seconds(0.0));
 
     admission_ = options.admission;
     in_system_.assign(services.size(), 0);
     queued_work_.assign(static_cast<std::size_t>(topo.size()), Seconds(0.0));
+    flats_.reserve(services.size());
+    free_list_.assign(services.size(), nullptr);
     // Which accelerators each model's prototype computes on — the
     // timelines its requests queue behind, hence the ones the slo:
     // admission estimate reads.
     service_accs_.resize(services.size());
     for (std::size_t m = 0; m < services.size(); ++m) {
+      const sim::FlatTaskGraph& flat = services[m]->flat_proto();
+      flats_.push_back(&flat);
       std::vector<bool> used(static_cast<std::size_t>(topo.size()), false);
-      for (const Task& task : services[m]->proto().tasks()) {
-        if (task.kind == TaskKind::kCompute) {
-          used[static_cast<std::size_t>(task.acc)] = true;
+      for (int t = 0; t < flat.size; ++t) {
+        if (flat.kinds[static_cast<std::size_t>(t)] == TaskKind::kCompute) {
+          used[static_cast<std::size_t>(
+              flat.accs[static_cast<std::size_t>(t)])] = true;
         }
       }
       for (int a = 0; a < topo.size(); ++a) {
@@ -80,23 +109,27 @@ class Engine {
     // Observability: resolve the recorder and registry once per run. Every
     // event below is emitted from this serial event loop with simulated
     // timestamps, so the simulated-domain trace is deterministic per seed
-    // regardless of --threads (which only parallelises planning).
+    // regardless of --threads (the fleet layer runs shards serially
+    // whenever a recorder is installed — see serve/fleet.cpp).
     rec_ = obs::trace();
     if (rec_ != nullptr) {
       model_tracks_.reserve(services.size());
       in_system_name_.reserve(services.size());
       for (std::size_t m = 0; m < services.size(); ++m) {
         // The index prefix keeps tracks distinct when two services serve
-        // the same model name.
-        const std::string label =
-            "model " + std::to_string(m) + ":" + services[m]->name();
+        // the same model name; the options prefix keeps fleet shards
+        // distinct.
+        const std::string label = options.trace_label_prefix + "model " +
+                                  std::to_string(m) + ":" +
+                                  services[m]->name();
         model_tracks_.push_back(rec_->track(obs::Clock::kSim, label));
         in_system_name_.push_back("in_system " + label);
       }
       acc_tracks_.reserve(static_cast<std::size_t>(topo.size()));
       queued_name_.reserve(static_cast<std::size_t>(topo.size()));
       for (int a = 0; a < topo.size(); ++a) {
-        const std::string label = "acc " + std::to_string(a);
+        const std::string label =
+            options.trace_label_prefix + "acc " + std::to_string(a);
         acc_tracks_.push_back(rec_->track(obs::Clock::kSim, label));
         queued_name_.push_back("queued_s " + label);
       }
@@ -110,9 +143,26 @@ class Engine {
     }
   }
 
+  /// Pre-sizes the run for a stream of `arrivals` requests: the event
+  /// heap (every open-loop arrival is enqueued up front) and the result
+  /// vectors. One fixed allocation each, so steady-state dispatch stays
+  /// heap-silent. The heap slack covers every task event of up to 16
+  /// concurrently live instances per model — an unfinished task holds at
+  /// most one outstanding event — which is exact under bounded admission
+  /// (shed:N, N <= 16); deeper configurations regrow the heap amortised.
+  void reserve(std::size_t arrivals) {
+    std::size_t task_slack = 64;
+    for (const sim::FlatTaskGraph* flat : flats_) {
+      task_slack += 16 * static_cast<std::size_t>(flat->size);
+    }
+    queue_.reserve(arrivals + task_slack);
+    result_.completed.reserve(arrivals);
+    result_.rejected.reserve(arrivals);
+  }
+
   void add_arrival(const Request& request) {
     queue_.push(request.arrival,
-                Event{Event::Kind::kArrival, -1, 0, request});
+                Event{Event::Kind::kArrival, -1, 0, nullptr, request});
     next_request_id_ = std::max(next_request_id_, request.id + 1);
   }
 
@@ -137,10 +187,11 @@ class Engine {
       }
       if (!flushed) break;
     }
-    MARS_CHECK(static_cast<long long>(result_.completed.size()) ==
-                   static_cast<long long>(live_.size()),
-               "serving deadlock: " << live_.size() - result_.completed.size()
-                                    << " requests never completed");
+    MARS_CHECK(admitted_ == static_cast<long long>(result_.completed.size()),
+               "serving deadlock: "
+                   << admitted_ -
+                          static_cast<long long>(result_.completed.size())
+                   << " requests never completed");
     return std::move(result_);
   }
 
@@ -156,13 +207,13 @@ class Engine {
           drain_batcher(event.index);
           break;
         case Event::Kind::kTryStart:
-          try_start(event.index, event.leg);
+          try_start(event.instance, event.index, event.leg);
           break;
         case Event::Kind::kLegDone:
-          leg_done(event.index, event.leg);
+          leg_done(event.instance, event.index, event.leg);
           break;
         case Event::Kind::kTaskDone:
-          finish_task(event.index);
+          finish_task(event.instance, event.index);
           break;
       }
     }
@@ -185,6 +236,10 @@ class Engine {
     }
     ++in_system_[static_cast<std::size_t>(request.model)];
     if (rec_ != nullptr) trace_admit(request);
+    if (immediate_dispatch_) {
+      dispatch_single(request, now_);
+      return;
+    }
     batchers_[static_cast<std::size_t>(request.model)].push(request);
     drain_batcher(request.model);
   }
@@ -245,7 +300,7 @@ class Engine {
     request.model = model;
     request.arrival = next;
     request.client = client;
-    queue_.push(next, Event{Event::Kind::kArrival, -1, 0, request});
+    queue_.push(next, Event{Event::Kind::kArrival, -1, 0, nullptr, request});
   }
 
   void drain_batcher(int model) {
@@ -261,109 +316,142 @@ class Engine {
     if (deadline &&
         deadline != armed_deadline_[static_cast<std::size_t>(model)]) {
       armed_deadline_[static_cast<std::size_t>(model)] = deadline;
-      queue_.push(*deadline, Event{Event::Kind::kDeadline, model, 0, {}});
+      queue_.push(*deadline,
+                  Event{Event::Kind::kDeadline, model, 0, nullptr, {}});
     }
   }
 
-  /// Clones each request's prototype graph into the live task set. The
-  /// batch's requests start together; pipelining across them emerges from
-  /// resource contention, exactly as in evaluate_throughput.
   void dispatch(std::vector<Request> batch, Seconds now) {
     ++result_.batches_dispatched;
     if (batches_total_ != nullptr) batches_total_->add();
     const int batch_size = static_cast<int>(batch.size());
     if (rec_ != nullptr && !batch.empty()) {
-      rec_->instant(obs::Clock::kSim,
-                    model_tracks_[static_cast<std::size_t>(batch.front().model)],
-                    "batch", now, {{"size", JsonValue::integer(batch_size)}});
+      rec_->instant(
+          obs::Clock::kSim,
+          model_tracks_[static_cast<std::size_t>(batch.front().model)],
+          "batch", now, {{"size", JsonValue::integer(batch_size)}});
     }
     for (Request& request : batch) {
-      const sim::TaskGraph& proto =
-          (*services_)[static_cast<std::size_t>(request.model)]->proto();
-      const int live_index = static_cast<int>(live_.size());
-      live_.push_back(LiveRequest{request, now, batch_size, proto.size()});
-      if (rec_ != nullptr) {
-        const int track =
-            model_tracks_[static_cast<std::size_t>(request.model)];
-        rec_->async_end(obs::Clock::kSim, track, "req", request.id, "queue",
-                        now);
-        rec_->async_begin(obs::Clock::kSim, track, "req", request.id,
-                          "execute", now);
-      }
+      instantiate(request, now, batch_size);
+    }
+    if (!batch.empty()) sample_queued_work(batch.front().model, now);
+  }
 
-      const int offset = static_cast<int>(tasks_.size());
-      for (const Task& task : proto.tasks()) {
-        Task copy = task;
-        copy.id += offset;
-        for (sim::TaskId& dep : copy.deps) dep += offset;
-        if (copy.kind == TaskKind::kCompute) {
-          queued_work_[static_cast<std::size_t>(copy.acc)] += copy.duration;
-        }
-        tasks_.push_back(std::move(copy));
-        missing_deps_.push_back(
-            static_cast<int>(tasks_.back().deps.size()));
-        dependents_.emplace_back();
-        request_of_.push_back(live_index);
-        for (sim::TaskId dep : tasks_.back().deps) {
-          dependents_[static_cast<std::size_t>(dep)].push_back(
-              tasks_.back().id);
-        }
-        if (tasks_.back().deps.empty()) {
-          queue_.push(now,
-                      Event{Event::Kind::kTryStart, tasks_.back().id, 0, {}});
-        }
+  /// The `none`-policy fast path: one request, one batch, no vectors.
+  void dispatch_single(const Request& request, Seconds now) {
+    ++result_.batches_dispatched;
+    if (batches_total_ != nullptr) batches_total_->add();
+    if (rec_ != nullptr) {
+      rec_->instant(obs::Clock::kSim,
+                    model_tracks_[static_cast<std::size_t>(request.model)],
+                    "batch", now, {{"size", JsonValue::integer(1)}});
+    }
+    instantiate(request, now, 1);
+    sample_queued_work(request.model, now);
+  }
+
+  /// Stamps one request instance into a recycled arena block: copy the
+  /// prototype's missing-dependency counts, account its compute on the
+  /// queued-work timelines (same per-task order as a clone would, so the
+  /// floating-point sums match the historical engine bit for bit), and
+  /// seed the root task events in task order.
+  void instantiate(const Request& request, Seconds now, int batch_size) {
+    const auto m = static_cast<std::size_t>(request.model);
+    const sim::FlatTaskGraph& flat = *flats_[m];
+    Instance* instance = free_list_[m];
+    if (instance != nullptr) {
+      free_list_[m] = instance->next_free;
+    } else {
+      void* block = arena_.allocate(
+          sizeof(Instance) +
+              sizeof(int) * static_cast<std::size_t>(flat.size),
+          alignof(Instance));
+      instance = new (block) Instance();
+    }
+    instance->request = request;
+    instance->dispatch = now;
+    instance->batch_size = batch_size;
+    instance->tasks_remaining = flat.size;
+    instance->next_free = nullptr;
+    if (flat.size > 0) {
+      std::memcpy(instance->missing(), flat.dep_counts.data(),
+                  sizeof(int) * static_cast<std::size_t>(flat.size));
+    }
+    ++admitted_;
+    if (rec_ != nullptr) {
+      const int track = model_tracks_[m];
+      rec_->async_end(obs::Clock::kSim, track, "req", request.id, "queue",
+                      now);
+      rec_->async_begin(obs::Clock::kSim, track, "req", request.id, "execute",
+                        now);
+    }
+    for (int t = 0; t < flat.size; ++t) {
+      if (flat.kinds[static_cast<std::size_t>(t)] == TaskKind::kCompute) {
+        queued_work_[static_cast<std::size_t>(
+            flat.accs[static_cast<std::size_t>(t)])] +=
+            flat.durations[static_cast<std::size_t>(t)];
       }
     }
-    if (rec_ != nullptr && !batch.empty()) {
-      // Post-dispatch queued-work samples for the accelerators this
-      // model computes on.
-      for (const int acc :
-           service_accs_[static_cast<std::size_t>(batch.front().model)]) {
-        const auto a = static_cast<std::size_t>(acc);
-        rec_->counter(obs::Clock::kSim, queued_name_[a], now,
-                      queued_work_[a].count());
-      }
+    for (sim::TaskId root : flat.roots) {
+      queue_.push(now, Event{Event::Kind::kTryStart, root, 0, instance, {}});
     }
   }
 
-  void try_start(int id, int leg) {
-    const Task& task = tasks_[static_cast<std::size_t>(id)];
-    switch (task.kind) {
+  /// Post-dispatch queued-work samples for the accelerators this model
+  /// computes on.
+  void sample_queued_work(int model, Seconds now) {
+    if (rec_ == nullptr) return;
+    for (const int acc : service_accs_[static_cast<std::size_t>(model)]) {
+      const auto a = static_cast<std::size_t>(acc);
+      rec_->counter(obs::Clock::kSim, queued_name_[a], now,
+                    queued_work_[a].count());
+    }
+  }
+
+  void try_start(Instance* instance, int t, int leg) {
+    const sim::FlatTaskGraph& flat =
+        *flats_[static_cast<std::size_t>(instance->request.model)];
+    const auto ti = static_cast<std::size_t>(t);
+    switch (flat.kinds[ti]) {
       case TaskKind::kBarrier:
-        finish_task(id);
+        finish_task(instance, t);
         break;
       case TaskKind::kCompute: {
-        Seconds& free = acc_free_[static_cast<std::size_t>(task.acc)];
+        const auto a = static_cast<std::size_t>(flat.accs[ti]);
+        Seconds& free = acc_free_[a];
         if (free > now_) {
-          queue_.push(free, Event{Event::Kind::kTryStart, id, 0, {}});
+          queue_.push(free, Event{Event::Kind::kTryStart, t, 0, instance, {}});
           break;
         }
-        const Seconds end = now_ + task.duration;
+        const Seconds duration = flat.durations[ti];
+        const Seconds end = now_ + duration;
         free = end;
-        result_.acc_busy[static_cast<std::size_t>(task.acc)] += task.duration;
+        result_.acc_busy[a] += duration;
         // The work moves from "queued" to "running" (acc_free covers it).
-        queued_work_[static_cast<std::size_t>(task.acc)] -= task.duration;
-        if (rec_ != nullptr) trace_compute(id, task, end);
-        queue_.push(end, Event{Event::Kind::kTaskDone, id, 0, {}});
+        queued_work_[a] -= duration;
+        if (rec_ != nullptr) trace_compute(instance, flat.accs[ti], end);
+        queue_.push(end, Event{Event::Kind::kTaskDone, t, 0, instance, {}});
         break;
       }
       case TaskKind::kTransfer: {
-        if (task.bytes.count() <= 0.0) {
-          finish_task(id);
+        if (flat.bytes[ti].count() <= 0.0) {
+          finish_task(instance, t);
           break;
         }
-        const std::vector<sim::RouteLeg>& route = route_for(task.src, task.dst);
+        const std::vector<sim::RouteLeg>& route =
+            route_for(flat.srcs[ti], flat.dsts[ti]);
         MARS_CHECK(leg < static_cast<int>(route.size()),
                    "leg index out of range");
         const sim::RouteLeg& hop = route[static_cast<std::size_t>(leg)];
         Seconds& free = channel_free_[static_cast<std::size_t>(hop.channel)];
         if (free > now_) {
-          queue_.push(free, Event{Event::Kind::kTryStart, id, leg, {}});
+          queue_.push(free,
+                      Event{Event::Kind::kTryStart, t, leg, instance, {}});
           break;
         }
-        const Seconds end = now_ + network_.leg_time(hop, task.bytes);
+        const Seconds end = now_ + network_.leg_time(hop, flat.bytes[ti]);
         free = end;
-        queue_.push(end, Event{Event::Kind::kLegDone, id, leg, {}});
+        queue_.push(end, Event{Event::Kind::kLegDone, t, leg, instance, {}});
         break;
       }
     }
@@ -372,63 +460,75 @@ class Engine {
   /// One busy span per compute task on its accelerator's track (an
   /// accelerator runs one task at a time, so spans on a track never
   /// overlap), plus the post-start queued-work counter sample.
-  void trace_compute(int id, const Task& task, Seconds end) {
-    const auto a = static_cast<std::size_t>(task.acc);
-    const LiveRequest& live = live_[static_cast<std::size_t>(
-        request_of_[static_cast<std::size_t>(id)])];
-    const auto m = static_cast<std::size_t>(live.request.model);
+  void trace_compute(const Instance* instance, int acc, Seconds end) {
+    const auto a = static_cast<std::size_t>(acc);
+    const auto m = static_cast<std::size_t>(instance->request.model);
     rec_->complete(obs::Clock::kSim, acc_tracks_[a], (*services_)[m]->name(),
                    now_, end - now_,
-                   {{"request", JsonValue::integer(live.request.id)}});
+                   {{"request", JsonValue::integer(instance->request.id)}});
     rec_->counter(obs::Clock::kSim, queued_name_[a], now_,
                   queued_work_[a].count());
   }
 
-  void leg_done(int id, int leg) {
-    const Task& task = tasks_[static_cast<std::size_t>(id)];
-    const std::vector<sim::RouteLeg>& route = route_for(task.src, task.dst);
+  void leg_done(Instance* instance, int t, int leg) {
+    const sim::FlatTaskGraph& flat =
+        *flats_[static_cast<std::size_t>(instance->request.model)];
+    const auto ti = static_cast<std::size_t>(t);
+    const std::vector<sim::RouteLeg>& route =
+        route_for(flat.srcs[ti], flat.dsts[ti]);
     if (leg + 1 < static_cast<int>(route.size())) {
       // Store-and-forward at the host before the next leg.
       queue_.push(now_ + network_.params().host_latency,
-                  Event{Event::Kind::kTryStart, id, leg + 1, {}});
+                  Event{Event::Kind::kTryStart, t, leg + 1, instance, {}});
     } else {
-      finish_task(id);
+      finish_task(instance, t);
     }
   }
 
-  void finish_task(int id) {
+  void finish_task(Instance* instance, int t) {
     result_.horizon = std::max(result_.horizon, now_);
     ++result_.tasks_executed;
     if (tasks_total_ != nullptr) tasks_total_->add();
-    for (sim::TaskId dependent : dependents_[static_cast<std::size_t>(id)]) {
-      if (--missing_deps_[static_cast<std::size_t>(dependent)] == 0) {
-        queue_.push(now_, Event{Event::Kind::kTryStart, dependent, 0, {}});
+    const sim::FlatTaskGraph& flat =
+        *flats_[static_cast<std::size_t>(instance->request.model)];
+    int* missing = instance->missing();
+    const auto begin =
+        static_cast<std::size_t>(flat.dependent_offsets[static_cast<std::size_t>(t)]);
+    const auto end = static_cast<std::size_t>(
+        flat.dependent_offsets[static_cast<std::size_t>(t) + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+      const sim::TaskId dependent = flat.dependents[i];
+      if (--missing[dependent] == 0) {
+        queue_.push(now_,
+                    Event{Event::Kind::kTryStart, dependent, 0, instance, {}});
       }
     }
-    LiveRequest& live = live_[static_cast<std::size_t>(
-        request_of_[static_cast<std::size_t>(id)])];
-    if (--live.tasks_remaining == 0) complete_request(live);
+    if (--instance->tasks_remaining == 0) complete_request(instance);
   }
 
-  void complete_request(const LiveRequest& live) {
+  void complete_request(Instance* instance) {
     result_.completed.push_back(CompletedRequest{
-        live.request, live.dispatch, now_, live.batch_size});
-    --in_system_[static_cast<std::size_t>(live.request.model)];
+        instance->request, instance->dispatch, now_, instance->batch_size});
+    const auto m = static_cast<std::size_t>(instance->request.model);
+    --in_system_[m];
     if (completed_total_ != nullptr) completed_total_->add();
     if (latency_hist_ != nullptr) {
-      latency_hist_->observe((now_ - live.request.arrival).count());
+      latency_hist_->observe((now_ - instance->request.arrival).count());
     }
     if (rec_ != nullptr) {
-      const auto m = static_cast<std::size_t>(live.request.model);
       const int track = model_tracks_[m];
-      rec_->async_end(obs::Clock::kSim, track, "req", live.request.id,
+      rec_->async_end(obs::Clock::kSim, track, "req", instance->request.id,
                       "execute", now_);
-      rec_->async_end(obs::Clock::kSim, track, "req", live.request.id,
+      rec_->async_end(obs::Clock::kSim, track, "req", instance->request.id,
                       (*services_)[m]->name(), now_);
       rec_->counter(obs::Clock::kSim, in_system_name_[m], now_,
                     static_cast<double>(in_system_[m]));
     }
-    reissue_after_think(live.request.model, live.request.client);
+    reissue_after_think(instance->request.model, instance->request.client);
+    // Recycle the block: every event referencing this instance has been
+    // consumed (its last task just finished), so LIFO reuse is safe.
+    instance->next_free = free_list_[m];
+    free_list_[m] = instance;
   }
 
   const std::vector<sim::RouteLeg>& route_for(int src, int dst) {
@@ -446,9 +546,9 @@ class Engine {
   sim::EventQueue<Event> queue_;
   Seconds now_{};
 
-  std::vector<Batcher> batchers_;
+  bool immediate_dispatch_ = false;
+  std::vector<Batcher> batchers_;  // empty on the immediate-dispatch path
   std::vector<std::optional<Seconds>> armed_deadline_;
-  std::vector<LiveRequest> live_;
 
   // Admission-control state.
   AdmissionPolicy admission_;
@@ -456,11 +556,12 @@ class Engine {
   std::vector<Seconds> queued_work_;  // per acc: admitted, not yet started
   std::vector<std::vector<int>> service_accs_;  // per model: accs its proto uses
 
-  // Live task set (grows on dispatch; ids are dense global indices).
-  std::vector<Task> tasks_;
-  std::vector<int> missing_deps_;
-  std::vector<std::vector<sim::TaskId>> dependents_;
-  std::vector<int> request_of_;
+  // Instance pool: one flat prototype per model, blocks recycled through
+  // per-model free lists, backing storage in the arena.
+  std::vector<const sim::FlatTaskGraph*> flats_;
+  std::vector<Instance*> free_list_;
+  util::Arena arena_;
+  long long admitted_ = 0;
 
   std::vector<Seconds> acc_free_ =
       std::vector<Seconds>(static_cast<std::size_t>(topo_->size()),
@@ -495,7 +596,7 @@ class Engine {
 OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
                                  std::vector<const ModelService*> services,
                                  SchedulerOptions options)
-    : topo_(&topo), services_(std::move(services)), options_(options) {
+    : topo_(&topo), services_(std::move(services)), options_(std::move(options)) {
   MARS_CHECK_ARG(!services_.empty(), "scheduler needs at least one service");
   for (const ModelService* service : services_) {
     MARS_CHECK_ARG(service != nullptr, "null service");
@@ -515,6 +616,7 @@ OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
 
 ServeResult OnlineScheduler::run(const std::vector<Request>& arrivals) const {
   Engine engine(*topo_, services_, options_);
+  engine.reserve(arrivals.size());
   for (const Request& request : arrivals) {
     MARS_CHECK_ARG(request.model >= 0 && request.model < num_models(),
                    "request " << request.id << " targets unknown model index "
@@ -538,6 +640,7 @@ ServeResult OnlineScheduler::run_closed_loop(const ClosedLoopSpec& spec,
                  "closed-loop admission control needs think > 0 (a rejected "
                  "client would retry at the same instant forever)");
   Engine engine(*topo_, services_, options_);
+  engine.reserve(static_cast<std::size_t>(spec.clients()));
   engine.enable_closed_loop(spec.think, duration);
   for (int c = 0; c < spec.clients(); ++c) {
     const int model = spec.client_model[static_cast<std::size_t>(c)];

@@ -3,13 +3,17 @@
 // The offline Executor replays one closed task graph from t=0; serving
 // instead sees an unbounded request stream. OnlineScheduler runs its own
 // deterministic event loop over the shared topology: request arrivals
-// feed per-model Batchers, every admitted batch clones its model's
-// prototype task graph (ModelService::proto) into the live task set, and
-// compute/transfer tasks then contend for accelerators and directed
-// channels under exactly the Executor's FIFO semantics — one compute per
-// accelerator, one flow per channel, ties by event insertion order. This
-// is where co-resident models interfere: their tasks queue on the same
-// acc_free / channel_free timelines.
+// feed per-model Batchers, every admitted request stamps an instance of
+// its model's flat prototype graph (ModelService::flat_proto) into a
+// recycled arena block — a header plus per-task missing-dependency
+// counters, no heap clone — and compute/transfer tasks then contend for
+// accelerators and directed channels under exactly the Executor's FIFO
+// semantics: one compute per accelerator, one flow per channel, ties by
+// event insertion order. This is where co-resident models interfere:
+// their tasks queue on the same acc_free / channel_free timelines.
+// Steady-state dispatch allocates nothing (pinned by
+// tests/serve/test_zero_alloc.cpp); fleet-scale throughput numbers live
+// in docs/PERFORMANCE.md.
 //
 // Admission control runs before batching: every arrival is offered to the
 // configured AdmissionPolicy, and a request the saturated fleet is
@@ -39,6 +43,12 @@ struct SchedulerOptions {
   /// requests complete nowhere: they land in ServeResult::rejected.
   AdmissionPolicy admission = AdmissionPolicy::none();
   sim::SimParams sim{};
+  /// Prepended to every simulated-domain track (and derived counter) label
+  /// this scheduler emits. The sharded fleet runs one engine per replica
+  /// group with prefixes "s0 ", "s1 ", ... so per-shard tracks stay
+  /// distinct in a single trace. Empty (the default) reproduces the
+  /// historical labels byte for byte.
+  std::string trace_label_prefix;
 };
 
 struct CompletedRequest {

@@ -54,6 +54,11 @@ class ModelService {
   /// Single-inference task graph under the chosen mapping (what the
   /// dispatcher replays per request).
   [[nodiscard]] const sim::TaskGraph& proto() const { return proto_; }
+  /// The same graph lowered to the flat index form the serving engine
+  /// stamps into arena slabs (built once at planning time).
+  [[nodiscard]] const sim::FlatTaskGraph& flat_proto() const {
+    return flat_proto_;
+  }
   /// Uncontended single-inference latency of `proto` on the fleet.
   [[nodiscard]] Seconds single_latency() const { return single_latency_; }
   [[nodiscard]] MappingSource mapping_source() const { return source_; }
@@ -71,6 +76,7 @@ class ModelService {
   plan::Provenance provenance_;
   MappingSource source_ = MappingSource::kBaseline;
   sim::TaskGraph proto_;
+  sim::FlatTaskGraph flat_proto_;
   Seconds single_latency_{};
 };
 

@@ -2,10 +2,17 @@
 //
 // Events at equal timestamps pop in insertion order (stable sequence
 // numbers) so simulations are bit-reproducible across runs and platforms.
+//
+// The heap lives in a plain vector (std::push_heap / std::pop_heap rather
+// than std::priority_queue) so callers that know the event volume up front
+// can reserve() it — the serving engine pre-sizes the queue to the arrival
+// stream, which pins its steady-state heap allocations at zero. Pop order
+// is a pure function of the (time, seq) total order, not of the heap's
+// internal layout, so the swap changes no observable behaviour.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "mars/util/units.h"
@@ -16,16 +23,21 @@ template <typename Payload>
 class EventQueue {
  public:
   void push(Seconds time, Payload payload) {
-    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
-  [[nodiscard]] Seconds next_time() const { return heap_.top().time; }
+  [[nodiscard]] Seconds next_time() const { return heap_.front().time; }
+
+  /// Pre-sizes the underlying storage for `events` concurrent entries.
+  void reserve(std::size_t events) { heap_.reserve(events); }
 
   Payload pop(Seconds& time_out) {
-    Entry top = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry top = std::move(heap_.back());
+    heap_.pop_back();
     time_out = top.time;
     return std::move(top.payload);
   }
@@ -35,14 +47,17 @@ class EventQueue {
     Seconds time;
     std::uint64_t seq;
     Payload payload;
+  };
 
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Min-heap order: the entry that fires later sorts toward the bottom.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -55,4 +55,52 @@ const Task& TaskGraph::task(TaskId id) const {
   return tasks_[static_cast<std::size_t>(id)];
 }
 
+FlatTaskGraph FlatTaskGraph::from(const TaskGraph& graph) {
+  FlatTaskGraph flat;
+  flat.size = graph.size();
+  const auto n = static_cast<std::size_t>(flat.size);
+  flat.kinds.reserve(n);
+  flat.accs.reserve(n);
+  flat.durations.reserve(n);
+  flat.srcs.reserve(n);
+  flat.dsts.reserve(n);
+  flat.bytes.reserve(n);
+  flat.dep_counts.reserve(n);
+
+  std::size_t total_deps = 0;
+  for (const Task& task : graph.tasks()) {
+    flat.kinds.push_back(task.kind);
+    flat.accs.push_back(task.acc);
+    flat.durations.push_back(task.duration);
+    flat.srcs.push_back(task.src);
+    flat.dsts.push_back(task.dst);
+    flat.bytes.push_back(task.bytes);
+    flat.dep_counts.push_back(static_cast<int>(task.deps.size()));
+    total_deps += task.deps.size();
+    if (task.deps.empty()) flat.roots.push_back(task.id);
+  }
+
+  // CSR dependents: count, prefix-sum, fill. Iterating tasks in id order
+  // and each task's deps in declaration order reproduces the adjacency
+  // order an incremental per-clone build produces.
+  std::vector<int> counts(n, 0);
+  for (const Task& task : graph.tasks()) {
+    for (TaskId dep : task.deps) ++counts[static_cast<std::size_t>(dep)];
+  }
+  flat.dependent_offsets.assign(n + 1, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    flat.dependent_offsets[t + 1] = flat.dependent_offsets[t] + counts[t];
+  }
+  flat.dependents.assign(total_deps, 0);
+  std::vector<int> cursor(flat.dependent_offsets.begin(),
+                          flat.dependent_offsets.end() - 1);
+  for (const Task& task : graph.tasks()) {
+    for (TaskId dep : task.deps) {
+      flat.dependents[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(dep)]++)] = task.id;
+    }
+  }
+  return flat;
+}
+
 }  // namespace mars::sim

@@ -53,4 +53,42 @@ class TaskGraph {
   std::vector<Task> tasks_;
 };
 
+/// Structure-of-arrays form of a TaskGraph for hot replay loops.
+///
+/// The node-based TaskGraph is the builder/author form: one Task struct
+/// per node with its own label string and dependency vector. Replaying it
+/// per admitted serving request means cloning all of that onto the heap.
+/// FlatTaskGraph lowers the graph once into dense index-based arrays —
+/// per-task kind/resource/cost columns, a CSR adjacency of dependents, and
+/// the initial missing-dependency counts — so instantiating a request is a
+/// memcpy of `dep_counts` into an arena block plus root-event pushes, with
+/// no allocation and no pointer chasing. Labels are dropped (the replay
+/// loops never read them).
+///
+/// Array orders mirror the builder exactly: tasks in id order, each task's
+/// dependents in graph construction order, roots in id order. The serving
+/// engine's event ordering (and therefore its bit-determinism contract)
+/// relies on this.
+struct FlatTaskGraph {
+  int size = 0;
+  std::vector<TaskKind> kinds;
+  std::vector<int> accs;           // kCompute (else -1)
+  std::vector<Seconds> durations;  // kCompute (else 0)
+  std::vector<int> srcs;           // kTransfer (else kHost)
+  std::vector<int> dsts;
+  std::vector<Bytes> bytes;
+  /// Initial missing-dependency count per task (deps.size(), duplicates
+  /// counted — matching the per-clone decrement the dependents lists do).
+  std::vector<int> dep_counts;
+  /// CSR adjacency: dependents of task t are
+  /// dependents[dependent_offsets[t] .. dependent_offsets[t + 1]).
+  std::vector<int> dependent_offsets;  // size + 1 entries
+  std::vector<TaskId> dependents;
+  /// Tasks with no dependencies, in id order (the events a fresh
+  /// instantiation seeds).
+  std::vector<TaskId> roots;
+
+  [[nodiscard]] static FlatTaskGraph from(const TaskGraph& graph);
+};
+
 }  // namespace mars::sim

@@ -1,0 +1,56 @@
+#include "mars/util/arena.h"
+
+#include "mars/util/error.h"
+
+namespace mars::util {
+
+Arena::Arena(std::size_t slab_bytes) : slab_bytes_(slab_bytes) {
+  MARS_CHECK_ARG(slab_bytes > 0, "arena slab size must be positive");
+}
+
+void Arena::add_slab(std::size_t min_bytes) {
+  Slab slab;
+  slab.size = std::max(slab_bytes_, min_bytes);
+  slab.data = std::make_unique<std::byte[]>(slab.size);
+  capacity_ += slab.size;
+  slabs_.push_back(std::move(slab));
+  active_ = slabs_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  MARS_CHECK_ARG(align > 0 && (align & (align - 1)) == 0,
+                 "arena alignment must be a power of two, got " << align);
+  MARS_CHECK_ARG(align <= alignof(std::max_align_t),
+                 "arena alignment " << align << " exceeds max_align_t");
+  ++allocations_;
+  if (slabs_.empty()) add_slab(bytes);
+  for (;;) {
+    Slab& slab = slabs_[active_];
+    // operator new[] storage is max_align_t-aligned, so aligning the
+    // offset aligns the pointer.
+    const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes <= slab.size) {
+      used_ += (aligned - offset_) + bytes;
+      offset_ = aligned + bytes;
+      return slab.data.get() + aligned;
+    }
+    // Advance through retained slabs before growing; a slab too small for
+    // this request may still serve later (smaller) ones, but skipping it
+    // keeps the allocator O(1) per call and reset() cheap.
+    if (active_ + 1 < slabs_.size()) {
+      ++active_;
+      offset_ = 0;
+    } else {
+      add_slab(bytes + align);
+    }
+  }
+}
+
+void Arena::reset() {
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+}  // namespace mars::util

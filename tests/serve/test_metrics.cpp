@@ -92,6 +92,77 @@ TEST(Summarize, EmptyResultIsSafe) {
   EXPECT_EQ(metrics.per_model[0].requests, 0);
 }
 
+/// Regression: nearest-rank ranks that land exactly on an integer used to
+/// round up through floating-point error (0.95 * 20 = 19.000000000000004,
+/// ceil -> 20), silently reporting the next-higher sample.
+TEST(LatencyStats, IntegerRankBoundariesAreExact) {
+  std::vector<Seconds> samples;
+  for (int i = 1; i <= 20; ++i) samples.push_back(milliseconds(i));
+  const LatencyStats stats = LatencyStats::from_samples(samples);
+  // Nearest rank over 20 samples: p50 -> rank 10, p95 -> rank 19.
+  EXPECT_DOUBLE_EQ(stats.p50.millis(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.p95.millis(), 19.0);
+  EXPECT_DOUBLE_EQ(stats.p99.millis(), 20.0);
+
+  std::vector<Seconds> two = {milliseconds(1.0), milliseconds(2.0)};
+  const LatencyStats pair = LatencyStats::from_samples(two);
+  EXPECT_DOUBLE_EQ(pair.p50.millis(), 1.0);  // 0.5 * 2 = rank 1 exactly
+  EXPECT_DOUBLE_EQ(pair.p99.millis(), 2.0);
+}
+
+/// Regression: a result where every offered request was shed used to
+/// report the vacuous default slo_attainment of 1.0 — 100% attainment
+/// with zero completions. All-shed now reads as 0.
+TEST(Summarize, AllShedReportsZeroAttainment) {
+  ServeResult result;
+  result.horizon = Seconds(0.0);
+  Request shed;
+  shed.id = 0;
+  shed.model = 0;
+  shed.arrival = Seconds(0.1);
+  result.rejected.push_back(shed);
+
+  const ServeMetrics metrics = summarize(result, {"alexnet"}, milliseconds(10.0));
+  EXPECT_EQ(metrics.requests, 0);
+  EXPECT_EQ(metrics.rejected, 1);
+  EXPECT_DOUBLE_EQ(metrics.shed_rate, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.slo_attainment, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.latency.p50.count(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.latency.p99.count(), 0.0);
+}
+
+/// A model with traffic only in the rejected stream still gets a sane
+/// per-model row: zero requests, counted rejections, zero attainment —
+/// while an idle model (no traffic at all) keeps the vacuous 1.0.
+TEST(Summarize, PerModelTablesHandleModelsWithNoCompletions) {
+  ServeResult result;
+  result.horizon = Seconds(1.0);
+  result.acc_busy = {Seconds(0.5)};
+  result.batches_dispatched = 1;
+  result.completed.push_back(completed(0, 0, 0.0, 0.005));
+  Request shed;
+  shed.id = 1;
+  shed.model = 1;
+  shed.arrival = Seconds(0.2);
+  result.rejected.push_back(shed);
+
+  const ServeMetrics metrics = summarize(
+      result, {"alexnet", "resnet34", "vgg16"}, milliseconds(10.0));
+  ASSERT_EQ(metrics.per_model.size(), 3u);
+  EXPECT_EQ(metrics.per_model[0].requests, 1);
+  EXPECT_DOUBLE_EQ(metrics.per_model[0].slo_attainment, 1.0);
+  // resnet34: all offered traffic shed.
+  EXPECT_EQ(metrics.per_model[1].requests, 0);
+  EXPECT_EQ(metrics.per_model[1].rejected, 1);
+  EXPECT_DOUBLE_EQ(metrics.per_model[1].slo_attainment, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.per_model[1].latency.p99.count(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.per_model[1].goodput_rps, 0.0);
+  // vgg16: no traffic at all — vacuously attained.
+  EXPECT_EQ(metrics.per_model[2].requests, 0);
+  EXPECT_EQ(metrics.per_model[2].rejected, 0);
+  EXPECT_DOUBLE_EQ(metrics.per_model[2].slo_attainment, 1.0);
+}
+
 TEST(Report, DescribeAndJsonCoverTheFleet) {
   ServeResult result;
   result.horizon = Seconds(1.0);

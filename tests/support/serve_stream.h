@@ -1,0 +1,172 @@
+// Shared plumbing for the serve-equivalence differential harness
+// (tests/serve/test_fleet_differential.cpp) and the fleet unit tests.
+//
+// The production FleetScheduler routes, runs and merges with its own
+// machinery (worker pool, per-shard engines, merge_shard_results); the
+// functions here build the SAME answer from first principles — route each
+// request with serve::shard_of, run one plain serial OnlineScheduler per
+// shard, concatenate shard-major and stable-sort by simulated time — so a
+// differential test compares two independent implementations of the
+// sharding contract. Any divergence (routing, ordering, a data race on
+// the parallel path, a merge bug) shows up as a field-level mismatch.
+//
+// Equality here is exact (double ==, not near): the sharded path is
+// required to be byte-identical to the serial reference at any thread
+// count, per the determinism contract in serve/fleet.h.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mars/serve/fleet.h"
+#include "mars/serve/metrics.h"
+#include "mars/serve/report.h"
+#include "mars/serve/scheduler.h"
+#include "mars/serve/workload.h"
+
+namespace mars::testing {
+
+/// Reference sharded run, written straight-line: route by shard_of, run
+/// each sub-stream through an independent serial OnlineScheduler, merge
+/// by hand. Deliberately re-implements (rather than calls) the fleet's
+/// routing-and-merge so the differential test has two code paths.
+inline serve::ServeResult reference_sharded_run(
+    const topology::Topology& group_topo,
+    const std::vector<const serve::ModelService*>& services,
+    const serve::SchedulerOptions& options, int shards,
+    const std::vector<serve::Request>& arrivals) {
+  std::vector<std::vector<serve::Request>> per_shard(
+      static_cast<std::size_t>(shards));
+  for (const serve::Request& request : arrivals) {
+    per_shard[static_cast<std::size_t>(
+                  serve::shard_of(request.model, request.id, shards))]
+        .push_back(request);
+  }
+  serve::ServeResult merged;
+  for (int s = 0; s < shards; ++s) {
+    const serve::OnlineScheduler scheduler(group_topo, services, options);
+    serve::ServeResult shard =
+        scheduler.run(per_shard[static_cast<std::size_t>(s)]);
+    merged.completed.insert(merged.completed.end(), shard.completed.begin(),
+                            shard.completed.end());
+    merged.rejected.insert(merged.rejected.end(), shard.rejected.begin(),
+                           shard.rejected.end());
+    merged.acc_busy.insert(merged.acc_busy.end(), shard.acc_busy.begin(),
+                           shard.acc_busy.end());
+    merged.horizon = std::max(merged.horizon, shard.horizon);
+    merged.tasks_executed += shard.tasks_executed;
+    merged.batches_dispatched += shard.batches_dispatched;
+  }
+  std::stable_sort(
+      merged.completed.begin(), merged.completed.end(),
+      [](const serve::CompletedRequest& a, const serve::CompletedRequest& b) {
+        return a.completion < b.completion;
+      });
+  std::stable_sort(merged.rejected.begin(), merged.rejected.end(),
+                   [](const serve::Request& a, const serve::Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return merged;
+}
+
+/// Same reference, closed loop: clients bind to shards by (model, client
+/// index) and each shard runs a serial closed loop.
+inline serve::ServeResult reference_sharded_closed_loop(
+    const topology::Topology& group_topo,
+    const std::vector<const serve::ModelService*>& services,
+    const serve::SchedulerOptions& options, int shards,
+    const serve::ClosedLoopSpec& spec, Seconds duration) {
+  std::vector<serve::ClosedLoopSpec> per_shard(
+      static_cast<std::size_t>(shards));
+  for (auto& shard_spec : per_shard) shard_spec.think = spec.think;
+  for (int c = 0; c < spec.clients(); ++c) {
+    const int model = spec.client_model[static_cast<std::size_t>(c)];
+    per_shard[static_cast<std::size_t>(serve::shard_of(model, c, shards))]
+        .client_model.push_back(model);
+  }
+  serve::ServeResult merged;
+  for (int s = 0; s < shards; ++s) {
+    const serve::ClosedLoopSpec& shard_spec =
+        per_shard[static_cast<std::size_t>(s)];
+    serve::ServeResult shard;
+    if (shard_spec.clients() == 0) {
+      shard.acc_busy.assign(static_cast<std::size_t>(group_topo.size()),
+                            Seconds(0.0));
+    } else {
+      const serve::OnlineScheduler scheduler(group_topo, services, options);
+      shard = scheduler.run_closed_loop(shard_spec, duration);
+    }
+    merged.completed.insert(merged.completed.end(), shard.completed.begin(),
+                            shard.completed.end());
+    merged.rejected.insert(merged.rejected.end(), shard.rejected.begin(),
+                           shard.rejected.end());
+    merged.acc_busy.insert(merged.acc_busy.end(), shard.acc_busy.begin(),
+                           shard.acc_busy.end());
+    merged.horizon = std::max(merged.horizon, shard.horizon);
+    merged.tasks_executed += shard.tasks_executed;
+    merged.batches_dispatched += shard.batches_dispatched;
+  }
+  std::stable_sort(
+      merged.completed.begin(), merged.completed.end(),
+      [](const serve::CompletedRequest& a, const serve::CompletedRequest& b) {
+        return a.completion < b.completion;
+      });
+  std::stable_sort(merged.rejected.begin(), merged.rejected.end(),
+                   [](const serve::Request& a, const serve::Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return merged;
+}
+
+/// Field-exact equality of two ServeResults. `context` labels the sweep
+/// point in failure output.
+inline void expect_results_identical(const serve::ServeResult& expected,
+                                     const serve::ServeResult& actual,
+                                     const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(expected.completed.size(), actual.completed.size());
+  for (std::size_t i = 0; i < expected.completed.size(); ++i) {
+    const serve::CompletedRequest& e = expected.completed[i];
+    const serve::CompletedRequest& a = actual.completed[i];
+    ASSERT_EQ(e.request.id, a.request.id) << "completed[" << i << "]";
+    ASSERT_EQ(e.request.model, a.request.model) << "completed[" << i << "]";
+    ASSERT_EQ(e.request.arrival.count(), a.request.arrival.count())
+        << "completed[" << i << "]";
+    ASSERT_EQ(e.dispatch.count(), a.dispatch.count()) << "completed[" << i
+                                                      << "]";
+    ASSERT_EQ(e.completion.count(), a.completion.count())
+        << "completed[" << i << "]";
+    ASSERT_EQ(e.batch_size, a.batch_size) << "completed[" << i << "]";
+  }
+  ASSERT_EQ(expected.rejected.size(), actual.rejected.size());
+  for (std::size_t i = 0; i < expected.rejected.size(); ++i) {
+    ASSERT_EQ(expected.rejected[i].id, actual.rejected[i].id)
+        << "rejected[" << i << "]";
+    ASSERT_EQ(expected.rejected[i].model, actual.rejected[i].model)
+        << "rejected[" << i << "]";
+    ASSERT_EQ(expected.rejected[i].arrival.count(),
+              actual.rejected[i].arrival.count())
+        << "rejected[" << i << "]";
+  }
+  ASSERT_EQ(expected.acc_busy.size(), actual.acc_busy.size());
+  for (std::size_t a = 0; a < expected.acc_busy.size(); ++a) {
+    ASSERT_EQ(expected.acc_busy[a].count(), actual.acc_busy[a].count())
+        << "acc_busy[" << a << "]";
+  }
+  ASSERT_EQ(expected.horizon.count(), actual.horizon.count());
+  ASSERT_EQ(expected.tasks_executed, actual.tasks_executed);
+  ASSERT_EQ(expected.batches_dispatched, actual.batches_dispatched);
+}
+
+/// The user-facing summary as one JSON byte string — what "byte-identical
+/// stdout" reduces to for a ServeResult.
+inline std::string summary_json(const serve::ServeResult& result,
+                                const std::vector<std::string>& model_names,
+                                Seconds slo) {
+  return serve::to_json(serve::summarize(result, model_names, slo)).dump();
+}
+
+}  // namespace mars::testing

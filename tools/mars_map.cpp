@@ -21,7 +21,9 @@
 //       Online multi-tenant serving simulation over the shared topology.
 //       --mapping-cache DIR persists searched mappings across runs;
 //       --policy composes batching and admission ("size:4+slo:60");
-//       --replay CSV replays a recorded arrival trace.
+//       --replay CSV replays a recorded arrival trace; --shards N splits
+//       the fleet into N replica groups behind a deterministic router
+//       (docs/SERVING.md), run in parallel under --threads.
 //
 // map, throughput and serve all accept `--trace FILE.json` (Chrome Trace
 // Event / Perfetto timeline of the run) and `--metrics FILE.json` (counter
@@ -52,6 +54,7 @@
 #include "mars/plan/engines.h"
 #include "mars/plan/planner.h"
 #include "mars/serve/cache.h"
+#include "mars/serve/fleet.h"
 #include "mars/serve/metrics.h"
 #include "mars/serve/report.h"
 #include "mars/serve/scheduler.h"
@@ -195,18 +198,29 @@ struct ObsSession {
   }
 };
 
-topology::Topology make_topology(const Args& args) {
+/// Builds the topology named by `--topology`. `size_override > 0` rebuilds
+/// the same family at a different accelerator count — how `serve --shards`
+/// derives one replica group from the fleet spec. Only the sizable
+/// families (cloud, ring) can be resized; f1 is a fixed preset.
+topology::Topology make_topology(const Args& args, int size_override = 0) {
   const std::string spec = args.get("topology", "f1");
-  if (spec == "f1") return topology::f1_16xlarge();
+  if (spec == "f1") {
+    if (size_override > 0) {
+      throw InvalidArgument(
+          "--shards > 1 needs a sizable topology (cloud:<n>:<gbps> or "
+          "ring:<n>:<gbps>); f1 is a fixed preset");
+    }
+    return topology::f1_16xlarge();
+  }
   const std::vector<std::string> parts = split(spec, ':');
   if (parts.size() == 3 && parts[0] == "cloud") {
-    const int n = std::stoi(parts[1]);
+    const int n = size_override > 0 ? size_override : std::stoi(parts[1]);
     return topology::h2h_cloud(n, gbps(std::stod(parts[2])),
                                args.flag("fixed") ? 4 : 0);
   }
   if (parts.size() == 3 && parts[0] == "ring") {
-    return topology::ring(std::stoi(parts[1]), gbps(std::stod(parts[2])),
-                          gbps(2.0));
+    const int n = size_override > 0 ? size_override : std::stoi(parts[1]);
+    return topology::ring(n, gbps(std::stod(parts[2])), gbps(2.0));
   }
   throw InvalidArgument("unknown topology '" + spec +
                         "' (use f1 | cloud:<n>:<gbps> | ring:<n>:<gbps>)");
@@ -425,7 +439,32 @@ int cmd_serve(const Args& args) {
     weights = {1.0};
   }
 
-  const topology::Topology topo = make_topology(args);
+  // --shards N splits the fleet into N identical replica groups. Services
+  // are planned once on the group topology (replica groups are copies);
+  // the fleet spec from --topology only sets the accelerator budget being
+  // divided. Partition notes go to stderr so sharded stdout stays clean.
+  const int shards_requested = int_option(args, "shards", "1");
+  if (shards_requested < 1) {
+    throw InvalidArgument("--shards must be >= 1, got '" +
+                          args.get("shards", "1") + "'");
+  }
+  topology::Topology topo = make_topology(args);
+  serve::FleetPartition partition;
+  partition.group_accelerators = topo.size();
+  if (shards_requested > 1) {
+    partition = serve::partition_fleet(topo.size(), shards_requested);
+    topo = make_topology(args, partition.group_accelerators);
+    if (partition.clamped) {
+      std::clog << "--shards " << shards_requested << " clamped to "
+                << partition.shards
+                << " (one accelerator per replica group)\n";
+    }
+    if (partition.unused_accelerators > 0) {
+      std::clog << "sharding leaves " << partition.unused_accelerators
+                << " accelerator(s) outside the " << partition.shards
+                << " replica groups\n";
+    }
+  }
   const accel::DesignRegistry designs =
       args.flag("fixed") ? accel::h2h_designs() : accel::table2_designs();
 
@@ -526,15 +565,23 @@ int cmd_serve(const Args& args) {
               << " stores=" << cache->stores() << '\n';
   }
   std::cout << "Fleet on " << topo.name() << " (" << topo.size()
-            << " accelerators, mapper " << engine->name() << "):\n"
-            << serve::describe_fleet(services) << '\n';
+            << " accelerators, mapper " << engine->name() << "):\n";
+  if (partition.shards > 1) {
+    std::cout << "Sharding: " << partition.shards << " replica groups x "
+              << partition.group_accelerators << " accelerators\n";
+  }
+  std::cout << serve::describe_fleet(services) << '\n';
 
   std::vector<const serve::ModelService*> refs;
   refs.reserve(services.size());
   for (const std::unique_ptr<serve::ModelService>& service : services) {
     refs.push_back(service.get());
   }
-  const serve::OnlineScheduler scheduler(topo, refs, options);
+  serve::FleetOptions fleet_options;
+  fleet_options.shards = partition.shards;
+  fleet_options.threads = config.threads;
+  fleet_options.scheduler = options;
+  const serve::FleetScheduler scheduler(topo, refs, fleet_options);
 
   serve::ServeResult result;
   if (args.flag("replay")) {
@@ -576,8 +623,8 @@ int usage(std::ostream& os) {
         "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
         "--duration S --slo MS "
         "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
-        "--mapper NAME --threads N --mapping-cache DIR --full --replay CSV "
-        "--clients N --think MS\n"
+        "--mapper NAME --threads N --shards N --mapping-cache DIR --full "
+        "--replay CSV --clients N --think MS\n"
         "full reference: docs/CLI.md, docs/SEARCH.md and "
         "docs/OBSERVABILITY.md\n";
   return 1;
