@@ -25,10 +25,10 @@
 // goodput, shed rate, and per-accelerator utilization, with co-resident
 // models contending for the same links and accelerators.
 #include "bench_common.h"
+#include "bench_tenants.h"
 
 #include <chrono>
 #include <filesystem>
-#include <numeric>
 
 #include "mars/serve/cache.h"
 #include "mars/serve/fleet.h"
@@ -41,38 +41,12 @@ namespace {
 
 constexpr double kSlOMillis = 60.0;
 
-const std::vector<std::string>& fleet_models() {
-  static const std::vector<std::string> names = {"facebagnet", "resnet50"};
-  return names;
-}
-
-double mean_utilization(const serve::ServeMetrics& metrics) {
-  if (metrics.utilization.empty()) return 0.0;
-  return std::accumulate(metrics.utilization.begin(),
-                         metrics.utilization.end(), 0.0) /
-         static_cast<double>(metrics.utilization.size());
-}
-
 /// The policy grid: batching-only baselines plus the two admission knobs.
 std::vector<serve::PolicySpec> policy_grid() {
   return {serve::PolicySpec::parse("none"), serve::PolicySpec::parse("size:4"),
           serve::PolicySpec::parse("timeout:2:8"),
           serve::PolicySpec::parse("slo:" + format_double(kSlOMillis, 0)),
           serve::PolicySpec::parse("shed:8")};
-}
-
-std::vector<const serve::ModelService*> as_refs(
-    const std::vector<std::unique_ptr<serve::ModelService>>& services) {
-  std::vector<const serve::ModelService*> refs;
-  refs.reserve(services.size());
-  for (const auto& service : services) refs.push_back(service.get());
-  return refs;
-}
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
 }
 
 /// Plans the 8-accelerator fleet twice against a fresh cache directory:
@@ -273,44 +247,6 @@ void run_autoscale_sweep(const Options& options) {
                    "throughput_rps", "goodput_rps", "offered", "rejected",
                    "shed_rate", "slo_attainment", "mean_utilization"},
                   csv_rows);
-}
-
-/// Order-sensitive digest of a merged ServeResult: byte-identical runs
-/// hash equal, any reorder or value drift hashes different. FNV-1a over
-/// the completed and rejected streams plus the scalar tallies.
-std::uint64_t result_digest(const serve::ServeResult& result) {
-  constexpr std::uint64_t kPrime = 1099511628211ull;
-  std::uint64_t hash = 1469598103934665603ull;
-  const auto mix = [&](std::uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash ^= (value >> (8 * i)) & 0xffu;
-      hash *= kPrime;
-    }
-  };
-  const auto mix_seconds = [&](Seconds s) {
-    std::uint64_t bits = 0;
-    const double count = s.count();
-    std::memcpy(&bits, &count, sizeof(bits));
-    mix(bits);
-  };
-  for (const serve::CompletedRequest& done : result.completed) {
-    mix(static_cast<std::uint64_t>(done.request.id));
-    mix(static_cast<std::uint64_t>(done.request.model));
-    mix_seconds(done.request.arrival);
-    mix_seconds(done.dispatch);
-    mix_seconds(done.completion);
-    mix(static_cast<std::uint64_t>(done.batch_size));
-  }
-  for (const serve::Request& shed : result.rejected) {
-    mix(static_cast<std::uint64_t>(shed.id));
-    mix(static_cast<std::uint64_t>(shed.model));
-    mix_seconds(shed.arrival);
-  }
-  for (Seconds busy : result.acc_busy) mix_seconds(busy);
-  mix_seconds(result.horizon);
-  mix(static_cast<std::uint64_t>(result.tasks_executed));
-  mix(static_cast<std::uint64_t>(result.batches_dispatched));
-  return hash;
 }
 
 /// Fleet-scale throughput: one Poisson request stream routed across

@@ -1,0 +1,160 @@
+// The serving-objective fitness: score a candidate co-mapping by rolling
+// out the shared request stream against it.
+//
+// A candidate is one core::Mapping per tenant (however the engine encoded
+// it — fleet partition or interleaved skeletons). ServingObjective turns
+// the candidate into serve::ServedModel views (flat prototype graph +
+// uncontended latency, built through the same MappingEvaluator /
+// FlatTaskGraph path ModelService uses), replays the problem's seeded
+// Poisson stream through a quiet serve::OnlineScheduler, and scores
+//
+//   fitness = (offered - slo_good) + p99 / (1 + p99)      (minimised)
+//
+// — the integer count of requests that missed their tenant's objective
+// (shed requests included), tie-broken by a bounded-[0, 1) transform of
+// the fleet p99 so equal-goodput candidates prefer the lower tail.
+//
+// Determinism contract (the PR 5 dedupe-then-parallel-price discipline):
+// score_batch sweeps candidate signatures serially (charging the first
+// appearance of a signature as the miss and every later one as a hit),
+// materialises missing per-tenant artifacts serially, prices the deduped
+// missing rollouts in parallel on a util::WorkerPool (each rollout is a
+// pure function of its candidate + the shared arrival stream), and
+// publishes serially in first-seen order. Fitness values AND the
+// hit/miss counters are byte-identical at any thread count. Candidate
+// identity is an FNV-1a hash of the lossless core/serialize.* JSON form,
+// so two structurally equal mappings always share one rollout.
+//
+// Rollouts run with SchedulerOptions::quiet — a search replays thousands
+// of candidate fleets; none of them may leak into the user's trace or
+// metrics. The objective's own counters (comap.rollout.*, comap.proto.*)
+// live in an instance registry flushed into the installed global registry
+// on destruction, like SkeletonSpace and MappingCache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mars/comap/problem.h"
+#include "mars/obs/metrics.h"
+#include "mars/plan/planner.h"
+#include "mars/serve/scheduler.h"
+#include "mars/sim/task_graph.h"
+
+namespace mars::util {
+class WorkerPool;
+}
+
+namespace mars::comap {
+
+/// One candidate co-mapping: mapping per tenant, in tenant order.
+using CandidatePlan = std::vector<core::Mapping>;
+
+class ServingObjective {
+ public:
+  /// Builds one plan::Planner per tenant (the graph -> spine -> Problem
+  /// chain the rollout artifacts are evaluated against) and materialises
+  /// the shared arrival stream once. `problem` must outlive this object.
+  explicit ServingObjective(const CoMapProblem& problem);
+  /// Flushes the instance metrics into the installed global registry.
+  ~ServingObjective();
+
+  ServingObjective(const ServingObjective&) = delete;
+  ServingObjective& operator=(const ServingObjective&) = delete;
+
+  /// What one rollout measured. `fitness` is the minimised objective
+  /// above; the counts let reports speak goodput instead of raw fitness.
+  struct Score {
+    double fitness = 0.0;
+    int offered = 0;
+    int completed = 0;
+    int good = 0;      // completions within their tenant's objective
+    int rejected = 0;  // shed by rollout admission control
+    Seconds p99{};     // fleet-wide completed-latency p99
+    /// SLO-good completions per second of rollout duration.
+    [[nodiscard]] double goodput_rps(Seconds duration) const {
+      return duration.count() > 0.0 ? good / duration.count() : 0.0;
+    }
+  };
+
+  /// Memoised single-candidate score (charges one rollout hit or miss).
+  [[nodiscard]] Score score(const CandidatePlan& plan);
+
+  /// Memoised batch pricing: fitness per candidate, same order. See the
+  /// determinism contract above; `pool == nullptr` runs the identical
+  /// code path single-threaded.
+  [[nodiscard]] std::vector<double> score_batch(
+      const std::vector<CandidatePlan>& plans, util::WorkerPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t num_tenants() const { return planners_.size(); }
+  [[nodiscard]] const plan::Planner& planner(std::size_t t) const;
+  [[nodiscard]] const std::vector<serve::Request>& arrivals() const {
+    return arrivals_;
+  }
+  [[nodiscard]] Seconds slo(std::size_t t) const;
+
+  /// Rollout memo counters (`comap.rollout.*`): the batch contract is
+  /// stated in terms of these two values.
+  [[nodiscard]] long long rollout_hits() const { return rollout_hits_->value(); }
+  [[nodiscard]] long long rollout_misses() const {
+    return rollout_misses_->value();
+  }
+  /// Per-tenant artifact (prototype graph) memo counters (`comap.proto.*`).
+  [[nodiscard]] long long proto_hits() const { return proto_hits_->value(); }
+  [[nodiscard]] long long proto_misses() const {
+    return proto_misses_->value();
+  }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  /// The serving-side compile of one tenant mapping: what a ServedModel
+  /// view points at. Held behind unique_ptr so the flat graph's address
+  /// is stable across memo growth.
+  struct Artifact {
+    sim::TaskGraph proto;
+    sim::FlatTaskGraph flat;
+    Seconds single_latency{};
+  };
+
+  /// FNV-1a over the lossless serialised form of tenant `t`'s mapping.
+  [[nodiscard]] std::uint64_t mapping_signature(std::size_t t,
+                                                const core::Mapping& mapping);
+  /// Artifact for (tenant, mapping), built on first use (charges a proto
+  /// hit/miss). Serial-phase only: the memo mutates.
+  [[nodiscard]] const Artifact& artifact(std::size_t t,
+                                         const core::Mapping& mapping,
+                                         std::uint64_t signature);
+  /// The pure rollout: replays arrivals_ against the artifact set.
+  [[nodiscard]] Score rollout(const std::vector<const Artifact*>& artifacts) const;
+
+  const CoMapProblem* problem_;
+  std::vector<plan::Planner> planners_;
+  std::vector<Seconds> slos_;
+  std::vector<serve::Request> arrivals_;
+  serve::SchedulerOptions sched_options_;
+
+  /// (tenant, mapping-signature) -> compiled artifact.
+  struct ArtifactKeyHash {
+    std::size_t operator()(const std::pair<std::size_t, std::uint64_t>& k) const {
+      return (k.second ^ k.first) * 1099511628211ull;
+    }
+  };
+  std::unordered_map<std::pair<std::size_t, std::uint64_t>,
+                     std::unique_ptr<Artifact>, ArtifactKeyHash>
+      artifacts_;
+  /// Combined candidate signature -> rollout score.
+  std::unordered_map<std::uint64_t, Score> rollouts_;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* rollout_hits_;
+  obs::Counter* rollout_misses_;
+  obs::Counter* proto_hits_;
+  obs::Counter* proto_misses_;
+};
+
+}  // namespace mars::comap

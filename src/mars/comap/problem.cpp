@@ -1,0 +1,47 @@
+#include "mars/comap/problem.h"
+
+#include "mars/util/error.h"
+
+namespace mars::comap {
+
+void CoMapProblem::validate() const {
+  MARS_CHECK_ARG(topo != nullptr, "CoMapProblem.topo must be set");
+  MARS_CHECK_ARG(designs != nullptr, "CoMapProblem.designs must be set");
+  MARS_CHECK_ARG(!tenants.empty(), "CoMapProblem.tenants must not be empty");
+  MARS_CHECK_ARG(static_cast<int>(tenants.size()) <= topo->size(),
+                 "CoMapProblem.tenants: " << tenants.size()
+                                          << " tenants need at least as many "
+                                             "accelerators (fleet has "
+                                          << topo->size() << ")");
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    MARS_CHECK_ARG(!tenants[t].model.empty(),
+                   "CoMapProblem.tenants[" << t << "].model must be named");
+    MARS_CHECK_ARG(tenants[t].weight > 0.0,
+                   "CoMapProblem.tenants[" << t << "].weight must be > 0, got "
+                                           << tenants[t].weight);
+  }
+  MARS_CHECK_ARG(rollout.rate > 0.0,
+                 "CoMapProblem.rollout.rate must be > 0, got " << rollout.rate);
+  MARS_CHECK_ARG(rollout.duration.count() > 0.0,
+                 "CoMapProblem.rollout.duration must be > 0, got "
+                     << rollout.duration.count() << "s");
+  MARS_CHECK_ARG(rollout.default_slo.count() > 0.0,
+                 "CoMapProblem.rollout.default_slo must be > 0, got "
+                     << rollout.default_slo.count() << "s");
+}
+
+Seconds CoMapProblem::slo_of(std::size_t t) const {
+  MARS_CHECK_ARG(t < tenants.size(),
+                 "tenant index " << t << " outside the tenant set");
+  const Seconds own = tenants[t].slo;
+  return own.count() > 0.0 ? own : rollout.default_slo;
+}
+
+std::vector<double> CoMapProblem::weights() const {
+  std::vector<double> w;
+  w.reserve(tenants.size());
+  for (const Tenant& tenant : tenants) w.push_back(tenant.weight);
+  return w;
+}
+
+}  // namespace mars::comap

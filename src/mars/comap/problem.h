@@ -1,0 +1,80 @@
+// Joint multi-tenant co-mapping: the problem statement.
+//
+// Independent planning maps every tenant model against the full fleet
+// and lets the online scheduler sort out the interference; co-mapping
+// searches the tenants *jointly* — where each tenant's mapping may be
+// confined to a fleet slice (core::Problem::placement) — and scores a
+// candidate by what serving actually cares about: SLO goodput of a
+// short, seeded rollout of the shared request stream, not the analytic
+// makespan of any one model.
+//
+// A CoMapProblem bundles the tenant set (zoo models, traffic weights,
+// per-tenant latency objectives) with the shared topology/design
+// registry and the rollout workload parameters. Everything downstream
+// (comap::ServingObjective, comap::CoMapEngine) is a deterministic
+// function of this value plus an engine config — the same contract the
+// single-model plan::SearchEngine stack keeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mars/accel/registry.h"
+#include "mars/serve/batcher.h"
+#include "mars/topology/topology.h"
+#include "mars/util/units.h"
+
+namespace mars::comap {
+
+/// One co-resident model: a zoo name, its share of the request stream,
+/// and (optionally) its own latency objective.
+struct Tenant {
+  std::string model;
+  /// Relative traffic weight (normalised across the tenant set).
+  double weight = 1.0;
+  /// Per-tenant SLO; <= 0 falls back to RolloutSpec::default_slo.
+  Seconds slo{};
+};
+
+/// The rollout workload every candidate co-mapping is scored against:
+/// one Poisson stream over the weighted tenant mix, replayed identically
+/// (same seed, same arrivals) for every candidate so fitness differences
+/// are mapping differences, never workload noise.
+struct RolloutSpec {
+  /// Offered load, requests per second across all tenants.
+  double rate = 150.0;
+  /// Simulated rollout horizon.
+  Seconds duration{1.0};
+  /// Arrival-stream seed (util/rng.h).
+  std::uint64_t seed = 1;
+  /// Batching + admission applied inside the rollout scheduler. Per-tenant
+  /// SLOs are wired into slo: admission automatically.
+  serve::PolicySpec policy{};
+  /// Objective for tenants without an explicit slo. Must be positive: the
+  /// fitness is defined in terms of SLO-good completions.
+  Seconds default_slo{0.100};
+};
+
+struct CoMapProblem {
+  std::vector<Tenant> tenants;
+  /// Shared fleet (non-owning; caller keeps both alive).
+  const topology::Topology* topo = nullptr;
+  const accel::DesignRegistry* designs = nullptr;
+  bool adaptive = true;
+  RolloutSpec rollout;
+
+  /// Throws util::InvalidArgument naming the offending field when the
+  /// problem cannot drive a search (no tenants, null system pointers,
+  /// non-positive weight/rate/duration/default_slo, more tenants than
+  /// accelerators).
+  void validate() const;
+
+  /// The effective objective tenant `t` is held to: its own slo when
+  /// positive, else rollout.default_slo.
+  [[nodiscard]] Seconds slo_of(std::size_t t) const;
+  /// Traffic weights in tenant order (the poisson_arrivals mix vector).
+  [[nodiscard]] std::vector<double> weights() const;
+};
+
+}  // namespace mars::comap

@@ -11,12 +11,14 @@ Skeleton baseline_skeleton(const Problem& problem,
                            const accel::ProfileMatrix& profile) {
   problem.validate();
   const topology::Topology& topo = *problem.topo;
+  const topology::AccMask placement = problem.placement_mask();
 
   // The two groups: direct-link connected components, or a balanced
-  // bisection when the system is one component.
+  // bisection when the system is one component. Confined to the problem's
+  // placement mask so a co-mapped tenant's baseline stays inside its slice.
   std::vector<topology::AccMask> groups =
-      topo.components_above(topo.full_mask(), Bandwidth(1.0));
-  if (groups.size() == 1 && topo.size() >= 2) {
+      topo.components_above(placement, Bandwidth(1.0));
+  if (groups.size() == 1 && topology::mask_count(placement) >= 2) {
     const std::vector<topology::AccId> members =
         topology::mask_members(groups.front());
     topology::AccMask lo = 0;

@@ -23,6 +23,8 @@ void Problem::validate() const {
   MARS_CHECK_ARG(designs != nullptr, "Problem.designs is null");
   MARS_CHECK_ARG(designs->size() > 0, "design menu is empty");
   topo->validate();
+  MARS_CHECK_ARG((placement & ~topo->full_mask()) == 0,
+                 "Problem.placement reaches outside the topology");
   if (!adaptive) {
     for (topology::AccId acc = 0; acc < topo->size(); ++acc) {
       const int fixed = topo->accelerator(acc).fixed_design;

@@ -26,6 +26,16 @@ struct Problem {
   /// member (Section VI-C).
   bool adaptive = true;
   sim::SimParams sim_params{};
+  /// Accelerators the mapper may use (0 = the whole topology). Lets a
+  /// co-mapping search confine a tenant to a fleet slice while keeping the
+  /// shared Topology object — sets, candidates and the baseline are all
+  /// restricted to this mask.
+  topology::AccMask placement = 0;
+
+  /// The effective placement: `placement`, or the full mask when unset.
+  [[nodiscard]] topology::AccMask placement_mask() const {
+    return placement == 0 ? topo->full_mask() : placement;
+  }
 
   void validate() const;
 };

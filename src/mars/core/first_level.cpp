@@ -146,8 +146,10 @@ Skeleton FirstLevelCodec::decode(const ga::Genome& genome,
   const double* share_genes = genome.data() + c + c * d;
 
   DecodeTrace t;
-  t.partition = topology::decode_partition(*problem_->topo, candidates_,
-                                           std::vector<double>(prio, prio + c));
+  t.partition =
+      topology::decode_partition(*problem_->topo, candidates_,
+                                 std::vector<double>(prio, prio + c),
+                                 problem_->placement_mask());
   t.candidate.reserve(t.partition.size());
   for (topology::AccMask mask : t.partition) {
     t.candidate.push_back(candidate_index(mask));
@@ -221,7 +223,8 @@ FirstLevelCodec::Retrace FirstLevelCodec::retrace(
   if (order_crossed) {
     const double* prio = child.data();
     std::vector<topology::AccMask> partition = topology::decode_partition(
-        *problem_->topo, candidates_, std::vector<double>(prio, prio + c));
+        *problem_->topo, candidates_, std::vector<double>(prio, prio + c),
+        problem_->placement_mask());
     if (partition != parent_trace.partition) {
       rt.same = false;
       DecodeTrace& t = rt.trace;

@@ -11,14 +11,14 @@ namespace mars::core {
 namespace {
 
 std::vector<topology::AccSetCandidate> trivial_candidates(
-    const topology::Topology& topo) {
+    const topology::Topology& topo, topology::AccMask within) {
   std::vector<topology::AccSetCandidate> out;
-  for (topology::AccMask component :
-       topo.components_above(topo.full_mask(), Bandwidth(0.0))) {
+  for (topology::AccMask component : topo.components_above(within, Bandwidth(0.0))) {
     out.push_back({component, topo.min_internal_bandwidth(component)});
   }
   for (topology::AccId id = 0; id < topo.size(); ++id) {
     const topology::AccMask mask = topology::mask_of(id);
+    if ((mask & within) == 0) continue;
     if (std::none_of(out.begin(), out.end(), [&](const auto& c) {
           return c.mask == mask;
         })) {
@@ -35,8 +35,9 @@ SkeletonSpace::SkeletonSpace(const Problem& problem, const Config& config)
       config_(config),
       profile_(*problem.designs, *problem.spine),
       candidates_(config.heuristic_candidates
-                      ? topology::accset_candidates(*problem.topo)
-                      : trivial_candidates(*problem.topo)),
+                      ? topology::accset_candidates(*problem.topo,
+                                                    problem.placement_mask())
+                      : trivial_candidates(*problem.topo, problem.placement_mask())),
       codec_(problem, candidates_),
       second_(problem, config.second),
       evaluator_(problem),

@@ -13,25 +13,29 @@ struct Planner::State {
   mutable std::unique_ptr<accel::ProfileMatrix> profile;
 
   State(graph::Graph m, const topology::Topology& topo,
-        const accel::DesignRegistry& designs, bool adaptive)
+        const accel::DesignRegistry& designs, bool adaptive,
+        topology::AccMask placement)
       : model(std::move(m)), spine(graph::ConvSpine::extract(model)) {
     problem.spine = &spine;
     problem.topo = &topo;
     problem.designs = &designs;
     problem.adaptive = adaptive;
+    problem.placement = placement;
   }
 };
 
 Planner::Planner(graph::Graph model, const topology::Topology& topo,
-                 const accel::DesignRegistry& designs, bool adaptive)
-    : state_(std::make_unique<State>(std::move(model), topo, designs,
-                                     adaptive)) {}
+                 const accel::DesignRegistry& designs, bool adaptive,
+                 topology::AccMask placement)
+    : state_(std::make_unique<State>(std::move(model), topo, designs, adaptive,
+                                     placement)) {}
 
 Planner Planner::for_model(const std::string& zoo_name,
                            const topology::Topology& topo,
-                           const accel::DesignRegistry& designs,
-                           bool adaptive) {
-  return Planner(graph::models::by_name(zoo_name), topo, designs, adaptive);
+                           const accel::DesignRegistry& designs, bool adaptive,
+                           topology::AccMask placement) {
+  return Planner(graph::models::by_name(zoo_name), topo, designs, adaptive,
+                 placement);
 }
 
 Planner::Planner(Planner&&) noexcept = default;

@@ -29,15 +29,18 @@ namespace mars::plan {
 class Planner {
  public:
   /// Takes ownership of `model`; keeps non-owning references to `topo`
-  /// and `designs` (caller keeps them alive).
+  /// and `designs` (caller keeps them alive). `placement` confines the
+  /// search to a subset of the topology (0 = the whole fleet).
   Planner(graph::Graph model, const topology::Topology& topo,
-          const accel::DesignRegistry& designs, bool adaptive = true);
+          const accel::DesignRegistry& designs, bool adaptive = true,
+          topology::AccMask placement = 0);
 
   /// Convenience: look `zoo_name` up in the model zoo.
   [[nodiscard]] static Planner for_model(const std::string& zoo_name,
                                          const topology::Topology& topo,
                                          const accel::DesignRegistry& designs,
-                                         bool adaptive = true);
+                                         bool adaptive = true,
+                                         topology::AccMask placement = 0);
 
   Planner(Planner&&) noexcept;             // defined where State is complete
   Planner& operator=(Planner&&) noexcept;

@@ -62,6 +62,20 @@ struct AdmissionPolicy {
   /// Cap on a model's requests in the system — batcher queue plus in
   /// flight (kShed).
   int max_depth = 0;
+  /// Per-model overrides of `slo`, indexed by the scheduler's model index
+  /// (from `--model name:weight:sloMS`). Shorter than the fleet or zero
+  /// entries fall back to the shared `slo`. Only meaningful under kSlo.
+  std::vector<Seconds> per_model_slo;
+
+  /// The admission budget model `m` is held to: its per-model override
+  /// when set, else the shared `slo`.
+  [[nodiscard]] Seconds slo_for(int m) const {
+    const auto i = static_cast<std::size_t>(m);
+    if (i < per_model_slo.size() && per_model_slo[i].count() > 0.0) {
+      return per_model_slo[i];
+    }
+    return slo;
+  }
 
   [[nodiscard]] static AdmissionPolicy none();
   [[nodiscard]] static AdmissionPolicy slo_aware(Seconds slo);

@@ -113,6 +113,42 @@ FleetScheduler::FleetScheduler(const topology::Topology& group_topo,
                  "shards must be >= 1, got " << options_.shards);
   MARS_CHECK_ARG(options_.threads >= 1,
                  "threads must be >= 1, got " << options_.threads);
+  const int fleet_models = static_cast<int>(services_.size());
+  if (heterogeneous()) {
+    MARS_CHECK_ARG(static_cast<int>(options_.shard_models.size()) ==
+                       options_.shards,
+                   "shard_models has " << options_.shard_models.size()
+                                       << " entries, expected one per shard ("
+                                       << options_.shards << ")");
+    model_hosts_.assign(static_cast<std::size_t>(fleet_models), {});
+    fleet_to_local_.assign(
+        static_cast<std::size_t>(options_.shards),
+        std::vector<int>(static_cast<std::size_t>(fleet_models), -1));
+    for (int s = 0; s < options_.shards; ++s) {
+      const std::vector<int>& hosted =
+          options_.shard_models[static_cast<std::size_t>(s)];
+      MARS_CHECK_ARG(!hosted.empty(),
+                     "shard " << s << " hosts no models");
+      for (std::size_t local = 0; local < hosted.size(); ++local) {
+        const int m = hosted[local];
+        MARS_CHECK_ARG(m >= 0 && m < fleet_models,
+                       "shard " << s << " hosts unknown model index " << m);
+        MARS_CHECK_ARG(
+            fleet_to_local_[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(m)] < 0,
+            "shard " << s << " hosts model index " << m << " twice");
+        fleet_to_local_[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(m)] =
+            static_cast<int>(local);
+        model_hosts_[static_cast<std::size_t>(m)].push_back(s);
+      }
+    }
+    for (int m = 0; m < fleet_models; ++m) {
+      MARS_CHECK_ARG(!model_hosts_[static_cast<std::size_t>(m)].empty(),
+                     "model '" << services_[static_cast<std::size_t>(m)]->name()
+                               << "' is hosted by no shard");
+    }
+  }
   shard_schedulers_.reserve(static_cast<std::size_t>(options_.shards));
   for (int s = 0; s < options_.shards; ++s) {
     SchedulerOptions per_shard = options_.scheduler;
@@ -124,7 +160,30 @@ FleetScheduler::FleetScheduler(const topology::Topology& group_topo,
       prefix += ' ';
       per_shard.trace_label_prefix = std::move(prefix);
     }
-    shard_schedulers_.emplace_back(group_topo, services_,
+    if (!heterogeneous()) {
+      shard_schedulers_.emplace_back(group_topo, services_,
+                                     std::move(per_shard));
+      continue;
+    }
+    // Heterogeneous shard: engine over the hosted subset. Fleet-indexed
+    // per-model SLO overrides are remapped to the shard's local indices.
+    const std::vector<int>& hosted =
+        options_.shard_models[static_cast<std::size_t>(s)];
+    std::vector<const ModelService*> local_services;
+    local_services.reserve(hosted.size());
+    std::vector<Seconds> local_slos;
+    const std::vector<Seconds>& fleet_slos =
+        options_.scheduler.admission.per_model_slo;
+    if (!fleet_slos.empty()) local_slos.resize(hosted.size(), Seconds(0.0));
+    for (std::size_t local = 0; local < hosted.size(); ++local) {
+      const auto m = static_cast<std::size_t>(hosted[local]);
+      local_services.push_back(services_[m]);
+      if (!fleet_slos.empty() && m < fleet_slos.size()) {
+        local_slos[local] = fleet_slos[m];
+      }
+    }
+    per_shard.admission.per_model_slo = std::move(local_slos);
+    shard_schedulers_.emplace_back(group_topo, std::move(local_services),
                                    std::move(per_shard));
   }
   if (obs::MetricsRegistry* registry = obs::metrics()) {
@@ -167,16 +226,45 @@ std::vector<ServeResult> FleetScheduler::run_shards(ShardFn&& fn) const {
   return results;
 }
 
+void FleetScheduler::restore_fleet_indices(
+    std::vector<ServeResult>& results) const {
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const std::vector<int>& hosted = options_.shard_models[s];
+    for (CompletedRequest& done : results[s].completed) {
+      done.request.model =
+          hosted[static_cast<std::size_t>(done.request.model)];
+    }
+    for (Request& shed : results[s].rejected) {
+      shed.model = hosted[static_cast<std::size_t>(shed.model)];
+    }
+  }
+}
+
 ServeResult FleetScheduler::run(const std::vector<Request>& arrivals) const {
-  if (options_.shards == 1) return shard_schedulers_[0].run(arrivals);
+  if (options_.shards == 1 && !heterogeneous()) {
+    return shard_schedulers_[0].run(arrivals);
+  }
   // Route per arrival; order within a shard preserves arrival order, so
-  // each engine sees a well-formed sub-stream.
+  // each engine sees a well-formed sub-stream. Heterogeneous fleets route
+  // among a model's hosting shards only (and each engine speaks local
+  // model indices); when every shard hosts every model the hosting list
+  // is [0..shards), so the route reduces to the homogeneous hash.
   std::vector<std::vector<Request>> per_shard(
       static_cast<std::size_t>(options_.shards));
   for (const Request& request : arrivals) {
-    per_shard[static_cast<std::size_t>(
-                  shard_of(request.model, request.id, options_.shards))]
-        .push_back(request);
+    int shard = 0;
+    Request routed = request;
+    if (heterogeneous()) {
+      const std::vector<int>& hosts =
+          model_hosts_[static_cast<std::size_t>(request.model)];
+      shard = hosts[static_cast<std::size_t>(shard_of(
+          request.model, request.id, static_cast<int>(hosts.size())))];
+      routed.model = fleet_to_local_[static_cast<std::size_t>(shard)]
+                                    [static_cast<std::size_t>(request.model)];
+    } else {
+      shard = shard_of(request.model, request.id, options_.shards);
+    }
+    per_shard[static_cast<std::size_t>(shard)].push_back(routed);
   }
   if (obs::MetricsRegistry* registry = obs::metrics()) {
     registry->counter("serve.fleet.requests.routed")
@@ -186,24 +274,36 @@ ServeResult FleetScheduler::run(const std::vector<Request>& arrivals) const {
     return shard_schedulers_[static_cast<std::size_t>(s)].run(
         per_shard[static_cast<std::size_t>(s)]);
   });
+  if (heterogeneous()) restore_fleet_indices(results);
   return merge_shard_results(std::move(results), group_topo_->size());
 }
 
 ServeResult FleetScheduler::run_closed_loop(const ClosedLoopSpec& spec,
                                             Seconds duration) const {
-  if (options_.shards == 1) {
+  if (options_.shards == 1 && !heterogeneous()) {
     return shard_schedulers_[0].run_closed_loop(spec, duration);
   }
   // A client binds to one shard for the whole run (routed by its model
   // and fleet-wide client index) — closed-loop feedback never crosses
-  // shard boundaries.
+  // shard boundaries. Heterogeneous fleets bind among hosting shards
+  // only, with the client's model rewritten to the shard-local index.
   std::vector<ClosedLoopSpec> per_shard(
       static_cast<std::size_t>(options_.shards));
   for (auto& shard_spec : per_shard) shard_spec.think = spec.think;
   for (int c = 0; c < spec.clients(); ++c) {
     const int model = spec.client_model[static_cast<std::size_t>(c)];
-    per_shard[static_cast<std::size_t>(shard_of(model, c, options_.shards))]
-        .client_model.push_back(model);
+    if (heterogeneous()) {
+      const std::vector<int>& hosts =
+          model_hosts_[static_cast<std::size_t>(model)];
+      const int shard = hosts[static_cast<std::size_t>(
+          shard_of(model, c, static_cast<int>(hosts.size())))];
+      per_shard[static_cast<std::size_t>(shard)].client_model.push_back(
+          fleet_to_local_[static_cast<std::size_t>(shard)]
+                         [static_cast<std::size_t>(model)]);
+    } else {
+      per_shard[static_cast<std::size_t>(shard_of(model, c, options_.shards))]
+          .client_model.push_back(model);
+    }
   }
   if (obs::MetricsRegistry* registry = obs::metrics()) {
     registry->counter("serve.fleet.requests.routed")
@@ -219,6 +319,7 @@ ServeResult FleetScheduler::run_closed_loop(const ClosedLoopSpec& spec,
     return shard_schedulers_[static_cast<std::size_t>(s)].run_closed_loop(
         shard_spec, duration);
   });
+  if (heterogeneous()) restore_fleet_indices(results);
   return merge_shard_results(std::move(results), group_topo_->size());
 }
 

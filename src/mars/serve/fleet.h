@@ -45,6 +45,15 @@ struct FleetOptions {
   /// Per-shard engine configuration. FleetScheduler owns the label
   /// prefixing; leave trace_label_prefix empty.
   SchedulerOptions scheduler{};
+  /// Heterogeneous fleets: entry s lists the fleet model indices shard s
+  /// hosts (a comap partition typically pins each tenant to a slice of
+  /// shards). Empty = every shard replicates every model (the historical
+  /// homogeneous fleet, byte-identical to before this option existed).
+  /// When set it must have exactly `shards` non-empty entries, every
+  /// model must be hosted by at least one shard, and requests are routed
+  /// among a model's hosting shards only: shard =
+  /// hosts[shard_of(model, id, hosts.size())].
+  std::vector<std::vector<int>> shard_models;
 };
 
 /// How a fleet of `accelerators` splits into `shards` replica groups.
@@ -110,10 +119,22 @@ class FleetScheduler {
   template <typename ShardFn>
   [[nodiscard]] std::vector<ServeResult> run_shards(ShardFn&& fn) const;
 
+  [[nodiscard]] bool heterogeneous() const {
+    return !options_.shard_models.empty();
+  }
+  /// Rewrites a heterogeneous shard's engine-local model indices back to
+  /// fleet indices (in place) so the merged result speaks one index space.
+  void restore_fleet_indices(std::vector<ServeResult>& results) const;
+
   const topology::Topology* group_topo_;
   std::vector<const ModelService*> services_;
   FleetOptions options_;
   std::vector<OnlineScheduler> shard_schedulers_;
+  /// Heterogeneous-fleet routing state (empty when homogeneous): the
+  /// shards hosting each model, and per shard the fleet->local index map
+  /// (-1 = not hosted).
+  std::vector<std::vector<int>> model_hosts_;
+  std::vector<std::vector<int>> fleet_to_local_;
 };
 
 }  // namespace mars::serve

@@ -38,6 +38,14 @@ LatencyStats LatencyStats::from_samples(std::vector<Seconds> samples) {
 ServeMetrics summarize(const ServeResult& result,
                        const std::vector<std::string>& model_names,
                        Seconds slo) {
+  return summarize(result, model_names, slo, {});
+}
+
+ServeMetrics summarize(const ServeResult& result,
+                       const std::vector<std::string>& model_names,
+                       Seconds slo, const std::vector<Seconds>& model_slos) {
+  MARS_CHECK_ARG(model_slos.empty() || model_slos.size() == model_names.size(),
+                 "one SLO per model required");
   ServeMetrics metrics;
   metrics.requests = static_cast<int>(result.completed.size());
   metrics.offered = result.offered();
@@ -49,8 +57,15 @@ ServeMetrics summarize(const ServeResult& result,
   metrics.batches = result.batches_dispatched;
   metrics.horizon = result.horizon;
   metrics.slo = slo;
-  const bool has_slo = slo.count() > 0.0;
   const double horizon = result.horizon.count();
+  // Effective objective per model: the override when set, else the shared
+  // SLO; <= 0 means that model has no objective (its completions all count).
+  const auto slo_of = [&](std::size_t m) -> Seconds {
+    if (m < model_slos.size() && model_slos[m].count() > 0.0) {
+      return model_slos[m];
+    }
+    return slo;
+  };
 
   std::vector<Seconds> all;
   all.reserve(result.completed.size());
@@ -71,7 +86,8 @@ ServeMetrics summarize(const ServeResult& result,
     by_model[m].push_back(latency);
     batches_by_model[m] += 1.0 / done.batch_size;
     batch_count += 1.0 / done.batch_size;
-    if (!has_slo || latency <= slo) {
+    const Seconds objective = slo_of(m);
+    if (objective.count() <= 0.0 || latency <= objective) {
       ++good;
       ++good_by_model[m];
     }

@@ -67,4 +67,13 @@ struct ServeMetrics {
                                      const std::vector<std::string>& model_names,
                                      Seconds slo);
 
+/// Per-model SLO variant: `model_slos` aligns with `model_names`; a zero
+/// (or missing) entry falls back to the shared `slo`. Each completion is
+/// judged against its own model's objective, so the fleet goodput of a
+/// mixed-SLO tenant set is the sum of per-tenant goodputs.
+[[nodiscard]] ServeMetrics summarize(const ServeResult& result,
+                                     const std::vector<std::string>& model_names,
+                                     Seconds slo,
+                                     const std::vector<Seconds>& model_slos);
+
 }  // namespace mars::serve

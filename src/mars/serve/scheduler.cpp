@@ -61,10 +61,10 @@ struct Event {
 class Engine {
  public:
   Engine(const topology::Topology& topo,
-         const std::vector<const ModelService*>& services,
+         const std::vector<ServedModel>& models,
          const SchedulerOptions& options)
       : topo_(&topo),
-        services_(&services),
+        models_(&models),
         network_(topo, options.sim),
         route_cache_(static_cast<std::size_t>((topo.size() + 1) *
                                               (topo.size() + 1))) {
@@ -73,26 +73,26 @@ class Engine {
     // allocation-free (the batcher returns freshly built vectors).
     immediate_dispatch_ = options.policy.kind == BatchPolicy::Kind::kNone;
     if (!immediate_dispatch_) {
-      batchers_.reserve(services.size());
-      for (std::size_t m = 0; m < services.size(); ++m) {
+      batchers_.reserve(models.size());
+      for (std::size_t m = 0; m < models.size(); ++m) {
         batchers_.emplace_back(options.policy);
       }
-      armed_deadline_.assign(services.size(), std::nullopt);
+      armed_deadline_.assign(models.size(), std::nullopt);
     }
     result_.acc_busy.assign(static_cast<std::size_t>(topo.size()),
                             Seconds(0.0));
 
     admission_ = options.admission;
-    in_system_.assign(services.size(), 0);
+    in_system_.assign(models.size(), 0);
     queued_work_.assign(static_cast<std::size_t>(topo.size()), Seconds(0.0));
-    flats_.reserve(services.size());
-    free_list_.assign(services.size(), nullptr);
+    flats_.reserve(models.size());
+    free_list_.assign(models.size(), nullptr);
     // Which accelerators each model's prototype computes on — the
     // timelines its requests queue behind, hence the ones the slo:
     // admission estimate reads.
-    service_accs_.resize(services.size());
-    for (std::size_t m = 0; m < services.size(); ++m) {
-      const sim::FlatTaskGraph& flat = services[m]->flat_proto();
+    service_accs_.resize(models.size());
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const sim::FlatTaskGraph& flat = *models[m].flat;
       flats_.push_back(&flat);
       std::vector<bool> used(static_cast<std::size_t>(topo.size()), false);
       for (int t = 0; t < flat.size; ++t) {
@@ -110,18 +110,18 @@ class Engine {
     // event below is emitted from this serial event loop with simulated
     // timestamps, so the simulated-domain trace is deterministic per seed
     // regardless of --threads (the fleet layer runs shards serially
-    // whenever a recorder is installed — see serve/fleet.cpp).
-    rec_ = obs::trace();
+    // whenever a recorder is installed — see serve/fleet.cpp). Quiet runs
+    // (search-time rollouts) skip both hooks entirely.
+    rec_ = options.quiet ? nullptr : obs::trace();
     if (rec_ != nullptr) {
-      model_tracks_.reserve(services.size());
-      in_system_name_.reserve(services.size());
-      for (std::size_t m = 0; m < services.size(); ++m) {
+      model_tracks_.reserve(models.size());
+      in_system_name_.reserve(models.size());
+      for (std::size_t m = 0; m < models.size(); ++m) {
         // The index prefix keeps tracks distinct when two services serve
         // the same model name; the options prefix keeps fleet shards
         // distinct.
         const std::string label = options.trace_label_prefix + "model " +
-                                  std::to_string(m) + ":" +
-                                  services[m]->name();
+                                  std::to_string(m) + ":" + models[m].name;
         model_tracks_.push_back(rec_->track(obs::Clock::kSim, label));
         in_system_name_.push_back("in_system " + label);
       }
@@ -134,7 +134,8 @@ class Engine {
         queued_name_.push_back("queued_s " + label);
       }
     }
-    if (obs::MetricsRegistry* registry = obs::metrics()) {
+    if (obs::MetricsRegistry* registry =
+            options.quiet ? nullptr : obs::metrics()) {
       shed_total_ = &registry->counter("serve.admission.shed");
       completed_total_ = &registry->counter("serve.requests.completed");
       batches_total_ = &registry->counter("serve.batches.dispatched");
@@ -252,7 +253,7 @@ class Engine {
     const auto m = static_cast<std::size_t>(request.model);
     const int track = model_tracks_[m];
     rec_->async_begin(obs::Clock::kSim, track, "req", request.id,
-                      (*services_)[m]->name(), request.arrival,
+                      (*models_)[m].name, request.arrival,
                       {{"client", JsonValue::integer(request.client)}});
     rec_->async_begin(obs::Clock::kSim, track, "req", request.id, "queue",
                       request.arrival);
@@ -268,7 +269,8 @@ class Engine {
       case AdmissionPolicy::Kind::kShed:
         return in_system_[m] < admission_.max_depth;
       case AdmissionPolicy::Kind::kSlo:
-        return predicted_latency(request.model) <= admission_.slo;
+        return predicted_latency(request.model) <=
+               admission_.slo_for(request.model);
     }
     return true;
   }
@@ -288,7 +290,7 @@ class Engine {
       backlog = std::max(backlog, wait);
     }
     return backlog +
-           (*services_)[static_cast<std::size_t>(model)]->single_latency();
+           (*models_)[static_cast<std::size_t>(model)].single_latency;
   }
 
   void reissue_after_think(int model, int client) {
@@ -463,7 +465,7 @@ class Engine {
   void trace_compute(const Instance* instance, int acc, Seconds end) {
     const auto a = static_cast<std::size_t>(acc);
     const auto m = static_cast<std::size_t>(instance->request.model);
-    rec_->complete(obs::Clock::kSim, acc_tracks_[a], (*services_)[m]->name(),
+    rec_->complete(obs::Clock::kSim, acc_tracks_[a], (*models_)[m].name,
                    now_, end - now_,
                    {{"request", JsonValue::integer(instance->request.id)}});
     rec_->counter(obs::Clock::kSim, queued_name_[a], now_,
@@ -520,7 +522,7 @@ class Engine {
       rec_->async_end(obs::Clock::kSim, track, "req", instance->request.id,
                       "execute", now_);
       rec_->async_end(obs::Clock::kSim, track, "req", instance->request.id,
-                      (*services_)[m]->name(), now_);
+                      (*models_)[m].name, now_);
       rec_->counter(obs::Clock::kSim, in_system_name_[m], now_,
                     static_cast<double>(in_system_[m]));
     }
@@ -540,7 +542,7 @@ class Engine {
   }
 
   const topology::Topology* topo_;
-  const std::vector<const ModelService*>* services_;
+  const std::vector<ServedModel>* models_;
   sim::Network network_;
 
   sim::EventQueue<Event> queue_;
@@ -596,9 +598,10 @@ class Engine {
 OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
                                  std::vector<const ModelService*> services,
                                  SchedulerOptions options)
-    : topo_(&topo), services_(std::move(services)), options_(std::move(options)) {
-  MARS_CHECK_ARG(!services_.empty(), "scheduler needs at least one service");
-  for (const ModelService* service : services_) {
+    : topo_(&topo), options_(std::move(options)) {
+  MARS_CHECK_ARG(!services.empty(), "scheduler needs at least one service");
+  models_.reserve(services.size());
+  for (const ModelService* service : services) {
     MARS_CHECK_ARG(service != nullptr, "null service");
     MARS_CHECK_ARG(service->problem().topo == topo_,
                    "service '" << service->name()
@@ -611,11 +614,24 @@ OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
                    "service '" << service->name()
                                << "' was planned under different SimParams "
                                   "than SchedulerOptions.sim");
+    models_.push_back(ServedModel{service->name(), &service->flat_proto(),
+                                  service->single_latency()});
+  }
+}
+
+OnlineScheduler::OnlineScheduler(const topology::Topology& topo,
+                                 std::vector<ServedModel> models,
+                                 SchedulerOptions options)
+    : topo_(&topo), models_(std::move(models)), options_(std::move(options)) {
+  MARS_CHECK_ARG(!models_.empty(), "scheduler needs at least one model");
+  for (const ServedModel& model : models_) {
+    MARS_CHECK_ARG(model.flat != nullptr,
+                   "model '" << model.name << "' has no flat prototype");
   }
 }
 
 ServeResult OnlineScheduler::run(const std::vector<Request>& arrivals) const {
-  Engine engine(*topo_, services_, options_);
+  Engine engine(*topo_, models_, options_);
   engine.reserve(arrivals.size());
   for (const Request& request : arrivals) {
     MARS_CHECK_ARG(request.model >= 0 && request.model < num_models(),
@@ -639,7 +655,7 @@ ServeResult OnlineScheduler::run_closed_loop(const ClosedLoopSpec& spec,
                      spec.think.count() > 0.0,
                  "closed-loop admission control needs think > 0 (a rejected "
                  "client would retry at the same instant forever)");
-  Engine engine(*topo_, services_, options_);
+  Engine engine(*topo_, models_, options_);
   engine.reserve(static_cast<std::size_t>(spec.clients()));
   engine.enable_closed_loop(spec.think, duration);
   for (int c = 0; c < spec.clients(); ++c) {

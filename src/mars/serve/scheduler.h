@@ -49,6 +49,23 @@ struct SchedulerOptions {
   /// distinct in a single trace. Empty (the default) reproduces the
   /// historical labels byte for byte.
   std::string trace_label_prefix;
+  /// Suppress trace/metric emission for this run even when a recorder or
+  /// registry is installed. Search-time rollouts (comap's ServingObjective)
+  /// replay thousands of candidate fleets per search; emitting those into
+  /// the user's trace would drown the actual serving run.
+  bool quiet = false;
+};
+
+/// The minimal per-model view the event loop dispatches against. A
+/// ModelService provides one (see OnlineScheduler's service constructor);
+/// comap's rollout fitness builds them directly from candidate mappings
+/// without planning a full service.
+struct ServedModel {
+  std::string name;
+  /// Flat single-inference prototype; must outlive the scheduler.
+  const sim::FlatTaskGraph* flat = nullptr;
+  /// Uncontended single-inference latency (the slo: admission estimate).
+  Seconds single_latency{};
 };
 
 struct CompletedRequest {
@@ -86,6 +103,15 @@ class OnlineScheduler {
                   std::vector<const ModelService*> services,
                   SchedulerOptions options = {});
 
+  /// Dispatches against bare model views (name + flat prototype +
+  /// uncontended latency) instead of full ModelServices. The views' flat
+  /// graphs must target `topo` and outlive the scheduler. This is the
+  /// comap rollout entry point: candidate mappings become views without
+  /// the planner/cache machinery a ModelService carries.
+  OnlineScheduler(const topology::Topology& topo,
+                  std::vector<ServedModel> models,
+                  SchedulerOptions options = {});
+
   /// Open-loop run over a pre-materialised arrival stream.
   [[nodiscard]] ServeResult run(const std::vector<Request>& arrivals) const;
 
@@ -95,12 +121,12 @@ class OnlineScheduler {
                                             Seconds duration) const;
 
   [[nodiscard]] int num_models() const {
-    return static_cast<int>(services_.size());
+    return static_cast<int>(models_.size());
   }
 
  private:
   const topology::Topology* topo_;
-  std::vector<const ModelService*> services_;
+  std::vector<ServedModel> models_;
   SchedulerOptions options_;
 };
 

@@ -11,7 +11,8 @@
 namespace mars::serve {
 
 std::string search_spec(const plan::SearchEngine& engine,
-                        const plan::Budget& budget) {
+                        const plan::Budget& budget,
+                        topology::AccMask placement) {
   std::ostringstream os;
   os << engine.spec_string();
   // A budget changes what the search returns, so it is part of the cache
@@ -21,6 +22,9 @@ std::string search_spec(const plan::SearchEngine& engine,
   if (budget.wall_clock.count() > 0.0) {
     os << ";wall_ms=" << budget.wall_clock.millis();
   }
+  // Placement-confined searches (comap slices) get their own identity;
+  // full-fleet searches keep their historical fingerprint unchanged.
+  if (placement != 0) os << ";placement=" << std::hex << placement;
   return os.str();
 }
 
@@ -29,9 +33,11 @@ ModelService::ModelService(std::string model_name,
                            const accel::DesignRegistry& designs, bool adaptive,
                            const plan::SearchEngine& engine,
                            const MappingCache* cache,
-                           const plan::Budget& budget)
+                           const plan::Budget& budget,
+                           topology::AccMask placement)
     : name_(std::move(model_name)),
-      planner_(plan::Planner::for_model(name_, topo, designs, adaptive)) {
+      planner_(plan::Planner::for_model(name_, topo, designs, adaptive,
+                                        placement)) {
   // Closed-form engines bypass the cache: the baseline is cheaper than
   // reading and validating a cache entry.
   const bool cacheable = cache != nullptr && engine.searches();
@@ -39,14 +45,15 @@ ModelService::ModelService(std::string model_name,
   std::optional<MappingCache::Key> key;
   if (cacheable) {
     key = MappingCache::Key{
-        name_, MappingCache::fingerprint(topo, designs, adaptive,
-                                         search_spec(engine, budget))};
+        name_, MappingCache::fingerprint(
+                   topo, designs, adaptive,
+                   search_spec(engine, budget, placement))};
     if (std::optional<core::Mapping> cached =
             cache->load(*key, planner_.spine(), topo, designs, adaptive)) {
       mapping_ = *std::move(cached);
       source_ = MappingSource::kCacheHit;
       provenance_.engine = engine.name();
-      provenance_.spec = search_spec(engine, budget);
+      provenance_.spec = search_spec(engine, budget, placement);
       planned = true;
       MARS_INFO << "mapping cache hit for '" << name_ << "' ("
                 << cache->path_for(*key) << "), " << engine.name()
@@ -103,13 +110,17 @@ std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
     bool adaptive, const plan::SearchEngine& engine, const MappingCache* cache,
-    const plan::Budget& budget) {
+    const plan::Budget& budget,
+    const std::vector<topology::AccMask>& placements) {
   MARS_CHECK_ARG(!model_names.empty(), "a fleet serves at least one model");
+  MARS_CHECK_ARG(placements.empty() || placements.size() == model_names.size(),
+                 "one placement mask per model required");
   std::vector<std::unique_ptr<ModelService>> services;
   services.reserve(model_names.size());
-  for (const std::string& name : model_names) {
+  for (std::size_t i = 0; i < model_names.size(); ++i) {
     services.push_back(std::make_unique<ModelService>(
-        name, topo, designs, adaptive, engine, cache, budget));
+        model_names[i], topo, designs, adaptive, engine, cache, budget,
+        placements.empty() ? topology::AccMask{0} : placements[i]));
   }
   return services;
 }

@@ -36,12 +36,16 @@ class ModelService {
   /// the cache under (model, fingerprint(topo, designs, adaptive,
   /// engine spec + budget)); a hit skips the search entirely, a miss
   /// searches and then stores the result. The cache and engine must
-  /// outlive the constructor call only (nothing is retained).
+  /// outlive the constructor call only (nothing is retained). A non-zero
+  /// `placement` confines the search to that fleet slice (comap output);
+  /// it joins the cache identity, so sliced and full-fleet mappings never
+  /// alias.
   ModelService(std::string model_name, const topology::Topology& topo,
                const accel::DesignRegistry& designs, bool adaptive,
                const plan::SearchEngine& engine,
                const MappingCache* cache = nullptr,
-               const plan::Budget& budget = {});
+               const plan::Budget& budget = {},
+               topology::AccMask placement = 0);
 
   ModelService(const ModelService&) = delete;
   ModelService& operator=(const ModelService&) = delete;
@@ -84,17 +88,22 @@ class ModelService {
 
 /// Canonical cache-identity string for a (engine, budget) pair: the
 /// engine's spec_string(), suffixed with the budget when one is set so a
-/// budget-truncated search never aliases an unbudgeted one.
+/// budget-truncated search never aliases an unbudgeted one. A non-zero
+/// `placement` appends a ";placement=<hex>" suffix (full-fleet searches
+/// keep their historical identity).
 [[nodiscard]] std::string search_spec(const plan::SearchEngine& engine,
-                                      const plan::Budget& budget);
+                                      const plan::Budget& budget,
+                                      topology::AccMask placement = 0);
 
 /// Plans one service per mix entry on the shared topology. The returned
 /// services must outlive any scheduler built over them; `engine` and
-/// `cache` (optional) only have to outlive this call.
+/// `cache` (optional) only have to outlive this call. `placements`, when
+/// non-empty, gives one placement mask per model (0 entries = full fleet).
 [[nodiscard]] std::vector<std::unique_ptr<ModelService>> plan_services(
     const std::vector<std::string>& model_names,
     const topology::Topology& topo, const accel::DesignRegistry& designs,
     bool adaptive, const plan::SearchEngine& engine,
-    const MappingCache* cache = nullptr, const plan::Budget& budget = {});
+    const MappingCache* cache = nullptr, const plan::Budget& budget = {},
+    const std::vector<topology::AccMask>& placements = {});
 
 }  // namespace mars::serve

@@ -28,8 +28,11 @@ void bisect(const Topology& topo, AccMask mask, std::set<AccMask>& out) {
 
 }  // namespace
 
-std::vector<AccSetCandidate> accset_candidates(const Topology& topo) {
+std::vector<AccSetCandidate> accset_candidates(const Topology& topo, AccMask within) {
   topo.validate();
+  if (within == 0) within = topo.full_mask();
+  MARS_CHECK_ARG((within & ~topo.full_mask()) == 0,
+                 "placement mask reaches outside the topology");
   std::set<AccMask> masks;
 
   // Edge-removal hierarchy: after discarding all links slower than each
@@ -41,8 +44,7 @@ std::vector<AccSetCandidate> accset_candidates(const Topology& topo) {
     thresholds.push_back(level.bits_per_second() * (1.0 + 1e-9));
   }
   for (double threshold : thresholds) {
-    for (AccMask component :
-         topo.components_above(topo.full_mask(), Bandwidth(threshold))) {
+    for (AccMask component : topo.components_above(within, Bandwidth(threshold))) {
       masks.insert(component);
     }
   }
@@ -53,7 +55,9 @@ std::vector<AccSetCandidate> accset_candidates(const Topology& topo) {
   for (AccMask mask : base) bisect(topo, mask, masks);
 
   // Singletons are always valid AccSets.
-  for (AccId id = 0; id < topo.size(); ++id) masks.insert(mask_of(id));
+  for (AccId id = 0; id < topo.size(); ++id) {
+    if ((mask_of(id) & within) != 0) masks.insert(mask_of(id));
+  }
 
   std::vector<AccSetCandidate> candidates;
   candidates.reserve(masks.size());
@@ -75,9 +79,13 @@ std::vector<AccSetCandidate> accset_candidates(const Topology& topo) {
 
 std::vector<AccMask> decode_partition(const Topology& topo,
                                       const std::vector<AccSetCandidate>& candidates,
-                                      const std::vector<double>& priorities) {
+                                      const std::vector<double>& priorities,
+                                      AccMask target) {
   MARS_CHECK_ARG(priorities.size() == candidates.size(),
                  "one priority gene per candidate required");
+  if (target == 0) target = topo.full_mask();
+  MARS_CHECK_ARG((target & ~topo.full_mask()) == 0,
+                 "placement mask reaches outside the topology");
   std::vector<std::size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -86,16 +94,16 @@ std::vector<AccMask> decode_partition(const Topology& topo,
 
   std::vector<AccMask> partition;
   AccMask covered = 0;
-  const AccMask full = topo.full_mask();
   for (std::size_t index : order) {
     const AccMask mask = candidates[index].mask;
+    if ((mask & ~target) != 0) continue;
     if ((mask & covered) != 0) continue;
     partition.push_back(mask);
     covered |= mask;
-    if (covered == full) break;
+    if (covered == target) break;
   }
-  MARS_CHECK(covered == full,
-             "candidate family cannot tile the topology (missing singletons?)");
+  MARS_CHECK(covered == target,
+             "candidate family cannot tile the placement mask (missing singletons?)");
   // Deterministic presentation order: by lowest member id.
   std::sort(partition.begin(), partition.end(),
             [](AccMask a, AccMask b) { return (a & ~(a - 1)) < (b & ~(b - 1)); });

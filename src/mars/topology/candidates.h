@@ -23,15 +23,21 @@ struct AccSetCandidate {
 /// Generates the laminar candidate family. Deterministic: sorted by
 /// descending size, then ascending lowest member id. Always contains the
 /// full set, every bandwidth-level component, all bisection refinements and
-/// all singletons.
-[[nodiscard]] std::vector<AccSetCandidate> accset_candidates(const Topology& topo);
+/// all singletons. `within` restricts the family to subsets of the given
+/// placement mask (0 means the whole topology): components are computed on
+/// the restricted vertex set, so a tenant confined to a fleet slice sees the
+/// same hierarchy it would on a standalone copy of that slice.
+[[nodiscard]] std::vector<AccSetCandidate> accset_candidates(const Topology& topo,
+                                                             AccMask within = 0);
 
 /// Greedy decode used by the GA: scanning candidates by descending gene
 /// priority, keep each candidate disjoint from what is already taken until
 /// the whole system is covered. `priorities` must align with `candidates`.
-/// Returns the chosen partition (masks tile the topology exactly).
+/// Returns the chosen partition (masks tile the topology exactly). `target`
+/// restricts the decode to tiling the given placement mask (0 means the
+/// whole topology); candidates reaching outside `target` are skipped.
 [[nodiscard]] std::vector<AccMask> decode_partition(
     const Topology& topo, const std::vector<AccSetCandidate>& candidates,
-    const std::vector<double>& priorities);
+    const std::vector<double>& priorities, AccMask target = 0);
 
 }  // namespace mars::topology

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mars/accel/registry.h"
+#include "mars/comap/problem.h"
+#include "mars/topology/presets.h"
+#include "mars/util/error.h"
+
+namespace mars::comap {
+namespace {
+
+class ProblemTest : public ::testing::Test {
+ protected:
+  ProblemTest()
+      : topo_(topology::h2h_cloud(4, gbps(4.0), 4)),
+        designs_(accel::h2h_designs()) {}
+
+  [[nodiscard]] CoMapProblem valid() const {
+    CoMapProblem problem;
+    problem.tenants = {Tenant{"alexnet", 1.0, Seconds{}},
+                       Tenant{"resnet18", 2.0, milliseconds(50.0)}};
+    problem.topo = &topo_;
+    problem.designs = &designs_;
+    problem.adaptive = false;
+    return problem;
+  }
+
+  topology::Topology topo_;
+  accel::DesignRegistry designs_;
+};
+
+TEST_F(ProblemTest, ValidProblemPasses) {
+  EXPECT_NO_THROW(valid().validate());
+}
+
+TEST_F(ProblemTest, RejectsEmptyTenantSet) {
+  CoMapProblem problem = valid();
+  problem.tenants.clear();
+  EXPECT_THROW(problem.validate(), InvalidArgument);
+}
+
+TEST_F(ProblemTest, RejectsMoreTenantsThanAccelerators) {
+  CoMapProblem problem = valid();
+  while (problem.tenants.size() <= static_cast<std::size_t>(topo_.size())) {
+    problem.tenants.push_back(Tenant{"alexnet", 1.0, Seconds{}});
+  }
+  EXPECT_THROW(problem.validate(), InvalidArgument);
+}
+
+TEST_F(ProblemTest, RejectsNonPositiveWeight) {
+  CoMapProblem problem = valid();
+  problem.tenants[0].weight = 0.0;
+  EXPECT_THROW(problem.validate(), InvalidArgument);
+}
+
+TEST_F(ProblemTest, RejectsUnnamedTenant) {
+  CoMapProblem problem = valid();
+  problem.tenants[0].model.clear();
+  EXPECT_THROW(problem.validate(), InvalidArgument);
+}
+
+TEST_F(ProblemTest, RejectsBadRollout) {
+  for (const auto mutate :
+       {+[](CoMapProblem& p) { p.rollout.rate = 0.0; },
+        +[](CoMapProblem& p) { p.rollout.duration = Seconds{}; },
+        +[](CoMapProblem& p) { p.rollout.default_slo = Seconds{}; }}) {
+    CoMapProblem problem = valid();
+    mutate(problem);
+    EXPECT_THROW(problem.validate(), InvalidArgument);
+  }
+}
+
+TEST_F(ProblemTest, SloOfFallsBackToDefault) {
+  const CoMapProblem problem = valid();
+  // Tenant 0 carries no SLO of its own; tenant 1 set 50 ms.
+  EXPECT_DOUBLE_EQ(problem.slo_of(0).count(),
+                   problem.rollout.default_slo.count());
+  EXPECT_DOUBLE_EQ(problem.slo_of(1).count(), milliseconds(50.0).count());
+}
+
+TEST_F(ProblemTest, WeightsInTenantOrder) {
+  const std::vector<double> weights = valid().weights();
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(weights[1], 2.0);
+}
+
+}  // namespace
+}  // namespace mars::comap

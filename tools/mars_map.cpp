@@ -19,11 +19,26 @@
 //       Pipelined multi-image throughput of the searched mapping.
 //   mars_map serve --model facebagnet --model resnet50 --rate 200 --duration 10
 //       Online multi-tenant serving simulation over the shared topology.
+//       --model takes name[:weight[:sloMS]] — a per-model SLO overrides
+//       --slo for both the goodput report and slo: admission.
 //       --mapping-cache DIR persists searched mappings across runs;
 //       --policy composes batching and admission ("size:4+slo:60");
 //       --replay CSV replays a recorded arrival trace; --shards N splits
 //       the fleet into N replica groups behind a deterministic router
-//       (docs/SERVING.md), run in parallel under --threads.
+//       (docs/SERVING.md), run in parallel under --threads;
+//       --shard-models 'a+b/c' pins each replica group to a subset of the
+//       models (one '/'-separated entry per shard, '+'-separated names).
+//   mars_map comap --model facebagnet --model resnet50 --rate 150
+//       Joint multi-tenant co-mapping (docs/COMAP.md): searches the
+//       tenants together under a serving-objective fitness (seeded
+//       rollouts of the shared request stream) and reports the joint
+//       vs independent SLO goodput. --encoding partition|interleave
+//       picks the composite genome; --rollout MS sets the rollout
+//       horizon; budget/thread/cache/trace flags work as in map/serve.
+//   mars_map warm --models a,b,c --mapping-cache DIR
+//       Pre-populate the mapping cache: plan every listed model on the
+//       configured (topology, mapper) and store the results, so later
+//       serve/comap startups are cache hits.
 //
 // map, throughput and serve all accept `--trace FILE.json` (Chrome Trace
 // Event / Perfetto timeline of the run) and `--metrics FILE.json` (counter
@@ -45,6 +60,7 @@
 #include <vector>
 
 #include "mars/accel/profiler.h"
+#include "mars/comap/engine.h"
 #include "mars/core/evaluator.h"
 #include "mars/core/serialize.h"
 #include "mars/graph/models/models.h"
@@ -408,36 +424,90 @@ int cmd_throughput(const Args& args) {
   return 0;
 }
 
-int cmd_serve(const Args& args) {
-  const ObsSession session(args);
-  // Model mix: repeated --model name[:weight] (weight defaults to 1).
+/// The tenant mix from repeated `--model name[:weight[:sloMS]]` flags.
+/// `slos` holds zero for models without their own objective (they fall
+/// back to the shared `--slo`).
+struct ModelMix {
   std::vector<std::string> names;
   std::vector<double> weights;
+  std::vector<Seconds> slos;
+
+  [[nodiscard]] bool has_model_slos() const {
+    return std::any_of(slos.begin(), slos.end(),
+                       [](Seconds s) { return s.count() > 0.0; });
+  }
+};
+
+/// Parses every `--model` occurrence; numeric fields are whole-string
+/// parses with named errors, matching the `--rate`/`--slo` convention.
+ModelMix parse_model_mix(const Args& args) {
+  ModelMix mix;
+  const auto parse_number = [](const std::string& text, double& out) {
+    std::size_t consumed = 0;
+    try {
+      out = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    return consumed == text.size();
+  };
   for (const std::string& spec : args.all("model")) {
     const std::vector<std::string> parts = split(spec, ':');
-    if (parts.empty() || parts[0].empty() || parts.size() > 2) {
-      throw InvalidArgument("bad --model spec '" + spec + "' (use name[:weight])");
+    if (parts.empty() || parts[0].empty() || parts.size() > 3) {
+      throw InvalidArgument("bad --model spec '" + spec +
+                            "' (use name[:weight[:sloMS]])");
     }
     double weight = 1.0;
-    if (parts.size() == 2) {
-      std::size_t consumed = 0;
-      try {
-        weight = std::stod(parts[1], &consumed);
-      } catch (const std::exception&) {
-        consumed = 0;
-      }
-      if (consumed != parts[1].size() || weight < 0.0) {
-        throw InvalidArgument("bad --model weight in '" + spec +
-                              "' (use name[:weight])");
-      }
+    if (parts.size() >= 2 &&
+        (!parse_number(parts[1], weight) || weight < 0.0)) {
+      throw InvalidArgument("bad --model weight in '" + spec +
+                            "' (use name[:weight[:sloMS]])");
     }
-    names.push_back(parts[0]);
-    weights.push_back(weight);
+    double slo_ms = 0.0;
+    if (parts.size() == 3 &&
+        (!parse_number(parts[2], slo_ms) || slo_ms <= 0.0)) {
+      throw InvalidArgument("bad --model SLO in '" + spec +
+                            "' (use name[:weight[:sloMS]], SLO in ms > 0)");
+    }
+    mix.names.push_back(parts[0]);
+    mix.weights.push_back(weight);
+    mix.slos.push_back(milliseconds(slo_ms));
   }
-  if (names.empty()) {
-    names = {"resnet34"};
-    weights = {1.0};
+  return mix;
+}
+
+/// Parses `--shard-models 'a+b/c'`: one '/'-separated entry per shard,
+/// each a '+'-separated list of model names resolved against the
+/// `--model` mix. Structural validation (entry count, coverage) is
+/// FleetOptions' job; this only translates names to fleet indices.
+std::vector<std::vector<int>> parse_shard_models(
+    const std::string& spec, const std::vector<std::string>& names) {
+  std::vector<std::vector<int>> shard_models;
+  for (const std::string& shard : split(spec, '/')) {
+    std::vector<int> models;
+    for (const std::string& name : split(shard, '+')) {
+      const auto it = std::find(names.begin(), names.end(), name);
+      if (name.empty() || it == names.end()) {
+        throw InvalidArgument("--shard-models references '" + name +
+                              "', which is not a --model of this fleet");
+      }
+      models.push_back(static_cast<int>(it - names.begin()));
+    }
+    shard_models.push_back(std::move(models));
   }
+  return shard_models;
+}
+
+int cmd_serve(const Args& args) {
+  const ObsSession session(args);
+  ModelMix mix = parse_model_mix(args);
+  if (mix.names.empty()) {
+    mix.names = {"resnet34"};
+    mix.weights = {1.0};
+    mix.slos = {Seconds(0.0)};
+  }
+  const std::vector<std::string>& names = mix.names;
+  const std::vector<double>& weights = mix.weights;
 
   // --shards N splits the fleet into N identical replica groups. Services
   // are planned once on the group topology (replica groups are copies);
@@ -491,6 +561,9 @@ int cmd_serve(const Args& args) {
   serve::SchedulerOptions options;
   options.policy = policy.batch;
   options.admission = policy.admission;
+  // Per-model SLOs (from --model name:weight:sloMS) tighten or relax slo:
+  // admission per tenant; models without one keep the policy's shared slo.
+  options.admission.per_model_slo = mix.slos;
   const Seconds duration = Seconds(number_option(args, "duration", "5"));
   const auto seed = static_cast<std::uint64_t>(int_option(args, "seed", "1"));
   const Seconds slo = milliseconds(number_option(args, "slo", "100"));
@@ -581,6 +654,15 @@ int cmd_serve(const Args& args) {
   fleet_options.shards = partition.shards;
   fleet_options.threads = config.threads;
   fleet_options.scheduler = options;
+  if (args.flag("shard-models")) {
+    const std::string spec = args.get("shard-models", "");
+    if (spec == "1") {
+      throw InvalidArgument(
+          "--shard-models needs a spec like 'a+b/c' (one '/'-separated "
+          "entry per shard)");
+    }
+    fleet_options.shard_models = parse_shard_models(spec, names);
+  }
   const serve::FleetScheduler scheduler(topo, refs, fleet_options);
 
   serve::ServeResult result;
@@ -597,7 +679,8 @@ int cmd_serve(const Args& args) {
     result =
         scheduler.run(serve::poisson_arrivals(weights, rate, duration, seed));
   }
-  const serve::ServeMetrics metrics = serve::summarize(result, names, slo);
+  const serve::ServeMetrics metrics =
+      serve::summarize(result, names, slo, mix.slos);
   std::cout << "Workload: policy " << policy.to_string() << ", "
             << result.batches_dispatched << " batches dispatched\n\n"
             << serve::describe(metrics);
@@ -612,20 +695,253 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_comap(const Args& args) {
+  const ObsSession session(args);
+  const ModelMix mix = parse_model_mix(args);
+  if (mix.names.empty()) {
+    throw InvalidArgument(
+        "comap needs at least one --model name[:weight[:sloMS]]");
+  }
+
+  const topology::Topology topo = make_topology(args);
+  const accel::DesignRegistry designs =
+      args.flag("fixed") ? accel::h2h_designs() : accel::table2_designs();
+
+  comap::CoMapProblem problem;
+  problem.topo = &topo;
+  problem.designs = &designs;
+  problem.adaptive = !args.flag("fixed");
+  for (std::size_t t = 0; t < mix.names.size(); ++t) {
+    problem.tenants.push_back(
+        comap::Tenant{mix.names[t], mix.weights[t], mix.slos[t]});
+  }
+  const double rate = number_option(args, "rate", "150");
+  if (rate <= 0.0) {
+    throw InvalidArgument("--rate must be > 0 requests/s, got '" +
+                          args.get("rate", "150") + "'");
+  }
+  const double rollout_ms = number_option(args, "rollout", "1000");
+  if (rollout_ms <= 0.0) {
+    throw InvalidArgument("--rollout must be > 0 ms, got '" +
+                          args.get("rollout", "1000") + "'");
+  }
+  const double slo_ms = number_option(args, "slo", "100");
+  if (slo_ms <= 0.0) {
+    throw InvalidArgument("--slo must be > 0 ms, got '" +
+                          args.get("slo", "100") + "'");
+  }
+  problem.rollout.rate = rate;
+  problem.rollout.duration = milliseconds(rollout_ms);
+  problem.rollout.seed = std::stoull(args.get("seed", "1"));
+  problem.rollout.policy = serve::PolicySpec::parse(args.get("policy", "none"));
+  problem.rollout.default_slo = milliseconds(slo_ms);
+
+  comap::CoMapConfig config;
+  config.encoding = comap::parse_encoding(args.get("encoding", "partition"));
+  config.seed = std::stoull(args.get("seed", "1"));
+  config.threads = thread_count(args);
+  // Rollouts dominate: the inner per-tenant searches default to the quick
+  // serving schedule (--full restores the offline default), and --quick
+  // additionally shrinks the outer GA for smoke runs.
+  if (!args.flag("full")) {
+    config.inner.first_ga.population = 12;
+    config.inner.first_ga.generations = 8;
+    config.inner.second.ga.population = 8;
+    config.inner.second.ga.generations = 6;
+  }
+  config.inner.seed = config.seed;
+  config.inner.threads = config.threads;
+  if (args.flag("quick")) {
+    config.ga.population = 8;
+    config.ga.generations = 6;
+    config.ga.stall_generations = 4;
+  }
+
+  std::optional<serve::MappingCache> cache;
+  if (args.flag("mapping-cache")) {
+    const std::string dir = args.get("mapping-cache", "");
+    if (dir == "1") {
+      throw InvalidArgument("--mapping-cache needs a directory path");
+    }
+    cache.emplace(dir);
+  }
+
+  const comap::CoMapEngine engine(config);
+  const comap::CoMapResult result =
+      engine.search(problem, make_budget(args), cache ? &*cache : nullptr);
+  // Wall-clock provenance goes to stderr: stdout is a pure function of
+  // the (deterministic) result, byte-identical at any --threads.
+  std::clog << "comap search took "
+            << format_double(result.provenance.elapsed.count(), 3) << " s\n";
+
+  std::cout << "Co-mapping " << problem.tenants.size() << " tenant(s) on "
+            << topo.name() << " (" << topo.size() << " accelerators, encoding "
+            << comap::to_string(config.encoding) << "):\n";
+  for (std::size_t t = 0; t < problem.tenants.size(); ++t) {
+    const comap::TenantOutcome& tenant = result.tenants[t];
+    std::cout << "  " << tenant.model << ": weight "
+              << format_double(problem.tenants[t].weight, 2) << ", slo "
+              << format_double(problem.slo_of(t).millis(), 1) << " ms, placement "
+              << (tenant.placement == 0
+                      ? "full fleet"
+                      : topology::mask_to_string(tenant.placement));
+    if (!tenant.provenance.engine.empty()) {
+      std::cout << " (" << tenant.provenance.engine;
+      if (tenant.provenance.evaluations > 0) {
+        std::cout << ", " << tenant.provenance.evaluations << " evals";
+      }
+      std::cout << ")";
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+  for (std::size_t t = 0; t < problem.tenants.size(); ++t) {
+    std::cout << "-- " << problem.tenants[t].model << " --\n"
+              << core::describe(result.mappings[t],
+                                graph::ConvSpine::extract(
+                                    graph::models::by_name(mix.names[t])),
+                                designs, problem.adaptive);
+  }
+
+  const Seconds duration = problem.rollout.duration;
+  const auto report = [&](const char* label,
+                          const comap::ServingObjective::Score& score) {
+    std::cout << "  " << label << ": goodput "
+              << format_double(score.goodput_rps(duration), 1) << " rps ("
+              << score.good << "/" << score.offered << " within SLO, "
+              << score.rejected << " shed), p99 "
+              << format_double(score.p99.millis(), 3) << " ms\n";
+  };
+  std::cout << "\nRollout objective (rate " << format_double(rate, 1)
+            << " rps, " << format_double(rollout_ms, 0) << " ms, seed "
+            << problem.rollout.seed << ", policy "
+            << problem.rollout.policy.to_string() << "):\n";
+  report("joint      ", result.score);
+  report("independent", result.independent_score);
+  if (result.joint_won) {
+    const double gain = result.score.goodput_rps(duration) -
+                        result.independent_score.goodput_rps(duration);
+    std::cout << "joint co-mapping beats independent planning by "
+              << format_double(gain, 1) << " rps ("
+              << result.provenance.winner << " encoding won)\n";
+  } else {
+    std::cout << "independent planning kept (the joint search found no "
+                 "strictly better co-mapping)\n";
+  }
+  std::cout << "search: " << result.provenance.evaluations
+            << " evaluations (" << result.rollout_misses << " rollouts, "
+            << result.rollout_hits << " memo hits), "
+            << result.provenance.iterations << " generations, stopped: "
+            << plan::to_string(result.provenance.stopped) << '\n';
+
+  if (args.flag("json")) {
+    std::string path = args.get("json", "comap.json");
+    if (path == "1") path = "comap.json";
+    JsonValue out = JsonValue::object();
+    JsonValue tenants = JsonValue::array();
+    for (std::size_t t = 0; t < problem.tenants.size(); ++t) {
+      JsonValue tenant = JsonValue::object();
+      tenant.set("model", JsonValue::string(mix.names[t]));
+      tenant.set("weight", JsonValue::number(problem.tenants[t].weight));
+      tenant.set("slo_ms", JsonValue::number(problem.slo_of(t).millis()));
+      tenant.set("placement", JsonValue::string(topology::mask_to_string(
+                                  result.tenants[t].placement)));
+      tenant.set("provenance", plan::to_json(result.tenants[t].provenance));
+      tenant.set("mapping",
+                 core::to_json(result.mappings[t],
+                               graph::ConvSpine::extract(
+                                   graph::models::by_name(mix.names[t])),
+                               designs, problem.adaptive));
+      tenants.push(std::move(tenant));
+    }
+    out.set("tenants", std::move(tenants));
+    const auto score_json = [](const comap::ServingObjective::Score& score) {
+      JsonValue v = JsonValue::object();
+      v.set("fitness", JsonValue::number(score.fitness));
+      v.set("offered", JsonValue::integer(score.offered));
+      v.set("good", JsonValue::integer(score.good));
+      v.set("rejected", JsonValue::integer(score.rejected));
+      v.set("p99_ms", JsonValue::number(score.p99.millis()));
+      return v;
+    };
+    out.set("joint", score_json(result.score));
+    out.set("independent", score_json(result.independent_score));
+    out.set("joint_won", JsonValue::boolean(result.joint_won));
+    out.set("provenance", plan::to_json(result.provenance));
+    std::ofstream file(path);
+    file << out.dump() << '\n';
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
+int cmd_warm(const Args& args) {
+  const ObsSession session(args);
+  // Accept --models a,b,c and/or repeated --model NAME (bare names; the
+  // cache key is per model, weights/SLOs play no part in planning).
+  std::vector<std::string> names = args.all("model");
+  for (const std::string& csv : args.all("models")) {
+    for (const std::string& name : split(csv, ',')) {
+      if (!name.empty()) names.push_back(name);
+    }
+  }
+  if (names.empty()) {
+    throw InvalidArgument("warm needs --models a,b,c (or repeated --model)");
+  }
+  const std::string dir = args.get("mapping-cache", "");
+  if (dir.empty() || dir == "1") {
+    throw InvalidArgument("warm needs --mapping-cache DIR (the cache to fill)");
+  }
+
+  const topology::Topology topo = make_topology(args);
+  const accel::DesignRegistry designs =
+      args.flag("fixed") ? accel::h2h_designs() : accel::table2_designs();
+  core::MarsConfig config;
+  config.seed = std::stoull(args.get("seed", "1"));
+  config.threads = thread_count(args);
+  if (!args.flag("full")) {
+    config.first_ga.population = 12;
+    config.first_ga.generations = 8;
+    config.second.ga.population = 8;
+    config.second.ga.generations = 6;
+  }
+  const std::unique_ptr<plan::SearchEngine> engine = make_engine(args, config);
+  const serve::MappingCache cache(dir);
+
+  const std::vector<std::unique_ptr<serve::ModelService>> services =
+      serve::plan_services(names, topo, designs, !args.flag("fixed"), *engine,
+                           &cache, make_budget(args));
+  for (const std::unique_ptr<serve::ModelService>& service : services) {
+    std::cout << "warm " << service->name() << ": "
+              << serve::to_string(service->mapping_source()) << '\n';
+  }
+  std::cout << "cache " << cache.dir() << ": hits=" << cache.hits()
+            << " misses=" << cache.misses() << " stores=" << cache.stores()
+            << '\n';
+  return 0;
+}
+
 int usage(std::ostream& os) {
-  os << "usage: mars_map <models|profile|map|baseline|throughput|serve> "
+  os << "usage: mars_map "
+        "<models|profile|map|baseline|throughput|serve|comap|warm> "
         "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
         "[--model-file PATH] "
         "[--mapper ga|anneal|random|baseline|portfolio|race:<m>+<m>[,MS]] "
         "[--search-budget MS] [--search-evals N] [--threads N] "
         "[--seed N] [--quick] [--fixed] [--json PATH] [--batch N] "
         "[--trace FILE.json] [--metrics FILE.json]\n"
-        "serve options: --model NAME[:WEIGHT] (repeatable) --rate RPS "
-        "--duration S --slo MS "
+        "serve options: --model NAME[:WEIGHT[:SLO_MS]] (repeatable) "
+        "--rate RPS --duration S --slo MS "
         "--policy [none|size:N|timeout:MS[:N]][+slo:MS|+shed:N] "
-        "--mapper NAME --threads N --shards N --mapping-cache DIR --full "
-        "--replay CSV --clients N --think MS\n"
-        "full reference: docs/CLI.md, docs/SEARCH.md and "
+        "--mapper NAME --threads N --shards N --shard-models 'a+b/c' "
+        "--mapping-cache DIR --full --replay CSV --clients N --think MS\n"
+        "comap options: --model NAME[:WEIGHT[:SLO_MS]] (repeatable) "
+        "--encoding partition|interleave --rate RPS --rollout MS --slo MS "
+        "--policy SPEC --seed N --threads N --quick --full "
+        "--mapping-cache DIR --json PATH\n"
+        "warm options: --models a,b,c --mapping-cache DIR [--mapper NAME] "
+        "[--full] [--threads N]\n"
+        "full reference: docs/CLI.md, docs/SEARCH.md, docs/COMAP.md and "
         "docs/OBSERVABILITY.md\n";
   return 1;
 }
@@ -641,6 +957,8 @@ int main(int argc, char** argv) {
     if (args.command == "baseline") return cmd_baseline(args);
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "comap") return cmd_comap(args);
+    if (args.command == "warm") return cmd_warm(args);
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {
       usage(std::cout);
