@@ -15,6 +15,14 @@ constexpr double kGemvEfficiency = 0.5;
 // 32 GB/s (AWS F1 cards expose four channels; designs typically wire two).
 constexpr double kDefaultDramBytesPerSecond = 32.0e9;
 
+// Area-cost normalisation: a 512-PE array prices at 1.0 relative cost
+// units, putting the Table II designs (448-576 PEs) near unity.
+constexpr double kAreaCostPerPe = 1.0 / 512.0;
+
+// Default compute energy: mid-range FPGA DSP-slice MAC plus its share of
+// local SRAM traffic. Subclasses calibrate per family.
+constexpr double kDefaultPicojoulesPerMac = 3.0;
+
 }  // namespace
 
 double ceil_div(double a, double b) {
@@ -31,7 +39,9 @@ AcceleratorDesign::AcceleratorDesign(std::string name, Frequency frequency,
       parameters_(std::move(parameter_string)),
       dram_bytes_per_cycle_(kDefaultDramBytesPerSecond / frequency.hertz()),
       pe_count_(pe_count >= 0 ? pe_count
-                              : static_cast<int>(peak_macs_per_cycle + 0.5)) {
+                              : static_cast<int>(peak_macs_per_cycle + 0.5)),
+      area_cost_(static_cast<double>(pe_count_) * kAreaCostPerPe),
+      energy_per_mac_(picojoules(kDefaultPicojoulesPerMac)) {
   MARS_CHECK_ARG(frequency.hertz() > 0.0, "design needs a positive frequency");
   MARS_CHECK_ARG(peak_macs_per_cycle_ > 0.0, "design needs a positive peak");
 }
@@ -39,6 +49,16 @@ AcceleratorDesign::AcceleratorDesign(std::string name, Frequency frequency,
 void AcceleratorDesign::set_dram_bandwidth(Bandwidth bw) {
   MARS_CHECK_ARG(bw.bits_per_second() > 0.0, "DRAM bandwidth must be positive");
   dram_bytes_per_cycle_ = bw.bytes_per_second() / frequency_.hertz();
+}
+
+void AcceleratorDesign::set_area_cost(double cost) {
+  MARS_CHECK_ARG(cost > 0.0, "area cost must be positive");
+  area_cost_ = cost;
+}
+
+void AcceleratorDesign::set_energy_per_mac(Joules energy) {
+  MARS_CHECK_ARG(energy.count() > 0.0, "energy per MAC must be positive");
+  energy_per_mac_ = energy;
 }
 
 CycleBreakdown AcceleratorDesign::conv_cycles(const graph::ConvShape& shape,

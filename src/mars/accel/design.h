@@ -69,6 +69,21 @@ class AcceleratorDesign {
   [[nodiscard]] double dram_bytes_per_cycle() const { return dram_bytes_per_cycle_; }
   void set_dram_bandwidth(Bandwidth bw);
 
+  /// Relative silicon/board cost of instantiating this design on one card
+  /// (dimensionless; the Table II designs land near 1.0). Defaults to
+  /// pe_count / 512 — cost scales with the PE array, the dominant resource
+  /// in all three published designs. Like set_dram_bandwidth this is
+  /// design-space setup, not per-query state.
+  [[nodiscard]] double area_cost() const { return area_cost_; }
+  void set_area_cost(double cost);
+
+  /// Energy per (effective) multiply-accumulate. Defaults to 3 pJ — a
+  /// mid-range FPGA DSP-slice estimate; subclasses calibrate per family
+  /// (docs/EXPLORE.md). Winograd charges per *effective* MAC, so its
+  /// arithmetic amplification shows up as a lower per-MAC price.
+  [[nodiscard]] Joules energy_per_mac() const { return energy_per_mac_; }
+  void set_energy_per_mac(Joules energy);
+
   /// Analytical cycle count for one (possibly sharded) convolution.
   [[nodiscard]] CycleBreakdown conv_cycles(const graph::ConvShape& shape,
                                            graph::DataType dtype) const;
@@ -104,6 +119,8 @@ class AcceleratorDesign {
   std::string parameters_;
   double dram_bytes_per_cycle_;
   int pe_count_;
+  double area_cost_;
+  Joules energy_per_mac_;
 };
 
 /// Ceiling division for tiling formulas (exact for the integer loop bounds

@@ -4,6 +4,7 @@
 #include "mars/accel/systolic.h"
 #include "mars/accel/winograd.h"
 #include "mars/util/error.h"
+#include "mars/util/strings.h"
 
 namespace mars::accel {
 
@@ -39,6 +40,26 @@ DesignRegistry table2_designs() {
   registry.add(std::make_unique<SystolicDesign>());
   registry.add(std::make_unique<WinogradDesign>());
   return registry;
+}
+
+const std::vector<std::string>& table2_design_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    const DesignRegistry registry = table2_designs();
+    for (DesignId id : registry.ids()) out.push_back(registry.design(id).name());
+    return out;
+  }();
+  return names;
+}
+
+std::unique_ptr<AcceleratorDesign> make_table2_design(const std::string& name) {
+  const std::vector<std::string>& names = table2_design_names();
+  if (name == names[0]) return std::make_unique<SuperLipDesign>();
+  if (name == names[1]) return std::make_unique<SystolicDesign>();
+  if (name == names[2]) return std::make_unique<WinogradDesign>();
+  MARS_CHECK_ARG(false, "unknown design '" << name << "' (valid: "
+                                           << join(names, ", ") << ")");
+  return nullptr;
 }
 
 DesignRegistry h2h_designs() {

@@ -39,6 +39,15 @@ class DesignRegistry {
 /// Winograd (d3), all at 200 MHz.
 [[nodiscard]] DesignRegistry table2_designs();
 
+/// The names in table2_designs(), in registry order.
+[[nodiscard]] const std::vector<std::string>& table2_design_names();
+
+/// Builds one Table II design by name (default parameters). The hardware
+/// design-space search uses this to assemble per-point menu subsets.
+/// Throws InvalidArgument naming the unknown design and the valid names.
+[[nodiscard]] std::unique_ptr<AcceleratorDesign> make_table2_design(
+    const std::string& name);
+
 /// A heterogeneous fixed-design menu in the spirit of H2H's testbed (used
 /// by the Table IV comparison): four distinct designs covering
 /// spatial-tiled, GEMM, Winograd and a narrow SuperLIP variant.

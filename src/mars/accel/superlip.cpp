@@ -23,6 +23,9 @@ SuperLipDesign::SuperLipDesign(const SuperLipParams& params, std::string name)
   MARS_CHECK_ARG(params.tm > 0 && params.tn > 0 && params.tr > 0 && params.tc > 0,
                  "SuperLIP tiles must be positive");
   MARS_CHECK_ARG(params.tile_overhead >= 0.0, "tile overhead must be >= 0");
+  // Line-buffer streaming keeps every input pixel moving through SRAM
+  // shift registers; the heaviest on-chip traffic of the three families.
+  set_energy_per_mac(picojoules(3.4));
 }
 
 double SuperLipDesign::compute_cycles(const graph::ConvShape& s) const {

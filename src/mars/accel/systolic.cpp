@@ -23,6 +23,8 @@ SystolicDesign::SystolicDesign(const SystolicParams& params, std::string name)
       params_(params) {
   MARS_CHECK_ARG(params.rows > 0 && params.cols > 0 && params.vec > 0,
                  "systolic dimensions must be positive");
+  // Nearest-neighbour operand forwarding: minimal SRAM movement per MAC.
+  set_energy_per_mac(picojoules(2.8));
 }
 
 double SystolicDesign::compute_cycles(const graph::ConvShape& s) const {

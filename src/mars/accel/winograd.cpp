@@ -33,6 +33,10 @@ WinogradDesign::WinogradDesign(const WinogradParams& params, std::string name)
   MARS_CHECK_ARG(params.tile_n > 2, "Winograd tile must exceed the 3x3 kernel");
   MARS_CHECK_ARG(params.pn > 0 && params.pm > 0, "Pn/Pm must be positive");
   MARS_CHECK_ARG(params.cycles_per_tile > 0.0, "cycles_per_tile must be positive");
+  // Priced per *effective* MAC: F(4,3) does ~2.25x fewer multiplies than
+  // it is credited for, so the per-effective-MAC energy is the lowest of
+  // the menu (transform adders cost far less than the saved multiplies).
+  set_energy_per_mac(picojoules(2.1));
 }
 
 bool WinogradDesign::winograd_applicable(const graph::ConvShape& shape) {

@@ -189,6 +189,64 @@ SetCost AnalyticalCostModel::set_cost(const LayerAssignment& set) const {
   return cost;
 }
 
+Joules AnalyticalCostModel::layer_energy(const LayerAssignment& set,
+                                         int layer) const {
+  const graph::ConvSpine& spine = *problem_->spine;
+  const graph::ConvShape& shape = spine.node(layer).shape;
+  const double macs = shape.macs();
+  const Bytes fused = spine.node(layer).fused_traffic;
+
+  // One design's share: `fraction` of the MACs, DRAM traffic and fused
+  // bytes executed on `design`. conv_cycles().dram times the interface
+  // width recovers the design-specific DRAM byte count (re-reads
+  // included) without touching the protected traffic formula.
+  const auto design_share = [&](const accel::AcceleratorDesign& design,
+                                double fraction) {
+    const Bytes traffic =
+        Bytes(design.conv_cycles(shape, spine.dtype()).dram *
+              design.dram_bytes_per_cycle()) +
+        fused;
+    return design.energy_per_mac() * (macs * fraction) +
+           picojoules(kDramPicojoulesPerByte) * (traffic.count() * fraction);
+  };
+
+  if (problem_->adaptive) {
+    return design_share(problem_->designs->design(set.design), 1.0);
+  }
+  Joules total{};
+  const double share = 1.0 / static_cast<double>(set.num_accs());
+  for (topology::AccMask rest = set.accs; rest != 0; rest &= rest - 1) {
+    const auto acc = static_cast<topology::AccId>(std::countr_zero(rest));
+    total += design_share(
+        problem_->designs->design(problem_->topo->accelerator(acc).fixed_design),
+        share);
+  }
+  return total;
+}
+
+Joules AnalyticalCostModel::mapping_energy(const Mapping& mapping) const {
+  Joules total{};
+  for (const LayerAssignment& set : mapping.sets) {
+    for (int layer = set.begin; layer < set.end; ++layer) {
+      total += layer_energy(set, layer);
+    }
+  }
+  // Link energy: activations crossing set boundaries plus host I/O. Time
+  // overlap does not reduce energy, so this sums bytes, not transfers.
+  const std::vector<Bytes> crossing = inter_set_bytes(mapping.sets);
+  const std::size_t s = mapping.sets.size();
+  double link_bytes = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      if (i != j) link_bytes += crossing[i * s + j].count();  // diagonal = intra-set
+    }
+  }
+  link_bytes += problem_->spine->input_bytes().count();
+  link_bytes += problem_->spine->output_bytes().count();
+  total += picojoules(kLinkPicojoulesPerByte) * link_bytes;
+  return total;
+}
+
 Seconds AnalyticalCostModel::inter_set_time(topology::AccMask from,
                                             topology::AccMask to,
                                             Bytes bytes) const {
@@ -330,6 +388,7 @@ EvaluationSummary AnalyticalCostModel::evaluate(const Mapping& mapping) const {
       problem_->sim_params.link_latency;
 
   summary.analytic_makespan = aggregate_makespan(mapping.sets, set_latencies);
+  summary.energy = mapping_energy(mapping);
   return summary;
 }
 

@@ -60,6 +60,12 @@ struct LayerCost {
   [[nodiscard]] Seconds total() const { return compute + intra_set; }
 };
 
+/// Energy prices per byte moved (first-order, docs/EXPLORE.md): a DRAM
+/// access and an inter-accelerator (or host) link transfer. Compute
+/// energy is per-design (AcceleratorDesign::energy_per_mac).
+inline constexpr double kDramPicojoulesPerByte = 40.0;
+inline constexpr double kLinkPicojoulesPerByte = 150.0;
+
 class AnalyticalCostModel {
  public:
   explicit AnalyticalCostModel(const Problem& problem);
@@ -76,6 +82,21 @@ class AnalyticalCostModel {
   /// End-to-end breakdown of a full mapping (adds inter-set transfers and
   /// host I/O). `memory_ok` in the summary aggregates all sets.
   [[nodiscard]] EvaluationSummary evaluate(const Mapping& mapping) const;
+
+  /// Energy of executing spine layer `layer` on `set`: compute MACs at
+  /// the configured design's per-MAC price plus the design's DRAM traffic
+  /// (re-reads and fused ops included) at kDramPicojoulesPerByte.
+  /// Deliberately strategy-independent — sharding divides the work across
+  /// members without changing its total (halo/fragmentation re-reads are
+  /// second-order and ignored). Fixed-design sets average their members'
+  /// prices (each member runs a 1/p share on its own design).
+  [[nodiscard]] Joules layer_energy(const LayerAssignment& set, int layer) const;
+
+  /// Whole-mapping energy: every layer's energy plus link energy for
+  /// inter-set activation crossings and host input/output, priced at
+  /// kLinkPicojoulesPerByte. Zero traffic contributes zero; a mapping
+  /// with work always reports positive energy.
+  [[nodiscard]] Joules mapping_energy(const Mapping& mapping) const;
 
   /// Per-phase compute seconds of `local` on the set (slowest member in
   /// fixed mode).

@@ -59,6 +59,9 @@ struct EvaluationSummary {
   /// the set dependency DAG (what the GA optimises).
   Seconds analytic_makespan{};
   Seconds simulated{};  // event-driven makespan (the reported number)
+  /// First-order energy estimate: compute MACs + design DRAM traffic +
+  /// inter-set/host link bytes (AnalyticalCostModel::mapping_energy).
+  Joules energy{};
   bool memory_ok = true;
   Bytes worst_set_footprint{};
 };

@@ -133,6 +133,7 @@ JsonValue to_json(const EvaluationSummary& summary) {
       .set("intra_set_ms", JsonValue::number(summary.analytic.intra_set.millis()))
       .set("inter_set_ms", JsonValue::number(summary.analytic.inter_set.millis()))
       .set("host_io_ms", JsonValue::number(summary.analytic.host_io.millis()))
+      .set("energy_mj", JsonValue::number(summary.energy.millijoules()))
       .set("memory_ok", JsonValue::boolean(summary.memory_ok))
       .set("worst_set_footprint_mib",
            JsonValue::number(summary.worst_set_footprint.mib()));

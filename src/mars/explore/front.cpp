@@ -1,0 +1,161 @@
+#include "mars/explore/front.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mars/util/error.h"
+
+namespace mars::explore {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Canonical order: objectives lexicographically, then key.
+bool canonical_less(const FrontPoint& a, const FrontPoint& b) {
+  if (a.objectives != b.objectives) return a.objectives < b.objectives;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+bool dominates(const FrontPoint& a, const FrontPoint& b) {
+  MARS_CHECK_ARG(a.objectives.size() == b.objectives.size(),
+                 "dominance between arity " << a.objectives.size() << " and "
+                                            << b.objectives.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    if (a.objectives[i] > b.objectives[i]) return false;
+    if (a.objectives[i] < b.objectives[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+Front::Front(int arity) : arity_(arity) {
+  MARS_CHECK_ARG(arity >= 1, "front arity must be >= 1, got " << arity);
+}
+
+bool Front::insert(FrontPoint point) {
+  MARS_CHECK_ARG(static_cast<int>(point.objectives.size()) == arity_,
+                 "front of arity " << arity_ << " offered a point of arity "
+                                   << point.objectives.size());
+  for (const FrontPoint& member : points_) {
+    if (dominates(member, point)) return false;
+  }
+  std::erase_if(points_,
+                [&](const FrontPoint& member) { return dominates(point, member); });
+  points_.push_back(std::move(point));
+  return true;
+}
+
+std::vector<FrontPoint> Front::points() const {
+  std::vector<FrontPoint> sorted = points_;
+  std::sort(sorted.begin(), sorted.end(), canonical_less);
+  return sorted;
+}
+
+std::vector<double> Front::crowding(const std::vector<FrontPoint>& points) {
+  const std::size_t n = points.size();
+  std::vector<double> distance(n, 0.0);
+  if (n == 0) return distance;
+  const std::size_t arity = points[0].objectives.size();
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t m = 0; m < arity; ++m) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    // Objective value first; canonical order as the tie-break so equal
+    // values sort deterministically.
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (points[a].objectives[m] != points[b].objectives[m]) {
+        return points[a].objectives[m] < points[b].objectives[m];
+      }
+      return canonical_less(points[a], points[b]);
+    });
+    const double lo = points[order.front()].objectives[m];
+    const double hi = points[order.back()].objectives[m];
+    distance[order.front()] = kInf;
+    distance[order.back()] = kInf;
+    if (hi <= lo) continue;  // degenerate objective: no interior spread
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      distance[order[i]] += (points[order[i + 1]].objectives[m] -
+                             points[order[i - 1]].objectives[m]) /
+                            (hi - lo);
+    }
+  }
+  return distance;
+}
+
+std::vector<FrontPoint> Front::top(int n) const {
+  std::vector<FrontPoint> kept = points();
+  if (n <= 0) return kept;
+  while (kept.size() > static_cast<std::size_t>(n)) {
+    const std::vector<double> distance = crowding(kept);
+    // Remove the least-crowded point; among ties, the one latest in
+    // canonical order (keeps the lexicographically-smaller points).
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < kept.size(); ++i) {
+      if (distance[i] <= distance[victim]) victim = i;
+    }
+    kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return kept;
+}
+
+double hypervolume(const std::vector<FrontPoint>& points,
+                   const std::vector<double>& ref) {
+  const std::size_t arity = ref.size();
+  MARS_CHECK_ARG(arity == 2 || arity == 3,
+                 "hypervolume supports 2 or 3 objectives, got " << arity);
+  std::vector<FrontPoint> inside;
+  for (const FrontPoint& p : points) {
+    MARS_CHECK_ARG(p.objectives.size() == arity,
+                   "hypervolume point arity " << p.objectives.size()
+                                              << " != reference " << arity);
+    bool within = true;
+    for (std::size_t m = 0; m < arity; ++m) {
+      within = within && p.objectives[m] < ref[m];
+    }
+    if (within) inside.push_back(p);
+  }
+  if (inside.empty()) return 0.0;
+
+  // 2-D staircase: sweep x ascending, accumulate strips down to the best
+  // y seen so far.
+  const auto hv2 = [](std::vector<FrontPoint> pts, double rx, double ry) {
+    std::sort(pts.begin(), pts.end(), canonical_less);
+    double area = 0.0;
+    double best_y = ry;
+    for (const FrontPoint& p : pts) {
+      const double y = std::min(p.objectives[1], best_y);
+      if (y < best_y) {
+        area += (rx - p.objectives[0]) * (best_y - y);
+        best_y = y;
+      }
+    }
+    return area;
+  };
+  if (arity == 2) return hv2(std::move(inside), ref[0], ref[1]);
+
+  // 3-D by slab decomposition over z: between consecutive z levels the
+  // dominated cross-section is the 2-D hypervolume of the points at or
+  // below that level.
+  std::vector<double> levels;
+  for (const FrontPoint& p : inside) levels.push_back(p.objectives[2]);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  double volume = 0.0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double z_lo = levels[i];
+    const double z_hi = i + 1 < levels.size() ? levels[i + 1] : ref[2];
+    std::vector<FrontPoint> slab;
+    for (const FrontPoint& p : inside) {
+      if (p.objectives[2] <= z_lo) {
+        slab.push_back({p.key, {p.objectives[0], p.objectives[1]}});
+      }
+    }
+    volume += hv2(std::move(slab), ref[0], ref[1]) * (z_hi - z_lo);
+  }
+  return volume;
+}
+
+}  // namespace mars::explore

@@ -1,0 +1,73 @@
+// Pareto front archive: the vector-valued answer of the hardware search.
+//
+// A Front is an unbounded archive of mutually non-dominated points under
+// strict Pareto dominance (all objectives minimised). Keeping the archive
+// unbounded is what makes it a pure function of the *set* of inserted
+// points: the maximal elements of a partial order do not depend on
+// insertion order, so fronts are byte-identical under input permutation —
+// the property tests/explore/test_front_properties.cpp fuzzes. Capacity
+// is applied only at read time (top(n), NSGA-II crowding-distance
+// truncation), never during insertion, because an online capacity cap
+// would re-introduce order dependence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mars::explore {
+
+/// One candidate: a stable identity plus its objective vector (all
+/// objectives are costs — smaller is better).
+struct FrontPoint {
+  std::string key;
+  std::vector<double> objectives;
+};
+
+/// Strict Pareto dominance: a is no worse everywhere and better
+/// somewhere. Equal vectors do not dominate each other.
+[[nodiscard]] bool dominates(const FrontPoint& a, const FrontPoint& b);
+
+class Front {
+ public:
+  /// `arity` is the fixed objective-vector length every point must have.
+  explicit Front(int arity);
+
+  /// Offers `point` to the archive. Returns false (archive unchanged)
+  /// when an existing member dominates it; otherwise evicts every member
+  /// it dominates and keeps it. A true return is not a permanence
+  /// guarantee — a later insert may evict the point again.
+  bool insert(FrontPoint point);
+
+  [[nodiscard]] int arity() const { return arity_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// The front in canonical order: objectives lexicographically, key as
+  /// the tie-break. Independent of insertion order.
+  [[nodiscard]] std::vector<FrontPoint> points() const;
+
+  /// NSGA-II-style truncation to at most `n` points (n <= 0: all):
+  /// iteratively removes the lowest-crowding point (boundary points have
+  /// infinite crowding and survive), breaking ties towards keeping the
+  /// canonically-earlier point. Deterministic, read-only.
+  [[nodiscard]] std::vector<FrontPoint> top(int n) const;
+
+  /// Crowding distance of each of `points` (NSGA-II): per-objective
+  /// normalised gap between each point's sorted neighbours; objective
+  /// extremes get infinity.
+  [[nodiscard]] static std::vector<double> crowding(
+      const std::vector<FrontPoint>& points);
+
+ private:
+  int arity_;
+  std::vector<FrontPoint> points_;  // mutually non-dominated, unordered
+};
+
+/// Exact hypervolume dominated by `points` relative to reference `ref`
+/// (all objectives minimised; a point contributes the box between itself
+/// and ref, clipped at ref). Supports 2 and 3 objectives — the arities
+/// the explore objectives produce. Points outside the reference box
+/// contribute nothing.
+[[nodiscard]] double hypervolume(const std::vector<FrontPoint>& points,
+                                 const std::vector<double>& ref);
+
+}  // namespace mars::explore

@@ -1,0 +1,229 @@
+#include "mars/explore/objective.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mars/core/evaluator.h"
+#include "mars/plan/planner.h"
+#include "mars/serve/service.h"
+#include "mars/util/error.h"
+#include "mars/util/logging.h"
+#include "mars/util/strings.h"
+
+namespace mars::explore {
+namespace {
+
+constexpr Objective kAllObjectives[] = {Objective::kMakespan, Objective::kEnergy,
+                                        Objective::kCost};
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_string(Objective objective) {
+  switch (objective) {
+    case Objective::kMakespan:
+      return "makespan";
+    case Objective::kEnergy:
+      return "energy";
+    case Objective::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
+std::vector<Objective> parse_objectives(const std::string& text) {
+  MARS_CHECK_ARG(!text.empty(), "objectives list is empty");
+  std::vector<Objective> out;
+  for (const std::string& name : split(text, ',')) {
+    bool known = false;
+    for (const Objective objective : kAllObjectives) {
+      if (name == to_string(objective)) {
+        MARS_CHECK_ARG(std::find(out.begin(), out.end(), objective) == out.end(),
+                       "objectives list names '" << name << "' twice");
+        out.push_back(objective);
+        known = true;
+      }
+    }
+    MARS_CHECK_ARG(known, "objectives must be a comma-separated subset of "
+                          "makespan, energy, cost, got '"
+                              << name << "'");
+  }
+  MARS_CHECK_ARG(!out.empty(), "objectives list is empty");
+  return out;
+}
+
+std::string objectives_spec(const std::vector<Objective>& objectives) {
+  std::vector<std::string> names;
+  names.reserve(objectives.size());
+  for (const Objective objective : objectives) names.push_back(to_string(objective));
+  return join(names, "+");
+}
+
+double hardware_cost(const BuiltPoint& built) {
+  double cost = 0.0;
+  double worst_area = 0.0;
+  for (const accel::DesignId id : built.designs.ids()) {
+    worst_area = std::max(worst_area, built.designs.design(id).area_cost());
+  }
+  cost += static_cast<double>(built.topo.size()) * (kCardBaseCost + worst_area);
+  for (topology::AccId a = 0; a < built.topo.size(); ++a) {
+    for (topology::AccId b = a + 1; b < built.topo.size(); ++b) {
+      cost += kLinkCostPerGbps * built.topo.link(a, b).gbps();
+    }
+  }
+  return cost;
+}
+
+double PointOutcome::objective(Objective objective) const {
+  switch (objective) {
+    case Objective::kMakespan:
+      return makespan_s;
+    case Objective::kEnergy:
+      return energy_j;
+    case Objective::kCost:
+      return cost;
+  }
+  return 0.0;
+}
+
+FrontPoint PointOutcome::front_point(
+    const std::vector<Objective>& objectives) const {
+  FrontPoint fp;
+  fp.key = point.spec();
+  fp.objectives.reserve(objectives.size());
+  for (const Objective o : objectives) fp.objectives.push_back(objective(o));
+  return fp;
+}
+
+PointPricer::PointPricer(std::string model, const DesignSpace& space,
+                         const plan::SearchEngine& inner,
+                         plan::Budget inner_budget,
+                         const serve::MappingCache* cache,
+                         util::WorkerPool& pool)
+    : model_(std::move(model)),
+      space_(&space),
+      inner_(&inner),
+      inner_budget_(inner_budget),
+      cache_(cache),
+      pool_(&pool) {
+  MARS_CHECK_ARG(inner.searches(),
+                 "PointPricer needs a searching inner engine, got '"
+                     << inner.name() << "'");
+}
+
+PointOutcome PointPricer::price_one(const HardwarePoint& point) const {
+  const BuiltPoint built = space_->build(point);
+  const plan::Planner planner =
+      plan::Planner::for_model(model_, built.topo, built.designs,
+                               /*adaptive=*/true);
+  PointOutcome out;
+  out.point = point;
+  out.cost = hardware_cost(built);
+  out.engine = inner_->name();
+  out.search_spec = serve::search_spec(*inner_, inner_budget_, 0);
+
+  const serve::MappingCache::Key key{
+      model_, serve::MappingCache::fingerprint(built.topo, built.designs,
+                                               /*adaptive=*/true,
+                                               out.search_spec)};
+  core::Mapping mapping;
+  core::EvaluationSummary summary;
+  bool have_mapping = false;
+  if (cache_ != nullptr) {
+    if (std::optional<core::Mapping> cached = cache_->load(
+            key, planner.spine(), built.topo, built.designs, /*adaptive=*/true)) {
+      mapping = *std::move(cached);
+      // Same evaluation the search path runs (plan engines finish with
+      // MappingEvaluator::evaluate), so warm outcomes are bit-identical
+      // to cold ones.
+      summary = core::MappingEvaluator(planner.problem()).evaluate(mapping);
+      out.from_cache = true;
+      have_mapping = true;
+    }
+  }
+  if (!have_mapping) {
+    plan::PlanResult result = planner.plan(*inner_, inner_budget_);
+    mapping = std::move(result.mapping);
+    summary = result.summary;
+    out.evaluations = result.provenance.evaluations;
+    const bool storable =
+        result.provenance.stopped != plan::StopReason::kCancelled;
+    if (cache_ != nullptr && storable) {
+      try {
+        cache_->store(key, mapping, planner.spine(), built.designs,
+                      /*adaptive=*/true);
+      } catch (const std::exception& e) {
+        MARS_WARN << "explore: cache store failed for point '" << point.spec()
+                  << "' (search result kept): " << e.what();
+      }
+    }
+  }
+
+  out.makespan_s = summary.analytic_makespan.count();
+  out.energy_j = summary.energy.count();
+  out.sets = static_cast<int>(mapping.sets.size());
+  out.memory_ok = summary.memory_ok;
+  out.mapping_digest = fnv1a_hex(
+      core::describe(mapping, planner.spine(), built.designs, /*adaptive=*/true));
+  return out;
+}
+
+std::vector<const PointOutcome*> PointPricer::price(
+    const std::vector<int>& indices) {
+  // Serial dedupe sweep: the first appearance of an unmemoised spec is
+  // the miss that gets priced; duplicates (including distinct indices
+  // sharing a spec, e.g. a preset mirrored in the grid) ride along.
+  std::vector<std::string> specs;
+  specs.reserve(indices.size());
+  std::vector<const HardwarePoint*> missing;
+  std::vector<std::string> missing_specs;
+  for (const int index : indices) {
+    MARS_CHECK_ARG(index >= 0 &&
+                       index < static_cast<int>(space_->points().size()),
+                   "point index " << index << " out of range");
+    const HardwarePoint& point =
+        space_->points()[static_cast<std::size_t>(index)];
+    std::string spec = point.spec();
+    if (memo_.find(spec) == memo_.end() &&
+        std::find(missing_specs.begin(), missing_specs.end(), spec) ==
+            missing_specs.end()) {
+      missing.push_back(&point);
+      missing_specs.push_back(spec);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // Parallel price of the distinct misses, results written by index.
+  std::vector<PointOutcome> outcomes(missing.size());
+  pool_->parallel_for(missing.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      outcomes[i] = price_one(*missing[i]);
+    }
+  });
+
+  // Serial publish in first-seen order.
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    if (outcomes[i].from_cache) ++cache_hits_;
+    const auto [it, inserted] =
+        memo_.emplace(missing_specs[i], std::move(outcomes[i]));
+    order_.push_back(&it->second);
+  }
+
+  std::vector<const PointOutcome*> result;
+  result.reserve(specs.size());
+  for (const std::string& spec : specs) result.push_back(&memo_.at(spec));
+  return result;
+}
+
+}  // namespace mars::explore

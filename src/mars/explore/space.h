@@ -1,0 +1,96 @@
+// The hardware side of the co-search: an enumerable design space.
+//
+// MARS everywhere else treats the topology and the design registry as
+// fixed inputs; explore promotes them to search dimensions. A
+// DesignSpace is a cartesian grid over four axes —
+//   * interconnect family (clique / ring / grouped2),
+//   * accelerator count,
+//   * direct-link bandwidth tier (Gb/s),
+//   * design menu (a subset of the Table II registry an adaptive system
+//     may configure) —
+// plus a fixed prefix of *preset* points (the paper's F1 platform and
+// the Table IV cloud clique, both with the full menu) that seed every
+// search, so a front can never lose to the fixed fleets the rest of the
+// repo benchmarks against. Enumeration order, spec strings and built
+// artifacts are all pure functions of the parsed spec — the determinism
+// contract (docs/EXPLORE.md) starts here.
+//
+// Grammar (docs/EXPLORE.md):
+//   families=clique,ring;accs=2,4,8;bw=2,8,16;menus=full,solo
+// Every axis is optional and defaults to the default_space() value;
+// `menus` accepts the named sets full (all three designs), solo (one
+// variant per single design), pairs (one per two-design subset), or an
+// explicit '+'-joined design-name list. Errors follow the PR 3 named-
+// value convention ("families must be ..., got '...'").
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mars/accel/registry.h"
+#include "mars/topology/topology.h"
+
+namespace mars::explore {
+
+/// One hardware candidate, hashable/printable via spec().
+struct HardwarePoint {
+  std::string family;  // "f1" | "clique" | "ring" | "grouped2"
+  int accelerators = 0;
+  double link_gbps = 0.0;             // direct-link tier (f1: intra-group)
+  std::vector<std::string> menu;      // design names, registry order
+  bool preset = false;                // fixed-fleet seed point
+
+  /// Canonical identity, e.g. "clique:4@8/SuperLIP+WinogradF43".
+  [[nodiscard]] std::string spec() const;
+};
+
+/// Owning topology + registry for one point (Problem-compatible
+/// lifetimes: keep the BuiltPoint alive for the duration of the search).
+struct BuiltPoint {
+  topology::Topology topo;
+  accel::DesignRegistry designs;
+
+  BuiltPoint() : topo("unbuilt") {}
+};
+
+class DesignSpace {
+ public:
+  /// Parses the grammar above. Throws InvalidArgument naming the axis
+  /// and offending value on any malformed input.
+  [[nodiscard]] static DesignSpace parse(const std::string& text);
+
+  /// families=clique,ring,grouped2;accs=2,4,8;bw=2,8,16;menus=full,solo
+  [[nodiscard]] static DesignSpace default_space();
+
+  /// The canonical spec (round-trips through parse()).
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+  /// Deterministic enumeration: the presets first, then the cartesian
+  /// grid in (family, accs, bw, menu) row-major order.
+  [[nodiscard]] const std::vector<HardwarePoint>& points() const { return points_; }
+  [[nodiscard]] int num_presets() const { return num_presets_; }
+
+  /// Cartesian axis sizes (family, accs, bw, menu) — the NSGA genome.
+  [[nodiscard]] std::array<int, 4> dims() const;
+  /// points() index of the cartesian point at `coords`.
+  [[nodiscard]] int index_of(const std::array<int, 4>& coords) const;
+  /// Inverse of index_of for cartesian points (index >= num_presets()).
+  [[nodiscard]] std::array<int, 4> coords_of(int index) const;
+
+  /// Instantiates the topology + design-menu registry for one point.
+  [[nodiscard]] BuiltPoint build(const HardwarePoint& point) const;
+
+ private:
+  DesignSpace() = default;
+
+  std::string spec_;
+  std::vector<std::string> families_;
+  std::vector<int> accs_;
+  std::vector<double> bw_gbps_;
+  std::vector<std::vector<std::string>> menus_;
+  std::vector<HardwarePoint> points_;
+  int num_presets_ = 0;
+};
+
+}  // namespace mars::explore

@@ -99,6 +99,8 @@ std::string MappingCache::fingerprint(const topology::Topology& topo,
     fnv.mix(static_cast<long long>(design.pe_count()));
     fnv.mix(design.parameter_string());
     fnv.mix(design.dram_bytes_per_cycle());
+    fnv.mix(design.area_cost());
+    fnv.mix(design.energy_per_mac().count());
   }
   fnv.mix(adaptive);
   fnv.mix(search_spec);

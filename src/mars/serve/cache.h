@@ -46,9 +46,10 @@ class MappingCache {
 
   /// 64-bit FNV-1a over everything the searched mapping depends on:
   /// topology structure, the design registry (name, frequency, peak
-  /// MACs/cycle, PE count, parameter string, DRAM bytes/cycle per
-  /// design — a custom design whose formula changes without touching any
-  /// of those must change its name or parameter string to invalidate),
+  /// MACs/cycle, PE count, parameter string, DRAM bytes/cycle, area
+  /// cost and energy/MAC per design — a custom design whose formula
+  /// changes without touching any of those must change its name or
+  /// parameter string to invalidate),
   /// adaptive flag, and `search_spec` — the engine's spec_string()
   /// (engine name + config + seed), optionally suffixed with the search
   /// budget by the caller. Returned as 16 hex characters.

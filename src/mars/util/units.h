@@ -92,6 +92,41 @@ class Seconds {
 [[nodiscard]] constexpr Seconds milliseconds(double v) { return Seconds(v * 1e-3); }
 [[nodiscard]] constexpr Seconds microseconds(double v) { return Seconds(v * 1e-6); }
 
+/// An energy in joules (per-MAC costs, DRAM/link transfer energy, whole
+/// mapping totals). Per-operation prices sit at picojoule scale; whole
+/// networks land in millijoules.
+class Joules {
+ public:
+  constexpr Joules() = default;
+  constexpr explicit Joules(double count) : count_(count) {}
+
+  [[nodiscard]] constexpr double count() const { return count_; }
+  [[nodiscard]] constexpr double millijoules() const { return count_ * 1e3; }
+  [[nodiscard]] constexpr double picojoules() const { return count_ * 1e12; }
+
+  constexpr Joules& operator+=(Joules other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Joules& operator-=(Joules other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Joules operator+(Joules a, Joules b) { return Joules(a.count_ + b.count_); }
+  friend constexpr Joules operator-(Joules a, Joules b) { return Joules(a.count_ - b.count_); }
+  friend constexpr Joules operator*(Joules a, double s) { return Joules(a.count_ * s); }
+  friend constexpr Joules operator*(double s, Joules a) { return Joules(a.count_ * s); }
+  friend constexpr Joules operator/(Joules a, double s) { return Joules(a.count_ / s); }
+  friend constexpr double operator/(Joules a, Joules b) { return a.count_ / b.count_; }
+  friend constexpr auto operator<=>(Joules, Joules) = default;
+
+ private:
+  double count_ = 0.0;
+};
+
+[[nodiscard]] constexpr Joules millijoules(double v) { return Joules(v * 1e-3); }
+[[nodiscard]] constexpr Joules picojoules(double v) { return Joules(v * 1e-12); }
+
 /// Link bandwidth. Stored in bits per second to match how interconnect
 /// specifications are quoted (the paper uses Gbps throughout).
 class Bandwidth {
@@ -161,6 +196,12 @@ inline std::ostream& operator<<(std::ostream& os, Seconds s) {
   if (s.count() >= 1.0) return os << s.count() << " s";
   if (s.count() >= 1e-3) return os << s.millis() << " ms";
   return os << s.micros() << " us";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Joules j) {
+  if (j.count() >= 1.0) return os << j.count() << " J";
+  if (j.count() >= 1e-3) return os << j.millijoules() << " mJ";
+  return os << j.picojoules() << " pJ";
 }
 
 inline std::ostream& operator<<(std::ostream& os, Bandwidth bw) {

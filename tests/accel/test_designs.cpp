@@ -227,6 +227,59 @@ TEST(Registry, FindAndDuplicates) {
   EXPECT_THROW((void)registry.design(99), InvalidArgument);
 }
 
+TEST(DesignAttributes, AreaCostDefaultsToPeScaling) {
+  // Default: pe_count / 512 — the Table II designs land near 1.0.
+  const SuperLipDesign superlip;
+  EXPECT_DOUBLE_EQ(superlip.area_cost(), superlip.pe_count() / 512.0);
+  const SystolicDesign systolic;
+  EXPECT_DOUBLE_EQ(systolic.area_cost(), systolic.pe_count() / 512.0);
+  for (const DesignId id : table2_designs().ids()) {
+    const double area = table2_designs().design(id).area_cost();
+    EXPECT_GT(area, 0.3);
+    EXPECT_LT(area, 2.0);
+  }
+}
+
+TEST(DesignAttributes, SettersOverrideAndValidate) {
+  SuperLipDesign d;
+  d.set_area_cost(2.5);
+  EXPECT_DOUBLE_EQ(d.area_cost(), 2.5);
+  d.set_energy_per_mac(picojoules(7.0));
+  EXPECT_DOUBLE_EQ(d.energy_per_mac().picojoules(), 7.0);
+  EXPECT_THROW(d.set_area_cost(0.0), InvalidArgument);
+  EXPECT_THROW(d.set_area_cost(-1.0), InvalidArgument);
+  EXPECT_THROW(d.set_energy_per_mac(Joules{}), InvalidArgument);
+  EXPECT_THROW(d.set_energy_per_mac(picojoules(-3.0)), InvalidArgument);
+}
+
+TEST(DesignAttributes, Table2EnergyCalibrationsAreDistinct) {
+  // Each family carries its own per-MAC price (docs/EXPLORE.md):
+  // SuperLIP pays for line-buffer SRAM traffic, the systolic array saves
+  // via operand forwarding, Winograd charges per *effective* MAC.
+  const DesignRegistry registry = table2_designs();
+  EXPECT_DOUBLE_EQ(registry.design(0).energy_per_mac().picojoules(), 3.4);
+  EXPECT_DOUBLE_EQ(registry.design(1).energy_per_mac().picojoules(), 2.8);
+  EXPECT_DOUBLE_EQ(registry.design(2).energy_per_mac().picojoules(), 2.1);
+}
+
+TEST(Registry, MakeTable2DesignByName) {
+  const std::vector<std::string>& names = table2_design_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const std::string& name : names) {
+    const std::unique_ptr<AcceleratorDesign> design = make_table2_design(name);
+    ASSERT_NE(design, nullptr);
+    EXPECT_EQ(design->name(), name);
+  }
+  try {
+    (void)make_table2_design("NoSuchDesign");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // Names both the offending value and the valid set.
+    EXPECT_NE(std::string(e.what()).find("NoSuchDesign"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("SuperLIP"), std::string::npos);
+  }
+}
+
 TEST(Registry, H2HMenuIsHeterogeneous) {
   const DesignRegistry registry = h2h_designs();
   ASSERT_EQ(registry.size(), 4);

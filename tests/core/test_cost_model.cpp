@@ -157,6 +157,76 @@ TEST_F(CostModelTest, MoreAcceleratorsReduceComputeTime) {
             model_.set_cost(two).latency.compute.count());
 }
 
+TEST_F(CostModelTest, LayerEnergyClosedForm) {
+  // Adaptive mode: the set's configured design pays for every MAC plus
+  // its own DRAM traffic (recovered from the roofline term) and the
+  // layer's fused bytes, at the documented per-byte price. Strategy-
+  // independent by design — parallelising moves work, not work done.
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  const LayerAssignment& set = mapping.sets.front();
+  const accel::AcceleratorDesign& design = fx_.designs.design(set.design);
+  const graph::ConvShape& shape = fx_.spine.node(0).shape;
+  const double traffic =
+      design.conv_cycles(shape, fx_.spine.dtype()).dram *
+          design.dram_bytes_per_cycle() +
+      fx_.spine.node(0).fused_traffic.count();
+  const double expected = design.energy_per_mac().count() * shape.macs() +
+                          kDramPicojoulesPerByte * 1e-12 * traffic;
+  EXPECT_DOUBLE_EQ(model_.layer_energy(set, 0).count(), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST_F(CostModelTest, MappingEnergySumsLayersPlusLinkTraffic) {
+  const Mapping mapping = two_set_mapping(fx_.problem);
+  Joules layers{};
+  for (const LayerAssignment& set : mapping.sets) {
+    for (int layer = set.begin; layer < set.end; ++layer) {
+      layers += model_.layer_energy(set, layer);
+    }
+  }
+  const Joules total = model_.mapping_energy(mapping);
+  // Link energy: the set-boundary crossing plus model input/output, all
+  // at the link price — strictly positive here (two sets in sequence).
+  const double min_link =
+      kLinkPicojoulesPerByte * 1e-12 *
+      (fx_.spine.input_bytes().count() + fx_.spine.output_bytes().count());
+  EXPECT_GT(total.count(), layers.count() + min_link - 1e-18);
+  // And the evaluator surfaces the same number on the summary.
+  EXPECT_DOUBLE_EQ(model_.evaluate(mapping).energy.count(), total.count());
+}
+
+TEST_F(CostModelTest, EnergyIsStrategyIndependent) {
+  // Re-splitting a layer shifts latency but not the energy charged: the
+  // MACs and traffic are the same work on the same design.
+  Mapping narrow = two_set_mapping(fx_.problem);
+  Mapping wide = two_set_mapping(fx_.problem);
+  narrow.sets.front().strategies.front() = parallel::Strategy(
+      {{parallel::Dim::kCout, 2}}, std::nullopt);
+  wide.sets.front().strategies.front() = parallel::Strategy(
+      {{parallel::Dim::kH, 4}}, parallel::Dim::kCout);
+  EXPECT_DOUBLE_EQ(model_.mapping_energy(narrow).count(),
+                   model_.mapping_energy(wide).count());
+}
+
+TEST(CostModelFixed, EnergyAveragesTheMembersDesigns) {
+  // Fixed mode: each member design pays a 1/p share. A mixed-design set's
+  // per-layer energy is therefore the mean of the members' solo prices.
+  FixedFixture fx;
+  const AnalyticalCostModel model(fx.problem);
+  LayerAssignment mixed;
+  mixed.accs = 0b0110;  // one design-0 member, one design-1 member
+  mixed.begin = 0;
+  mixed.end = 1;
+  LayerAssignment only0 = mixed;
+  only0.accs = 0b0010;
+  LayerAssignment only1 = mixed;
+  only1.accs = 0b0100;
+  EXPECT_DOUBLE_EQ(
+      model.layer_energy(mixed, 0).count(),
+      0.5 * (model.layer_energy(only0, 0).count() +
+             model.layer_energy(only1, 0).count()));
+}
+
 TEST(CostModelFixed, SlowestMemberDominates) {
   FixedFixture fx;
   const AnalyticalCostModel model(fx.problem);

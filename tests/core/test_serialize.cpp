@@ -57,7 +57,8 @@ TEST_F(SerializeTest, SummaryJsonFields) {
   const std::string json = to_json(summary).dump();
   for (const char* field :
        {"simulated_ms", "analytic_makespan_ms", "compute_ms", "intra_set_ms",
-        "inter_set_ms", "host_io_ms", "memory_ok", "worst_set_footprint_mib"}) {
+        "inter_set_ms", "host_io_ms", "energy_mj", "memory_ok",
+        "worst_set_footprint_mib"}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
   EXPECT_NE(json.find("\"memory_ok\":true"), std::string::npos);

@@ -1,0 +1,166 @@
+// ExploreEngine behaviour: config validation, the never-lose preset
+// contract, budget handling, and spec_string identity.
+//
+// Every search here uses a deliberately tiny space and a bounded inner
+// engine — the point is the outer loop's contracts, not mapping quality.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mars/explore/engine.h"
+#include "mars/util/error.h"
+
+namespace mars::explore {
+namespace {
+
+/// Small everything: a 4-grid-point space and a severely budgeted inner
+/// search keep each priced point cheap.
+ExploreConfig tiny_config() {
+  ExploreConfig config;
+  config.model = "alexnet";
+  config.space =
+      DesignSpace::parse("families=clique;accs=2,4;bw=8;menus=solo");
+  config.tuning.first_ga.population = 4;
+  config.tuning.first_ga.generations = 2;
+  config.tuning.second.ga.population = 4;
+  config.tuning.second.ga.generations = 2;
+  config.search_evaluations = 64;
+  config.population = 4;
+  config.generations = 2;
+  return config;
+}
+
+TEST(ExploreEngine, ValidatesConfig) {
+  ExploreConfig bad = tiny_config();
+  bad.population = 1;
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+  bad = tiny_config();
+  bad.generations = 0;
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+  bad = tiny_config();
+  bad.mutation_rate = 1.5;
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+  bad = tiny_config();
+  bad.front_size = -1;
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+  bad = tiny_config();
+  bad.mapper = "mystery";
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+  bad = tiny_config();
+  bad.objectives.clear();
+  EXPECT_THROW((void)ExploreEngine(bad), InvalidArgument);
+}
+
+TEST(ExploreEngine, SpecStringCoversKnobsButNotThreads) {
+  const ExploreEngine base(tiny_config());
+  ExploreConfig other = tiny_config();
+  other.threads = 4;
+  EXPECT_EQ(base.spec_string(), ExploreEngine(other).spec_string());
+
+  other = tiny_config();
+  other.seed = 99;
+  EXPECT_NE(base.spec_string(), ExploreEngine(other).spec_string());
+  other = tiny_config();
+  other.objectives = {Objective::kMakespan, Objective::kCost};
+  EXPECT_NE(base.spec_string(), ExploreEngine(other).spec_string());
+  other = tiny_config();
+  other.search_evaluations = 65;
+  EXPECT_NE(base.spec_string(), ExploreEngine(other).spec_string());
+}
+
+TEST(ExploreEngine, FrontNeverLosesToAnyPreset) {
+  const ExploreConfig config = tiny_config();
+  const ExploreResult result = ExploreEngine(config).search();
+
+  // Both presets were priced...
+  int presets_seen = 0;
+  for (const PointOutcome& outcome : result.outcomes) {
+    if (outcome.point.preset) ++presets_seen;
+  }
+  EXPECT_EQ(presets_seen, config.space.num_presets());
+
+  // ...and each is either on the (unbounded) front or dominated by a
+  // member; no front member is beaten by a preset.
+  const std::vector<FrontPoint> front = result.front.points();
+  for (const PointOutcome& outcome : result.outcomes) {
+    if (!outcome.point.preset) continue;
+    const FrontPoint preset = outcome.front_point(config.objectives);
+    bool on_front = false;
+    bool beaten = false;
+    for (const FrontPoint& member : front) {
+      EXPECT_FALSE(dominates(preset, member))
+          << "preset " << preset.key << " dominates member " << member.key;
+      on_front = on_front || member.key == preset.key;
+      beaten = beaten || dominates(member, preset);
+    }
+    EXPECT_TRUE(on_front || beaten) << preset.key << " unaccounted for";
+  }
+}
+
+TEST(ExploreEngine, EvaluationBudgetStopsTheOuterLoop) {
+  const ExploreConfig config = tiny_config();
+  // Presets price before the poll; the budget then stops breeding.
+  const ExploreResult result = ExploreEngine(config).search(
+      nullptr, plan::Budget::evaluations(1));
+  EXPECT_EQ(result.provenance.stopped, plan::StopReason::kEvaluationBudget);
+  EXPECT_EQ(result.provenance.iterations, 0);
+  // Generation 0 (presets + initial cohort) still priced in full — the
+  // never-lose contract survives any budget.
+  EXPECT_GE(result.provenance.evaluations, config.space.num_presets());
+  int presets_seen = 0;
+  for (const PointOutcome& outcome : result.outcomes) {
+    if (outcome.point.preset) ++presets_seen;
+  }
+  EXPECT_EQ(presets_seen, config.space.num_presets());
+}
+
+TEST(ExploreEngine, PreCancelledBudgetStillPricesGenerationZero) {
+  plan::CancelToken token;
+  token.cancel();
+  const ExploreResult result = ExploreEngine(tiny_config())
+                                   .search(nullptr,
+                                           plan::Budget::cancellable(token));
+  EXPECT_EQ(result.provenance.stopped, plan::StopReason::kCancelled);
+  EXPECT_EQ(result.provenance.iterations, 0);
+  EXPECT_GT(result.front.size(), 0u);
+}
+
+TEST(ExploreEngine, UnbudgetedRunCompletesAllGenerations) {
+  const ExploreConfig config = tiny_config();
+  const ExploreResult result = ExploreEngine(config).search();
+  EXPECT_EQ(result.provenance.stopped, plan::StopReason::kCompleted);
+  EXPECT_EQ(result.provenance.iterations, config.generations);
+  EXPECT_EQ(result.provenance.engine, "explore");
+  // History: one hypervolume sample per generation plus generation 0,
+  // non-decreasing (the archive only grows).
+  ASSERT_EQ(result.history.size(),
+            static_cast<std::size_t>(config.generations) + 1);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i], result.history[i - 1] - 1e-12);
+  }
+  // The tiny space has 2 presets + 4 grid points: the memo can never
+  // price more than that many distinct points.
+  EXPECT_LE(result.provenance.evaluations, 6);
+  // Outcomes are distinct by point spec (memoised pricing).
+  std::vector<std::string> specs;
+  for (const PointOutcome& outcome : result.outcomes) {
+    specs.push_back(outcome.point.spec());
+  }
+  std::sort(specs.begin(), specs.end());
+  EXPECT_EQ(std::adjacent_find(specs.begin(), specs.end()), specs.end());
+}
+
+TEST(ExploreEngine, ObjectiveSubsetsChangeFrontArity) {
+  ExploreConfig config = tiny_config();
+  config.objectives = {Objective::kMakespan, Objective::kCost};
+  const ExploreResult result = ExploreEngine(config).search();
+  EXPECT_EQ(result.front.arity(), 2);
+  for (const FrontPoint& member : result.front.points()) {
+    EXPECT_EQ(member.objectives.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace mars::explore

@@ -1,0 +1,236 @@
+// Dominance property-test harness: the Front archive fuzzed with seeded
+// random objective streams (tests/support/front_stream.h).
+//
+// The streams draw from a coarse value grid, so ties, duplicate vectors
+// and dominance chains occur constantly — the regime where an archive
+// can get eviction or order-dependence wrong. Each property runs over
+// hundreds of (seed, length, arity, levels) combinations; a failure
+// names the stream spec, so any counterexample replays exactly.
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mars/explore/front.h"
+#include "mars/util/error.h"
+#include "mars/util/rng.h"
+#include "support/front_stream.h"
+
+namespace mars::explore {
+namespace {
+
+using mars::testing::FrontStreamSpec;
+using mars::testing::front_stream;
+
+std::string describe(const FrontStreamSpec& spec) {
+  std::ostringstream os;
+  os << "stream seed=" << spec.seed << " length=" << spec.length
+     << " arity=" << spec.arity << " levels=" << spec.levels;
+  return os.str();
+}
+
+/// The fuzz matrix: >= 500 distinct streams across arities and tie
+/// densities. Kept small per stream so the whole suite stays fast.
+std::vector<FrontStreamSpec> fuzz_specs() {
+  std::vector<FrontStreamSpec> specs;
+  for (const int arity : {2, 3}) {
+    for (const int levels : {2, 4, 9}) {
+      for (const int length : {8, 33}) {
+        for (std::uint64_t seed = 1; seed <= 43; ++seed) {
+          specs.push_back({seed, length, arity, levels});
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+Front insert_all(const std::vector<FrontPoint>& points, int arity) {
+  Front front(arity);
+  for (const FrontPoint& point : points) (void)front.insert(point);
+  return front;
+}
+
+TEST(FrontProperties, FuzzMatrixIsLargeEnough) {
+  EXPECT_GE(fuzz_specs().size(), 500u);
+}
+
+TEST(FrontProperties, MembersAreMutuallyNonDominated) {
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    const std::vector<FrontPoint> front =
+        insert_all(front_stream(spec), spec.arity).points();
+    for (const FrontPoint& a : front) {
+      for (const FrontPoint& b : front) {
+        EXPECT_FALSE(dominates(a, b))
+            << a.key << " dominates fellow member " << b.key;
+      }
+    }
+  }
+}
+
+TEST(FrontProperties, NoInsertedPointDominatesAMember) {
+  // Stronger than mutual non-domination: not even a *rejected or
+  // evicted* point may dominate a surviving member (transitivity of the
+  // partial order — the front is the maximal-element set of everything
+  // ever offered).
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    const std::vector<FrontPoint> stream = front_stream(spec);
+    const std::vector<FrontPoint> front =
+        insert_all(stream, spec.arity).points();
+    for (const FrontPoint& offered : stream) {
+      for (const FrontPoint& member : front) {
+        EXPECT_FALSE(dominates(offered, member))
+            << offered.key << " dominates member " << member.key;
+      }
+    }
+  }
+}
+
+TEST(FrontProperties, EveryNonMemberIsDominated) {
+  // Completeness: a point absent from the front was beaten by someone
+  // still on it (nothing is dropped "for free").
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    const std::vector<FrontPoint> stream = front_stream(spec);
+    const std::vector<FrontPoint> front =
+        insert_all(stream, spec.arity).points();
+    for (const FrontPoint& offered : stream) {
+      const bool member =
+          std::any_of(front.begin(), front.end(), [&](const FrontPoint& m) {
+            return m.key == offered.key && m.objectives == offered.objectives;
+          });
+      if (member) continue;
+      const bool beaten =
+          std::any_of(front.begin(), front.end(), [&](const FrontPoint& m) {
+            return dominates(m, offered);
+          });
+      EXPECT_TRUE(beaten) << offered.key
+                          << " is neither on the front nor dominated";
+    }
+  }
+}
+
+TEST(FrontProperties, PermutationInvariance) {
+  // The canonical front is a pure function of the *set* of points: any
+  // insertion order yields byte-identical points().
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    const std::vector<FrontPoint> stream = front_stream(spec);
+    const std::vector<FrontPoint> reference =
+        insert_all(stream, spec.arity).points();
+
+    std::vector<FrontPoint> shuffled = stream;
+    Rng rng(spec.seed * 7919 + 13);
+    rng.shuffle(shuffled);
+    const std::vector<FrontPoint> permuted =
+        insert_all(shuffled, spec.arity).points();
+
+    ASSERT_EQ(reference.size(), permuted.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].key, permuted[i].key);
+      EXPECT_EQ(reference[i].objectives, permuted[i].objectives);
+    }
+  }
+}
+
+TEST(FrontProperties, RejectedInsertLeavesArchiveUnchanged) {
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    Front front(spec.arity);
+    for (const FrontPoint& point : front_stream(spec)) {
+      const std::vector<FrontPoint> before = front.points();
+      if (front.insert(point)) continue;
+      const std::vector<FrontPoint> after = front.points();
+      ASSERT_EQ(before.size(), after.size());
+      for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(before[i].key, after[i].key);
+      }
+    }
+  }
+}
+
+TEST(FrontProperties, TopIsDeterministicSubsetWithBoundedSize) {
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    const Front front = insert_all(front_stream(spec), spec.arity);
+    const std::vector<FrontPoint> all = front.points();
+    for (const int n : {1, 2, 5}) {
+      const std::vector<FrontPoint> kept = front.top(n);
+      EXPECT_LE(kept.size(), static_cast<std::size_t>(n));
+      EXPECT_EQ(kept.size(),
+                std::min(all.size(), static_cast<std::size_t>(n)));
+      for (const FrontPoint& k : kept) {
+        EXPECT_TRUE(std::any_of(all.begin(), all.end(),
+                                [&](const FrontPoint& m) {
+                                  return m.key == k.key;
+                                }))
+            << k.key << " not in the unbounded front";
+      }
+      // Repeatable: truncation is read-only and deterministic.
+      const std::vector<FrontPoint> again = front.top(n);
+      ASSERT_EQ(kept.size(), again.size());
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_EQ(kept[i].key, again[i].key);
+      }
+    }
+    // top(0) means unbounded.
+    EXPECT_EQ(front.top(0).size(), all.size());
+  }
+}
+
+TEST(FrontProperties, HypervolumeMonotoneUnderInsertion) {
+  // Growing the archive can only grow (never shrink) the dominated
+  // volume — inserts that fail leave it unchanged, successful inserts
+  // add region.
+  for (const FrontStreamSpec& spec : fuzz_specs()) {
+    SCOPED_TRACE(describe(spec));
+    // Reference beyond the generator grid: values are level*(m+1) with
+    // level <= levels.
+    std::vector<double> ref;
+    for (int m = 0; m < spec.arity; ++m) {
+      ref.push_back(static_cast<double>((spec.levels + 1) * (m + 1)));
+    }
+    Front front(spec.arity);
+    double previous = 0.0;
+    for (const FrontPoint& point : front_stream(spec)) {
+      (void)front.insert(point);
+      const double volume = hypervolume(front.points(), ref);
+      EXPECT_GE(volume, previous - 1e-12);
+      previous = volume;
+    }
+  }
+}
+
+TEST(Hypervolume, ClosedFormChecks) {
+  // Single point in 2-D: the rectangle to the reference.
+  EXPECT_DOUBLE_EQ(hypervolume({{"a", {1.0, 2.0}}}, {3.0, 4.0}), 2.0 * 2.0);
+  // Two non-dominated points: staircase union, overlap not double-counted.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{"a", {1.0, 3.0}}, {"b", {2.0, 1.0}}}, {4.0, 4.0}),
+      3.0 * 1.0 + 2.0 * 3.0 - 2.0 * 1.0);
+  // Single point in 3-D: the box volume.
+  EXPECT_DOUBLE_EQ(hypervolume({{"a", {1.0, 1.0, 1.0}}}, {2.0, 3.0, 4.0}),
+                   1.0 * 2.0 * 3.0);
+  // A point outside the reference box contributes nothing.
+  EXPECT_DOUBLE_EQ(hypervolume({{"a", {5.0, 1.0}}}, {4.0, 4.0}), 0.0);
+  // Dominated points add nothing the dominator has not already claimed.
+  EXPECT_DOUBLE_EQ(
+      hypervolume({{"a", {1.0, 1.0}}, {"b", {2.0, 2.0}}}, {4.0, 4.0}),
+      hypervolume({{"a", {1.0, 1.0}}}, {4.0, 4.0}));
+}
+
+TEST(FrontValidation, ArityIsEnforced) {
+  Front front(2);
+  EXPECT_THROW((void)front.insert({"bad", {1.0, 2.0, 3.0}}), InvalidArgument);
+  EXPECT_THROW((void)Front(0), InvalidArgument);
+  EXPECT_THROW((void)dominates({"a", {1.0}}, {"b", {1.0, 2.0}}),
+               InvalidArgument);
+  EXPECT_THROW((void)hypervolume({{"a", {1.0}}}, {2.0, 2.0, 2.0, 2.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mars::explore

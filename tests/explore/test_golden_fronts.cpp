@@ -1,0 +1,88 @@
+// Golden-front regression tests: the full front_csv export for small zoo
+// models over a fixed preset space, pinned byte for byte (mirroring
+// tests/core/test_golden_makespans.cpp). Any change to the design space
+// enumeration, the energy/cost models, the inner search, the NSGA loop
+// or the CSV formatting shifts these strings and must be reviewed (and
+// the goldens regenerated) deliberately. Regenerate with:
+//   MARS_REGEN_GOLDENS=1 ./mars_test_explore --gtest_filter='*Golden*'
+// and paste the printed literals over kGoldens.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mars/explore/engine.h"
+
+namespace mars::explore {
+namespace {
+
+/// The fixed golden scenario: a small two-family space priced by a tiny
+/// fixed-seed inner GA. Exact-match pinning (not a tolerance) is safe
+/// for the same reason the CSV export is: every number passes through
+/// the same %.9g rendering on every platform we build on.
+ExploreConfig golden_config(const std::string& model) {
+  ExploreConfig config;
+  config.model = model;
+  config.space = DesignSpace::parse("families=clique,ring;accs=2,4;bw=8;"
+                                    "menus=full,solo");
+  config.tuning.seed = 2023;
+  config.tuning.first_ga.population = 6;
+  config.tuning.first_ga.generations = 3;
+  config.tuning.first_ga.stall_generations = 2;
+  config.tuning.second.ga.population = 4;
+  config.tuning.second.ga.generations = 2;
+  config.search_evaluations = 96;
+  config.population = 6;
+  config.generations = 3;
+  config.seed = 2023;
+  config.front_size = 0;
+  return config;
+}
+
+std::string golden_csv(const std::string& model) {
+  const ExploreConfig config = golden_config(model);
+  const ExploreResult result = ExploreEngine(config).search();
+  return front_csv(result, config);
+}
+
+struct Golden {
+  const char* model;
+  const char* csv;
+};
+
+// Generated via MARS_REGEN_GOLDENS — see the header comment.
+constexpr Golden kGoldens[] = {
+    {"alexnet",
+     "point,family,accelerators,link_gbps,menu,makespan_ms,energy_mj,cost,sets,mapping,engine\nclique:8@4/SuperLIP+SystolicGEMM+WinogradF43,clique,8,4,SuperLIP+SystolicGEMM+WinogradF43,2.84712644,11.163036,19.24,1,45c7377fe418a2b6,ga\nring:4@8/SystolicGEMM,ring,4,8,SystolicGEMM,4.07944775,11.163036,9.10875,1,2eb9320896086172,ga\nring:4@8/SuperLIP,ring,4,8,SuperLIP,4.94698375,8.01577179,8.14,1,5fd33bdfc425f766,ga\nclique:2@8/SystolicGEMM,clique,2,8,SystolicGEMM,6.623048,11.163036,4.394375,1,94fcbc9c6d58222a,ga\nclique:2@8/SuperLIP,clique,2,8,SuperLIP,8.376968,8.01577179,3.91,1,a2fc29a7c6f68ff3,ga\nring:2@8/SuperLIP,ring,2,8,SuperLIP,8.376968,8.01577179,3.91,1,a2fc29a7c6f68ff3,ga\nring:4@8/WinogradF43,ring,4,8,WinogradF43,8.55529575,6.59501203,9.14,1,e6597e31b41bda52,ga\nclique:2@8/WinogradF43,clique,2,8,WinogradF43,15.207384,6.59501203,4.41,1,85e99f0e2c5577a0,ga\n"},
+    {"resnet18",
+     "point,family,accelerators,link_gbps,menu,makespan_ms,energy_mj,cost,sets,mapping,engine\nclique:8@4/SuperLIP+SystolicGEMM+WinogradF43,clique,8,4,SuperLIP+SystolicGEMM+WinogradF43,4.77515663,18.507738,19.24,1,752a0be179889f4a,ga\nf1:8@8/SuperLIP+SystolicGEMM+WinogradF43,f1,8,8,SuperLIP+SystolicGEMM+WinogradF43,6.74288375,18.507738,18.92,1,16bfb46fee61f5c2,ga\nring:4@8/SuperLIP,ring,4,8,SuperLIP,9.61942775,9.20182001,8.14,1,d9026861f23c7928,ga\nclique:2@8/SuperLIP+SystolicGEMM+WinogradF43,clique,2,8,SuperLIP+SystolicGEMM+WinogradF43,11.4923607,18.507738,4.41,1,233dd42aa174ceb6,ga\nring:2@8/SuperLIP+SystolicGEMM+WinogradF43,ring,2,8,SuperLIP+SystolicGEMM+WinogradF43,11.4923607,18.507738,4.41,1,233dd42aa174ceb6,ga\nring:4@8/WinogradF43,ring,4,8,WinogradF43,16.5042357,5.87781696,9.14,1,80d0d856eae4351e,ga\nclique:2@8/SuperLIP,clique,2,8,SuperLIP,17.1455967,9.20182001,3.91,1,f9607bd326ee0ffc,ga\nring:2@8/SuperLIP,ring,2,8,SuperLIP,17.1455967,9.20182001,3.91,1,f9607bd326ee0ffc,ga\nclique:2@8/WinogradF43,clique,2,8,WinogradF43,30.9225248,5.87781696,4.41,1,ad129e763cc4b0ce,ga\n"},
+};
+
+TEST(GoldenFrontTest, SmallModelsMatchPinnedFronts) {
+  const bool regen = std::getenv("MARS_REGEN_GOLDENS") != nullptr;
+  if (regen) {
+    for (const Golden& golden : kGoldens) {
+      const std::string csv = golden_csv(golden.model);
+      std::string escaped;
+      for (const char c : csv) {
+        if (c == '\n') {
+          escaped += "\\n";
+        } else {
+          escaped += c;
+        }
+      }
+      std::printf("    {\"%s\",\n     \"%s\"},\n", golden.model,
+                  escaped.c_str());
+    }
+    GTEST_SKIP() << "golden regeneration run — paste the rows above";
+  }
+
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(golden.model);
+    EXPECT_EQ(golden_csv(golden.model), std::string(golden.csv));
+  }
+}
+
+}  // namespace
+}  // namespace mars::explore

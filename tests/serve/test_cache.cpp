@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "mars/accel/registry.h"
 #include "mars/core/evaluator.h"
 #include "mars/core/serialize.h"
 #include "mars/plan/engines.h"
@@ -232,6 +233,28 @@ TEST_F(CacheTest, FingerprintCoversDesignParameters) {
                                             designs_, true, spec));
   EXPECT_NE(base, MappingCache::fingerprint(topo_, designs_, true,
                                             tiny_ga(/*seed=*/2).spec_string()));
+  // The per-design cost/energy attributes the hardware search varies are
+  // fingerprint inputs too: a registry with one perturbed design must not
+  // collide with the stock menu.
+  const auto perturbed = [&](double area, double picojoules_per_mac) {
+    accel::DesignRegistry registry;
+    for (const std::string& name : accel::table2_design_names()) {
+      std::unique_ptr<accel::AcceleratorDesign> design =
+          accel::make_table2_design(name);
+      if (name == "SuperLIP") {
+        if (area > 0.0) design->set_area_cost(area);
+        if (picojoules_per_mac > 0.0) {
+          design->set_energy_per_mac(picojoules(picojoules_per_mac));
+        }
+      }
+      registry.add(std::move(design));
+    }
+    return MappingCache::fingerprint(topo_, registry, true, spec);
+  };
+  const std::string stock = perturbed(0.0, 0.0);
+  EXPECT_EQ(stock, base);
+  EXPECT_NE(perturbed(2.0, 0.0), base);
+  EXPECT_NE(perturbed(0.0, 9.0), base);
   // And it is stable: same inputs, same hash.
   EXPECT_EQ(base, MappingCache::fingerprint(topo_, designs_, true, spec));
 }

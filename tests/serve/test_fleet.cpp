@@ -99,10 +99,10 @@ TEST(PartitionFleet, ClampsShardsToAcceleratorCount) {
 }
 
 TEST(PartitionFleet, RejectsNonPositiveInputs) {
-  EXPECT_THROW(partition_fleet(0, 2), InvalidArgument);
-  EXPECT_THROW(partition_fleet(-4, 2), InvalidArgument);
-  EXPECT_THROW(partition_fleet(8, 0), InvalidArgument);
-  EXPECT_THROW(partition_fleet(8, -1), InvalidArgument);
+  EXPECT_THROW((void)partition_fleet(0, 2), InvalidArgument);
+  EXPECT_THROW((void)partition_fleet(-4, 2), InvalidArgument);
+  EXPECT_THROW((void)partition_fleet(8, 0), InvalidArgument);
+  EXPECT_THROW((void)partition_fleet(8, -1), InvalidArgument);
 }
 
 TEST(MergeShardResults, SortsByTimeWithShardMajorTies) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "mars/plan/engines.h"
 #include "mars/serve/metrics.h"
@@ -346,7 +347,10 @@ TEST_F(SchedulerTest, ClosedLoopClientRetriesAfterRejection) {
 TEST_F(SchedulerTest, RejectsBadRequests) {
   EXPECT_THROW((void)scheduler().run({at(0, 0.0, 7)}), InvalidArgument);
   EXPECT_THROW((void)scheduler().run({at(0, -1.0)}), InvalidArgument);
-  EXPECT_THROW((void)OnlineScheduler(topo_, {}, {}), InvalidArgument);
+  EXPECT_THROW((void)OnlineScheduler(topo_, std::vector<const ModelService*>{}),
+               InvalidArgument);
+  EXPECT_THROW((void)OnlineScheduler(topo_, std::vector<ServedModel>{}),
+               InvalidArgument);
 }
 
 TEST_F(SchedulerTest, ClosedLoopAdmissionNeedsPositiveThink) {

@@ -1,0 +1,56 @@
+// Seeded objective-stream generator shared by the Front dominance
+// property tests (tests/explore/test_front_properties.cpp).
+//
+// A stream is a sequence of FrontPoints with objective values drawn from
+// a deliberately coarse grid: with only a handful of distinct values per
+// objective, random vectors collide, tie, and dominate each other far
+// more often than continuous draws would, which is exactly the regime
+// where an archive implementation can get eviction, equality and
+// order-independence wrong. Everything draws from one explicitly
+// threaded Rng, so a (seed, length, arity) tuple names the stream
+// exactly — the property tests replay and permute the same stream.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mars/explore/front.h"
+#include "mars/util/rng.h"
+
+namespace mars::testing {
+
+struct FrontStreamSpec {
+  std::uint64_t seed = 1;
+  int length = 32;   // points per stream
+  int arity = 3;     // objective-vector length
+  int levels = 5;    // distinct values per objective (coarser = more ties)
+};
+
+/// The full point stream for `spec`, keys "p000", "p001", ... (unique per
+/// position, so equal objective vectors still have distinct identities).
+inline std::vector<explore::FrontPoint> front_stream(
+    const FrontStreamSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<explore::FrontPoint> points;
+  points.reserve(static_cast<std::size_t>(spec.length));
+  for (int i = 0; i < spec.length; ++i) {
+    explore::FrontPoint point;
+    char key[16];
+    std::snprintf(key, sizeof key, "p%03d", i);
+    point.key = key;
+    point.objectives.reserve(static_cast<std::size_t>(spec.arity));
+    for (int m = 0; m < spec.arity; ++m) {
+      // Grid values 1..levels, scaled per objective so magnitudes differ.
+      const double level =
+          static_cast<double>(rng.index(static_cast<std::size_t>(spec.levels)) +
+                              1);
+      point.objectives.push_back(level * static_cast<double>(m + 1));
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace mars::testing

@@ -105,6 +105,40 @@ TEST(ErrorMacros, CheckArgThrowsInvalidArgument) {
   EXPECT_NO_THROW(MARS_CHECK_ARG(true, "fine"));
 }
 
+TEST(Joules, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(millijoules(250.0).count(), 0.25);
+  EXPECT_DOUBLE_EQ(picojoules(3.0).count(), 3e-12);
+  EXPECT_DOUBLE_EQ(Joules(0.5).millijoules(), 500.0);
+  EXPECT_DOUBLE_EQ(picojoules(40.0).picojoules(), 40.0);
+  EXPECT_DOUBLE_EQ(Joules().count(), 0.0);
+}
+
+TEST(Joules, ArithmeticAndComparison) {
+  Joules a(2.0);
+  a += Joules(1.0);
+  EXPECT_DOUBLE_EQ(a.count(), 3.0);
+  a -= Joules(0.5);
+  EXPECT_DOUBLE_EQ(a.count(), 2.5);
+  EXPECT_DOUBLE_EQ((Joules(2.0) + Joules(3.0)).count(), 5.0);
+  EXPECT_DOUBLE_EQ((Joules(2.0) - Joules(3.0)).count(), -1.0);
+  EXPECT_DOUBLE_EQ((Joules(2.0) * 3.0).count(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * Joules(2.0)).count(), 6.0);
+  EXPECT_DOUBLE_EQ((Joules(6.0) / 3.0).count(), 2.0);
+  EXPECT_DOUBLE_EQ(Joules(6.0) / Joules(3.0), 2.0);
+  EXPECT_LT(picojoules(1.0), picojoules(2.0));
+  EXPECT_EQ(Joules(1.0), Joules(1.0));
+}
+
+TEST(Joules, StreamsAtTheRightTier) {
+  std::ostringstream j, mj, pj;
+  j << Joules(2.5);
+  EXPECT_EQ(j.str(), "2.5 J");
+  mj << millijoules(250.0);
+  EXPECT_EQ(mj.str(), "250 mJ");
+  pj << picojoules(40.0);
+  EXPECT_EQ(pj.str(), "40 pJ");
+}
+
 TEST(ErrorMacros, CheckThrowsInternalError) {
   EXPECT_THROW(MARS_CHECK(false, "bug"), InternalError);
   EXPECT_NO_THROW(MARS_CHECK(true, "fine"));

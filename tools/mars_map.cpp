@@ -35,6 +35,17 @@
 //       vs independent SLO goodput. --encoding partition|interleave
 //       picks the composite genome; --rollout MS sets the rollout
 //       horizon; budget/thread/cache/trace flags work as in map/serve.
+//   mars_map explore --model alexnet [--space SPEC] [--objectives LIST]
+//       Hardware-mapping co-search (docs/EXPLORE.md): evolves hardware
+//       points (interconnect family, accelerator count, link bandwidth,
+//       design menu) with an NSGA-II loop, pricing each point by an
+//       inner mapping search, and prints the Pareto front over
+//       --objectives (default makespan,energy,cost). --space uses the
+//       axis grammar "families=clique,ring;accs=2,4;bw=8;menus=full";
+//       --front-size truncates the printed front by crowding distance;
+//       --points / --search-budget bound the outer search; --search-evals
+//       bounds each inner search; --csv/--json export the front
+//       byte-identically at any --threads and cache state.
 //   mars_map warm --models a,b,c --mapping-cache DIR
 //       Pre-populate the mapping cache: plan every listed model on the
 //       configured (topology, mapper) and store the results, so later
@@ -63,6 +74,7 @@
 #include "mars/comap/engine.h"
 #include "mars/core/evaluator.h"
 #include "mars/core/serialize.h"
+#include "mars/explore/engine.h"
 #include "mars/graph/models/models.h"
 #include "mars/graph/parser.h"
 #include "mars/obs/metrics.h"
@@ -875,6 +887,126 @@ int cmd_comap(const Args& args) {
   return 0;
 }
 
+int cmd_explore(const Args& args) {
+  const ObsSession session(args);
+  explore::ExploreConfig config;
+  config.model = args.get("model", "alexnet");
+  // Both parsers throw InvalidArgument naming the offending axis/value
+  // (docs/EXPLORE.md grammar); an absent --space means the default grid.
+  config.space = explore::DesignSpace::parse(args.get("space", ""));
+  config.objectives =
+      explore::parse_objectives(args.get("objectives", "makespan,energy,cost"));
+  config.mapper = args.get("mapper", "ga");
+  config.tuning = make_config(args);
+  const int search_evals = int_option(args, "search-evals", "0");
+  if (search_evals < 0) {
+    throw InvalidArgument("--search-evals must be >= 0, got '" +
+                          args.get("search-evals", "0") + "'");
+  }
+  config.search_evaluations = search_evals;
+  config.population = int_option(args, "population", "12");
+  config.generations = int_option(args, "generations", "6");
+  config.seed = std::stoull(args.get("seed", "1"));
+  config.threads = thread_count(args);
+  const int front_size = int_option(args, "front-size", "0");
+  if (front_size < 0) {
+    throw InvalidArgument("--front-size must be >= 0, got '" +
+                          args.get("front-size", "0") + "'");
+  }
+  config.front_size = front_size;
+
+  // Outer budget: distinct hardware points priced and/or wall clock.
+  plan::Budget outer;
+  const double ms = number_option(args, "search-budget", "0");
+  if (ms < 0.0) {
+    throw InvalidArgument("--search-budget must be >= 0 ms, got '" +
+                          args.get("search-budget", "0") + "'");
+  }
+  outer.wall_clock = milliseconds(ms);
+  const int points = int_option(args, "points", "0");
+  if (points < 0) {
+    throw InvalidArgument("--points must be >= 0, got '" +
+                          args.get("points", "0") + "'");
+  }
+  outer.max_evaluations = points;
+
+  std::optional<serve::MappingCache> cache;
+  if (args.flag("mapping-cache")) {
+    const std::string dir = args.get("mapping-cache", "");
+    if (dir == "1") {
+      throw InvalidArgument("--mapping-cache needs a directory path");
+    }
+    cache.emplace(dir);
+  }
+
+  const explore::ExploreEngine engine(config);
+  const explore::ExploreResult result =
+      engine.search(cache ? &*cache : nullptr, outer);
+
+  // The front, truncated to --front-size, in canonical order. Everything
+  // below is a pure function of (model, space, objectives, engine spec):
+  // run-specific provenance (elapsed, cache hits) goes to stderr.
+  const std::vector<explore::FrontPoint> front =
+      result.front.top(config.front_size);
+  Table table({"Point", "Makespan(ms)", "Energy(mJ)", "Cost", "Sets"});
+  for (const explore::FrontPoint& fp : front) {
+    for (const explore::PointOutcome& out : result.outcomes) {
+      if (out.point.spec() != fp.key) continue;
+      table.add_row({fp.key, format_double(out.makespan_s * 1e3, 3),
+                     format_double(out.energy_j * 1e3, 3),
+                     format_double(out.cost, 3),
+                     std::to_string(out.sets)});
+      break;
+    }
+  }
+  std::cout << table.render();
+  std::cout << "front: " << front.size() << " points ("
+            << result.front.size() << " non-dominated of "
+            << result.provenance.evaluations << " priced, "
+            << result.provenance.iterations << " generations)\n";
+
+  // Never-lose report: where each fixed-fleet preset landed relative to
+  // the front, on the selected objectives.
+  for (const explore::PointOutcome& out : result.outcomes) {
+    if (!out.point.preset) continue;
+    const explore::FrontPoint fp = out.front_point(config.objectives);
+    std::string verdict = "on front";
+    for (const explore::FrontPoint& member : result.front.points()) {
+      if (explore::dominates(member, fp)) {
+        verdict = "dominated by " + member.key;
+        break;
+      }
+    }
+    std::cout << "preset " << fp.key << ": " << verdict << '\n';
+  }
+
+  std::clog << "search: " << result.provenance.evaluations
+            << " points priced in "
+            << format_double(result.provenance.elapsed.count(), 3)
+            << " s, stopped: " << plan::to_string(result.provenance.stopped)
+            << ", cache hits: " << result.cache_hits << '\n';
+
+  if (args.flag("csv")) {
+    const std::string path = args.get("csv", "");
+    if (path == "1") {
+      throw InvalidArgument("--csv needs an output file path");
+    }
+    std::ofstream file(path);
+    file << explore::front_csv(result, config);
+    std::cout << "wrote " << path << '\n';
+  }
+  if (args.flag("json")) {
+    const std::string path = args.get("json", "");
+    if (path == "1") {
+      throw InvalidArgument("--json needs an output file path");
+    }
+    std::ofstream file(path);
+    file << explore::front_json(result, config) << '\n';
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
 int cmd_warm(const Args& args) {
   const ObsSession session(args);
   // Accept --models a,b,c and/or repeated --model NAME (bare names; the
@@ -923,7 +1055,7 @@ int cmd_warm(const Args& args) {
 
 int usage(std::ostream& os) {
   os << "usage: mars_map "
-        "<models|profile|map|baseline|throughput|serve|comap|warm> "
+        "<models|profile|map|baseline|throughput|serve|comap|explore|warm> "
         "[--model NAME] [--topology f1|cloud:<n>:<gbps>|ring:<n>:<gbps>] "
         "[--model-file PATH] "
         "[--mapper ga|anneal|random|baseline|portfolio|race:<m>+<m>[,MS]] "
@@ -939,6 +1071,12 @@ int usage(std::ostream& os) {
         "--encoding partition|interleave --rate RPS --rollout MS --slo MS "
         "--policy SPEC --seed N --threads N --quick --full "
         "--mapping-cache DIR --json PATH\n"
+        "explore options: --model NAME --space "
+        "'families=clique,ring;accs=2,4;bw=8;menus=full' "
+        "--objectives makespan,energy,cost --front-size N "
+        "--population N --generations N --points N --search-budget MS "
+        "--search-evals N --mapper NAME --seed N --threads N --quick "
+        "--mapping-cache DIR --csv PATH --json PATH\n"
         "warm options: --models a,b,c --mapping-cache DIR [--mapper NAME] "
         "[--full] [--threads N]\n"
         "full reference: docs/CLI.md, docs/SEARCH.md, docs/COMAP.md and "
@@ -958,6 +1096,7 @@ int main(int argc, char** argv) {
     if (args.command == "throughput") return cmd_throughput(args);
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "comap") return cmd_comap(args);
+    if (args.command == "explore") return cmd_explore(args);
     if (args.command == "warm") return cmd_warm(args);
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {
